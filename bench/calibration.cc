@@ -1,0 +1,155 @@
+#include "bench/calibration.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+
+namespace rdfmr {
+namespace bench {
+
+uint64_t MeasurePeak(const std::vector<Triple>& triples,
+                     const std::string& query_id, EngineKind kind) {
+  ClusterConfig roomy;
+  roomy.num_nodes = 12;
+  roomy.replication = 1;
+  roomy.disk_per_node = 8ULL << 30;
+  roomy.block_size = 1ULL << 20;
+  roomy.num_reducers = 8;
+  auto dfs = MakeDfs(triples, roomy);
+  EngineOptions options;
+  options.kind = kind;
+  options.decode_answers = false;
+  ExecStats stats = RunOne(dfs.get(), query_id, options);
+  if (!stats.ok()) {
+    std::fprintf(stderr,
+                 "FATAL: calibration run failed for %s/%s on an "
+                 "unconstrained cluster: %s\n",
+                 query_id.c_str(), EngineKindToString(kind),
+                 stats.status.ToString().c_str());
+    std::exit(1);
+  }
+  return stats.peak_dfs_used_bytes;
+}
+
+Calibration CalibrateBsbmBudget(const std::vector<Triple>& triples) {
+  Calibration cal;
+  const std::vector<std::string> queries = {"B0", "B1", "B2", "B3",
+                                            "B4", "B5", "B6"};
+  for (const std::string& q : queries) {
+    for (EngineKind kind : PaperEngines()) {
+      std::string key = q + "/" + EngineKindToString(kind);
+      cal.peaks[key] = MeasurePeak(triples, q, kind);
+    }
+  }
+  auto peak = [&](const std::string& q, const char* e) {
+    return cal.peaks.at(q + "/" + e);
+  };
+
+  std::printf("\n-- calibration: peak DFS footprint at replication 1 --\n");
+  std::printf("%-6s %14s %14s %14s %14s\n", "query", "Pig", "Hive",
+              "EagerUnnest", "LazyUnnest");
+  for (const std::string& q : queries) {
+    std::printf("%-6s %14s %14s %14s %14s\n", q.c_str(),
+                HumanBytes(peak(q, "Pig")).c_str(),
+                HumanBytes(peak(q, "Hive")).c_str(),
+                HumanBytes(peak(q, "EagerUnnest")).c_str(),
+                HumanBytes(peak(q, "LazyUnnest")).c_str());
+  }
+
+  // Constraint system (paper Figures 9a, 9b, 12); footprints scale with the
+  // replication factor, so replication-2 constraints double the peak.
+  // Figure 9(a) — BSBM-2M, replication 2, B0-B4: Pig/Hive fail everything,
+  // Eager completes B0-B2 but fails B3/B4, Lazy completes everything.
+  // Figure 9(b) — same data, replication 1: Pig/Hive complete B0-B2 but
+  // fail B3/B4; the NTGA strategies complete everything.
+  // Figure 12 — BSBM-1M (half the data) at replication 2, which scales to
+  // the replication-1 footprints here: Pig/Hive additionally fail B5/B6;
+  // LazyUnnest completes everything (the paper does not state whether
+  // EagerUnnest completed B5/B6, so those runs are unconstrained).
+  std::vector<std::pair<std::string, uint64_t>> must_pass, must_fail;
+  for (const std::string q : {"B0", "B1", "B2"}) {
+    must_pass.push_back({q + "/Eager@r2", 2 * peak(q, "EagerUnnest")});
+    must_pass.push_back({q + "/Pig@r1", peak(q, "Pig")});
+    must_pass.push_back({q + "/Hive@r1", peak(q, "Hive")});
+  }
+  for (const std::string q : {"B0", "B1", "B2", "B3", "B4"}) {
+    must_pass.push_back({q + "/Lazy@r2", 2 * peak(q, "LazyUnnest")});
+    must_pass.push_back({q + "/Eager@r1", peak(q, "EagerUnnest")});
+  }
+  for (const std::string q : {"B5", "B6"}) {
+    must_pass.push_back({q + "/Lazy@r1", peak(q, "LazyUnnest")});
+  }
+  for (const std::string q : {"B0", "B1", "B2", "B3", "B4"}) {
+    must_fail.push_back({q + "/Pig@r2", 2 * peak(q, "Pig")});
+    must_fail.push_back({q + "/Hive@r2", 2 * peak(q, "Hive")});
+  }
+  for (const std::string q : {"B3", "B4"}) {
+    must_fail.push_back({q + "/Eager@r2", 2 * peak(q, "EagerUnnest")});
+    must_fail.push_back({q + "/Pig@r1", peak(q, "Pig")});
+    must_fail.push_back({q + "/Hive@r1", peak(q, "Hive")});
+  }
+  for (const std::string q : {"B5", "B6"}) {
+    must_fail.push_back({q + "/Pig@r1", peak(q, "Pig")});
+    must_fail.push_back({q + "/Hive@r1", peak(q, "Hive")});
+  }
+
+  std::string pass_witness, fail_witness;
+  for (const auto& [name, bytes] : must_pass) {
+    if (bytes > cal.max_must_pass) {
+      cal.max_must_pass = bytes;
+      pass_witness = name;
+    }
+  }
+  cal.min_must_fail = UINT64_MAX;
+  for (const auto& [name, bytes] : must_fail) {
+    if (bytes < cal.min_must_fail) {
+      cal.min_must_fail = bytes;
+      fail_witness = name;
+    }
+  }
+  cal.feasible = cal.max_must_pass < cal.min_must_fail;
+  if (!cal.feasible) {
+    std::fprintf(stderr,
+                 "FATAL: budget constraints infeasible at this scale: "
+                 "largest must-pass %s (%s) >= smallest must-fail %s (%s)\n",
+                 pass_witness.c_str(),
+                 HumanBytes(cal.max_must_pass).c_str(), fail_witness.c_str(),
+                 HumanBytes(cal.min_must_fail).c_str());
+    std::exit(1);
+  }
+  cal.capacity = cal.max_must_pass / 2 + cal.min_must_fail / 2;
+  return cal;
+}
+
+Calibration CalibrateBudget(const std::vector<Triple>& triples,
+                            const std::vector<BudgetConstraint>& must_pass,
+                            const std::vector<BudgetConstraint>& must_fail) {
+  Calibration cal;
+  auto footprint = [&](const BudgetConstraint& c) {
+    std::string key = c.query_id + "/" + EngineKindToString(c.engine);
+    auto it = cal.peaks.find(key);
+    if (it == cal.peaks.end()) {
+      it = cal.peaks.emplace(key, MeasurePeak(triples, c.query_id, c.engine))
+               .first;
+    }
+    return it->second * c.replication;
+  };
+  for (const BudgetConstraint& c : must_pass) {
+    cal.max_must_pass = std::max(cal.max_must_pass, footprint(c));
+  }
+  cal.min_must_fail = UINT64_MAX;
+  for (const BudgetConstraint& c : must_fail) {
+    cal.min_must_fail = std::min(cal.min_must_fail, footprint(c));
+  }
+  cal.feasible = cal.max_must_pass < cal.min_must_fail;
+  if (cal.feasible) {
+    cal.capacity = cal.max_must_pass / 2 + cal.min_must_fail / 2;
+  }
+  return cal;
+}
+
+}  // namespace bench
+}  // namespace rdfmr

@@ -1,0 +1,105 @@
+// Figure 3 (case study): evaluation of different groupings of star-joins
+// for two-star queries Q1a/Q1b (O-S), Q2a/Q2b (O-S), Q3a/Q3b (O-O) on the
+// BSBM-like dataset.
+//
+// Paper shape (MR = MapReduce cycles, FS = full scans of the triple
+// relation):
+//   SJ-per-cycle : MR=3 for all queries, FS=2
+//   Sel-SJ-first : MR=2, FS=2 for O-S joins; MR=3, FS=3 for O-O joins
+//   NTGA grouping: MR=2, FS=1 for all queries — and fastest overall.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace rdfmr {
+namespace bench {
+namespace {
+
+int Main() {
+  std::vector<Triple> triples = BenchDataset(DatasetFamily::kBsbm);
+  std::printf("Fig 3: groupings of star-joins (%zu triples)\n",
+              triples.size());
+
+  ClusterConfig roomy;
+  roomy.num_nodes = 10;
+  roomy.replication = 1;
+  roomy.disk_per_node = 8ULL << 30;
+  roomy.block_size = 1ULL << 20;
+  roomy.num_reducers = 8;
+  auto dfs = MakeDfs(triples, roomy);
+
+  struct Plan {
+    const char* name;
+    EngineOptions options;
+  };
+  std::vector<Plan> plans;
+  {
+    EngineOptions sj_per_cycle;
+    sj_per_cycle.kind = EngineKind::kHive;
+    sj_per_cycle.grouping = RelationalGrouping::kStarPerCycle;
+    plans.push_back({"SJ-per-cycle", sj_per_cycle});
+    EngineOptions sel_sj;
+    sel_sj.kind = EngineKind::kHive;
+    sel_sj.grouping = RelationalGrouping::kSelSJFirst;
+    plans.push_back({"Sel-SJ-first", sel_sj});
+    EngineOptions ntga;
+    ntga.kind = EngineKind::kNtgaLazy;
+    plans.push_back({"NTGA", ntga});
+  }
+
+  const std::vector<std::string> os_queries = {"Q1a", "Q1b", "Q2a", "Q2b"};
+  const std::vector<std::string> oo_queries = {"Q3a", "Q3b"};
+  std::vector<std::string> queries = os_queries;
+  queries.insert(queries.end(), oo_queries.begin(), oo_queries.end());
+
+  std::vector<Row> rows;
+  std::map<std::string, ExecStats> results;
+  for (const std::string& q : queries) {
+    for (Plan& plan : plans) {
+      plan.options.decode_answers = false;
+      plan.options.cost = BenchCostModel();
+      ExecStats stats = RunOne(dfs.get(), q, plan.options);
+      stats.engine = plan.name;  // label rows by plan, not engine
+      results[q + "/" + plan.name] = stats;
+      rows.push_back(Row{q, plan.name, stats});
+    }
+  }
+  PrintTable("Fig 3: star-join grouping case study", rows);
+
+  auto get = [&](const std::string& q, const char* plan) -> ExecStats& {
+    return results.at(q + "/" + plan);
+  };
+
+  ShapeChecks checks;
+  for (const std::string& q : queries) {
+    checks.Check(q + ": SJ-per-cycle uses 3 MR cycles, 2 full scans",
+                 get(q, "SJ-per-cycle").mr_cycles == 3 &&
+                     get(q, "SJ-per-cycle").full_scans == 2);
+    checks.Check(q + ": NTGA uses 2 MR cycles, 1 full scan",
+                 get(q, "NTGA").mr_cycles == 2 &&
+                     get(q, "NTGA").full_scans == 1);
+    checks.Check(q + ": NTGA fastest of the three groupings (modeled)",
+                 get(q, "NTGA").modeled_seconds <
+                         get(q, "SJ-per-cycle").modeled_seconds &&
+                     get(q, "NTGA").modeled_seconds <
+                         get(q, "Sel-SJ-first").modeled_seconds);
+  }
+  for (const std::string& q : os_queries) {
+    checks.Check(q + " (O-S): Sel-SJ-first folds into 2 cycles, 2 scans",
+                 get(q, "Sel-SJ-first").mr_cycles == 2 &&
+                     get(q, "Sel-SJ-first").full_scans == 2);
+  }
+  for (const std::string& q : oo_queries) {
+    checks.Check(q + " (O-O): Sel-SJ-first stays at 3 cycles, 3 scans",
+                 get(q, "Sel-SJ-first").mr_cycles == 3 &&
+                     get(q, "Sel-SJ-first").full_scans == 3);
+  }
+  return checks.Summarize();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfmr
+
+int main() { return rdfmr::bench::Main(); }

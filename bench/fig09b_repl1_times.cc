@@ -1,0 +1,130 @@
+// Figure 9(b): varying join structures B0-B4 on the BSBM-like dataset,
+// HDFS replication factor 1 — execution comparison of Pig, Hive,
+// EagerUnnest and LazyUnnest.
+//
+// Paper shape: all approaches complete B0-B2; Pig and Hive fail B3 and B4
+// (disk exhaustion from redundant intermediate results); LazyUnnest beats
+// EagerUnnest on B1 (partial β-unnest cuts shuffle) and on B3/B4 keeps the
+// unbound component nested to the end (80% / 61% fewer HDFS writes).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/calibration.h"
+#include "common/strings.h"
+
+namespace rdfmr {
+namespace bench {
+namespace {
+
+int Main() {
+  std::vector<Triple> triples = BenchDataset(DatasetFamily::kBsbm);
+  uint64_t base_bytes = DatasetBytes(triples);
+  std::printf("Fig 9(b): B0-B4, BSBM-like dataset (%zu triples, %s), "
+              "replication 1\n",
+              triples.size(), HumanBytes(base_bytes).c_str());
+
+  const std::vector<std::string> queries = {"B0", "B1", "B2", "B3", "B4"};
+
+  // Disk budget calibrated so the paper's pass/fail pattern is *measurable*:
+  // between the largest footprint that must fit and the smallest that must
+  // not (see EXPERIMENTS.md).
+  Calibration cal = CalibrateBsbmBudget(triples);
+  std::printf("calibrated budget: %s total (largest-passing %s, "
+              "smallest-failing %s)\n",
+              HumanBytes(cal.capacity).c_str(),
+              HumanBytes(cal.max_must_pass).c_str(),
+              HumanBytes(cal.min_must_fail).c_str());
+
+  ClusterConfig cluster;
+  cluster.num_nodes = 12;
+  cluster.replication = 1;
+  cluster.disk_per_node = cal.capacity / cluster.num_nodes + 1;
+  // Keep the paper's ~80 blocks/node ratio so placement is not the binding
+  // constraint.
+  cluster.block_size = std::max<uint64_t>(4096, cluster.disk_per_node / 64);
+  cluster.num_reducers = 8;
+
+  auto dfs = MakeDfs(triples, cluster);
+  std::vector<Row> rows;
+  for (const std::string& q : queries) {
+    for (EngineKind kind : PaperEngines()) {
+      EngineOptions options;
+      options.kind = kind;
+      options.decode_answers = false;
+      options.cost = BenchCostModel();
+      rows.push_back(Row{q, EngineKindToString(kind),
+                         RunOne(dfs.get(), q, options)});
+    }
+  }
+  PrintTable("Fig 9(b): execution under replication 1", rows);
+
+  auto stats = [&](const std::string& q, const char* engine) -> ExecStats* {
+    for (Row& row : rows) {
+      if (row.query == q && row.stats.engine == engine) return &row.stats;
+    }
+    return nullptr;
+  };
+
+  ShapeChecks checks;
+  for (const std::string q : {"B0", "B1", "B2"}) {
+    for (const char* e : {"Pig", "Hive", "EagerUnnest", "LazyUnnest"}) {
+      checks.Check(q + std::string(" completes on ") + e,
+                   stats(q, e)->ok());
+    }
+  }
+  for (const std::string q : {"B3", "B4"}) {
+    checks.Check(q + " fails on Pig (out of disk)",
+                 !stats(q, "Pig")->ok() &&
+                     stats(q, "Pig")->status.IsOutOfSpace());
+    checks.Check(q + " fails on Hive (out of disk)",
+                 !stats(q, "Hive")->ok() &&
+                     stats(q, "Hive")->status.IsOutOfSpace());
+    checks.Check(q + " completes on EagerUnnest",
+                 stats(q, "EagerUnnest")->ok());
+    checks.Check(q + " completes on LazyUnnest",
+                 stats(q, "LazyUnnest")->ok());
+  }
+  checks.Check("B1: LazyUnnest shuffles less than EagerUnnest",
+               stats("B1", "LazyUnnest")->shuffle_bytes <
+                   stats("B1", "EagerUnnest")->shuffle_bytes);
+  checks.Check("B1: LazyUnnest faster than EagerUnnest (modeled)",
+               stats("B1", "LazyUnnest")->modeled_seconds <
+                   stats("B1", "EagerUnnest")->modeled_seconds);
+  checks.Check("B1: LazyUnnest faster than Pig and Hive (modeled)",
+               stats("B1", "LazyUnnest")->modeled_seconds <
+                       stats("B1", "Pig")->modeled_seconds &&
+                   stats("B1", "LazyUnnest")->modeled_seconds <
+                       stats("B1", "Hive")->modeled_seconds);
+  {
+    double lazy = static_cast<double>(
+        stats("B3", "LazyUnnest")->hdfs_write_bytes);
+    double eager = static_cast<double>(
+        stats("B3", "EagerUnnest")->hdfs_write_bytes);
+    checks.Check(StringFormat("B3: LazyUnnest writes far less than "
+                              "EagerUnnest (paper ~80%%; measured %.0f%%)",
+                              100.0 * (1.0 - lazy / eager)),
+                 lazy < 0.5 * eager);
+  }
+  {
+    double lazy = static_cast<double>(
+        stats("B4", "LazyUnnest")->hdfs_write_bytes);
+    double eager = static_cast<double>(
+        stats("B4", "EagerUnnest")->hdfs_write_bytes);
+    checks.Check(StringFormat("B4: LazyUnnest writes far less than "
+                              "EagerUnnest (paper ~61%%; measured %.0f%%)",
+                              100.0 * (1.0 - lazy / eager)),
+                 lazy < 0.6 * eager);
+    checks.Check("B4: LazyUnnest faster than EagerUnnest (modeled)",
+                 stats("B4", "LazyUnnest")->modeled_seconds <
+                     stats("B4", "EagerUnnest")->modeled_seconds);
+  }
+  return checks.Summarize();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfmr
+
+int main() { return rdfmr::bench::Main(); }

@@ -1,0 +1,108 @@
+// Figure 9(c): execution time comparison while varying the number of
+// bound-property triple patterns (B1-3bnd .. B1-6bnd) under the tight disk
+// budget.
+//
+// Paper shape: Pig fails for all queries beyond three bound-property
+// subpatterns (its per-operand scans and redundant n-tuples grow with the
+// arity); LazyUnnest(φ1K) consistently outperforms the other approaches,
+// about 25% faster than Hive.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/calibration.h"
+
+namespace rdfmr {
+namespace bench {
+namespace {
+
+int Main() {
+  std::vector<Triple> triples = BenchDataset(DatasetFamily::kBsbm);
+  std::printf("Fig 9(c): execution time, varying bound arity "
+              "(%zu triples)\n",
+              triples.size());
+
+  // Same cluster budget as Figures 9(a)/9(b). The paper reports Pig failing
+  // beyond 3 bound properties; at bench scale the relational footprint
+  // grows more slowly with arity, so the crossing lands at the largest
+  // arity instead (documented deviation in EXPERIMENTS.md) — the *trend*
+  // (Pig's footprint grows fastest and crosses the budget first, NTGA
+  // unaffected) is what is checked.
+  const std::vector<std::string> queries = {"B1-3bnd", "B1-4bnd", "B1-5bnd",
+                                            "B1-6bnd"};
+  Calibration cal = CalibrateBsbmBudget(triples);
+  uint64_t capacity = cal.capacity;
+  std::printf("budget: %s total (shared with Fig 9a/9b)\n",
+              HumanBytes(capacity).c_str());
+
+  ClusterConfig cluster;
+  cluster.num_nodes = 12;
+  cluster.replication = 1;
+  cluster.disk_per_node = capacity / cluster.num_nodes + 1;
+  cluster.block_size = std::max<uint64_t>(4096, cluster.disk_per_node / 64);
+  cluster.num_reducers = 8;
+  auto dfs = MakeDfs(triples, cluster);
+
+  std::vector<Row> rows;
+  for (const std::string& q : queries) {
+    for (EngineKind kind : PaperEngines()) {
+      EngineOptions options;
+      options.kind = kind;
+      options.decode_answers = false;
+      options.cost = BenchCostModel();
+      options.phi_partitions = 1024;  // the paper's LazyUnnest(φ1K)
+      rows.push_back(
+          Row{q, EngineKindToString(kind), RunOne(dfs.get(), q, options)});
+    }
+  }
+  PrintTable("Fig 9(c): execution times while varying bound-property count",
+             rows);
+
+  auto stats = [&](const std::string& q, const char* engine) -> ExecStats* {
+    for (Row& row : rows) {
+      if (row.query == q && row.stats.engine == engine) return &row.stats;
+    }
+    return nullptr;
+  };
+
+  ShapeChecks checks;
+  checks.Check("B1-3bnd completes on Pig", stats("B1-3bnd", "Pig")->ok());
+  checks.Check("Pig fails once the bound arity grows (paper: beyond 3bnd; "
+               "measured at the largest arity)",
+               stats("B1-6bnd", "Pig")->status.IsOutOfSpace());
+  {
+    bool monotone = true;
+    uint64_t prev = 0;
+    for (const std::string& q : queries) {
+      const ExecStats* pig = stats(q, "Pig");
+      if (!pig->ok()) break;  // failed runs have no total-writes sample
+      if (pig->hdfs_write_bytes < prev) monotone = false;
+      prev = pig->hdfs_write_bytes;
+    }
+    checks.Check("Pig writes grow monotonically with bound arity",
+                 monotone);
+  }
+  for (const std::string& q : queries) {
+    checks.Check(q + " completes on Hive / Eager / Lazy",
+                 stats(q, "Hive")->ok() && stats(q, "EagerUnnest")->ok() &&
+                     stats(q, "LazyUnnest")->ok());
+    double lazy = stats(q, "LazyUnnest")->modeled_seconds;
+    double hive = stats(q, "Hive")->modeled_seconds;
+    checks.Check(StringFormat("%s: LazyUnnest faster than Hive "
+                              "(paper ~25%%; measured %.0f%%)",
+                              q.c_str(), 100.0 * (1.0 - lazy / hive)),
+                 lazy < hive);
+    checks.Check(
+        q + ": LazyUnnest no slower than EagerUnnest",
+        stats(q, "LazyUnnest")->modeled_seconds <=
+            stats(q, "EagerUnnest")->modeled_seconds + 1e-9);
+  }
+  return checks.Summarize();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfmr
+
+int main() { return rdfmr::bench::Main(); }

@@ -1,0 +1,104 @@
+// Figure 10: total HDFS writes for unbound-property queries with a varying
+// number of bound-property triple patterns (B1-3bnd .. B1-6bnd).
+//
+// Paper shape: relational approaches produce every combination of the
+// bound component with each unbound match — reduce output grows with the
+// bound arity — while lazy β-unnesting keeps the result concise to the end
+// (~80-86% fewer HDFS writes, near-constant reduce output across arities).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace rdfmr {
+namespace bench {
+namespace {
+
+int Main() {
+  std::vector<Triple> triples = BenchDataset(DatasetFamily::kBsbm);
+  std::printf("Fig 10: HDFS writes, varying bound arity (%zu triples)\n",
+              triples.size());
+
+  ClusterConfig roomy;
+  roomy.num_nodes = 12;
+  roomy.replication = 1;
+  roomy.disk_per_node = 8ULL << 30;
+  roomy.block_size = 1ULL << 20;
+  roomy.num_reducers = 8;
+  auto dfs = MakeDfs(triples, roomy);
+
+  const std::vector<std::string> queries = {"B1-3bnd", "B1-4bnd", "B1-5bnd",
+                                            "B1-6bnd"};
+  std::vector<Row> rows;
+  for (const std::string& q : queries) {
+    for (EngineKind kind : PaperEngines()) {
+      EngineOptions options;
+      options.kind = kind;
+      options.decode_answers = false;
+      options.cost = BenchCostModel();
+      rows.push_back(
+          Row{q, EngineKindToString(kind), RunOne(dfs.get(), q, options)});
+    }
+  }
+  PrintTable("Fig 10: HDFS writes while varying bound-property count", rows);
+
+  auto stats = [&](const std::string& q, const char* engine) -> ExecStats* {
+    for (Row& row : rows) {
+      if (row.query == q && row.stats.engine == engine) return &row.stats;
+    }
+    return nullptr;
+  };
+
+  // The paper's figure tracks the writes shipped between MR cycles: lazy
+  // β-unnesting keeps results concise "till the end of map phase of the
+  // last MR job", so its reduce (intermediate) output stays near-constant
+  // while Pig/Hive reproduce the bound component per combination.
+  ShapeChecks checks;
+  for (const std::string& q : queries) {
+    double lazy = static_cast<double>(
+        stats(q, "LazyUnnest")->intermediate_write_bytes);
+    double pig =
+        static_cast<double>(stats(q, "Pig")->intermediate_write_bytes);
+    double hive =
+        static_cast<double>(stats(q, "Hive")->intermediate_write_bytes);
+    checks.Check(
+        StringFormat("%s: LazyUnnest intermediate writes >=80%% less than "
+                     "Pig (paper 80-86%%; measured %.0f%%)",
+                     q.c_str(), 100.0 * (1.0 - lazy / pig)),
+        lazy < 0.2 * pig);
+    checks.Check(
+        StringFormat("%s: LazyUnnest intermediate writes >=80%% less than "
+                     "Hive (measured %.0f%%)",
+                     q.c_str(), 100.0 * (1.0 - lazy / hive)),
+        lazy < 0.2 * hive);
+    // Final answers too: nested joined triplegroups beat flat n-tuples.
+    checks.Check(q + ": LazyUnnest final output smaller than Pig/Hive",
+                 stats(q, "LazyUnnest")->final_output_bytes <
+                     stats(q, "Pig")->final_output_bytes);
+  }
+  // Relational reduce output grows with bound arity; Lazy stays near-flat.
+  {
+    double pig3 = static_cast<double>(
+        stats("B1-3bnd", "Pig")->intermediate_write_bytes);
+    double pig6 = static_cast<double>(
+        stats("B1-6bnd", "Pig")->intermediate_write_bytes);
+    checks.Check("Pig intermediate writes grow with bound arity "
+                 "(6bnd > 1.2x 3bnd)",
+                 pig6 > 1.2 * pig3);
+    double lazy3 = static_cast<double>(
+        stats("B1-3bnd", "LazyUnnest")->intermediate_write_bytes);
+    double lazy6 = static_cast<double>(
+        stats("B1-6bnd", "LazyUnnest")->intermediate_write_bytes);
+    checks.Check(StringFormat("LazyUnnest reduce output near-constant "
+                              "across arity (6bnd/3bnd = %.2f)",
+                              lazy6 / lazy3),
+                 lazy6 < 1.15 * lazy3);
+  }
+  return checks.Summarize();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfmr
+
+int main() { return rdfmr::bench::Main(); }

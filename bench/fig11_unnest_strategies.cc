@@ -1,0 +1,147 @@
+// Figure 11: choice of lazy β-unnesting strategy — execution of the last MR
+// cycle (MR_J1), where the join involving the unbound-property triple
+// pattern is computed, under lazy FULL vs lazy PARTIAL β-unnest.
+//
+// Paper shape: queries joining on a fully *unbound* object (the B1 series)
+// benefit from partial β-unnest (φ_m keeps same-reducer triplegroups
+// nested through the shuffle); for *partially-bound* objects (A3-style,
+// small candidate sets) a full β-unnest is already sufficient — the two
+// strategies converge. This is the empirical basis for the paper's
+// LazyUnnest policy (rule R5). A φ_m sweep is included as an ablation.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace rdfmr {
+namespace bench {
+namespace {
+
+struct CycleStats {
+  uint64_t shuffle = 0;       // map output of the join cycle
+  uint64_t map_records = 0;
+  double seconds = 0.0;
+  bool ok = false;
+};
+
+CycleStats LastCycle(const ExecStats& stats) {
+  CycleStats out;
+  if (!stats.ok() || stats.jobs.empty()) return out;
+  const JobMetrics& last = stats.jobs.back();
+  out.shuffle = last.map_output_bytes;
+  out.map_records = last.map_output_records;
+  out.ok = true;
+  return out;
+}
+
+int Main() {
+  std::printf("Fig 11: lazy full vs lazy partial beta-unnest, last MR "
+              "cycle of the unbound join\n");
+
+  ClusterConfig roomy;
+  roomy.num_nodes = 12;
+  roomy.replication = 1;
+  roomy.disk_per_node = 8ULL << 30;
+  roomy.block_size = 1ULL << 20;
+  roomy.num_reducers = 8;
+
+  ShapeChecks checks;
+
+  // --- B1 series: join on an unbound object.
+  {
+    std::vector<Triple> triples = BenchDataset(DatasetFamily::kBsbm);
+    auto dfs = MakeDfs(triples, roomy);
+    std::printf("\n%-10s %-10s %14s %12s %10s\n", "query", "strategy",
+                "MRJ1 shuffle", "MRJ1 recs", "time(s)");
+    for (const std::string q :
+         {"B1", "B1-3bnd", "B1-4bnd", "B1-5bnd", "B1-6bnd"}) {
+      CycleStats full, partial;
+      for (bool use_partial : {false, true}) {
+        EngineOptions options;
+        options.kind = use_partial ? EngineKind::kNtgaLazyPartial
+                                   : EngineKind::kNtgaLazyFull;
+        options.phi_partitions = 1024;
+        options.decode_answers = false;
+        options.cost = BenchCostModel();
+        ExecStats stats = RunOne(dfs.get(), q, options);
+        CycleStats cycle = LastCycle(stats);
+        cycle.seconds = stats.modeled_seconds;
+        std::printf("%-10s %-10s %14s %12llu %10.1f\n", q.c_str(),
+                    use_partial ? "partial" : "full",
+                    HumanBytes(cycle.shuffle).c_str(),
+                    static_cast<unsigned long long>(cycle.map_records),
+                    cycle.seconds);
+        (use_partial ? partial : full) = cycle;
+      }
+      checks.Check(
+          StringFormat("%s (unbound object): partial shuffles less than "
+                       "full (%.0f%% less)",
+                       q.c_str(),
+                       100.0 * (1.0 - static_cast<double>(partial.shuffle) /
+                                          static_cast<double>(full.shuffle))),
+          partial.ok && full.ok && partial.shuffle < full.shuffle);
+    }
+
+    // Ablation: φ_m sweep on B1 — fewer partitions merge more triplegroups
+    // through the shuffle, at the price of larger reduce groups.
+    std::printf("\nφ_m ablation on B1 (partial β-unnest):\n");
+    uint64_t prev_shuffle = 0;
+    bool monotone = true;
+    for (uint32_t m : {4096u, 256u, 16u}) {
+      EngineOptions options;
+      options.kind = EngineKind::kNtgaLazyPartial;
+      options.phi_partitions = m;
+      options.decode_answers = false;
+      options.cost = BenchCostModel();
+      ExecStats stats = RunOne(dfs.get(), "B1", options);
+      CycleStats cycle = LastCycle(stats);
+      std::printf("  phi_m=%-6u MRJ1 shuffle %s\n", m,
+                  HumanBytes(cycle.shuffle).c_str());
+      if (prev_shuffle != 0 && cycle.shuffle > prev_shuffle) {
+        monotone = false;
+      }
+      prev_shuffle = cycle.shuffle;
+    }
+    checks.Check("B1: shuffle volume shrinks as phi_m decreases (more "
+                 "nesting per partition)",
+                 monotone);
+  }
+
+  // --- Partially-bound object join (A3-style): full suffices.
+  {
+    std::vector<Triple> triples = BenchDataset(DatasetFamily::kBio2Rdf);
+    auto dfs = MakeDfs(triples, roomy);
+    CycleStats full, partial;
+    for (bool use_partial : {false, true}) {
+      EngineOptions options;
+      options.kind = use_partial ? EngineKind::kNtgaLazyPartial
+                                 : EngineKind::kNtgaLazyFull;
+      options.phi_partitions = 1024;
+      options.decode_answers = false;
+      options.cost = BenchCostModel();
+      ExecStats stats = RunOne(dfs.get(), "A3", options);
+      CycleStats cycle = LastCycle(stats);
+      cycle.seconds = stats.modeled_seconds;
+      std::printf("%-10s %-10s %14s %12llu %10.1f\n", "A3",
+                  use_partial ? "partial" : "full",
+                  HumanBytes(cycle.shuffle).c_str(),
+                  static_cast<unsigned long long>(cycle.map_records),
+                  cycle.seconds);
+      (use_partial ? partial : full) = cycle;
+    }
+    double ratio = static_cast<double>(partial.shuffle) /
+                   static_cast<double>(full.shuffle);
+    checks.Check(
+        StringFormat("A3 (partially-bound object): full ~= partial "
+                     "(shuffle ratio %.2f)",
+                     ratio),
+        full.ok && partial.ok && ratio > 0.8 && ratio < 1.25);
+  }
+  return checks.Summarize();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfmr
+
+int main() { return rdfmr::bench::Main(); }

@@ -1,0 +1,170 @@
+// Figure 13: real-world unbound-property queries A1-A6 on the
+// Bio2RDF-like life-sciences warehouse.
+//
+// Paper shape:
+//  * A1: Pig/Hive produce every combination (~63K tuples); EagerUnnest
+//    ~7K triplegroups; LazyUnnest only ~3K concise triplegroups.
+//  * A3: relational plans materialize ~20x more star-join output than the
+//    NTGA approaches (26GB vs 1.3GB); LazyUnnest adds a further gain over
+//    EagerUnnest in the join cycle.
+//  * A4: Pig fails (disk); Eager/Lazy write orders of magnitude less than
+//    Hive after the star-join phase (1.8GB / 0.6GB vs 152GB).
+//  * A5: NTGA needs half the full scans of Hive at equal cycle count.
+//  * A6: LazyUnnest substantially faster than Hive (~48%).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/calibration.h"
+
+namespace rdfmr {
+namespace bench {
+namespace {
+
+int Main() {
+  std::vector<Triple> triples = BenchDataset(DatasetFamily::kBio2Rdf);
+  std::printf("Fig 13: Bio2RDF-like queries A1-A6 (%zu triples, %s)\n",
+              triples.size(), HumanBytes(DatasetBytes(triples)).c_str());
+
+  const std::vector<std::string> queries = {"A1", "A2", "A3",
+                                            "A4", "A5", "A6"};
+
+  // Budget: only Pig/A4 must exceed it (the paper's one bio failure).
+  std::vector<BudgetConstraint> must_pass, must_fail;
+  for (const std::string& q : queries) {
+    for (EngineKind kind : PaperEngines()) {
+      if (q == "A4" && kind == EngineKind::kPig) {
+        must_fail.push_back({q, kind, 1});
+      } else {
+        must_pass.push_back({q, kind, 1});
+      }
+    }
+  }
+  Calibration cal = CalibrateBudget(triples, must_pass, must_fail);
+  ClusterConfig cluster;
+  cluster.num_nodes = 20;  // the paper's biggest cluster, scaled
+  cluster.replication = 1;
+  if (cal.feasible) {
+    std::printf("calibrated budget: %s total\n",
+                HumanBytes(cal.capacity).c_str());
+    cluster.disk_per_node = cal.capacity / cluster.num_nodes + 1;
+  } else {
+    std::printf("NOTE: Pig/A4 failure not separable at this scale; "
+                "running unconstrained\n");
+    cluster.disk_per_node = 8ULL << 30;
+  }
+  cluster.block_size = std::max<uint64_t>(4096, cluster.disk_per_node / 64);
+  cluster.num_reducers = 10;
+  auto dfs = MakeDfs(triples, cluster);
+
+  std::vector<Row> rows;
+  for (const std::string& q : queries) {
+    for (EngineKind kind : PaperEngines()) {
+      EngineOptions options;
+      options.kind = kind;
+      options.decode_answers = false;
+      options.cost = BenchCostModel();
+      rows.push_back(
+          Row{q, EngineKindToString(kind), RunOne(dfs.get(), q, options)});
+    }
+  }
+  PrintTable("Fig 13: Bio2RDF-like unbound-property queries", rows);
+
+  auto stats = [&](const std::string& q, const char* engine) -> ExecStats* {
+    for (Row& row : rows) {
+      if (row.query == q && row.stats.engine == engine) return &row.stats;
+    }
+    return nullptr;
+  };
+
+  ShapeChecks checks;
+  // A1: output representation sizes (flat tuples vs TGs vs nested TGs).
+  {
+    uint64_t pig = stats("A1", "Pig")->jobs.back().output_records;
+    uint64_t eager = stats("A1", "EagerUnnest")->jobs.back().output_records;
+    uint64_t lazy = stats("A1", "LazyUnnest")->jobs.back().output_records;
+    std::printf("\nA1 final records: Pig %llu tuples, Eager %llu TGs, "
+                "Lazy %llu TGs (paper: ~63K / ~7K / ~3K)\n",
+                static_cast<unsigned long long>(pig),
+                static_cast<unsigned long long>(eager),
+                static_cast<unsigned long long>(lazy));
+    checks.Check("A1: Pig tuples >> Eager TGs >= Lazy TGs",
+                 pig > 2 * eager && eager >= lazy);
+    checks.Check("A1: Lazy achieves the most concise representation",
+                 lazy < eager || stats("A1", "LazyUnnest")->
+                                         final_output_bytes <
+                                     stats("A1", "EagerUnnest")->
+                                         final_output_bytes);
+  }
+  // A3: star-join phase writes, relational vs NTGA.
+  {
+    double hive =
+        static_cast<double>(stats("A3", "Hive")->star_phase_write_bytes);
+    double lazy = static_cast<double>(
+        stats("A3", "LazyUnnest")->star_phase_write_bytes);
+    checks.Check(StringFormat("A3: NTGA writes far less star-join output "
+                              "than Hive (paper 26GB vs 1.3GB; measured "
+                              "%.0fx less)",
+                              hive / lazy),
+                 lazy * 5 < hive);
+    checks.Check("A3: LazyUnnest no slower than EagerUnnest",
+                 stats("A3", "LazyUnnest")->modeled_seconds <=
+                     stats("A3", "EagerUnnest")->modeled_seconds + 1e-9);
+  }
+  // A4: Pig fails; NTGA star-phase output tiny vs Hive.
+  if (cal.feasible) {
+    checks.Check("A4: Pig fails (out of disk)",
+                 stats("A4", "Pig")->status.IsOutOfSpace());
+    checks.Check("A4: Hive and the NTGA approaches complete",
+                 stats("A4", "Hive")->ok() &&
+                     stats("A4", "EagerUnnest")->ok() &&
+                     stats("A4", "LazyUnnest")->ok());
+  }
+  {
+    double hive =
+        static_cast<double>(stats("A4", "Hive")->star_phase_write_bytes);
+    double eager = static_cast<double>(
+        stats("A4", "EagerUnnest")->star_phase_write_bytes);
+    double lazy = static_cast<double>(
+        stats("A4", "LazyUnnest")->star_phase_write_bytes);
+    // The paper's factors (152GB vs 1.8GB/0.6GB) ride on Bio2RDF's 13K
+    // property multiplicities; at our deliberately scaled-down multiplicity
+    // the same mechanism yields smaller but clearly-ordered factors.
+    checks.Check(StringFormat("A4: NTGA star-join output much smaller "
+                              "than Hive (measured %.0fx / %.0fx less)",
+                              hive / eager, hive / lazy),
+                 eager * 3 < hive && lazy * 8 < hive);
+    checks.Check("A4: Lazy star-join output smaller than Eager",
+                 lazy < eager);
+    checks.Check("A4: LazyUnnest faster than Hive (paper 53%)",
+                 stats("A4", "LazyUnnest")->modeled_seconds <
+                     stats("A4", "Hive")->modeled_seconds);
+  }
+  // A5: equal cycles, half the full scans.
+  checks.Check("A5: Hive uses 2 MR jobs with 2 full scans",
+               stats("A5", "Hive")->mr_cycles == 2 &&
+                   stats("A5", "Hive")->full_scans == 2);
+  checks.Check("A5: NTGA uses 2 MR jobs with 1 full scan",
+               stats("A5", "LazyUnnest")->mr_cycles == 2 &&
+                   stats("A5", "LazyUnnest")->full_scans == 1);
+  checks.Check("A5: NTGA faster than Hive (paper ~22%)",
+               stats("A5", "LazyUnnest")->modeled_seconds <
+                   stats("A5", "Hive")->modeled_seconds);
+  // A6: LazyUnnest gains over Hive.
+  {
+    double lazy = stats("A6", "LazyUnnest")->modeled_seconds;
+    double hive = stats("A6", "Hive")->modeled_seconds;
+    checks.Check(StringFormat("A6: LazyUnnest faster than Hive "
+                              "(paper ~48%%; measured %.0f%%)",
+                              100.0 * (1.0 - lazy / hive)),
+                 lazy < hive);
+  }
+  return checks.Summarize();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfmr
+
+int main() { return rdfmr::bench::Main(); }

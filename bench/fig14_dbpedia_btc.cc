@@ -1,0 +1,146 @@
+// Figure 14: DBpedia-Infobox queries C1-C4 (small cluster) and BTC-09
+// queries C3/C4 (larger cluster).
+//
+// Paper shape:
+//  * C1/C2 (selective single-join lookups on the small DBInfobox data):
+//    little NTGA benefit; Pig scans two copies of the input (double the
+//    mappers/reads of Hive).
+//  * C3/C4 (unknown relationships between entities): redundancy factors
+//    >0.6 (C4 close to 0.89-0.93); NTGA ~80% fewer HDFS writes and
+//    20-55% gains over Pig/Hive; scan sharing halves NTGA's reads on the
+//    two-star queries.
+//  * BTC C4 (two unbound properties): redundancy grows into the final
+//    output; lazy β-unnesting writes ~98% less and gains 70%/55% over
+//    Pig/Hive.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace rdfmr {
+namespace bench {
+namespace {
+
+void RunFamily(DatasetFamily family, uint32_t nodes,
+               const std::vector<std::string>& queries,
+               std::vector<Row>* rows) {
+  std::vector<Triple> triples = BenchDataset(family);
+  std::printf("\n%s dataset: %zu triples, %s, %u-node cluster\n",
+              DatasetFamilyToString(family), triples.size(),
+              HumanBytes(DatasetBytes(triples)).c_str(), nodes);
+  ClusterConfig cluster;
+  cluster.num_nodes = nodes;
+  cluster.replication = 1;
+  cluster.disk_per_node = 8ULL << 30;
+  cluster.block_size = 1ULL << 20;
+  cluster.num_reducers = nodes;
+  auto dfs = MakeDfs(triples, cluster);
+  for (const std::string& q : queries) {
+    for (EngineKind kind : PaperEngines()) {
+      EngineOptions options;
+      options.kind = kind;
+      options.decode_answers = false;
+      options.cost = BenchCostModel();
+      ExecStats stats = RunOne(dfs.get(), q, options);
+      rows->push_back(
+          Row{std::string(DatasetFamilyToString(family)) + ":" + q,
+              EngineKindToString(kind), stats});
+    }
+  }
+}
+
+int Main() {
+  std::printf("Fig 14: DBpedia-Infobox C1-C4 and BTC-09 C3/C4\n");
+  std::vector<Row> rows;
+  RunFamily(DatasetFamily::kDbpedia, 5, {"C1", "C2", "C3", "C4"}, &rows);
+  RunFamily(DatasetFamily::kBtc, 10, {"C3", "C4"}, &rows);
+  PrintTable("Fig 14: DBpedia / BTC unbound-property queries", rows);
+
+  auto stats = [&](const std::string& q, const char* engine) -> ExecStats* {
+    for (Row& row : rows) {
+      if (row.query == q && row.stats.engine == engine) return &row.stats;
+    }
+    return nullptr;
+  };
+  const std::string dbp = "DBpedia-Infobox:";
+  const std::string btc = "BTC-09:";
+
+  ShapeChecks checks;
+  // C1/C2: Pig's two input copies double its reads relative to Hive.
+  for (const std::string q : {"C1", "C2"}) {
+    double pig = static_cast<double>(stats(dbp + q, "Pig")->hdfs_read_bytes);
+    double hive =
+        static_cast<double>(stats(dbp + q, "Hive")->hdfs_read_bytes);
+    checks.Check(StringFormat("%s: Pig reads ~2x Hive (measured %.2fx)",
+                              q.c_str(), pig / hive),
+                 pig > 1.7 * hive && pig < 2.3 * hive);
+  }
+  // Redundancy factors of the relational star-join outputs.
+  for (const std::string q : {"C1", "C2", "C3", "C4"}) {
+    double r = stats(dbp + q, "Hive")->redundancy_factor;
+    checks.Check(StringFormat("DBpedia %s: redundancy factor > 0.6 "
+                              "(measured %.2f)",
+                              q.c_str(), r),
+                 r > 0.6);
+  }
+  {
+    // The paper's 0.89/0.93 -> 0.98 figures track C4's redundancy from the
+    // star-join phase into the final Pig/Hive output.
+    double star = stats(dbp + "C4", "Hive")->redundancy_factor;
+    double fin = stats(dbp + "C4", "Hive")->final_redundancy_factor;
+    checks.Check(StringFormat("DBpedia C4: redundancy grows into the final "
+                              "output (star %.2f -> final %.2f)",
+                              star, fin),
+                 fin > star && fin > 0.8);
+  }
+  // C3/C4: NTGA writes and time.
+  for (const std::string& prefix : {dbp, btc}) {
+    for (const std::string q : {"C3", "C4"}) {
+      std::string id = prefix + q;
+      double lazy =
+          static_cast<double>(stats(id, "LazyUnnest")->hdfs_write_bytes);
+      double hive =
+          static_cast<double>(stats(id, "Hive")->hdfs_write_bytes);
+      // Paper ~80%; our compact stand-in terms cap the flat/nested byte
+      // ratio lower (see EXPERIMENTS.md), so the bar is >=55%.
+      checks.Check(
+          StringFormat("%s: LazyUnnest writes >=55%% less than Hive "
+                       "(paper ~80%%; measured %.0f%%)",
+                       id.c_str(), 100.0 * (1.0 - lazy / hive)),
+          lazy < 0.45 * hive);
+      checks.Check(id + ": LazyUnnest faster than Pig and Hive",
+                   stats(id, "LazyUnnest")->modeled_seconds <
+                           stats(id, "Pig")->modeled_seconds &&
+                       stats(id, "LazyUnnest")->modeled_seconds <
+                           stats(id, "Hive")->modeled_seconds);
+      // Scan sharing: NTGA reads the input once; Pig scans per operand.
+      checks.Check(id + ": NTGA reads <=50% of Pig (scan sharing)",
+                   2 * stats(id, "LazyUnnest")->hdfs_read_bytes <=
+                       stats(id, "Pig")->hdfs_read_bytes);
+    }
+  }
+  // BTC C4: the most redundant case — near-total write elimination.
+  {
+    double lazy = static_cast<double>(
+        stats(btc + "C4", "LazyUnnest")->hdfs_write_bytes);
+    double hive =
+        static_cast<double>(stats(btc + "C4", "Hive")->hdfs_write_bytes);
+    checks.Check(StringFormat("BTC C4: LazyUnnest writes ~80%%+ less "
+                              "(paper 98%%; measured %.0f%%)",
+                              100.0 * (1.0 - lazy / hive)),
+                 lazy < 0.2 * hive);
+    double star = stats(btc + "C4", "Hive")->redundancy_factor;
+    double fin = stats(btc + "C4", "Hive")->final_redundancy_factor;
+    checks.Check(StringFormat("BTC C4: redundancy 0.93 -> 0.98 shape "
+                              "(measured star %.2f -> final %.2f)",
+                              star, fin),
+                 star > 0.6 && fin > star && fin > 0.85);
+  }
+  return checks.Summarize();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfmr
+
+int main() { return rdfmr::bench::Main(); }

@@ -1,0 +1,168 @@
+// Operator-level microbenchmarks (google-benchmark): serialization costs
+// and the NTGA operators' throughput as a function of candidate-set size
+// and φ_m — the knobs that drive the macro results.
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "ntga/operators.h"
+#include "ntga/triplegroup.h"
+#include "query/matcher.h"
+#include "query/sparql_parser.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple.h"
+
+namespace rdfmr {
+namespace {
+
+Triple MakeTriple(int i) {
+  return Triple("subject" + std::to_string(i % 100),
+                "property" + std::to_string(i % 10),
+                "object_value_" + std::to_string(i));
+}
+
+// A star with two bound patterns and one unbound pattern.
+StarPattern TestStar() {
+  StarPattern star;
+  star.subject_var = "s";
+  star.patterns.push_back(TriplePattern::Bound(
+      NodePattern::Var("s"), "property0", NodePattern::Var("o0")));
+  star.patterns.push_back(TriplePattern::Bound(
+      NodePattern::Var("s"), "property1", NodePattern::Var("o1")));
+  star.patterns.push_back(TriplePattern::Unbound(
+      NodePattern::Var("s"), "up", NodePattern::Var("x")));
+  return star;
+}
+
+AnnTg TestGroup(int num_candidates) {
+  AnnTg tg;
+  tg.subject = "subject42";
+  tg.star_id = 0;
+  tg.AddPair("property0", "bound_object_a");
+  tg.AddPair("property1", "bound_object_b");
+  for (int i = 0; i < num_candidates; ++i) {
+    tg.AddPair("property" + std::to_string(2 + i % 8),
+               "candidate_object_" + std::to_string(i));
+  }
+  return tg;
+}
+
+void BM_TripleSerde(benchmark::State& state) {
+  Triple t = MakeTriple(7);
+  for (auto _ : state) {
+    std::string line = t.Serialize();
+    auto back = Triple::Deserialize(line);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_TripleSerde);
+
+void BM_NTriplesParseLine(benchmark::State& state) {
+  const std::string line =
+      "<http://example.org/gene9> <http://example.org/xGO> "
+      "\"transcription factor\"@en .";
+  for (auto _ : state) {
+    auto st = ParseNTriplesLine(line);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_NTriplesParseLine);
+
+void BM_AnnTgSerde(benchmark::State& state) {
+  AnnTg tg = TestGroup(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string line = tg.Serialize();
+    auto back = AnnTg::Deserialize(line);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AnnTgSerde)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_BuildAnnTg(benchmark::State& state) {
+  StarPattern star = TestStar();
+  std::vector<PropObj> pairs;
+  for (int i = 0; i < state.range(0); ++i) {
+    pairs.push_back(PropObj{"property" + std::to_string(i % 10),
+                            "object" + std::to_string(i)});
+  }
+  pairs.push_back(PropObj{"property0", "a"});
+  pairs.push_back(PropObj{"property1", "b"});
+  for (auto _ : state) {
+    auto tg = BuildAnnTg(star, 0, "subject42", pairs);
+    benchmark::DoNotOptimize(tg);
+  }
+}
+BENCHMARK(BM_BuildAnnTg)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_BetaUnnest(benchmark::State& state) {
+  StarPattern star = TestStar();
+  AnnTg tg = TestGroup(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = BetaUnnest(star, tg);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BetaUnnest)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_PartialBetaUnnest(benchmark::State& state) {
+  StarPattern star = TestStar();
+  AnnTg tg = TestGroup(128);
+  uint32_t m = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto out = PartialBetaUnnest(star, tg, 2, m);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_PartialBetaUnnest)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_ExpandAnnTg(benchmark::State& state) {
+  StarPattern star = TestStar();
+  AnnTg tg = TestGroup(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = ExpandAnnTg(star, tg);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ExpandAnnTg)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_MatchStarDetailed(benchmark::State& state) {
+  StarPattern star = TestStar();
+  std::vector<Triple> triples;
+  triples.emplace_back("s", "property0", "a");
+  triples.emplace_back("s", "property1", "b");
+  for (int i = 0; i < state.range(0); ++i) {
+    triples.emplace_back("s", "property" + std::to_string(2 + i % 8),
+                         "object" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    auto out = MatchStarDetailed(star, triples);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MatchStarDetailed)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_Fnv1a(benchmark::State& state) {
+  std::string value = "some_join_key_value_of_typical_length";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fnv1a64(value));
+  }
+}
+BENCHMARK(BM_Fnv1a);
+
+void BM_SparqlParse(benchmark::State& state) {
+  const std::string text = R"(SELECT * WHERE {
+    ?p <label> ?l . ?p <type> ?t . ?p ?up ?x .
+    FILTER(CONTAINS(STR(?x), "feature"))
+    ?o <product> ?p . ?o <vendor> ?v . })";
+  for (auto _ : state) {
+    auto query = ParseSparql("bench", text);
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_SparqlParse);
+
+}  // namespace
+}  // namespace rdfmr
+
+BENCHMARK_MAIN();

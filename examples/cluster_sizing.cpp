@@ -1,0 +1,76 @@
+// Scenario: capacity planning for periodic scale-up workloads ("on-demand
+// and pay-as-you-go", as the paper frames it). Given a query and a
+// dataset, sweep cluster sizes and replication factors to find where each
+// engine stops fitting on disk and how the modeled runtime scales — the
+// what-if analysis behind Figures 9(a)/9(b).
+//
+//   ./build/examples/cluster_sizing
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "datagen/bsbm.h"
+#include "datagen/testbed.h"
+#include "engine/engine.h"
+
+using namespace rdfmr;
+
+int main() {
+  BsbmConfig config;
+  config.num_products = 800;
+  std::vector<Triple> triples = GenerateBsbm(config);
+  uint64_t base_bytes = 0;
+  for (const Triple& t : triples) base_bytes += t.Serialize().size() + 1;
+  std::printf("dataset: %zu triples, %s\n", triples.size(),
+              HumanBytes(base_bytes).c_str());
+
+  auto query = GetTestbedQuery("B4");
+  if (!query.ok()) return 1;
+  std::printf("query B4: unbound-property pattern outside the join — the "
+              "worst case for eager strategies\n\n");
+
+  std::printf("%-10s %-6s %-20s %8s %12s\n", "capacity", "repl", "engine",
+              "status", "modeled(s)");
+  for (double capacity_factor : {6.0, 8.0, 16.0}) {
+    for (uint32_t repl : {1u, 2u}) {
+      ClusterConfig cluster;
+      cluster.num_nodes = 8;
+      cluster.disk_per_node = static_cast<uint64_t>(
+          capacity_factor * static_cast<double>(base_bytes) /
+          cluster.num_nodes);
+      cluster.replication = repl;
+      cluster.block_size = cluster.disk_per_node / 32 + 1;
+      SimDfs dfs(cluster);
+      if (!dfs.WriteFile("base", SerializeTriples(triples)).ok()) {
+        std::printf("%-10.0fx %-6u base does not fit\n", capacity_factor,
+                    repl);
+        continue;
+      }
+      for (EngineKind kind :
+           {EngineKind::kHive, EngineKind::kNtgaEager,
+            EngineKind::kNtgaLazy}) {
+        EngineOptions options;
+        options.kind = kind;
+        options.decode_answers = false;
+        auto exec = RunQuery(&dfs, "base", *query, options);
+        if (!exec.ok()) continue;
+        if (exec->stats.ok()) {
+          std::printf("%-10s %-6u %-20s %8s %12.1f\n",
+                      StringFormat("%.0fx", capacity_factor).c_str(), repl,
+                      EngineKindToString(kind), "ok",
+                      exec->stats.modeled_seconds);
+        } else {
+          std::printf("%-10s %-6u %-20s %8s %12s\n",
+                      StringFormat("%.0fx", capacity_factor).c_str(), repl,
+                      EngineKindToString(kind), "X", "-");
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nreading the table: the lazy NTGA strategy keeps fitting (and its "
+      "runtime flat) where the relational and eager plans exhaust disk — "
+      "the smaller the over-provisioning factor, the earlier they die.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Stable, platform-independent hashing. The MapReduce partitioner must be
+// deterministic across runs so experiments are reproducible, so we do not
+// use std::hash (implementation-defined).
+
+#ifndef RDFMR_COMMON_HASH_H_
+#define RDFMR_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rdfmr {
+
+/// \brief 64-bit FNV-1a over a byte string.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// \brief Mixes two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_COMMON_HASH_H_

@@ -1,0 +1,69 @@
+// Minimal leveled logging for the library. Defaults to WARNING so tests and
+// benches stay quiet; benches raise verbosity for progress reporting.
+
+#ifndef RDFMR_COMMON_LOGGING_H_
+#define RDFMR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rdfmr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the global minimum level that is emitted to stderr.
+void SetLogLevel(LogLevel level);
+
+/// \brief Returns the current global minimum log level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define RDFMR_LOG(level)                                             \
+  ::rdfmr::internal::LogMessage(::rdfmr::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// \brief Fatal invariant check; aborts with a message when violated.
+#define RDFMR_CHECK(cond)                                           \
+  if (!(cond))                                                      \
+  ::rdfmr::internal::CheckFailure(#cond, __FILE__, __LINE__).stream()
+
+namespace internal {
+
+class CheckFailure {
+ public:
+  CheckFailure(const char* expr, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rdfmr
+
+#endif  // RDFMR_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#ifndef RDFMR_COMMON_RESULT_H_
+#define RDFMR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rdfmr {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Use `RDFMR_ASSIGN_OR_RETURN` to unwrap in fallible functions.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Asserts the status is not OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return value_.has_value() ? kOk : status_;
+  }
+
+  /// \brief Access the contained value; requires ok().
+  T& ValueOrDie() {
+    assert(ok());
+    return *value_;
+  }
+  const T& ValueOrDie() const {
+    assert(ok());
+    return *value_;
+  }
+
+  T& operator*() { return ValueOrDie(); }
+  const T& operator*() const { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+  /// \brief Moves the value out; requires ok().
+  T MoveValueUnsafe() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// \brief Unwraps a Result into `lhs`, or returns its error status.
+#define RDFMR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = tmp.MoveValueUnsafe()
+
+#define RDFMR_CONCAT_INNER(a, b) a##b
+#define RDFMR_CONCAT(a, b) RDFMR_CONCAT_INNER(a, b)
+
+#define RDFMR_ASSIGN_OR_RETURN(lhs, rexpr) \
+  RDFMR_ASSIGN_OR_RETURN_IMPL(RDFMR_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_COMMON_RESULT_H_

@@ -1,0 +1,42 @@
+#include "common/status.h"
+
+namespace rdfmr {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfSpace:
+      return "OutOfSpace";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kUnknown:
+      return "Unknown";
+  }
+  return "InvalidCode";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+}  // namespace rdfmr

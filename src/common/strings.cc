@@ -1,0 +1,180 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace rdfmr {
+
+std::vector<std::string> Split(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == sep) {
+      out.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitN(std::string_view input, char sep,
+                                size_t max_fields) {
+  RDFMR_CHECK(max_fields >= 1) << "SplitN requires max_fields >= 1";
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i < input.size() && out.size() + 1 < max_fields; ++i) {
+    if (input[i] == sep) {
+      out.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.emplace_back(input.substr(start));
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' ||
+                   s[b] == '\n')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string EscapeField(std::string_view field, char sep) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == sep) {
+      out.push_back('\\');
+      out.push_back('s');
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(std::string_view field, char sep) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == '\\' && i + 1 < field.size()) {
+      char n = field[++i];
+      if (n == '\\') {
+        out.push_back('\\');
+      } else if (n == 's') {
+        out.push_back(sep);
+      } else if (n == 'n') {
+        out.push_back('\n');
+      } else {
+        out.push_back(n);
+      }
+    } else {
+      out.push_back(field[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitEscaped(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (size_t i = 0; i < input.size(); ++i) {
+    char c = input[i];
+    if (c == '\\' && i + 1 < input.size()) {
+      cur.push_back(c);
+      cur.push_back(input[++i]);
+    } else if (c == sep) {
+      out.push_back(UnescapeField(cur, sep));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(UnescapeField(cur, sep));
+  return out;
+}
+
+std::string JoinEscaped(const std::vector<std::string>& fields, char sep) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += EscapeField(fields[i], sep);
+  }
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string PadRight(std::string s, size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+std::string PadLeft(std::string s, size_t width) {
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+std::string StringFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace rdfmr

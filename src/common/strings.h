@@ -1,0 +1,57 @@
+// Small string helpers used across the codebase (splitting serialized
+// records, formatting table output, escaping literal values).
+
+#ifndef RDFMR_COMMON_STRINGS_H_
+#define RDFMR_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfmr {
+
+/// \brief Splits `input` on `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// \brief Splits into at most `max_fields` pieces; the last piece keeps any
+/// remaining separators. max_fields must be >= 1.
+std::vector<std::string> SplitN(std::string_view input, char sep,
+                                size_t max_fields);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, char sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Escapes `sep` and backslash occurrences so a field can be embedded
+/// in a separator-delimited record losslessly.
+std::string EscapeField(std::string_view field, char sep);
+
+/// \brief Inverse of EscapeField.
+std::string UnescapeField(std::string_view field, char sep);
+
+/// \brief Splits a record on `sep`, honoring EscapeField escaping.
+std::vector<std::string> SplitEscaped(std::string_view input, char sep);
+
+/// \brief Joins fields with `sep`, escaping each with EscapeField.
+std::string JoinEscaped(const std::vector<std::string>& fields, char sep);
+
+/// \brief "12.3 MB"-style human formatting of a byte count.
+std::string HumanBytes(uint64_t bytes);
+
+/// \brief Fixed-width, space-padded cell for table printing.
+std::string PadRight(std::string s, size_t width);
+std::string PadLeft(std::string s, size_t width);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_COMMON_STRINGS_H_

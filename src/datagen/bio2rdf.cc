@@ -1,0 +1,134 @@
+#include "datagen/bio2rdf.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace rdfmr {
+
+std::vector<Triple> GenerateBio2Rdf(const Bio2RdfConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Triple> triples;
+
+  auto gene_name = [](uint64_t g) {
+    return StringFormat("gene%llu", static_cast<unsigned long long>(g));
+  };
+
+  // --- GO terms.
+  for (uint64_t t = 0; t < config.num_go_terms; ++t) {
+    std::string subject =
+        StringFormat("go_%llu", static_cast<unsigned long long>(t));
+    triples.emplace_back(subject, bio::kGoLabel,
+                         StringFormat("go term %llu",
+                                      static_cast<unsigned long long>(t)));
+    uint64_t nsyn = rng.Uniform(3);
+    for (uint64_t s = 0; s < nsyn; ++s) {
+      triples.emplace_back(
+          subject, bio::kGoSynonym,
+          StringFormat("gosyn %llu_%llu", static_cast<unsigned long long>(t),
+                       static_cast<unsigned long long>(s)));
+    }
+    triples.emplace_back(
+        subject, bio::kGoNamespace,
+        t % 3 == 0 ? "molecular_function"
+                   : (t % 3 == 1 ? "biological_process"
+                                 : "cellular_component"));
+  }
+
+  // --- Articles.
+  for (uint64_t a = 0; a < config.num_articles; ++a) {
+    std::string subject =
+        StringFormat("pmid_%llu", static_cast<unsigned long long>(a));
+    triples.emplace_back(subject, bio::kArticleTitle,
+                         StringFormat("article %llu on gene regulation",
+                                      static_cast<unsigned long long>(a)));
+    triples.emplace_back(subject, bio::kArticleYear,
+                         StringFormat("%llu", 1990 + static_cast<unsigned
+                                      long long>(a % 25)));
+  }
+
+  // --- Taxa.
+  for (uint64_t t = 0; t < config.num_taxa; ++t) {
+    triples.emplace_back(
+        StringFormat("taxon_%llu", static_cast<unsigned long long>(t)),
+        bio::kTaxonLabel,
+        StringFormat("taxon %llu", static_cast<unsigned long long>(t)));
+  }
+
+  // --- Genes. Multiplicity is Zipf-skewed: the first genes are "hot" with
+  // multiplicity up to max_multiplicity, the tail has 1-2 references.
+  ZipfSampler go_sampler(config.num_go_terms, config.zipf_exponent);
+  ZipfSampler article_sampler(config.num_articles, config.zipf_exponent);
+  for (uint64_t g = 0; g < config.num_genes; ++g) {
+    std::string gene = gene_name(g);
+    bool hexo = rng.Chance(config.hexokinase_fraction);
+    triples.emplace_back(
+        gene, bio::kLabel,
+        StringFormat("%s gene %llu", hexo ? "hexokinase" : "regulator",
+                     static_cast<unsigned long long>(g)));
+    uint64_t nsyn = rng.Uniform(4);
+    for (uint64_t s = 0; s < nsyn; ++s) {
+      triples.emplace_back(
+          gene, bio::kSynonym,
+          StringFormat("syn %llu_%llu", static_cast<unsigned long long>(g),
+                       static_cast<unsigned long long>(s)));
+    }
+    triples.emplace_back(
+        gene, bio::kSubType,
+        g % 4 == 0 ? "protein_coding" : (g % 4 == 1 ? "pseudo" : "ncRNA"));
+    triples.emplace_back(
+        gene, bio::kXTaxon,
+        StringFormat("taxon_%llu", static_cast<unsigned long long>(
+                                       rng.Uniform(config.num_taxa))));
+
+    // Zipf head genes get high multiplicity (the paper's 13K knob, scaled).
+    double hotness =
+        1.0 / (1.0 + static_cast<double>(g) * 4.0 /
+                         static_cast<double>(config.num_genes));
+    uint32_t n_go = 2 + static_cast<uint32_t>(
+                            hotness * (config.max_multiplicity - 2) *
+                            rng.NextDouble());
+    for (uint32_t i = 0; i < n_go; ++i) {
+      triples.emplace_back(gene, bio::kXGo,
+                           StringFormat("go_%llu",
+                                        static_cast<unsigned long long>(
+                                            go_sampler.Sample(&rng))));
+    }
+    uint32_t n_ref = 2 + static_cast<uint32_t>(
+                             hotness * (config.max_multiplicity - 2) *
+                             rng.NextDouble() * 0.6);
+    for (uint32_t i = 0; i < n_ref; ++i) {
+      triples.emplace_back(gene, bio::kXRef,
+                           StringFormat("ref_%llu",
+                                        static_cast<unsigned long long>(
+                                            rng.Uniform(1000))));
+    }
+    uint32_t n_pub = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    for (uint32_t i = 0; i < n_pub; ++i) {
+      triples.emplace_back(gene, bio::kXPubMed,
+                           StringFormat("pmid_%llu",
+                                        static_cast<unsigned long long>(
+                                            article_sampler.Sample(&rng))));
+    }
+    if (rng.Chance(config.nur77_link_fraction)) {
+      triples.emplace_back(gene, bio::kInteractsWith, "gene_nur77");
+    }
+    if (rng.Chance(0.1)) {
+      triples.emplace_back(gene, bio::kInteractsWith,
+                           gene_name(rng.Uniform(config.num_genes)));
+    }
+  }
+
+  // The nur77 gene itself (a join target for A5-style queries).
+  triples.emplace_back("gene_nur77", bio::kLabel, "nur77 nuclear receptor");
+  triples.emplace_back("gene_nur77", bio::kSubType, "protein_coding");
+  triples.emplace_back("gene_nur77", bio::kXTaxon, "taxon_0");
+
+  // Deduplicate (set semantics of RDF graphs).
+  std::sort(triples.begin(), triples.end());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+  return triples;
+}
+
+}  // namespace rdfmr

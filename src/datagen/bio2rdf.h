@@ -1,0 +1,59 @@
+// Bio2RDF-like synthetic life-sciences dataset generator.
+//
+// Models the biological data warehouse of the paper's A-query evaluation:
+// genes cross-referenced to Gene Ontology terms, PubMed articles, and other
+// genes, with *highly* multi-valued properties (Zipf-skewed; real Uniprot
+// properties reach multiplicity 13K — scale the knob with the dataset).
+// Object identifiers carry recognizable prefixes ("go_", "pmid_") so the
+// paper's partially-bound-object queries have something to grip, and a few
+// genes are the "nur77"/"hexokinase" entities named by queries A5/A6.
+
+#ifndef RDFMR_DATAGEN_BIO2RDF_H_
+#define RDFMR_DATAGEN_BIO2RDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace rdfmr {
+
+struct Bio2RdfConfig {
+  uint64_t num_genes = 500;
+  uint64_t num_go_terms = 300;
+  uint64_t num_articles = 400;
+  uint64_t num_taxa = 20;
+  /// Maximum xGO/xRef multiplicity for the hottest genes (Zipf head).
+  uint32_t max_multiplicity = 40;
+  double zipf_exponent = 1.1;
+  /// Fraction of genes whose label mentions "hexokinase".
+  double hexokinase_fraction = 0.02;
+  /// Fraction of genes cross-referencing the nur77 gene.
+  double nur77_link_fraction = 0.05;
+  uint64_t seed = 7;
+};
+
+/// \brief Property names of the Bio2RDF-like vocabulary.
+namespace bio {
+inline constexpr const char* kLabel = "label";
+inline constexpr const char* kSynonym = "synonym";
+inline constexpr const char* kSubType = "subType";
+inline constexpr const char* kXGo = "xGO";
+inline constexpr const char* kXRef = "xRef";
+inline constexpr const char* kXPubMed = "xPubMed";
+inline constexpr const char* kXTaxon = "xTaxon";
+inline constexpr const char* kInteractsWith = "interactsWith";
+inline constexpr const char* kGoLabel = "goLabel";
+inline constexpr const char* kGoSynonym = "goSynonym";
+inline constexpr const char* kGoNamespace = "goNamespace";
+inline constexpr const char* kArticleTitle = "articleTitle";
+inline constexpr const char* kArticleYear = "articleYear";
+inline constexpr const char* kTaxonLabel = "taxonLabel";
+}  // namespace bio
+
+/// \brief Generates the triple set for `config`.
+std::vector<Triple> GenerateBio2Rdf(const Bio2RdfConfig& config);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_DATAGEN_BIO2RDF_H_

@@ -1,0 +1,119 @@
+#include "datagen/bsbm.h"
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace rdfmr {
+
+std::vector<Triple> GenerateBsbm(const BsbmConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Triple> triples;
+  triples.reserve(config.num_products *
+                  (6 + config.max_features_per_product +
+                   5 * config.offers_per_product +
+                   5 * config.reviews_per_product));
+
+  // --- Features.
+  for (uint64_t f = 0; f < config.num_features; ++f) {
+    std::string subject = StringFormat("feature%llu",
+                                       static_cast<unsigned long long>(f));
+    triples.emplace_back(subject, bsbm::kFeatureLabel,
+                         StringFormat("feature label %llu",
+                                      static_cast<unsigned long long>(f)));
+    triples.emplace_back(
+        subject, bsbm::kFeatureType,
+        StringFormat("ftype%llu", static_cast<unsigned long long>(f % 7)));
+  }
+
+  // --- Producers.
+  for (uint64_t p = 0; p < config.num_producers; ++p) {
+    std::string subject = StringFormat("producer%llu",
+                                       static_cast<unsigned long long>(p));
+    triples.emplace_back(subject, bsbm::kLabel,
+                         StringFormat("producer label %llu",
+                                      static_cast<unsigned long long>(p)));
+  }
+
+  // --- Products.
+  for (uint64_t i = 0; i < config.num_products; ++i) {
+    std::string product =
+        StringFormat("product%llu", static_cast<unsigned long long>(i));
+    bool gold = rng.Chance(config.gold_label_fraction);
+    triples.emplace_back(
+        product, bsbm::kLabel,
+        StringFormat("product %llu %s edition",
+                     static_cast<unsigned long long>(i),
+                     gold ? "gold" : "standard"));
+    triples.emplace_back(
+        product, bsbm::kType,
+        StringFormat("ptype%llu", static_cast<unsigned long long>(i % 11)));
+    triples.emplace_back(
+        product, bsbm::kProducer,
+        StringFormat("producer%llu", static_cast<unsigned long long>(
+                                         rng.Uniform(config.num_producers))));
+    triples.emplace_back(product, bsbm::kPropertyNum1,
+                         StringFormat("num1_%llu",
+                                      static_cast<unsigned long long>(
+                                          rng.Uniform(2000))));
+    triples.emplace_back(product, bsbm::kPropertyNum2,
+                         StringFormat("num2_%llu",
+                                      static_cast<unsigned long long>(
+                                          rng.Uniform(500))));
+    triples.emplace_back(product, bsbm::kPropertyTex1,
+                         StringFormat("tex1 token%llu",
+                                      static_cast<unsigned long long>(
+                                          rng.Uniform(300))));
+    // Multi-valued prodFeature (the redundancy driver).
+    uint32_t nfeatures = static_cast<uint32_t>(rng.UniformRange(
+        config.min_features_per_product, config.max_features_per_product));
+    for (uint32_t f = 0; f < nfeatures; ++f) {
+      triples.emplace_back(
+          product, bsbm::kProdFeature,
+          StringFormat("feature%llu", static_cast<unsigned long long>(
+                                          rng.Uniform(config.num_features))));
+    }
+
+    // --- Offers for this product.
+    for (uint32_t o = 0; o < config.offers_per_product; ++o) {
+      std::string offer = StringFormat(
+          "offer%llu_%u", static_cast<unsigned long long>(i), o);
+      triples.emplace_back(offer, bsbm::kProduct, product);
+      triples.emplace_back(
+          offer, bsbm::kVendor,
+          StringFormat("vendor%llu", static_cast<unsigned long long>(
+                                         rng.Uniform(config.num_vendors))));
+      triples.emplace_back(offer, bsbm::kPrice,
+                           StringFormat("price_%llu",
+                                        static_cast<unsigned long long>(
+                                            rng.Uniform(10000))));
+      triples.emplace_back(offer, bsbm::kDeliveryDays,
+                           StringFormat("days_%llu",
+                                        static_cast<unsigned long long>(
+                                            1 + rng.Uniform(7))));
+    }
+
+    // --- Reviews for this product.
+    for (uint32_t r = 0; r < config.reviews_per_product; ++r) {
+      std::string review = StringFormat(
+          "review%llu_%u", static_cast<unsigned long long>(i), r);
+      bool awful = rng.Chance(config.awful_title_fraction);
+      triples.emplace_back(review, bsbm::kReviewFor, product);
+      triples.emplace_back(
+          review, bsbm::kReviewer,
+          StringFormat("person%llu", static_cast<unsigned long long>(
+                                         rng.Uniform(config.num_persons))));
+      triples.emplace_back(review, bsbm::kRating1,
+                           StringFormat("rating_%llu",
+                                        static_cast<unsigned long long>(
+                                            1 + rng.Uniform(10))));
+      triples.emplace_back(
+          review, bsbm::kTitle,
+          StringFormat("review %llu_%u %s product",
+                       static_cast<unsigned long long>(i), r,
+                       awful ? "awful" : "decent"));
+    }
+  }
+  return triples;
+}
+
+}  // namespace rdfmr

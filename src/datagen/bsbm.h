@@ -1,0 +1,65 @@
+// BSBM-like synthetic dataset generator (Berlin SPARQL Benchmark flavor).
+//
+// Models the paper's BSBM-1M/2M scalability datasets, scaled by the number
+// of products. The schema carries the features the paper's B-queries
+// exercise: a multi-valued `prodFeature` property ("impacts redundancy"),
+// several single-valued bound properties per product (for the
+// varying-bound-arity sweep B1-3bnd..B1-6bnd), feature entities joinable
+// through an unbound object, and offer/review stars for inter-star joins.
+//
+// All values are deterministic functions of the seed.
+
+#ifndef RDFMR_DATAGEN_BSBM_H_
+#define RDFMR_DATAGEN_BSBM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace rdfmr {
+
+struct BsbmConfig {
+  uint64_t num_products = 1000;
+  uint32_t min_features_per_product = 3;
+  uint32_t max_features_per_product = 12;
+  uint32_t offers_per_product = 2;
+  uint32_t reviews_per_product = 2;
+  uint64_t num_features = 200;
+  uint64_t num_producers = 50;
+  uint64_t num_vendors = 30;
+  uint64_t num_persons = 100;
+  /// Fraction of product labels containing the selective token "gold".
+  double gold_label_fraction = 0.05;
+  /// Fraction of review titles containing the selective token "awful".
+  double awful_title_fraction = 0.05;
+  uint64_t seed = 42;
+};
+
+/// \brief Property names of the BSBM-like vocabulary.
+namespace bsbm {
+inline constexpr const char* kLabel = "label";
+inline constexpr const char* kType = "type";
+inline constexpr const char* kProducer = "producer";
+inline constexpr const char* kProdFeature = "prodFeature";
+inline constexpr const char* kPropertyNum1 = "propertyNum1";
+inline constexpr const char* kPropertyNum2 = "propertyNum2";
+inline constexpr const char* kPropertyTex1 = "propertyTex1";
+inline constexpr const char* kFeatureLabel = "featureLabel";
+inline constexpr const char* kFeatureType = "featureType";
+inline constexpr const char* kProduct = "product";
+inline constexpr const char* kVendor = "vendor";
+inline constexpr const char* kPrice = "price";
+inline constexpr const char* kDeliveryDays = "deliveryDays";
+inline constexpr const char* kReviewFor = "reviewFor";
+inline constexpr const char* kReviewer = "reviewer";
+inline constexpr const char* kRating1 = "rating1";
+inline constexpr const char* kTitle = "title";
+}  // namespace bsbm
+
+/// \brief Generates the triple set for `config`.
+std::vector<Triple> GenerateBsbm(const BsbmConfig& config);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_DATAGEN_BSBM_H_

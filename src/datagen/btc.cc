@@ -1,0 +1,45 @@
+#include "datagen/btc.h"
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "datagen/bio2rdf.h"
+#include "datagen/dbpedia.h"
+
+namespace rdfmr {
+
+std::vector<Triple> GenerateBtc(const BtcConfig& config) {
+  Rng rng(config.seed);
+
+  DbpediaConfig dbp_config;
+  dbp_config.num_entities = config.num_dbpedia_entities;
+  dbp_config.seed = config.seed * 31 + 1;
+  std::vector<Triple> triples = GenerateDbpedia(dbp_config);
+
+  Bio2RdfConfig bio_config;
+  bio_config.num_genes = config.num_genes;
+  bio_config.num_go_terms = config.num_genes;
+  bio_config.num_articles = config.num_genes;
+  bio_config.seed = config.seed * 31 + 2;
+  std::vector<Triple> bio = GenerateBio2Rdf(bio_config);
+  triples.insert(triples.end(), bio.begin(), bio.end());
+
+  // Crawl-style cross-domain links.
+  for (uint64_t i = 0; i < config.num_cross_links; ++i) {
+    std::string from = StringFormat(
+        "ent%llu",
+        static_cast<unsigned long long>(
+            rng.Uniform(config.num_dbpedia_entities)));
+    std::string to =
+        rng.Chance(0.5)
+            ? StringFormat("gene%llu", static_cast<unsigned long long>(
+                                           rng.Uniform(config.num_genes)))
+            : StringFormat("ent%llu",
+                           static_cast<unsigned long long>(rng.Uniform(
+                               config.num_dbpedia_entities)));
+    triples.emplace_back(from, rng.Chance(0.5) ? btc::kSameAs : btc::kSeeAlso,
+                         to);
+  }
+  return triples;
+}
+
+}  // namespace rdfmr

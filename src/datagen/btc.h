@@ -1,0 +1,35 @@
+// Billion-Triple-Challenge-like synthetic dataset generator.
+//
+// BTC-09 is a multi-domain web crawl; we model it as a union of the
+// DBpedia-like and Bio2RDF-like generators plus crawl-style `sameAs` /
+// `seeAlso` cross-links, which gives it the property heterogeneity and
+// multi-valuedness the paper's C3/C4 runs on BTC exercise.
+
+#ifndef RDFMR_DATAGEN_BTC_H_
+#define RDFMR_DATAGEN_BTC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace rdfmr {
+
+struct BtcConfig {
+  uint64_t num_dbpedia_entities = 1500;
+  uint64_t num_genes = 300;
+  uint64_t num_cross_links = 600;
+  uint64_t seed = 23;
+};
+
+namespace btc {
+inline constexpr const char* kSameAs = "sameAs";
+inline constexpr const char* kSeeAlso = "seeAlso";
+}  // namespace btc
+
+/// \brief Generates the triple set for `config`.
+std::vector<Triple> GenerateBtc(const BtcConfig& config);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_DATAGEN_BTC_H_

@@ -1,0 +1,152 @@
+#include "datagen/dbpedia.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace rdfmr {
+
+std::vector<Triple> GenerateDbpedia(const DbpediaConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Triple> triples;
+  triples.reserve(config.num_entities * 8);
+
+  // Entity identifiers carry a DBpedia-style resource prefix: real infobox
+  // subjects are long IRIs, and their repetition per column group is part
+  // of the flat representation's redundancy.
+  auto ent = [](uint64_t i) {
+    return StringFormat("dbpedia_resource_ent%llu",
+                        static_cast<unsigned long long>(i));
+  };
+
+  // Class layout: first 10% cities (join targets), then a mix.
+  uint64_t num_cities = std::max<uint64_t>(1, config.num_entities / 10);
+
+  for (uint64_t i = 0; i < config.num_entities; ++i) {
+    std::string subject = ent(i);
+    std::string cls;
+    if (i < num_cities) {
+      cls = dbp::kCity;
+    } else {
+      switch (rng.Uniform(4)) {
+        case 0:
+          cls = dbp::kScientist;
+          break;
+        case 1:
+          cls = dbp::kTvSeries;
+          break;
+        case 2:
+          cls = dbp::kFilm;
+          break;
+        default:
+          cls = dbp::kBand;
+      }
+    }
+    triples.emplace_back(subject, dbp::kType, cls);
+    if (rng.Chance(0.1)) {
+      triples.emplace_back(subject, dbp::kType, "Thing");  // dual-typed
+    }
+
+    if (cls == dbp::kCity) {
+      triples.emplace_back(subject, dbp::kName,
+                           StringFormat("city %llu",
+                                        static_cast<unsigned long long>(i)));
+      triples.emplace_back(
+          subject, dbp::kCountry,
+          StringFormat("country%llu",
+                       static_cast<unsigned long long>(i % 30)));
+      if (rng.Chance(0.2)) {  // historically disputed cities
+        triples.emplace_back(
+            subject, dbp::kCountry,
+            StringFormat("country%llu", static_cast<unsigned long long>(
+                                            rng.Uniform(30))));
+      }
+      triples.emplace_back(subject, dbp::kPopulation,
+                           StringFormat("pop_%llu",
+                                        static_cast<unsigned long long>(
+                                            rng.Uniform(9000000))));
+    } else if (cls == dbp::kScientist) {
+      triples.emplace_back(subject, dbp::kName,
+                           StringFormat("scientist %llu",
+                                        static_cast<unsigned long long>(i)));
+      if (rng.Chance(0.3)) {  // alias
+        triples.emplace_back(
+            subject, dbp::kName,
+            StringFormat("dr s %llu", static_cast<unsigned long long>(i)));
+      }
+      // Scientists link to cities through several distinct property types —
+      // exactly the "unknown relationship to the same city" scenario.
+      triples.emplace_back(subject, dbp::kBirthPlace,
+                           ent(rng.Uniform(num_cities)));
+      if (rng.Chance(0.6)) {
+        triples.emplace_back(subject, dbp::kAlmaMater,
+                             ent(rng.Uniform(num_cities)));
+      }
+      if (rng.Chance(0.5)) {
+        triples.emplace_back(subject, "residence",
+                             ent(rng.Uniform(num_cities)));
+      }
+      if (rng.Chance(0.4)) {
+        triples.emplace_back(subject, "deathPlace",
+                             ent(rng.Uniform(num_cities)));
+      }
+      uint64_t nfields = 1 + rng.Uniform(2);
+      for (uint64_t f = 0; f < nfields; ++f) {
+        triples.emplace_back(
+            subject, dbp::kField,
+            StringFormat("field%llu",
+                         static_cast<unsigned long long>(rng.Uniform(12))));
+      }
+      uint64_t nknown = 1 + rng.Uniform(5);
+      for (uint64_t k = 0; k < nknown; ++k) {
+        triples.emplace_back(subject, dbp::kKnownFor,
+                             StringFormat("topic%llu",
+                                          static_cast<unsigned long long>(
+                                              rng.Uniform(100))));
+      }
+    } else if (cls == dbp::kTvSeries) {
+      bool sopranos = rng.Chance(config.sopranos_fraction);
+      triples.emplace_back(
+          subject, dbp::kName,
+          sopranos ? StringFormat("The Sopranos season %llu",
+                                  static_cast<unsigned long long>(i % 7))
+                   : StringFormat("series %llu",
+                                  static_cast<unsigned long long>(i)));
+      uint64_t nstar = 1 + rng.Uniform(5);
+      for (uint64_t s = 0; s < nstar; ++s) {
+        triples.emplace_back(subject, dbp::kStarring,
+                             ent(rng.Uniform(config.num_entities)));
+      }
+      uint64_t ngenres = 1 + rng.Uniform(2);
+      for (uint64_t g = 0; g < ngenres; ++g) {
+        triples.emplace_back(
+            subject, dbp::kGenre,
+            StringFormat("genre%llu",
+                         static_cast<unsigned long long>(rng.Uniform(9))));
+      }
+      triples.emplace_back(
+          subject, dbp::kNetwork,
+          StringFormat("network%llu",
+                       static_cast<unsigned long long>(rng.Uniform(15))));
+    } else {  // Film / Band
+      triples.emplace_back(subject, dbp::kName,
+                           StringFormat("%s %llu", cls.c_str(),
+                                        static_cast<unsigned long long>(i)));
+      triples.emplace_back(
+          subject, dbp::kGenre,
+          StringFormat("genre%llu",
+                       static_cast<unsigned long long>(rng.Uniform(9))));
+    }
+
+    // Generic multi-valued noise links (heterogeneous crawl flavor).
+    uint64_t nlinks = rng.Uniform(config.max_links_per_entity);
+    for (uint64_t l = 0; l < nlinks; ++l) {
+      triples.emplace_back(subject, dbp::kWikiLink,
+                           ent(rng.Uniform(config.num_entities)));
+    }
+  }
+  return triples;
+}
+
+}  // namespace rdfmr

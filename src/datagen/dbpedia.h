@@ -1,0 +1,51 @@
+// DBpedia-Infobox-like synthetic dataset generator.
+//
+// Models the heterogeneous, schema-light infobox extraction data of the
+// paper's C-query evaluation: entities of mixed classes (Scientist, City,
+// TVSeries, Film, Band) with class-specific property sets, generic noise
+// properties, and >45% multi-valued properties with varying multiplicity.
+
+#ifndef RDFMR_DATAGEN_DBPEDIA_H_
+#define RDFMR_DATAGEN_DBPEDIA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace rdfmr {
+
+struct DbpediaConfig {
+  uint64_t num_entities = 2000;
+  uint32_t max_links_per_entity = 12;
+  double sopranos_fraction = 0.01;  ///< TV series named like "Sopranos"
+  uint64_t seed = 11;
+};
+
+namespace dbp {
+inline constexpr const char* kType = "type";
+inline constexpr const char* kName = "name";
+inline constexpr const char* kBirthPlace = "birthPlace";
+inline constexpr const char* kField = "field";
+inline constexpr const char* kAlmaMater = "almaMater";
+inline constexpr const char* kKnownFor = "knownFor";
+inline constexpr const char* kCountry = "country";
+inline constexpr const char* kPopulation = "population";
+inline constexpr const char* kStarring = "starring";
+inline constexpr const char* kGenre = "genre";
+inline constexpr const char* kNetwork = "network";
+inline constexpr const char* kWikiLink = "wikiLink";
+
+inline constexpr const char* kScientist = "Scientist";
+inline constexpr const char* kCity = "City";
+inline constexpr const char* kTvSeries = "TVSeries";
+inline constexpr const char* kFilm = "Film";
+inline constexpr const char* kBand = "Band";
+}  // namespace dbp
+
+/// \brief Generates the triple set for `config`.
+std::vector<Triple> GenerateDbpedia(const DbpediaConfig& config);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_DATAGEN_DBPEDIA_H_

@@ -1,0 +1,209 @@
+#include "datagen/testbed.h"
+
+#include "query/sparql_parser.h"
+
+namespace rdfmr {
+
+const char* DatasetFamilyToString(DatasetFamily family) {
+  switch (family) {
+    case DatasetFamily::kBsbm:
+      return "BSBM";
+    case DatasetFamily::kBio2Rdf:
+      return "Bio2RDF";
+    case DatasetFamily::kDbpedia:
+      return "DBpedia-Infobox";
+    case DatasetFamily::kBtc:
+      return "BTC-09";
+  }
+  return "?";
+}
+
+const std::vector<TestbedEntry>& TestbedCatalog() {
+  static const std::vector<TestbedEntry> kCatalog = {
+      // ---- Fig. 3 case study: all-bound two-star queries -----------------
+      {"Q1a", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?o <product> ?p . ?o <vendor> ?v . ?o <price> ?pr .
+            ?p <label> ?l . ?p <type> ?t . ?p <prodFeature> ?f . })",
+       "Object-Subject join, offer star x product star"},
+      {"Q1b", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?o <product> ?p . ?o <vendor> ?v . ?o <deliveryDays> ?d .
+            FILTER(CONTAINS(STR(?d), "days_1"))
+            ?p <label> ?l . FILTER(CONTAINS(STR(?l), "gold"))
+            ?p <type> ?t . ?p <prodFeature> ?f . })",
+       "Q1a with selective filters on both stars"},
+      {"Q2a", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?r <reviewFor> ?p . ?r <rating1> ?x . ?r <title> ?ti .
+            ?p <label> ?l . ?p <producer> ?pd . ?p <propertyNum1> ?n1 . })",
+       "Object-Subject join, review star x product star"},
+      {"Q2b", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?r <reviewFor> ?p . ?r <rating1> ?x . ?r <title> ?ti .
+            FILTER(CONTAINS(STR(?ti), "awful"))
+            ?p <label> ?l . FILTER(CONTAINS(STR(?l), "gold"))
+            ?p <producer> ?pd . ?p <propertyNum1> ?n1 . })",
+       "Q2a with selective filters on both stars"},
+      {"Q3a", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?o <product> ?p . ?o <vendor> ?v . ?o <price> ?pr .
+            ?r <reviewFor> ?p . ?r <title> ?ti . ?r <rating1> ?x . })",
+       "Object-Object join, offer star x review star"},
+      {"Q3b", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?o <product> ?p . ?o <vendor> ?v . ?o <deliveryDays> ?d .
+            FILTER(CONTAINS(STR(?d), "days_1"))
+            ?r <reviewFor> ?p . ?r <title> ?ti .
+            FILTER(CONTAINS(STR(?ti), "awful"))
+            ?r <rating1> ?x . })",
+       "Q3a with selective filters on both stars"},
+
+      // ---- Varying join structures: B0-B6 --------------------------------
+      {"B0", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p <type> ?t . ?p <prodFeature> ?f .
+            ?o <product> ?p . ?o <vendor> ?v . ?o <price> ?pr . })",
+       "baseline: two stars, all bound, multi-valued prodFeature"},
+      {"B1", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p <type> ?t . ?p ?up ?x .
+            ?x <featureLabel> ?fl . ?x <featureType> ?ft . })",
+       "one unbound-property pattern, join on the unbound object"},
+      {"B2", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p <prodFeature> ?f . ?p ?up ?x .
+            FILTER(CONTAINS(STR(?x), "producer"))
+            ?o <product> ?p . ?o <vendor> ?v . ?o <price> ?pr . })",
+       "one unbound property with a partially-bound object"},
+      {"B3", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p ?up1 ?x1 .
+            FILTER(CONTAINS(STR(?x1), "producer"))
+            ?p ?up2 ?x2 .
+            ?o <product> ?p . ?o <vendor> ?v . ?o <price> ?pr . })",
+       "two unbound patterns in one star, one partially-bound object"},
+      {"B4", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p <type> ?t . ?p ?up ?x .
+            ?o <product> ?p . ?o <vendor> ?v . ?o <price> ?pr . })",
+       "unbound pattern not participating in the inter-star join"},
+      {"B5", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p ?up ?x .
+            ?x <featureLabel> ?fl .
+            ?o <product> ?p . ?o <vendor> ?v . ?o <price> ?pr . })",
+       "three stars; join on unbound object plus a bound join"},
+      {"B6", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p ?up1 ?x .
+            ?x <featureLabel> ?fl .
+            ?o <product> ?p . ?o ?up2 ?y .
+            FILTER(CONTAINS(STR(?y), "vendor"))
+            ?o <price> ?pr . })",
+       "three stars; unbound join plus a second unbound pattern"},
+
+      // ---- Varying number of bound-property edges -------------------------
+      {"B1-3bnd", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p <type> ?t . ?p <producer> ?pd . ?p ?up ?x .
+            ?x <featureLabel> ?fl . ?x <featureType> ?ft . })",
+       "B1 with 3 bound properties"},
+      {"B1-4bnd", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p <type> ?t . ?p <producer> ?pd .
+            ?p <propertyNum1> ?n1 . ?p ?up ?x .
+            ?x <featureLabel> ?fl . ?x <featureType> ?ft . })",
+       "B1 with 4 bound properties"},
+      {"B1-5bnd", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p <type> ?t . ?p <producer> ?pd .
+            ?p <propertyNum1> ?n1 . ?p <propertyNum2> ?n2 . ?p ?up ?x .
+            ?x <featureLabel> ?fl . ?x <featureType> ?ft . })",
+       "B1 with 5 bound properties"},
+      {"B1-6bnd", DatasetFamily::kBsbm,
+       R"(SELECT * WHERE {
+            ?p <label> ?l . ?p <type> ?t . ?p <producer> ?pd .
+            ?p <propertyNum1> ?n1 . ?p <propertyNum2> ?n2 .
+            ?p <propertyTex1> ?x1 . ?p ?up ?x .
+            ?x <featureLabel> ?fl . ?x <featureType> ?ft . })",
+       "B1 with 6 bound properties"},
+
+      // ---- Real-world bio queries: A1-A6 ----------------------------------
+      {"A1", DatasetFamily::kBio2Rdf,
+       R"(SELECT * WHERE {
+            ?g <label> ?l . ?g <xRef> ?ref . ?g ?up ?x .
+            FILTER(CONTAINS(STR(?x), "go_")) })",
+       "single star, unbound property with partially-bound object; the "
+       "multi-valued xRef makes the relational combinations explode"},
+      {"A2", DatasetFamily::kBio2Rdf,
+       R"(SELECT * WHERE {
+            ?g <subType> ?st . ?g <xTaxon> ?tx . ?g ?up ?x .
+            FILTER(CONTAINS(STR(?x), "pmid_")) })",
+       "single star, unbound property toward PubMed references"},
+      {"A3", DatasetFamily::kBio2Rdf,
+       R"(SELECT * WHERE {
+            ?g <label> ?l . ?g <xRef> ?ref . ?g ?up1 ?go .
+            FILTER(CONTAINS(STR(?go), "go_"))
+            ?go <goLabel> ?gl . ?go ?up2 ?y . })",
+       "two stars, one unbound each (one partially bound); join on ?go"},
+      {"A4", DatasetFamily::kBio2Rdf,
+       R"(SELECT * WHERE {
+            ?g <subType> ?st . ?g <xGO> ?go . ?g ?up1 ?r .
+            FILTER(CONTAINS(STR(?r), "pmid_"))
+            ?r <articleTitle> ?t . ?r ?up2 ?y . })",
+       "two stars, one unbound each; join on the unbound object ?r"},
+      {"A5", DatasetFamily::kBio2Rdf,
+       R"(SELECT * WHERE {
+            ?g <subType> ?st . ?g ?up1 ?o1 .
+            FILTER(CONTAINS(STR(?o1), "nur77"))
+            ?g ?up2 ?a .
+            ?a <label> ?al . })",
+       "star with two unbound patterns (one matching gene nur77), joined "
+       "to a single label-retrieving edge"},
+      {"A6", DatasetFamily::kBio2Rdf,
+       R"(SELECT * WHERE {
+            ?g <label> ?l . ?g <xGO> ?go . ?g ?up ?x .
+            FILTER(CONTAINS(STR(?x), "hexokinase"))
+            ?go <goLabel> ?gl . ?go <goNamespace> ?ns . })",
+       "unbound property partially binding the object to 'hexokinase'"},
+
+      // ---- DBpedia / BTC queries: C1-C4 ------------------------------------
+      {"C1", DatasetFamily::kDbpedia,
+       R"(SELECT * WHERE { ?s <type> <Scientist> . ?s ?p ?o . })",
+       "all information about Scientists (selective single join)"},
+      {"C2", DatasetFamily::kDbpedia,
+       R"(SELECT * WHERE {
+            ?s <name> ?n . FILTER(CONTAINS(STR(?n), "Sopranos"))
+            ?s ?p ?o . })",
+       "all information about the Sopranos TV series (selective)"},
+      {"C3", DatasetFamily::kDbpedia,
+       R"(SELECT * WHERE {
+            ?s <type> <Scientist> . ?s ?up ?x .
+            ?x <type> <City> . ?x <name> ?cn . })",
+       "unknown relationship between scientists and cities"},
+      {"C4", DatasetFamily::kDbpedia,
+       R"(SELECT * WHERE {
+            ?s <type> <Scientist> . ?s ?up1 ?x .
+            ?x <name> ?cn . ?x ?up2 ?y . })",
+       "unbound property in each of the two star patterns"},
+  };
+  return kCatalog;
+}
+
+Result<TestbedEntry> GetTestbedEntry(const std::string& id) {
+  for (const TestbedEntry& entry : TestbedCatalog()) {
+    if (entry.id == id) return entry;
+  }
+  return Status::NotFound("no testbed query with id: " + id);
+}
+
+Result<std::shared_ptr<const GraphPatternQuery>> GetTestbedQuery(
+    const std::string& id) {
+  RDFMR_ASSIGN_OR_RETURN(TestbedEntry entry, GetTestbedEntry(id));
+  RDFMR_ASSIGN_OR_RETURN(GraphPatternQuery query,
+                         ParseSparql(entry.id, entry.sparql));
+  return std::make_shared<const GraphPatternQuery>(std::move(query));
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,48 @@
+// The paper's testbed query catalog, expressed in the SPARQL subset and
+// targeting the synthetic generators' vocabularies:
+//
+//   Fig. 3 case study  : Q1a Q1b Q2a Q2b Q3a Q3b      (BSBM, all bound)
+//   Varying structure  : B0 B1 B2 B3 B4 B5 B6          (BSBM)
+//   Varying bound arity: B1-3bnd B1-4bnd B1-5bnd B1-6bnd (BSBM)
+//   Real-world bio     : A1 A2 A3 A4 A5 A6             (Bio2RDF-like)
+//   DBpedia/BTC        : C1 C2 C3 C4                   (DBpedia/BTC-like)
+//
+// Each entry records the query text and which dataset family it targets,
+// mirroring the paper's experimental setup (Figure 8 and Section 5).
+
+#ifndef RDFMR_DATAGEN_TESTBED_H_
+#define RDFMR_DATAGEN_TESTBED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/pattern.h"
+
+namespace rdfmr {
+
+enum class DatasetFamily { kBsbm, kBio2Rdf, kDbpedia, kBtc };
+
+const char* DatasetFamilyToString(DatasetFamily family);
+
+struct TestbedEntry {
+  std::string id;
+  DatasetFamily dataset;
+  std::string sparql;
+  std::string description;
+};
+
+/// \brief The whole catalog in presentation order.
+const std::vector<TestbedEntry>& TestbedCatalog();
+
+/// \brief Finds a catalog entry by id ("B1", "A3", ...).
+Result<TestbedEntry> GetTestbedEntry(const std::string& id);
+
+/// \brief Parses a catalog entry into an executable query.
+Result<std::shared_ptr<const GraphPatternQuery>> GetTestbedQuery(
+    const std::string& id);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_DATAGEN_TESTBED_H_

@@ -1,0 +1,49 @@
+// Configuration of the simulated cluster: node count, per-node disk budget,
+// HDFS block size and replication factor.
+//
+// Mirrors the paper's testbed knobs: 5..80-node clusters, 20GB disk per
+// node, 256MB block size, dfs.replication 1 or 2.
+
+#ifndef RDFMR_DFS_CLUSTER_CONFIG_H_
+#define RDFMR_DFS_CLUSTER_CONFIG_H_
+
+#include <cstdint>
+
+namespace rdfmr {
+
+struct ClusterConfig {
+  /// Number of worker nodes.
+  uint32_t num_nodes = 10;
+
+  /// Disk capacity per node, in bytes. The paper's VCL nodes had 20GB; we
+  /// scale proportionally with the dataset.
+  uint64_t disk_per_node = 64ULL << 20;  // 64 MB default for tests
+
+  /// HDFS replication factor (paper: 1 or 2).
+  uint32_t replication = 1;
+
+  /// HDFS block size; determines how many map tasks scan a file.
+  uint64_t block_size = 1ULL << 20;  // 1 MB default for tests
+
+  /// Number of reduce tasks per job (paper: proportional to cluster size).
+  uint32_t num_reducers = 4;
+
+  uint64_t TotalCapacity() const {
+    return static_cast<uint64_t>(num_nodes) * disk_per_node;
+  }
+};
+
+/// \brief Deterministic cost model translating measured I/O volumes into a
+/// modeled execution time. Bandwidths are per-node aggregate figures; the
+/// totals below are divided by the cluster's parallelism.
+struct CostModelConfig {
+  double hdfs_read_mbps = 80.0;    ///< per-node HDFS scan bandwidth
+  double hdfs_write_mbps = 50.0;   ///< per-node HDFS write bandwidth
+  double shuffle_mbps = 40.0;      ///< per-node network shuffle bandwidth
+  double sort_mbps = 120.0;        ///< per-node in-memory sort throughput
+  double job_startup_seconds = 15.0;  ///< fixed MR job scheduling overhead
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_DFS_CLUSTER_CONFIG_H_

@@ -1,0 +1,156 @@
+#include "dfs/sim_dfs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rdfmr {
+
+namespace {
+
+uint64_t LinesBytes(const std::vector<std::string>& lines) {
+  uint64_t bytes = 0;
+  for (const std::string& line : lines) bytes += line.size() + 1;  // +\n
+  return bytes;
+}
+
+}  // namespace
+
+SimDfs::SimDfs(ClusterConfig config) : config_(config) {
+  RDFMR_CHECK(config_.num_nodes > 0) << "cluster needs at least one node";
+  RDFMR_CHECK(config_.replication >= 1) << "replication must be >= 1";
+  RDFMR_CHECK(config_.replication <= config_.num_nodes)
+      << "replication cannot exceed node count";
+  RDFMR_CHECK(config_.block_size > 0) << "block size must be positive";
+  node_used_.assign(config_.num_nodes, 0);
+}
+
+Result<std::vector<uint32_t>> SimDfs::PlaceBlock(uint64_t size) {
+  // Choose the `replication` least-loaded nodes that can still hold the
+  // block (standard balanced placement).
+  std::vector<uint32_t> order(config_.num_nodes);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (node_used_[a] != node_used_[b]) return node_used_[a] < node_used_[b];
+    return a < b;
+  });
+  std::vector<uint32_t> chosen;
+  for (uint32_t node : order) {
+    if (node_used_[node] + size <= config_.disk_per_node) {
+      chosen.push_back(node);
+      if (chosen.size() == config_.replication) break;
+    }
+  }
+  if (chosen.size() < config_.replication) {
+    return Status::OutOfSpace(StringFormat(
+        "cannot place %llu-byte block with replication %u (free %llu bytes)",
+        static_cast<unsigned long long>(size), config_.replication,
+        static_cast<unsigned long long>(FreeBytes())));
+  }
+  for (uint32_t node : chosen) node_used_[node] += size;
+  return chosen;
+}
+
+Status SimDfs::WriteFile(const std::string& path,
+                         std::vector<std::string> lines) {
+  if (write_failure_countdown_ > 0 && --write_failure_countdown_ == 0) {
+    return Status::IoError("injected write failure: " + path);
+  }
+  if (files_.count(path) > 0) {
+    return Status::AlreadyExists("file exists: " + path);
+  }
+  FileEntry entry;
+  entry.bytes = LinesBytes(lines);
+  entry.blocks = static_cast<uint32_t>(
+      std::max<uint64_t>(1, (entry.bytes + config_.block_size - 1) /
+                                config_.block_size));
+
+  // Place blocks one by one; on failure roll back already-placed replicas.
+  uint64_t remaining = entry.bytes;
+  for (uint32_t b = 0; b < entry.blocks; ++b) {
+    uint64_t block_bytes = std::min<uint64_t>(remaining, config_.block_size);
+    if (entry.bytes == 0) block_bytes = 0;
+    auto placed = PlaceBlock(block_bytes);
+    if (!placed.ok()) {
+      // Roll back.
+      for (uint32_t pb = 0; pb < entry.placements.size(); ++pb) {
+        uint64_t sz = std::min<uint64_t>(
+            entry.bytes - static_cast<uint64_t>(pb) * config_.block_size,
+            config_.block_size);
+        for (uint32_t node : entry.placements[pb]) node_used_[node] -= sz;
+      }
+      return placed.status().WithContext("WriteFile(" + path + ")");
+    }
+    entry.placements.push_back(placed.MoveValueUnsafe());
+    remaining -= block_bytes;
+  }
+
+  metrics_.bytes_written += entry.bytes;
+  metrics_.bytes_written_replicated += entry.bytes * config_.replication;
+  metrics_.files_created += 1;
+  metrics_.write_ops += 1;
+  entry.lines = std::move(lines);
+  files_.emplace(path, std::move(entry));
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> SimDfs::ReadFile(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  metrics_.bytes_read += it->second.bytes;
+  metrics_.read_ops += 1;
+  return it->second.lines;
+}
+
+Result<uint64_t> SimDfs::FileSize(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second.bytes;
+}
+
+Result<uint32_t> SimDfs::BlockCount(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second.blocks;
+}
+
+bool SimDfs::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Status SimDfs::DeleteFile(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  const FileEntry& entry = it->second;
+  for (uint32_t b = 0; b < entry.placements.size(); ++b) {
+    uint64_t sz = std::min<uint64_t>(
+        entry.bytes - static_cast<uint64_t>(b) * config_.block_size,
+        config_.block_size);
+    for (uint32_t node : entry.placements[b]) node_used_[node] -= sz;
+  }
+  metrics_.files_deleted += 1;
+  files_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> SimDfs::ListFiles() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, _] : files_) out.push_back(path);
+  return out;
+}
+
+uint64_t SimDfs::UsedBytes() const {
+  uint64_t used = 0;
+  for (uint64_t u : node_used_) used += u;
+  return used;
+}
+
+uint64_t SimDfs::FreeBytes() const {
+  return config_.TotalCapacity() - UsedBytes();
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,108 @@
+// Simulated distributed file system.
+//
+// Files are ordered lists of record lines. Writing a file splits it into
+// blocks, places `replication` replicas of each block on the least-loaded
+// distinct nodes, and fails with kOutOfSpace when placement is impossible —
+// reproducing the paper's failed executions ("marked with 'X'") when
+// relational plans materialize more intermediate data than the cluster
+// holds. All reads and writes are metered.
+
+#ifndef RDFMR_DFS_SIM_DFS_H_
+#define RDFMR_DFS_SIM_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dfs/cluster_config.h"
+
+namespace rdfmr {
+
+/// \brief Cumulative DFS metrics (monotonic; sampled before/after a job to
+/// get per-job deltas).
+struct DfsMetrics {
+  uint64_t bytes_read = 0;             ///< logical bytes served to readers
+  uint64_t bytes_written = 0;          ///< logical bytes accepted
+  uint64_t bytes_written_replicated = 0;  ///< physical bytes incl. replicas
+  uint64_t files_created = 0;
+  uint64_t files_deleted = 0;
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+};
+
+/// \brief One simulated HDFS namespace over a set of nodes.
+class SimDfs {
+ public:
+  explicit SimDfs(ClusterConfig config);
+
+  /// \brief Creates `path` with the given record lines. Fails with
+  /// kAlreadyExists if present, kOutOfSpace if replicas do not fit.
+  Status WriteFile(const std::string& path,
+                   std::vector<std::string> lines);
+
+  /// \brief Reads all record lines of `path` (metered).
+  Result<std::vector<std::string>> ReadFile(const std::string& path) const;
+
+  /// \brief Logical size in bytes of `path`.
+  Result<uint64_t> FileSize(const std::string& path) const;
+
+  /// \brief Number of blocks of `path` (== map tasks needed to scan it).
+  Result<uint32_t> BlockCount(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+
+  /// \brief Removes a file, reclaiming its replicas' space.
+  Status DeleteFile(const std::string& path);
+
+  /// \brief All file paths, sorted.
+  std::vector<std::string> ListFiles() const;
+
+  /// \brief Physical bytes currently stored across all nodes.
+  uint64_t UsedBytes() const;
+
+  /// \brief Physical bytes still available across all nodes.
+  uint64_t FreeBytes() const;
+
+  /// \brief Per-node physical usage.
+  const std::vector<uint64_t>& NodeUsage() const { return node_used_; }
+
+  const DfsMetrics& metrics() const { return metrics_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// \brief Zeroes the cumulative metrics (files stay).
+  void ResetMetrics() { metrics_ = DfsMetrics{}; }
+
+  /// \brief Fault injection: the `countdown`-th subsequent WriteFile call
+  /// (1 = the very next one) fails with kIoError before any placement, as
+  /// a crashed datanode would. 0 disarms. Used to test that workflows and
+  /// engines fail cleanly at arbitrary points.
+  void InjectWriteFailureAfter(uint32_t countdown) {
+    write_failure_countdown_ = countdown;
+  }
+
+ private:
+  struct FileEntry {
+    std::vector<std::string> lines;
+    uint64_t bytes = 0;
+    uint32_t blocks = 0;
+    // node ids holding each replica of each block, for space reclamation
+    std::vector<std::vector<uint32_t>> placements;
+  };
+
+  /// Places one block of `size` bytes on `replication` distinct least-loaded
+  /// nodes; returns the chosen node ids or kOutOfSpace.
+  Result<std::vector<uint32_t>> PlaceBlock(uint64_t size);
+
+  ClusterConfig config_;
+  std::map<std::string, FileEntry> files_;
+  std::vector<uint64_t> node_used_;
+  mutable DfsMetrics metrics_;
+  uint32_t write_failure_countdown_ = 0;
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_DFS_SIM_DFS_H_

@@ -1,0 +1,58 @@
+// Statistics-based strategy advisor.
+//
+// Predicts, from graph statistics alone, the star-join-phase footprint of
+// the relational, eager, and lazy interpretations of a query, the
+// redundancy factor of the relational representation, and a φ_m partition
+// factor for TG_OptUnbJoin — the paper's own guidance: "the partition
+// factor used by φ depends on the size of input, potential redundancy
+// factor, and average number of tuples that can be processed by a
+// reducer". Predictions are coarse (selectivity of contains-filters is a
+// fixed prior), but they order the strategies correctly, which is all a
+// plan chooser needs.
+
+#ifndef RDFMR_ENGINE_ADVISOR_H_
+#define RDFMR_ENGINE_ADVISOR_H_
+
+#include <string>
+
+#include "dfs/cluster_config.h"
+#include "ntga/logical_plan.h"
+#include "query/pattern.h"
+#include "rdf/graph_stats.h"
+
+namespace rdfmr {
+
+/// \brief Per-strategy footprint predictions and the recommendation.
+struct StrategyAdvice {
+  /// Predicted star-join phase output, bytes.
+  double relational_star_bytes = 0.0;
+  double eager_star_bytes = 0.0;
+  double lazy_star_bytes = 0.0;
+  /// Predicted redundancy factor of the relational star-join output.
+  double predicted_redundancy = 0.0;
+  /// Recommended unnesting strategy.
+  NtgaStrategy strategy = NtgaStrategy::kLazyAuto;
+  /// Recommended φ_m for TG_OptUnbJoin (1 when no partial join is planned).
+  uint32_t phi_partitions = 1;
+  /// Human-readable reasoning.
+  std::string rationale;
+};
+
+/// \brief Selectivity prior for a contains-filter on an object (the
+/// advisor has no value histograms; this matches the testbed's filters to
+/// within a small factor).
+inline constexpr double kContainsFilterSelectivity = 0.3;
+
+/// \brief Tuples one reducer comfortably processes per cycle (the paper's
+/// "average number of tuples that can be processed by a reducer" knob).
+inline constexpr double kTuplesPerReducer = 4096.0;
+
+/// \brief Produces footprint predictions and a strategy recommendation for
+/// `query` over a graph described by `stats` on `cluster`.
+StrategyAdvice AdviseStrategy(const GraphPatternQuery& query,
+                              const GraphStats& stats,
+                              const ClusterConfig& cluster);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_ENGINE_ADVISOR_H_

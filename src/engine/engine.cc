@@ -1,0 +1,418 @@
+#include "engine/engine.h"
+
+#include <atomic>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "ntga/ntga_compiler.h"
+
+namespace rdfmr {
+
+const char* EngineKindToString(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kPig:
+      return "Pig";
+    case EngineKind::kHive:
+      return "Hive";
+    case EngineKind::kNtgaEager:
+      return "EagerUnnest";
+    case EngineKind::kNtgaLazyFull:
+      return "LazyUnnest-full";
+    case EngineKind::kNtgaLazyPartial:
+      return "LazyUnnest-partial";
+    case EngineKind::kNtgaLazy:
+      return "LazyUnnest";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<CompiledPlan> Compile(std::shared_ptr<const GraphPatternQuery> query,
+                             const std::string& base_path,
+                             const std::string& tmp_prefix,
+                             const EngineOptions& options) {
+  switch (options.kind) {
+    case EngineKind::kPig:
+    case EngineKind::kHive: {
+      RelationalOptions rel;
+      rel.style = options.kind == EngineKind::kPig ? RelationalStyle::kPig
+                                                   : RelationalStyle::kHive;
+      rel.grouping = options.grouping;
+      return CompileRelationalPlan(query, base_path, tmp_prefix, rel);
+    }
+    case EngineKind::kNtgaEager:
+    case EngineKind::kNtgaLazyFull:
+    case EngineKind::kNtgaLazyPartial:
+    case EngineKind::kNtgaLazy: {
+      NtgaOptions ntga;
+      ntga.phi_partitions = options.phi_partitions;
+      switch (options.kind) {
+        case EngineKind::kNtgaEager:
+          ntga.strategy = NtgaStrategy::kEager;
+          break;
+        case EngineKind::kNtgaLazyFull:
+          ntga.strategy = NtgaStrategy::kLazyFull;
+          break;
+        case EngineKind::kNtgaLazyPartial:
+          ntga.strategy = NtgaStrategy::kLazyPartial;
+          break;
+        default:
+          ntga.strategy = NtgaStrategy::kLazyAuto;
+      }
+      return CompileNtgaPlan(query, base_path, tmp_prefix, ntga);
+    }
+  }
+  return Status::InvalidArgument("unknown engine kind");
+}
+
+uint64_t SafeFileSize(const SimDfs& dfs, const std::string& path) {
+  Result<uint64_t> size = dfs.FileSize(path);
+  return size.ok() ? *size : 0;
+}
+
+// Appends the COUNT/GROUP BY/HAVING cycle to a compiled plan. The mapper
+// expands each final-output record in flight (nested triplegroups never
+// materialize their combinations); in DISTINCT mode only the counted value
+// is shipped (duplicate-proof), otherwise the full solution is shipped so
+// the reducer can deduplicate rows before counting.
+void AppendAggregationCycle(CompiledPlan* plan, const AggregateSpec& spec,
+                            const std::string& tmp_prefix,
+                            bool use_combiner) {
+  RecordDecoder decode = plan->record_decoder;
+  JobSpec job;
+  job.name = "aggregate-count";
+  job.inputs.push_back(MapInput{
+      plan->workflow.final_output_path,
+      [decode, spec](const std::string& record, const MapEmit& emit,
+                     Counters* counters) {
+        Result<std::vector<Solution>> solutions = decode(record);
+        if (!solutions.ok()) {
+          (*counters)["bad_records"] += 1;
+          return;
+        }
+        for (const Solution& sol : *solutions) {
+          Solution key;
+          bool complete = true;
+          for (const std::string& v : spec.group_vars) {
+            const std::string* value = sol.Get(v);
+            if (value == nullptr) {
+              complete = false;
+              break;
+            }
+            key.Bind(v, *value);
+          }
+          const std::string* counted = sol.Get(spec.counted_var);
+          if (!complete || counted == nullptr) {
+            (*counters)["incomplete_solutions"] += 1;
+            continue;
+          }
+          emit(key.Serialize(),
+               spec.distinct ? *counted : sol.Serialize());
+        }
+      }});
+  job.reduce = [spec](const std::string& key,
+                      const std::vector<std::string>& values,
+                      const RecordEmit& emit, Counters* counters) {
+    uint64_t count = 0;
+    if (spec.distinct) {
+      count = std::set<std::string>(values.begin(), values.end()).size();
+    } else {
+      // Deduplicate solution rows (set semantics), then count them.
+      std::set<std::string> rows(values.begin(), values.end());
+      count = rows.size();
+    }
+    if (count < spec.min_count) {
+      (*counters)["groups_below_threshold"] += 1;
+      return;
+    }
+    Result<Solution> group = Solution::Deserialize(key);
+    if (!group.ok()) {
+      (*counters)["bad_records"] += 1;
+      return;
+    }
+    group->Bind(spec.count_var, std::to_string(count));
+    emit(group->Serialize());
+  };
+  if (use_combiner) {
+    // Both modes ultimately count distinct values per group (DISTINCT
+    // counts distinct counted values; the row mode deduplicates full
+    // solutions), so per-task deduplication is a correct combiner: it is
+    // idempotent and any cross-task duplicates are re-deduplicated at the
+    // reducer.
+    job.combine = [](const std::string& /*key*/,
+                     const std::vector<std::string>& values,
+                     Counters* counters) {
+      std::set<std::string> distinct(values.begin(), values.end());
+      (*counters)["combine_output_records"] += distinct.size();
+      return std::vector<std::string>(distinct.begin(), distinct.end());
+    };
+  }
+  job.output_path = tmp_prefix + "/aggregate";
+
+  plan->workflow.intermediate_paths.push_back(
+      plan->workflow.final_output_path);
+  plan->workflow.final_output_path = job.output_path;
+  plan->workflow.jobs.push_back(std::move(job));
+  plan->decoder = [](const std::vector<std::string>& lines) {
+    return ParseSolutionFile(lines);
+  };
+}
+
+// Shared execution core: run the workflow, sample metrics, decode answers,
+// and scrub every temporary of this run from the DFS.
+Result<Execution> ExecutePlan(SimDfs* dfs, CompiledPlan plan,
+                              const std::string& tmp_prefix,
+                              const std::string& query_name,
+                              const EngineOptions& options) {
+  WorkflowSpec workflow = plan.workflow;
+  size_t planned_cycles = workflow.jobs.size();
+  workflow.intermediate_paths.clear();
+  std::string final_path = workflow.final_output_path;
+  workflow.final_output_path.clear();
+
+  WorkflowResult result = RunWorkflow(dfs, workflow, options.cost);
+
+  Execution exec;
+  ExecStats& stats = exec.stats;
+  stats.engine = EngineKindToString(options.kind);
+  stats.query = query_name;
+  stats.status = result.status;
+  stats.failed_job_index = result.failed_job_index;
+  stats.mr_cycles = result.num_mr_cycles();
+  stats.planned_cycles = planned_cycles;
+  stats.full_scans = result.totals.full_scans_of_base;
+  stats.hdfs_read_bytes = result.totals.input_bytes;
+  stats.hdfs_write_bytes = result.totals.output_bytes;
+  stats.hdfs_write_bytes_replicated = result.totals.output_bytes_replicated;
+  stats.shuffle_bytes = result.totals.map_output_bytes;
+  stats.peak_dfs_used_bytes = result.peak_dfs_used_bytes;
+  stats.modeled_seconds = result.modeled_seconds;
+  stats.counters = result.totals.counters;
+  stats.jobs = result.job_metrics;
+
+  for (const std::string& path : plan.star_phase_paths) {
+    stats.star_phase_write_bytes += SafeFileSize(*dfs, path);
+  }
+  stats.final_output_bytes = SafeFileSize(*dfs, final_path);
+  stats.intermediate_write_bytes =
+      stats.hdfs_write_bytes - stats.final_output_bytes;
+
+  // Redundancy factor over the star-join phase outputs.
+  {
+    std::vector<std::string> star_lines;
+    for (const std::string& path : plan.star_phase_paths) {
+      Result<std::vector<std::string>> lines = dfs->ReadFile(path);
+      if (lines.ok()) {
+        star_lines.insert(star_lines.end(), lines->begin(), lines->end());
+      }
+    }
+    stats.redundancy_factor = ComputeRedundancyFactor(star_lines);
+  }
+  if (result.ok() && dfs->Exists(final_path)) {
+    Result<std::vector<std::string>> lines = dfs->ReadFile(final_path);
+    if (lines.ok()) {
+      stats.final_redundancy_factor = ComputeRedundancyFactor(*lines);
+    }
+  }
+
+  // Decode answers for verification (uncharged).
+  if (result.ok() && options.decode_answers && dfs->Exists(final_path)) {
+    RDFMR_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                           dfs->ReadFile(final_path));
+    RDFMR_ASSIGN_OR_RETURN(exec.answers, plan.decoder(lines));
+  }
+
+  // The reads above (stat sampling + decode) are observation, not engine
+  // work; rebuilding the metric from job totals keeps accounting honest.
+  dfs->ResetMetrics();
+
+  // Remove every temporary of this run so the DFS is reusable.
+  for (const std::string& path : dfs->ListFiles()) {
+    if (StartsWith(path, tmp_prefix)) {
+      RDFMR_RETURN_NOT_OK(dfs->DeleteFile(path));
+    }
+  }
+  return exec;
+}
+
+std::string NextTmpPrefix() {
+  static std::atomic<uint64_t> run_counter{0};
+  return StringFormat("tmp/run%llu",
+                      static_cast<unsigned long long>(run_counter++));
+}
+
+}  // namespace
+
+double ComputeRedundancyFactor(const std::vector<std::string>& lines) {
+  // The redundancy of a flat relational representation is measured against
+  // the nested triplegroup footprint of the same content: per subject, the
+  // subject once plus each distinct (Property, Object) pair once.
+  // Relational outputs repeat the subject per column group and the whole
+  // bound component per combination — that repetition is the redundancy.
+  uint64_t flat_bytes = 0;
+  uint64_t concise_bytes = 0;
+  std::map<std::string, std::set<std::string>> per_subject;
+  for (const std::string& line : lines) {
+    flat_bytes += line.size() + 1;
+    std::vector<std::string> fields = SplitEscaped(line, '\t');
+    if (fields.size() < 3 || fields.size() % 3 != 0) {
+      concise_bytes += line.size() + 1;  // not a flat tuple; keep as-is
+      continue;
+    }
+    for (size_t i = 0; i < fields.size(); i += 3) {
+      per_subject[fields[i]].insert(fields[i + 1] + "\t" + fields[i + 2]);
+    }
+  }
+  for (const auto& [subject, pairs] : per_subject) {
+    concise_bytes += subject.size() + 1;
+    for (const std::string& po : pairs) concise_bytes += po.size() + 1;
+  }
+  if (flat_bytes == 0 || concise_bytes >= flat_bytes) return 0.0;
+  return 1.0 - static_cast<double>(concise_bytes) /
+                   static_cast<double>(flat_bytes);
+}
+
+Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
+                           std::shared_ptr<const GraphPatternQuery> query,
+                           const EngineOptions& options) {
+  if (dfs == nullptr || query == nullptr) {
+    return Status::InvalidArgument("RunQuery needs a dfs and a query");
+  }
+  if (!dfs->Exists(base_path)) {
+    return Status::NotFound("base triple relation missing: " + base_path);
+  }
+  const std::string tmp_prefix = NextTmpPrefix();
+  RDFMR_ASSIGN_OR_RETURN(CompiledPlan plan,
+                         Compile(query, base_path, tmp_prefix, options));
+  return ExecutePlan(dfs, std::move(plan), tmp_prefix, query->name(),
+                     options);
+}
+
+Result<BatchExecution> RunQueryBatch(
+    SimDfs* dfs, const std::string& base_path,
+    const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
+    const EngineOptions& options) {
+  if (dfs == nullptr) {
+    return Status::InvalidArgument("RunQueryBatch needs a dfs");
+  }
+  if (!dfs->Exists(base_path)) {
+    return Status::NotFound("base triple relation missing: " + base_path);
+  }
+  NtgaOptions ntga;
+  ntga.phi_partitions = options.phi_partitions;
+  switch (options.kind) {
+    case EngineKind::kNtgaEager:
+      ntga.strategy = NtgaStrategy::kEager;
+      break;
+    case EngineKind::kNtgaLazyFull:
+      ntga.strategy = NtgaStrategy::kLazyFull;
+      break;
+    case EngineKind::kNtgaLazyPartial:
+      ntga.strategy = NtgaStrategy::kLazyPartial;
+      break;
+    case EngineKind::kNtgaLazy:
+      ntga.strategy = NtgaStrategy::kLazyAuto;
+      break;
+    default:
+      return Status::InvalidArgument(
+          "RunQueryBatch shares the NTGA grouping cycle; relational "
+          "engines have nothing to share — run them per query");
+  }
+
+  const std::string tmp_prefix = NextTmpPrefix();
+  RDFMR_ASSIGN_OR_RETURN(
+      NtgaBatchPlan plan,
+      CompileSharedNtgaPlan(queries, base_path, tmp_prefix, ntga));
+
+  WorkflowSpec workflow = plan.workflow;
+  size_t planned_cycles = workflow.jobs.size();
+  workflow.intermediate_paths.clear();
+  workflow.final_output_path.clear();
+  WorkflowResult result = RunWorkflow(dfs, workflow, options.cost);
+
+  BatchExecution exec;
+  ExecStats& stats = exec.stats;
+  stats.engine = EngineKindToString(options.kind);
+  stats.query = StringFormat("batch-of-%zu", queries.size());
+  stats.status = result.status;
+  stats.failed_job_index = result.failed_job_index;
+  stats.mr_cycles = result.num_mr_cycles();
+  stats.planned_cycles = planned_cycles;
+  stats.full_scans = result.totals.full_scans_of_base;
+  stats.hdfs_read_bytes = result.totals.input_bytes;
+  stats.hdfs_write_bytes = result.totals.output_bytes;
+  stats.hdfs_write_bytes_replicated = result.totals.output_bytes_replicated;
+  stats.shuffle_bytes = result.totals.map_output_bytes;
+  stats.peak_dfs_used_bytes = result.peak_dfs_used_bytes;
+  stats.modeled_seconds = result.modeled_seconds;
+  stats.counters = result.totals.counters;
+  stats.jobs = result.job_metrics;
+  for (const std::string& path : plan.star_phase_paths) {
+    stats.star_phase_write_bytes += SafeFileSize(*dfs, path);
+  }
+  for (const std::string& path : plan.final_output_paths) {
+    stats.final_output_bytes += SafeFileSize(*dfs, path);
+  }
+  stats.intermediate_write_bytes =
+      stats.hdfs_write_bytes - stats.final_output_bytes;
+
+  if (result.ok() && options.decode_answers) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (!dfs->Exists(plan.final_output_paths[q])) {
+        exec.answers.emplace_back();
+        continue;
+      }
+      RDFMR_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                             dfs->ReadFile(plan.final_output_paths[q]));
+      RDFMR_ASSIGN_OR_RETURN(SolutionSet answers, plan.decoders[q](lines));
+      exec.answers.push_back(std::move(answers));
+    }
+  }
+  dfs->ResetMetrics();
+  for (const std::string& path : dfs->ListFiles()) {
+    if (StartsWith(path, tmp_prefix)) {
+      RDFMR_RETURN_NOT_OK(dfs->DeleteFile(path));
+    }
+  }
+  return exec;
+}
+
+Result<Execution> RunUnionQuery(
+    SimDfs* dfs, const std::string& base_path,
+    const std::vector<std::shared_ptr<const GraphPatternQuery>>& branches,
+    const EngineOptions& options) {
+  RDFMR_ASSIGN_OR_RETURN(BatchExecution batch,
+                         RunQueryBatch(dfs, base_path, branches, options));
+  Execution exec;
+  exec.stats = std::move(batch.stats);
+  exec.stats.query = StringFormat("union-of-%zu", branches.size());
+  for (SolutionSet& answers : batch.answers) {
+    exec.answers.insert(answers.begin(), answers.end());
+  }
+  return exec;
+}
+
+Result<Execution> RunAggregateQuery(
+    SimDfs* dfs, const std::string& base_path,
+    std::shared_ptr<const GraphPatternQuery> query,
+    const AggregateSpec& spec, const EngineOptions& options) {
+  if (dfs == nullptr || query == nullptr) {
+    return Status::InvalidArgument(
+        "RunAggregateQuery needs a dfs and a query");
+  }
+  if (!dfs->Exists(base_path)) {
+    return Status::NotFound("base triple relation missing: " + base_path);
+  }
+  RDFMR_RETURN_NOT_OK(spec.Validate(*query));
+  const std::string tmp_prefix = NextTmpPrefix();
+  RDFMR_ASSIGN_OR_RETURN(CompiledPlan plan,
+                         Compile(query, base_path, tmp_prefix, options));
+  AppendAggregationCycle(&plan, spec, tmp_prefix,
+                         options.aggregation_combiner);
+  return ExecutePlan(dfs, std::move(plan), tmp_prefix,
+                     query->name() + "+count", options);
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,154 @@
+// Unified query execution façade: compiles a query for a chosen engine
+// (Pig-style, Hive-style, or NTGA with an unnesting strategy), runs the MR
+// workflow on a simulated cluster, and collects every metric the paper's
+// evaluation reports.
+
+#ifndef RDFMR_ENGINE_ENGINE_H_
+#define RDFMR_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dfs/sim_dfs.h"
+#include "mapreduce/workflow.h"
+#include "ntga/logical_plan.h"
+#include "query/aggregate.h"
+#include "query/pattern.h"
+#include "query/solution.h"
+#include "relational/rel_compiler.h"
+
+namespace rdfmr {
+
+/// \brief The systems compared in the paper's evaluation.
+enum class EngineKind {
+  kPig,              ///< relational, per-operand scans, flat n-tuples
+  kHive,             ///< relational, shared scan per cycle, flat n-tuples
+  kNtgaEager,        ///< NTGA, β-unnest at the star-join (grouping) cycle
+  kNtgaLazyFull,     ///< NTGA, full β-unnest at the join's map phase
+  kNtgaLazyPartial,  ///< NTGA, partial β-unnest (φ_m) at the join's map phase
+  kNtgaLazy,         ///< NTGA, the paper's LazyUnnest policy (auto choice)
+};
+
+const char* EngineKindToString(EngineKind kind);
+
+struct EngineOptions {
+  EngineKind kind = EngineKind::kNtgaLazy;
+  /// φ_m partition count for TG_OptUnbJoin.
+  uint32_t phi_partitions = 1024;
+  /// Relational grouping variant (Fig. 3 case study).
+  RelationalGrouping grouping = RelationalGrouping::kStarPerCycle;
+  /// Decode the final output into a solution set (verification; the
+  /// decode cost is NOT charged to the engine's metrics).
+  bool decode_answers = true;
+  /// Use a map-side combiner (value deduplication) in the aggregation
+  /// cycle of RunAggregateQuery; off exposes the raw shuffle volume for
+  /// ablation.
+  bool aggregation_combiner = true;
+  /// Cost model for the modeled execution time.
+  CostModelConfig cost;
+};
+
+/// \brief Everything the paper's figures report about one execution.
+struct ExecStats {
+  std::string engine;
+  std::string query;
+  Status status;              ///< non-OK == the figures' failed runs ('X')
+  int failed_job_index = -1;
+
+  size_t mr_cycles = 0;       ///< jobs completed (planned cycles if failed)
+  size_t planned_cycles = 0;  ///< length of the compiled workflow
+  uint32_t full_scans = 0;    ///< scans of the base triple relation
+  uint64_t hdfs_read_bytes = 0;
+  uint64_t hdfs_write_bytes = 0;             ///< logical
+  uint64_t hdfs_write_bytes_replicated = 0;  ///< physical incl. replicas
+  uint64_t shuffle_bytes = 0;                ///< map output volume
+  uint64_t star_phase_write_bytes = 0;  ///< output of the star-join phase
+  uint64_t intermediate_write_bytes = 0;  ///< all writes minus final output
+  uint64_t final_output_bytes = 0;
+  uint64_t peak_dfs_used_bytes = 0;
+  /// Redundancy factor of the star-join phase output: fraction of its
+  /// bytes in excess of the nested triplegroup footprint of the same
+  /// content. Meaningful for flat relational intermediates, ~0 for nested
+  /// representations.
+  double redundancy_factor = 0.0;
+  /// Same measure over the final output (the paper's C4 numbers report
+  /// both: 0.93 at the star-join phase growing to 0.98 in the final
+  /// Pig/Hive output).
+  double final_redundancy_factor = 0.0;
+  double modeled_seconds = 0.0;
+  Counters counters;
+  std::vector<JobMetrics> jobs;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// \brief An execution's stats plus (when decoded) its answers.
+struct Execution {
+  ExecStats stats;
+  SolutionSet answers;
+};
+
+/// \brief Compiles and runs `query` against the triple relation at
+/// `base_path` on `dfs` using the engine selected in `options`.
+///
+/// All temporary DFS state is removed before returning (also on failure),
+/// so one SimDfs instance can host an engine-comparison sweep. A run that
+/// fails *inside* the workflow (e.g. kOutOfSpace) still returns OK from
+/// this function, with the failure recorded in ExecStats — callers
+/// distinguish infrastructure errors (non-OK Result) from the measured
+/// engine failures the paper plots.
+Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
+                           std::shared_ptr<const GraphPatternQuery> query,
+                           const EngineOptions& options);
+
+/// \brief Runs `query` with a COUNT/GROUP BY/HAVING constraint appended as
+/// one extra MR cycle (the paper's "unbound-property queries with
+/// aggregation constraints" future direction).
+///
+/// The aggregation cycle reads the engine's final output in its native
+/// representation: the NTGA engines feed it nested triplegroups —
+/// combinations are never materialized on HDFS, the mapper expands them in
+/// flight and ships only (group key, counted value) pairs — while the
+/// relational engines read their flat n-tuples. Answers are canonical
+/// solutions binding the group variables plus the count.
+Result<Execution> RunAggregateQuery(
+    SimDfs* dfs, const std::string& base_path,
+    std::shared_ptr<const GraphPatternQuery> query,
+    const AggregateSpec& spec, const EngineOptions& options);
+
+/// \brief A multi-query batch execution: one set of shared-workflow stats
+/// plus each query's answers.
+struct BatchExecution {
+  ExecStats stats;
+  std::vector<SolutionSet> answers;  ///< aligned with the input queries
+};
+
+/// \brief Runs several queries as ONE NTGA workflow sharing a single scan
+/// and a single subject-grouping cycle (MRShare-style sharing, which the
+/// TripleGroup model gets structurally: γ_S(T) is query-independent).
+/// Requires an NTGA engine kind; relational engines have no shared
+/// grouping to exploit — run them per query and sum.
+Result<BatchExecution> RunQueryBatch(
+    SimDfs* dfs, const std::string& base_path,
+    const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
+    const EngineOptions& options);
+
+/// \brief Evaluates a UNION of conjunctive queries — the shape produced by
+/// rewriting ontological queries (Section 1: such rewritings are a major
+/// source of unbound-property subqueries) — as one shared-scan batch whose
+/// per-query answers are unioned.
+Result<Execution> RunUnionQuery(
+    SimDfs* dfs, const std::string& base_path,
+    const std::vector<std::shared_ptr<const GraphPatternQuery>>& branches,
+    const EngineOptions& options);
+
+/// \brief Computes the redundancy factor of serialized flat tuples: bytes
+/// in excess of one copy of each distinct triple per subject, divided by
+/// total bytes. Lines that are not flat tuples contribute no redundancy.
+double ComputeRedundancyFactor(const std::vector<std::string>& lines);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_ENGINE_ENGINE_H_

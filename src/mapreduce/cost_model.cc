@@ -1,0 +1,42 @@
+#include "mapreduce/cost_model.h"
+
+#include <cmath>
+
+namespace rdfmr {
+
+namespace {
+constexpr double kMB = 1024.0 * 1024.0;
+}
+
+double ModelJobSeconds(const JobMetrics& metrics, const ClusterConfig& cluster,
+                       const CostModelConfig& cost) {
+  double nodes = static_cast<double>(cluster.num_nodes);
+  double read_s =
+      static_cast<double>(metrics.input_bytes) / kMB / cost.hdfs_read_mbps;
+  double shuffle_s = static_cast<double>(metrics.map_output_bytes) / kMB /
+                     cost.shuffle_mbps;
+  // Sort both on the map side (spill sort) and the merge on the reduce side
+  // touch the shuffle volume; log factor models multi-pass merges.
+  double sort_passes =
+      metrics.map_output_records > 1
+          ? std::log2(static_cast<double>(metrics.map_output_records)) / 16.0
+          : 0.0;
+  double sort_s = static_cast<double>(metrics.map_output_bytes) / kMB /
+                  cost.sort_mbps * (1.0 + sort_passes);
+  double write_s = static_cast<double>(metrics.output_bytes_replicated) /
+                   kMB / cost.hdfs_write_mbps;
+  return cost.job_startup_seconds +
+         (read_s + shuffle_s + sort_s + write_s) / nodes;
+}
+
+double ModelWorkflowSeconds(const std::vector<JobMetrics>& jobs,
+                            const ClusterConfig& cluster,
+                            const CostModelConfig& cost) {
+  double total = 0.0;
+  for (const JobMetrics& m : jobs) {
+    total += ModelJobSeconds(m, cluster, cost);
+  }
+  return total;
+}
+
+}  // namespace rdfmr

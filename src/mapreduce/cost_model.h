@@ -1,0 +1,31 @@
+// Deterministic execution-time model.
+//
+// The paper reports wall-clock times measured on VCL clusters; every gap it
+// explains is an I/O-volume gap (HDFS reads/writes, shuffle bytes, number
+// of MR cycles). This model turns the simulator's measured byte counters
+// into a modeled time so the figures' *shapes* can be compared; absolute
+// seconds are not expected to match the authors' hardware.
+
+#ifndef RDFMR_MAPREDUCE_COST_MODEL_H_
+#define RDFMR_MAPREDUCE_COST_MODEL_H_
+
+#include "dfs/cluster_config.h"
+#include "mapreduce/job.h"
+
+namespace rdfmr {
+
+/// \brief Computes modeled seconds for one executed job on a cluster.
+///
+/// t = startup + (read/BW_r + shuffle/BW_s + sort(shuffle)/BW_sort +
+///     write_physical/BW_w) / num_nodes
+double ModelJobSeconds(const JobMetrics& metrics, const ClusterConfig& cluster,
+                       const CostModelConfig& cost);
+
+/// \brief Sum of ModelJobSeconds over a workflow's jobs.
+double ModelWorkflowSeconds(const std::vector<JobMetrics>& jobs,
+                            const ClusterConfig& cluster,
+                            const CostModelConfig& cost);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_MAPREDUCE_COST_MODEL_H_

@@ -1,0 +1,101 @@
+// MapReduce job specification and metrics.
+//
+// A job reads one or more DFS input files (each with its own map function —
+// the Hadoop MultipleInputs idiom, needed by reduce-side joins), shuffles
+// (hash partition + sort by key), reduces, and writes one DFS output file.
+// Map-only jobs skip the shuffle and write map emissions directly.
+//
+// Map and reduce functions are std::function objects so plan compilers can
+// close over query structure; everything that flows between phases is a
+// serialized string, making every byte the simulated cluster moves real.
+
+#ifndef RDFMR_MAPREDUCE_JOB_H_
+#define RDFMR_MAPREDUCE_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rdfmr {
+
+/// \brief Free-form named counters, akin to Hadoop job counters.
+using Counters = std::map<std::string, uint64_t>;
+
+/// \brief Emission callback for map functions: (shuffle key, value).
+using MapEmit = std::function<void(std::string key, std::string value)>;
+
+/// \brief Emission callback for reduce / map-only outputs: one record line.
+using RecordEmit = std::function<void(std::string record)>;
+
+/// \brief Map function: one input record -> zero or more (key, value).
+using MapFn =
+    std::function<void(const std::string& record, const MapEmit& emit,
+                       Counters* counters)>;
+
+/// \brief Reduce function: (key, all values for key) -> output records.
+using ReduceFn = std::function<void(
+    const std::string& key, const std::vector<std::string>& values,
+    const RecordEmit& emit, Counters* counters)>;
+
+/// \brief Combine function (map-side pre-aggregation, Hadoop combiner):
+/// rewrites the values emitted for one key by one map task before they are
+/// shuffled. Must be idempotent and safe to apply to any subset of a key's
+/// values (the framework may run it zero or more times).
+using CombineFn = std::function<std::vector<std::string>(
+    const std::string& key, const std::vector<std::string>& values,
+    Counters* counters)>;
+
+/// \brief One input of a job: a DFS path plus the mapper applied to it.
+struct MapInput {
+  std::string path;
+  MapFn map;
+};
+
+/// \brief Full specification of one MapReduce job.
+struct JobSpec {
+  std::string name;
+  std::vector<MapInput> inputs;
+  /// Null reduce => map-only job; map values become output records.
+  ReduceFn reduce;
+  /// Optional map-side combiner; applied per input task before the shuffle,
+  /// so shuffle volume is metered post-combining.
+  CombineFn combine;
+  std::string output_path;
+  /// Optional output demultiplexer (Hadoop MultipleOutputs): maps an output
+  /// record to a path suffix; the record is written unchanged to
+  /// `output_path + suffix`. Null writes everything to `output_path`.
+  std::function<std::string(const std::string& record)> demux;
+  /// With demux: full paths that must exist after the job even when no
+  /// record routed to them (empty files are created), so downstream jobs
+  /// can rely on their inputs existing.
+  std::vector<std::string> ensure_outputs;
+  /// Reduce task count; <=0 uses the cluster default.
+  int num_reducers = 0;
+  /// True if this job scans the full base triple relation through each
+  /// listed input (used for the paper's "full scans" metric).
+  uint32_t full_scans_of_base = 0;
+};
+
+/// \brief Measured I/O of one executed job.
+struct JobMetrics {
+  std::string job_name;
+  uint64_t input_records = 0;
+  uint64_t input_bytes = 0;          ///< HDFS bytes read
+  uint64_t map_output_records = 0;
+  uint64_t map_output_bytes = 0;     ///< shuffle volume (key+value bytes)
+  uint64_t reduce_input_groups = 0;
+  uint64_t output_records = 0;
+  uint64_t output_bytes = 0;         ///< logical HDFS bytes written
+  uint64_t output_bytes_replicated = 0;  ///< physical incl. replicas
+  uint32_t full_scans_of_base = 0;
+  Counters counters;
+
+  /// \brief Accumulates `other` into this (for workflow totals).
+  void Accumulate(const JobMetrics& other);
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_MAPREDUCE_JOB_H_

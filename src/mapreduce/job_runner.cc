@@ -1,0 +1,184 @@
+#include "mapreduce/job_runner.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace rdfmr {
+
+namespace {
+
+struct ShuffleRecord {
+  std::string key;
+  std::string value;
+  uint64_t seq;  // preserves map emission order for stable grouping
+};
+
+}  // namespace
+
+Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec) {
+  RDFMR_CHECK(dfs != nullptr);
+  if (spec.inputs.empty()) {
+    return Status::InvalidArgument("job '" + spec.name + "' has no inputs");
+  }
+  if (spec.output_path.empty()) {
+    return Status::InvalidArgument("job '" + spec.name + "' has no output");
+  }
+
+  JobMetrics metrics;
+  metrics.job_name = spec.name;
+  metrics.full_scans_of_base = spec.full_scans_of_base;
+
+  const bool map_only = (spec.reduce == nullptr);
+  int num_reducers = spec.num_reducers > 0
+                         ? spec.num_reducers
+                         : static_cast<int>(dfs->config().num_reducers);
+  RDFMR_CHECK(num_reducers > 0);
+
+  // ---- Map phase -------------------------------------------------------
+  std::vector<std::vector<ShuffleRecord>> partitions(
+      map_only ? 1 : static_cast<size_t>(num_reducers));
+  std::vector<std::string> map_only_output;
+  uint64_t seq = 0;
+
+  // Routes one post-combine (key, value) pair into the shuffle, charging
+  // the metered shuffle volume.
+  auto route = [&](std::string key, std::string value) {
+    metrics.map_output_records += 1;
+    metrics.map_output_bytes += key.size() + value.size() + 2;
+    if (map_only) {
+      map_only_output.push_back(std::move(value));
+    } else {
+      size_t p = static_cast<size_t>(Fnv1a64(key) %
+                                     static_cast<uint64_t>(num_reducers));
+      partitions[p].push_back(
+          ShuffleRecord{std::move(key), std::move(value), seq++});
+    }
+  };
+
+  for (const MapInput& input : spec.inputs) {
+    auto lines = dfs->ReadFile(input.path);
+    if (!lines.ok()) {
+      return lines.status().WithContext("job '" + spec.name + "' input");
+    }
+    metrics.input_records += lines->size();
+    RDFMR_ASSIGN_OR_RETURN(uint64_t in_bytes, dfs->FileSize(input.path));
+    metrics.input_bytes += in_bytes;
+
+    if (spec.combine == nullptr || map_only) {
+      MapEmit emit = [&](std::string key, std::string value) {
+        route(std::move(key), std::move(value));
+      };
+      for (const std::string& record : *lines) {
+        input.map(record, emit, &metrics.counters);
+      }
+    } else {
+      // Combiner path: buffer this map task's output, combine per key,
+      // then shuffle the combined pairs (insertion order preserved).
+      std::map<std::string, std::vector<std::string>> task_output;
+      std::vector<std::string> key_order;
+      MapEmit emit = [&](std::string key, std::string value) {
+        metrics.counters["combine_input_records"] += 1;
+        auto [it, inserted] = task_output.try_emplace(std::move(key));
+        if (inserted) key_order.push_back(it->first);
+        it->second.push_back(std::move(value));
+      };
+      for (const std::string& record : *lines) {
+        input.map(record, emit, &metrics.counters);
+      }
+      for (const std::string& key : key_order) {
+        std::vector<std::string> combined =
+            spec.combine(key, task_output.at(key), &metrics.counters);
+        for (std::string& value : combined) {
+          route(key, std::move(value));
+        }
+      }
+    }
+  }
+
+  // ---- Shuffle + reduce phase -------------------------------------------
+  std::vector<std::string> output;
+  if (map_only) {
+    output = std::move(map_only_output);
+  } else {
+    for (std::vector<ShuffleRecord>& part : partitions) {
+      // Secondary sort: by key, ties broken by emission order (stable).
+      std::sort(part.begin(), part.end(),
+                [](const ShuffleRecord& a, const ShuffleRecord& b) {
+                  if (a.key != b.key) return a.key < b.key;
+                  return a.seq < b.seq;
+                });
+      RecordEmit emit = [&](std::string record) {
+        output.push_back(std::move(record));
+      };
+      size_t i = 0;
+      while (i < part.size()) {
+        size_t j = i;
+        std::vector<std::string> values;
+        while (j < part.size() && part[j].key == part[i].key) {
+          values.push_back(std::move(part[j].value));
+          ++j;
+        }
+        metrics.reduce_input_groups += 1;
+        spec.reduce(part[i].key, values, emit, &metrics.counters);
+        i = j;
+      }
+      part.clear();
+      part.shrink_to_fit();
+    }
+  }
+
+  // ---- Output materialization --------------------------------------------
+  metrics.output_records = output.size();
+  for (const std::string& line : output) {
+    metrics.output_bytes += line.size() + 1;
+  }
+  metrics.output_bytes_replicated =
+      metrics.output_bytes * dfs->config().replication;
+
+  if (spec.demux == nullptr) {
+    Status st = dfs->WriteFile(spec.output_path, std::move(output));
+    if (!st.ok()) {
+      return st.WithContext("job '" + spec.name + "' output");
+    }
+  } else {
+    // MultipleOutputs: route records to per-suffix files (stable order).
+    std::map<std::string, std::vector<std::string>> demuxed;
+    for (std::string& line : output) {
+      demuxed[spec.demux(line)].push_back(std::move(line));
+    }
+    for (auto& [suffix, lines] : demuxed) {
+      Status st = dfs->WriteFile(spec.output_path + suffix, std::move(lines));
+      if (!st.ok()) {
+        return st.WithContext("job '" + spec.name + "' output");
+      }
+    }
+    for (const std::string& path : spec.ensure_outputs) {
+      if (!dfs->Exists(path)) {
+        Status st = dfs->WriteFile(path, {});
+        if (!st.ok()) {
+          return st.WithContext("job '" + spec.name + "' output");
+        }
+      }
+    }
+  }
+  return metrics;
+}
+
+void JobMetrics::Accumulate(const JobMetrics& other) {
+  input_records += other.input_records;
+  input_bytes += other.input_bytes;
+  map_output_records += other.map_output_records;
+  map_output_bytes += other.map_output_bytes;
+  reduce_input_groups += other.reduce_input_groups;
+  output_records += other.output_records;
+  output_bytes += other.output_bytes;
+  output_bytes_replicated += other.output_bytes_replicated;
+  full_scans_of_base += other.full_scans_of_base;
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,22 @@
+// Executes a single MapReduce job against a SimDfs instance.
+
+#ifndef RDFMR_MAPREDUCE_JOB_RUNNER_H_
+#define RDFMR_MAPREDUCE_JOB_RUNNER_H_
+
+#include "common/result.h"
+#include "dfs/sim_dfs.h"
+#include "mapreduce/job.h"
+
+namespace rdfmr {
+
+/// \brief Runs `spec` to completion on `dfs`.
+///
+/// Phases: scan inputs (metered reads) -> map -> hash-partition by
+/// Fnv1a64(key) % R -> per-partition stable sort by key -> reduce ->
+/// write output (can fail with kOutOfSpace, which is how the paper's
+/// failed executions arise). On success returns the job's metrics.
+Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_MAPREDUCE_JOB_RUNNER_H_

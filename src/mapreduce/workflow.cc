@@ -1,0 +1,80 @@
+#include "mapreduce/workflow.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mapreduce/job_runner.h"
+
+namespace rdfmr {
+
+std::string DescribeWorkflow(const WorkflowSpec& spec) {
+  std::string out = "workflow '" + spec.name + "' (" +
+                    std::to_string(spec.jobs.size()) + " MR cycle(s))\n";
+  for (size_t i = 0; i < spec.jobs.size(); ++i) {
+    const JobSpec& job = spec.jobs[i];
+    out += "  MR" + std::to_string(i + 1) + " " + job.name + ": ";
+    for (size_t k = 0; k < job.inputs.size(); ++k) {
+      if (k > 0) out += " + ";
+      out += job.inputs[k].path;
+    }
+    out += " -> " + job.output_path;
+    if (job.demux != nullptr) out += "<demuxed>";
+    if (job.reduce == nullptr) out += "  [map-only]";
+    if (job.combine != nullptr) out += "  [combiner]";
+    if (job.full_scans_of_base > 0) {
+      out += "  [" + std::to_string(job.full_scans_of_base) +
+             " full scan(s)]";
+    }
+    out += "\n";
+  }
+  if (!spec.final_output_path.empty()) {
+    out += "  final: " + spec.final_output_path + "\n";
+  }
+  return out;
+}
+
+WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
+                           const CostModelConfig& cost) {
+  WorkflowResult result;
+  result.peak_dfs_used_bytes = dfs->UsedBytes();
+
+  for (size_t i = 0; i < spec.jobs.size(); ++i) {
+    const JobSpec& job = spec.jobs[i];
+    RDFMR_LOG(Info) << "workflow '" << spec.name << "': running job "
+                    << (i + 1) << "/" << spec.jobs.size() << " '" << job.name
+                    << "'";
+    Result<JobMetrics> metrics = RunJob(dfs, job);
+    if (!metrics.ok()) {
+      result.status =
+          metrics.status().WithContext("workflow '" + spec.name + "'");
+      result.failed_job_index = static_cast<int>(i);
+      break;
+    }
+    result.job_metrics.push_back(metrics.MoveValueUnsafe());
+    result.totals.Accumulate(result.job_metrics.back());
+    result.peak_dfs_used_bytes =
+        std::max(result.peak_dfs_used_bytes, dfs->UsedBytes());
+  }
+
+  result.modeled_seconds =
+      ModelWorkflowSeconds(result.job_metrics, dfs->config(), cost);
+
+  // Clean up intermediates (and any partial final output on failure) so the
+  // DFS can be reused by the next engine under test.
+  for (const std::string& path : spec.intermediate_paths) {
+    if (dfs->Exists(path)) {
+      Status st = dfs->DeleteFile(path);
+      if (!st.ok()) {
+        RDFMR_LOG(Warning) << "cleanup failed for " << path << ": "
+                           << st.ToString();
+      }
+    }
+  }
+  if (!result.ok() && !spec.final_output_path.empty() &&
+      dfs->Exists(spec.final_output_path)) {
+    (void)dfs->DeleteFile(spec.final_output_path);
+  }
+  return result;
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,62 @@
+// Multi-job MapReduce workflows.
+//
+// A workflow is an ordered list of jobs; later jobs consume earlier jobs'
+// outputs. As on a real Hadoop deployment, intermediate outputs stay in the
+// DFS until the whole workflow finishes (fault-tolerance materialization) —
+// this accumulation is exactly what exhausts disk space for redundant
+// relational plans in the paper's failed runs.
+
+#ifndef RDFMR_MAPREDUCE_WORKFLOW_H_
+#define RDFMR_MAPREDUCE_WORKFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dfs/sim_dfs.h"
+#include "mapreduce/cost_model.h"
+#include "mapreduce/job.h"
+
+namespace rdfmr {
+
+/// \brief Workflow specification: jobs in execution order plus the paths to
+/// clean up afterwards (everything but the final output, typically).
+struct WorkflowSpec {
+  std::string name;
+  std::vector<JobSpec> jobs;
+  /// Intermediate DFS paths deleted after the workflow completes or fails.
+  std::vector<std::string> intermediate_paths;
+  /// Path of the final query answer file.
+  std::string final_output_path;
+};
+
+/// \brief Outcome of executing a workflow.
+struct WorkflowResult {
+  Status status;                   ///< OK, or the failing job's error
+  int failed_job_index = -1;       ///< -1 when status.ok()
+  std::vector<JobMetrics> job_metrics;  ///< metrics of completed jobs
+  JobMetrics totals;               ///< accumulated over completed jobs
+  double modeled_seconds = 0.0;    ///< cost-model time of completed jobs
+  uint64_t peak_dfs_used_bytes = 0;  ///< high-water physical DFS usage
+
+  bool ok() const { return status.ok(); }
+  size_t num_mr_cycles() const { return job_metrics.size(); }
+};
+
+/// \brief Human-readable rendering of a workflow's job graph: one line per
+/// job with its inputs, output, and operator hints (used by `rdfmr run
+/// --plan` and plan tests).
+std::string DescribeWorkflow(const WorkflowSpec& spec);
+
+/// \brief Runs every job in order; stops at the first failure.
+///
+/// Intermediate paths are removed afterwards in both the success and the
+/// failure case (so a failed engine run leaves the DFS reusable for the
+/// next engine in a benchmark), but the recorded peak usage reflects the
+/// accumulation while the workflow ran.
+WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
+                           const CostModelConfig& cost = CostModelConfig{});
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_MAPREDUCE_WORKFLOW_H_

@@ -1,0 +1,188 @@
+#include "ntga/logical_plan.h"
+
+#include <functional>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace rdfmr {
+
+const char* NtgaStrategyToString(NtgaStrategy strategy) {
+  switch (strategy) {
+    case NtgaStrategy::kEager:
+      return "EagerUnnest";
+    case NtgaStrategy::kLazyFull:
+      return "LazyUnnest(full)";
+    case NtgaStrategy::kLazyPartial:
+      return "LazyUnnest(partial)";
+    case NtgaStrategy::kLazyAuto:
+      return "LazyUnnest";
+  }
+  return "?";
+}
+
+namespace {
+
+// Resolves where the join variable lives within one side's relation.
+// Preference order: star subject, bound-pattern object, unbound-pattern
+// object — joining on a subject or bound object never forces an unnest.
+Result<JoinSidePlan> ResolveSide(const GraphPatternQuery& query,
+                                 std::vector<uint32_t> stars,
+                                 const std::string& var) {
+  JoinSidePlan side;
+  side.stars = std::move(stars);
+  for (uint32_t s : side.stars) {
+    if (query.stars()[s].subject_var == var) {
+      side.site_star = s;
+      side.site_tp = -1;
+      side.site_unbound = false;
+      return side;
+    }
+  }
+  for (uint32_t s : side.stars) {
+    const StarPattern& star = query.stars()[s];
+    for (size_t p = 0; p < star.patterns.size(); ++p) {
+      const TriplePattern& tp = star.patterns[p];
+      if (tp.property_bound && tp.object.is_variable() &&
+          tp.object.value == var) {
+        side.site_star = s;
+        side.site_tp = static_cast<int>(p);
+        side.site_unbound = false;
+        return side;
+      }
+    }
+  }
+  for (uint32_t s : side.stars) {
+    const StarPattern& star = query.stars()[s];
+    for (size_t p = 0; p < star.patterns.size(); ++p) {
+      const TriplePattern& tp = star.patterns[p];
+      if (!tp.property_bound && tp.object.is_variable() &&
+          tp.object.value == var) {
+        side.site_star = s;
+        side.site_tp = static_cast<int>(p);
+        side.site_unbound = true;
+        return side;
+      }
+    }
+  }
+  return Status::InvalidArgument("join variable ?" + var +
+                                 " not found on one side");
+}
+
+// Chooses the unnest placement for a join side (rules R4/R5).
+UnnestPlacement PlaceUnnest(const GraphPatternQuery& query,
+                            const JoinSidePlan& side, NtgaStrategy strategy) {
+  if (!side.site_unbound) return UnnestPlacement::kNone;
+  if (strategy == NtgaStrategy::kEager) {
+    // Already unnested at the grouping cycle; the map just reads the pin.
+    return UnnestPlacement::kNone;
+  }
+  if (strategy == NtgaStrategy::kLazyFull) return UnnestPlacement::kLazyFull;
+  if (strategy == NtgaStrategy::kLazyPartial) {
+    return UnnestPlacement::kLazyPartial;
+  }
+  // kLazyAuto: partially-bound objects shrink the candidate set enough that
+  // a full unnest is cheap; fully unbound objects benefit from φ_m.
+  const TriplePattern& tp =
+      query.stars()[side.site_star]
+          .patterns[static_cast<size_t>(side.site_tp)];
+  if (tp.object.partially_bound() || tp.object.is_constant()) {
+    return UnnestPlacement::kLazyFull;
+  }
+  return UnnestPlacement::kLazyPartial;
+}
+
+}  // namespace
+
+Result<NtgaLogicalPlan> RewriteToNtga(const GraphPatternQuery& query,
+                                      NtgaStrategy strategy) {
+  NtgaLogicalPlan plan;
+  plan.strategy = strategy;
+
+  // R1/R2/R3: one grouping cycle; per star, group-filter flavor and (for
+  // the eager strategy) an immediate μ^β.
+  for (const StarPattern& star : query.stars()) {
+    plan.beta_filter.push_back(star.HasUnbound());
+    plan.eager_unnest.push_back(strategy == NtgaStrategy::kEager &&
+                                star.HasUnbound());
+  }
+
+  // Join cycles: union-find over stars; residual predicates (joins between
+  // stars already connected) are enforced during expansion.
+  std::vector<size_t> component(query.stars().size());
+  std::iota(component.begin(), component.end(), 0);
+  std::vector<std::vector<uint32_t>> members(query.stars().size());
+  for (size_t s = 0; s < query.stars().size(); ++s) {
+    members[s] = {static_cast<uint32_t>(s)};
+  }
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (component[x] != x) x = component[x] = component[component[x]];
+    return x;
+  };
+
+  for (const StarJoin& join : query.joins()) {
+    size_t a = find(join.left_star);
+    size_t b = find(join.right_star);
+    if (a == b) continue;
+
+    JoinCyclePlan cycle;
+    cycle.variable = join.variable;
+    cycle.kind = join.kind;
+    RDFMR_ASSIGN_OR_RETURN(cycle.left,
+                           ResolveSide(query, members[a], join.variable));
+    RDFMR_ASSIGN_OR_RETURN(cycle.right,
+                           ResolveSide(query, members[b], join.variable));
+    cycle.left.unnest = PlaceUnnest(query, cycle.left, strategy);
+    cycle.right.unnest = PlaceUnnest(query, cycle.right, strategy);
+    cycle.partial = cycle.left.unnest == UnnestPlacement::kLazyPartial ||
+                    cycle.right.unnest == UnnestPlacement::kLazyPartial;
+    plan.joins.push_back(std::move(cycle));
+
+    members[a].insert(members[a].end(), members[b].begin(), members[b].end());
+    members[b].clear();
+    component[b] = a;
+  }
+  return plan;
+}
+
+std::string NtgaLogicalPlan::ToString(const GraphPatternQuery& query) const {
+  std::string out =
+      StringFormat("NTGA plan [%s] for %s\n", NtgaStrategyToString(strategy),
+                   query.name().c_str());
+  out += "  MR1: \xCE\xB3_S(T) -> ";  // γ
+  for (size_t s = 0; s < query.stars().size(); ++s) {
+    if (s > 0) out += " \xE2\x88\xAA ";  // ∪
+    const StarPattern& star = query.stars()[s];
+    std::string props;
+    for (const std::string& p : star.BoundProperties()) {
+      if (!props.empty()) props += ",";
+      props += p;
+    }
+    out += StringFormat("%s_{%s}[EC%zu]",
+                        beta_filter[s] ? "\xCF\x83^\xCE\xB2\xCE\xB3"   // σ^βγ
+                                       : "\xCF\x83^\xCE\xB3",          // σ^γ
+                        props.c_str(), s);
+    if (eager_unnest[s]) out += " |> \xCE\xBC^\xCE\xB2";  // μ^β
+  }
+  out += "\n";
+  for (size_t j = 0; j < joins.size(); ++j) {
+    const JoinCyclePlan& cycle = joins[j];
+    auto side_str = [&](const JoinSidePlan& side) {
+      std::string s = StringFormat("EC%u", side.site_star);
+      if (side.unnest == UnnestPlacement::kLazyFull) {
+        s += ".map:\xCE\xBC^\xCE\xB2";  // μ^β
+      } else if (side.unnest == UnnestPlacement::kLazyPartial) {
+        s += ".map:\xCE\xBC^\xCE\xB2_\xCF\x86m";  // μ^β_φm
+      }
+      return s;
+    };
+    out += StringFormat(
+        "  MR%zu: %s \xE2\x8B\x88_{?%s} %s  (%s%s)\n", j + 2,
+        side_str(cycle.left).c_str(), cycle.variable.c_str(),
+        side_str(cycle.right).c_str(), StarJoinKindToString(cycle.kind),
+        cycle.partial ? ", TG_OptUnbJoin" : "");
+  }
+  return out;
+}
+
+}  // namespace rdfmr

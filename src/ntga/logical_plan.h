@@ -1,0 +1,89 @@
+// Query rewrite rules: translation of (unbound-property) graph pattern
+// queries into NTGA logical plans.
+//
+// The rewrite implements the paper's rules:
+//   R1  all-bound star St           ->  σ^γ_{P}(γ_S(T))
+//   R2  unbound star St_u           ->  μ^β(σ^βγ_{P_bnd}(γ_S(T)))   (Lemma 1)
+//   R3  n stars                     ->  ONE γ_S(T) + disjunctive selection
+//                                       (all star-joins in a single MR cycle)
+//   R4  lazy placement: delay μ^β to the map phase of the first MR cycle
+//       whose join key is the unbound pattern's object; unbound patterns
+//       never joined on are never unnested (stay implicit to the end)
+//   R5  partial substitution: μ^β -> μ^β_φm when the joining object is
+//       fully unbound; a full μ^β suffices for partially-bound objects
+//       (the paper's empirically chosen LazyUnnest policy, Fig. 11)
+
+#ifndef RDFMR_NTGA_LOGICAL_PLAN_H_
+#define RDFMR_NTGA_LOGICAL_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/pattern.h"
+
+namespace rdfmr {
+
+/// \brief β-unnesting evaluation strategies (Section 4 of the paper).
+enum class NtgaStrategy {
+  kEager,        ///< μ^β at the reduce side of the star-join cycle
+  kLazyFull,     ///< full μ^β at the map side of the join that needs it
+  kLazyPartial,  ///< μ^β_φm at the map side of the join that needs it
+  kLazyAuto,     ///< paper's LazyUnnest: full for partially-bound objects,
+                 ///< partial for unbound objects
+};
+
+const char* NtgaStrategyToString(NtgaStrategy strategy);
+
+/// \brief What happens to an unbound pattern at a join's map phase.
+enum class UnnestPlacement { kNone, kLazyFull, kLazyPartial };
+
+/// \brief One side of a planned triplegroup join.
+struct JoinSidePlan {
+  /// Stars contained in this side's relation (one for a star EC, several
+  /// for the output of earlier joins).
+  std::vector<uint32_t> stars;
+  /// Star whose pattern carries the join variable.
+  uint32_t site_star = 0;
+  /// Pattern index within site_star whose object is the join variable;
+  /// -1 when the variable is the star's subject.
+  int site_tp = -1;
+  /// True when site_tp refers to an unbound-property pattern.
+  bool site_unbound = false;
+  /// Unnest action at this join's map phase.
+  UnnestPlacement unnest = UnnestPlacement::kNone;
+};
+
+/// \brief One planned join cycle (TG_Join / TG_UnbJoin / TG_OptUnbJoin).
+struct JoinCyclePlan {
+  std::string variable;
+  StarJoinKind kind = StarJoinKind::kObjectSubject;
+  JoinSidePlan left;
+  JoinSidePlan right;
+  /// φ_m-keyed join (TG_OptUnbJoin) when any side partially unnests.
+  bool partial = false;
+};
+
+/// \brief Whole-query NTGA logical plan.
+struct NtgaLogicalPlan {
+  NtgaStrategy strategy = NtgaStrategy::kLazyAuto;
+  /// Per star: does the grouping cycle apply σ^βγ (true) or σ^γ (false)?
+  std::vector<bool> beta_filter;
+  /// Per star: eager μ^β applied at the grouping cycle's reduce side?
+  std::vector<bool> eager_unnest;
+  /// Join cycles in execution order (residual predicates are enforced
+  /// during expansion, not as separate cycles).
+  std::vector<JoinCyclePlan> joins;
+
+  /// \brief Algebra-style rendering (used by docs and rewrite-rule tests).
+  std::string ToString(const GraphPatternQuery& query) const;
+};
+
+/// \brief Applies the rewrite rules to `query` under `strategy`.
+Result<NtgaLogicalPlan> RewriteToNtga(const GraphPatternQuery& query,
+                                      NtgaStrategy strategy);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_NTGA_LOGICAL_PLAN_H_

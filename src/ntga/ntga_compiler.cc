@@ -1,0 +1,530 @@
+#include "ntga/ntga_compiler.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "ntga/operators.h"
+#include "query/matcher.h"
+
+namespace rdfmr {
+
+namespace {
+
+using QueryPtr = std::shared_ptr<const GraphPatternQuery>;
+
+std::string EcPath(const std::string& tmp_prefix, size_t star) {
+  return StringFormat("%s/ec%zu", tmp_prefix.c_str(), star);
+}
+
+// Replaces the component of `jtg` belonging to `star_id` with `replacement`.
+JoinedTg ReplaceComponent(const JoinedTg& jtg, uint32_t star_id,
+                          AnnTg replacement) {
+  JoinedTg out = jtg;
+  for (AnnTg& c : out.components) {
+    if (c.star_id == star_id) {
+      c = std::move(replacement);
+      return out;
+    }
+  }
+  out.components.push_back(std::move(replacement));
+  return out;
+}
+
+// ---- Job 1: TG_GroupBy + TG_(Unb)GrpFilter ---------------------------------
+
+MapFn MakeGroupMapper(QueryPtr query) {
+  return [query](const std::string& record, const MapEmit& emit,
+                 Counters* counters) {
+    Result<Triple> t = Triple::Deserialize(record);
+    if (!t.ok()) {
+      (*counters)["bad_records"] += 1;
+      return;
+    }
+    // NTGA's shared scan: the triple is shuffled once if relevant to any
+    // pattern of any star subpattern.
+    for (const TriplePattern& tp : query->patterns()) {
+      bool property_ok =
+          tp.property_bound ? tp.property == t->property : true;
+      if (property_ok && tp.object.Matches(t->object)) {
+        emit(t->subject, record);
+        return;
+      }
+    }
+  };
+}
+
+ReduceFn MakeGroupReducer(QueryPtr query, NtgaLogicalPlan plan) {
+  return [query, plan = std::move(plan)](
+             const std::string& key, const std::vector<std::string>& values,
+             const RecordEmit& emit, Counters* counters) {
+    std::set<PropObj> distinct;
+    for (const std::string& v : values) {
+      Result<Triple> t = Triple::Deserialize(v);
+      if (t.ok()) distinct.insert(PropObj{t->property, t->object});
+    }
+    std::vector<PropObj> pairs(distinct.begin(), distinct.end());
+    (*counters)["subject_groups"] += 1;
+
+    bool matched_any = false;
+    for (size_t s = 0; s < query->stars().size(); ++s) {
+      const StarPattern& star = query->stars()[s];
+      std::optional<AnnTg> tg =
+          BuildAnnTg(star, static_cast<uint32_t>(s), key, pairs);
+      if (!tg.has_value()) continue;
+      matched_any = true;
+      if (plan.eager_unnest[s]) {
+        std::vector<AnnTg> unnested = BetaUnnest(star, *tg);
+        (*counters)["eager_unnest_tgs"] += unnested.size();
+        for (const AnnTg& out : unnested) emit(out.Serialize());
+      } else {
+        tg->Compact(star);
+        (*counters)["anntgs"] += 1;
+        emit(tg->Serialize());
+      }
+    }
+    if (!matched_any) (*counters)["filtered_groups"] += 1;
+  };
+}
+
+// ---- Job 2..k: TG_Join / TG_UnbJoin / TG_OptUnbJoin -------------------------
+
+// Enumerates the concrete join-key values of `jtg` at `side`'s site. For an
+// unbound site the candidates are the (possibly overridden/pinned) pairs;
+// each candidate yields a pinned copy of the triplegroup.
+std::vector<std::pair<std::string, JoinedTg>> JoinValueExpansions(
+    const StarPattern& star, const JoinSidePlan& side, const JoinedTg& jtg) {
+  std::vector<std::pair<std::string, JoinedTg>> out;
+  const AnnTg* comp = jtg.ComponentForStar(side.site_star);
+  if (comp == nullptr) return out;
+
+  if (side.site_tp < 0) {
+    out.emplace_back(comp->subject, jtg);
+    return out;
+  }
+  const TriplePattern& tp =
+      star.patterns[static_cast<size_t>(side.site_tp)];
+  if (!side.site_unbound) {
+    auto it = comp->pairs.find(tp.property);
+    if (it == comp->pairs.end()) return out;
+    for (const std::string& o : it->second) {
+      if (tp.object.Matches(o)) out.emplace_back(o, jtg);
+    }
+    return out;
+  }
+  // Unbound site: pin each candidate (completes the β-unnest).
+  for (const PropObj& cand :
+       UnboundCandidates(star, *comp, static_cast<size_t>(side.site_tp))) {
+    AnnTg pinned = *comp;
+    pinned.overrides[static_cast<uint32_t>(side.site_tp)] = {cand};
+    pinned.Compact(star);
+    out.emplace_back(cand.object,
+                     ReplaceComponent(jtg, side.site_star, std::move(pinned)));
+  }
+  return out;
+}
+
+MapFn MakeJoinSideMapper(StarPattern star, JoinSidePlan side,
+                         std::string tag, bool partial, uint32_t m) {
+  return [star = std::move(star), side = std::move(side),
+          tag = std::move(tag), partial,
+          m](const std::string& record, const MapEmit& emit,
+             Counters* counters) {
+    Result<JoinedTg> jtg = JoinedTg::Deserialize(record);
+    if (!jtg.ok()) {
+      (*counters)["bad_records"] += 1;
+      return;
+    }
+    const AnnTg* comp = jtg->ComponentForStar(side.site_star);
+    if (comp == nullptr) {
+      (*counters)["bad_records"] += 1;
+      return;
+    }
+
+    if (side.unnest == UnnestPlacement::kLazyPartial) {
+      // TG_OptUnbJoin map: partial β-unnest; one output per φ_m partition,
+      // keyed by the partition — triplegroups bound for the same reducer
+      // stay implicitly represented.
+      auto partitions = PartialBetaUnnest(
+          star, *comp, static_cast<size_t>(side.site_tp), m);
+      (*counters)["partial_unnest_tgs"] += partitions.size();
+      for (auto& [partition, restricted] : partitions) {
+        JoinedTg out =
+            ReplaceComponent(*jtg, side.site_star, std::move(restricted));
+        emit("p" + std::to_string(partition), tag + "|" + out.Serialize());
+      }
+      return;
+    }
+
+    // Subject / bound-object sites, or full β-unnest at the map side
+    // (TG_UnbJoin): enumerate concrete join values.
+    std::vector<std::pair<std::string, JoinedTg>> expansions =
+        JoinValueExpansions(star, side, *jtg);
+    if (side.site_unbound) {
+      (*counters)["map_beta_unnest_tgs"] += expansions.size();
+    }
+    if (!partial) {
+      for (auto& [value, out] : expansions) {
+        emit(value, tag + "|" + out.Serialize());
+      }
+    } else {
+      // The other side of a TG_OptUnbJoin: key by the value's partition.
+      // A nested group with several values in one partition is sent once.
+      std::map<uint32_t, std::vector<std::pair<std::string, JoinedTg>>>
+          by_partition;
+      for (auto& [value, out] : expansions) {
+        by_partition[PhiPartition(value, m)].emplace_back(value,
+                                                          std::move(out));
+      }
+      for (auto& [partition, entries] : by_partition) {
+        if (side.site_unbound || side.site_tp < 0) {
+          // Pinned copies differ; send each.
+          for (auto& [value, out] : entries) {
+            emit("p" + std::to_string(partition),
+                 tag + "|" + out.Serialize());
+          }
+        } else {
+          // Bound-object site: the group itself is unchanged across its
+          // values — one copy per partition suffices.
+          emit("p" + std::to_string(partition),
+               tag + "|" + entries.front().second.Serialize());
+        }
+      }
+    }
+  };
+}
+
+ReduceFn MakePlainJoinReducer() {
+  return [](const std::string& /*key*/,
+            const std::vector<std::string>& values, const RecordEmit& emit,
+            Counters* counters) {
+    std::vector<JoinedTg> lefts, rights;
+    for (const std::string& v : values) {
+      std::vector<std::string> parts = SplitN(v, '|', 2);
+      if (parts.size() != 2) continue;
+      Result<JoinedTg> jtg = JoinedTg::Deserialize(parts[1]);
+      if (!jtg.ok()) {
+        (*counters)["bad_records"] += 1;
+        continue;
+      }
+      (parts[0] == "L" ? lefts : rights).push_back(jtg.MoveValueUnsafe());
+    }
+    for (const JoinedTg& l : lefts) {
+      for (const JoinedTg& r : rights) {
+        JoinedTg joined = l;
+        joined.components.insert(joined.components.end(),
+                                 r.components.begin(), r.components.end());
+        (*counters)["joined_tgs"] += 1;
+        emit(joined.Serialize());
+      }
+    }
+  };
+}
+
+// TG_OptUnbJoin reduce (Algorithm 3): all groups of one φ_m partition land
+// here; complete the β-unnest, hash by the actual join key, and join.
+ReduceFn MakePartialJoinReducer(StarPattern left_star, JoinSidePlan left,
+                                StarPattern right_star,
+                                JoinSidePlan right) {
+  return [left_star = std::move(left_star), left = std::move(left),
+          right_star = std::move(right_star), right = std::move(right)](
+             const std::string& /*key*/,
+             const std::vector<std::string>& values, const RecordEmit& emit,
+             Counters* counters) {
+    std::map<std::string, std::vector<JoinedTg>> left_hash, right_hash;
+    for (const std::string& v : values) {
+      std::vector<std::string> parts = SplitN(v, '|', 2);
+      if (parts.size() != 2) continue;
+      Result<JoinedTg> jtg = JoinedTg::Deserialize(parts[1]);
+      if (!jtg.ok()) {
+        (*counters)["bad_records"] += 1;
+        continue;
+      }
+      const JoinSidePlan& side = parts[0] == "L" ? left : right;
+      const StarPattern& star = parts[0] == "L" ? left_star : right_star;
+      auto& hash = parts[0] == "L" ? left_hash : right_hash;
+      for (auto& [value, expanded] :
+           JoinValueExpansions(star, side, *jtg)) {
+        hash[value].push_back(std::move(expanded));
+      }
+    }
+    for (const auto& [value, lefts] : left_hash) {
+      auto it = right_hash.find(value);
+      if (it == right_hash.end()) continue;
+      for (const JoinedTg& l : lefts) {
+        for (const JoinedTg& r : it->second) {
+          JoinedTg joined = l;
+          joined.components.insert(joined.components.end(),
+                                   r.components.begin(), r.components.end());
+          (*counters)["joined_tgs"] += 1;
+          emit(joined.Serialize());
+        }
+      }
+    }
+  };
+}
+
+// Builds the join cycles of one query within a (possibly batched) plan.
+// `star_offset` maps the query's local star indexes to the global ids its
+// records carry; EC files follow the global numbering.
+void AppendJoinCycles(QueryPtr query, const NtgaLogicalPlan& plan,
+                      uint32_t star_offset, const std::string& tmp_prefix,
+                      const std::string& name_prefix,
+                      const std::string& path_prefix,
+                      const NtgaOptions& options, WorkflowSpec* workflow,
+                      std::string* final_path) {
+  std::map<uint32_t, std::string> current_path;
+  for (size_t s = 0; s < query->stars().size(); ++s) {
+    current_path[static_cast<uint32_t>(s)] =
+        EcPath(tmp_prefix, star_offset + s);
+  }
+  for (size_t j = 0; j < plan.joins.size(); ++j) {
+    JoinCyclePlan cycle = plan.joins[j];
+    const std::string& left_path = current_path[cycle.left.stars[0]];
+    const std::string& right_path = current_path[cycle.right.stars[0]];
+    const StarPattern& left_star = query->stars()[cycle.left.site_star];
+    const StarPattern& right_star = query->stars()[cycle.right.site_star];
+
+    // Records carry global component ids.
+    JoinSidePlan left_side = cycle.left;
+    left_side.site_star += star_offset;
+    JoinSidePlan right_side = cycle.right;
+    right_side.site_star += star_offset;
+
+    JobSpec job;
+    job.name = StringFormat(
+        "%s%s-%zu-on-%s", name_prefix.c_str(),
+        cycle.partial ? "tg-optunbjoin"
+                      : (cycle.left.unnest != UnnestPlacement::kNone ||
+                                 cycle.right.unnest != UnnestPlacement::kNone
+                             ? "tg-unbjoin"
+                             : "tg-join"),
+        j, cycle.variable.c_str());
+    job.inputs.push_back(
+        MapInput{left_path,
+                 MakeJoinSideMapper(left_star, left_side, "L",
+                                    cycle.partial, options.phi_partitions)});
+    job.inputs.push_back(
+        MapInput{right_path,
+                 MakeJoinSideMapper(right_star, right_side, "R",
+                                    cycle.partial, options.phi_partitions)});
+    job.reduce = cycle.partial
+                     ? MakePartialJoinReducer(left_star, left_side,
+                                              right_star, right_side)
+                     : MakePlainJoinReducer();
+    job.output_path = StringFormat("%s/%sjoin%zu", tmp_prefix.c_str(),
+                                   path_prefix.c_str(), j);
+    std::string new_path = job.output_path;
+    workflow->jobs.push_back(std::move(job));
+
+    for (uint32_t s : cycle.left.stars) current_path[s] = new_path;
+    for (uint32_t s : cycle.right.stars) current_path[s] = new_path;
+  }
+  *final_path = plan.joins.empty()
+                    ? EcPath(tmp_prefix, star_offset)
+                    : StringFormat("%s/%sjoin%zu", tmp_prefix.c_str(),
+                                   path_prefix.c_str(),
+                                   plan.joins.size() - 1);
+}
+
+}  // namespace
+
+Result<NtgaBatchPlan> CompileSharedNtgaPlan(
+    const std::vector<QueryPtr>& queries, const std::string& base_path,
+    const std::string& tmp_prefix, const NtgaOptions& options) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  for (const QueryPtr& q : queries) {
+    if (q == nullptr) return Status::InvalidArgument("null query in batch");
+  }
+
+  // Global star numbering + per-query rewritten plans.
+  std::vector<uint32_t> offsets;
+  std::vector<StarPattern> all_stars;
+  std::vector<NtgaLogicalPlan> plans;
+  for (const QueryPtr& q : queries) {
+    offsets.push_back(static_cast<uint32_t>(all_stars.size()));
+    all_stars.insert(all_stars.end(), q->stars().begin(), q->stars().end());
+    RDFMR_ASSIGN_OR_RETURN(NtgaLogicalPlan plan,
+                           RewriteToNtga(*q, options.strategy));
+    plans.push_back(std::move(plan));
+  }
+
+  NtgaBatchPlan out;
+  out.workflow.name = StringFormat(
+      "batch-of-%zu/ntga-%s", queries.size(),
+      NtgaStrategyToString(options.strategy));
+
+  // --- Shared Job 1: one scan, one subject-grouping shuffle, every
+  // query's group filters applied to each subject group.
+  JobSpec job1;
+  job1.name = "tg-group-filter-shared";
+  job1.full_scans_of_base = 1;
+  job1.inputs.push_back(MapInput{
+      base_path,
+      [queries](const std::string& record, const MapEmit& emit,
+                Counters* counters) {
+        Result<Triple> t = Triple::Deserialize(record);
+        if (!t.ok()) {
+          (*counters)["bad_records"] += 1;
+          return;
+        }
+        for (const QueryPtr& q : queries) {
+          for (const TriplePattern& tp : q->patterns()) {
+            bool property_ok =
+                tp.property_bound ? tp.property == t->property : true;
+            if (property_ok && tp.object.Matches(t->object)) {
+              emit(t->subject, record);
+              return;  // shuffled once for the whole batch
+            }
+          }
+        }
+      }});
+  job1.reduce = [queries, offsets, plans](
+                    const std::string& key,
+                    const std::vector<std::string>& values,
+                    const RecordEmit& emit, Counters* counters) {
+    std::set<PropObj> distinct;
+    for (const std::string& v : values) {
+      Result<Triple> t = Triple::Deserialize(v);
+      if (t.ok()) distinct.insert(PropObj{t->property, t->object});
+    }
+    std::vector<PropObj> pairs(distinct.begin(), distinct.end());
+    (*counters)["subject_groups"] += 1;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      for (size_t s = 0; s < queries[q]->stars().size(); ++s) {
+        const StarPattern& star = queries[q]->stars()[s];
+        std::optional<AnnTg> tg = BuildAnnTg(
+            star, offsets[q] + static_cast<uint32_t>(s), key, pairs);
+        if (!tg.has_value()) continue;
+        if (plans[q].eager_unnest[s]) {
+          for (const AnnTg& unnested : BetaUnnest(star, *tg)) {
+            emit(unnested.Serialize());
+          }
+        } else {
+          tg->Compact(star);
+          emit(tg->Serialize());
+        }
+      }
+    }
+  };
+  job1.output_path = tmp_prefix + "/ec";
+  job1.demux = [](const std::string& record) {
+    Result<uint32_t> star = AnnTg::PeekStarId(record);
+    return star.ok() ? std::to_string(*star) : std::string("x");
+  };
+  for (size_t g = 0; g < all_stars.size(); ++g) {
+    job1.ensure_outputs.push_back(EcPath(tmp_prefix, g));
+    out.star_phase_paths.push_back(EcPath(tmp_prefix, g));
+  }
+  out.workflow.jobs.push_back(std::move(job1));
+
+  // --- Per-query join pipelines.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::string final_path;
+    AppendJoinCycles(queries[q], plans[q], offsets[q], tmp_prefix,
+                     StringFormat("q%zu-", q), StringFormat("q%zu-", q),
+                     options, &out.workflow, &final_path);
+    out.final_output_paths.push_back(final_path);
+    out.decoders.push_back(
+        [all_stars](const std::vector<std::string>& lines)
+            -> Result<SolutionSet> {
+          SolutionSet answers;
+          for (const std::string& line : lines) {
+            RDFMR_ASSIGN_OR_RETURN(JoinedTg jtg,
+                                   JoinedTg::Deserialize(line));
+            for (Solution& s : ExpandJoinedTg(all_stars, jtg)) {
+              answers.insert(std::move(s));
+            }
+          }
+          return answers;
+        });
+  }
+
+  // --- Cleanup bookkeeping (everything that is not some query's final).
+  std::set<std::string> finals(out.final_output_paths.begin(),
+                               out.final_output_paths.end());
+  for (size_t g = 0; g < all_stars.size(); ++g) {
+    if (finals.count(EcPath(tmp_prefix, g)) == 0) {
+      out.workflow.intermediate_paths.push_back(EcPath(tmp_prefix, g));
+    }
+  }
+  out.workflow.intermediate_paths.push_back(tmp_prefix + "/ecx");
+  for (const JobSpec& job : out.workflow.jobs) {
+    if (!job.output_path.empty() && job.demux == nullptr &&
+        finals.count(job.output_path) == 0) {
+      out.workflow.intermediate_paths.push_back(job.output_path);
+    }
+  }
+  return out;
+}
+
+Result<CompiledPlan> CompileNtgaPlan(QueryPtr query,
+                                     const std::string& base_path,
+                                     const std::string& tmp_prefix,
+                                     const NtgaOptions& options) {
+  if (query == nullptr) return Status::InvalidArgument("null query");
+  RDFMR_ASSIGN_OR_RETURN(NtgaLogicalPlan plan,
+                         RewriteToNtga(*query, options.strategy));
+
+  CompiledPlan out;
+  out.workflow.name = StringFormat("%s/ntga-%s", query->name().c_str(),
+                                   NtgaStrategyToString(options.strategy));
+
+  // --- Job 1: one grouping cycle for ALL star subpatterns.
+  JobSpec job1;
+  job1.name = "tg-group-filter";
+  job1.inputs.push_back(MapInput{base_path, MakeGroupMapper(query)});
+  job1.full_scans_of_base = 1;
+  job1.reduce = MakeGroupReducer(query, plan);
+  job1.output_path = tmp_prefix + "/ec";
+  job1.demux = [](const std::string& record) {
+    Result<uint32_t> star = AnnTg::PeekStarId(record);
+    return star.ok() ? std::to_string(*star) : std::string("x");
+  };
+  for (size_t s = 0; s < query->stars().size(); ++s) {
+    job1.ensure_outputs.push_back(EcPath(tmp_prefix, s));
+    out.star_phase_paths.push_back(EcPath(tmp_prefix, s));
+  }
+  out.workflow.jobs.push_back(std::move(job1));
+
+  // --- Join cycles (shared with the batched compiler).
+  std::string final_path;
+  AppendJoinCycles(query, plan, /*star_offset=*/0, tmp_prefix,
+                   /*name_prefix=*/"", /*path_prefix=*/"tg", options,
+                   &out.workflow, &final_path);
+
+  out.workflow.final_output_path = final_path;
+  for (size_t s = 0; s < query->stars().size(); ++s) {
+    if (EcPath(tmp_prefix, s) != out.workflow.final_output_path) {
+      out.workflow.intermediate_paths.push_back(EcPath(tmp_prefix, s));
+    }
+  }
+  out.workflow.intermediate_paths.push_back(tmp_prefix + "/ecx");
+  for (size_t j = 0; j + 1 < plan.joins.size(); ++j) {
+    out.workflow.intermediate_paths.push_back(
+        StringFormat("%s/tgjoin%zu", tmp_prefix.c_str(), j));
+  }
+
+  std::vector<StarPattern> stars = query->stars();
+  out.decoder = [stars](const std::vector<std::string>& lines)
+      -> Result<SolutionSet> {
+    SolutionSet answers;
+    for (const std::string& line : lines) {
+      RDFMR_ASSIGN_OR_RETURN(JoinedTg jtg, JoinedTg::Deserialize(line));
+      for (Solution& s : ExpandJoinedTg(stars, jtg)) {
+        answers.insert(std::move(s));
+      }
+    }
+    return answers;
+  };
+  out.record_decoder = [stars](const std::string& record)
+      -> Result<std::vector<Solution>> {
+    RDFMR_ASSIGN_OR_RETURN(JoinedTg jtg, JoinedTg::Deserialize(record));
+    return ExpandJoinedTg(stars, jtg);
+  };
+  return out;
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,63 @@
+// Physical NTGA plan compiler: turns the rewritten logical plan into a
+// MapReduce workflow over the simulated cluster.
+//
+// Physical operators (Algorithms 1-3 of the paper):
+//  * Job 1, "TG_GroupBy + TG_(Unb)GrpFilter": ONE cycle computes every star
+//    subpattern — map tags triples by subject, reduce assembles subject
+//    triplegroups, applies the disjunctive (β) group-filter, and (eager
+//    strategy only) β-unnests. Output is demuxed into one file per
+//    equivalence class.
+//  * Job 2..k, "TG_Join / TG_UnbJoin / TG_OptUnbJoin": one cycle per star
+//    join. TG_UnbJoin β-unnests at the map side when the join key is an
+//    unbound pattern's object; TG_OptUnbJoin partially β-unnests with φ_m,
+//    shuffles by partition key, and completes the unnest at the reduce side
+//    with a per-partition hash join.
+
+#ifndef RDFMR_NTGA_NTGA_COMPILER_H_
+#define RDFMR_NTGA_NTGA_COMPILER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "engine/compiled_plan.h"
+#include "ntga/logical_plan.h"
+#include "query/pattern.h"
+
+namespace rdfmr {
+
+struct NtgaOptions {
+  NtgaStrategy strategy = NtgaStrategy::kLazyAuto;
+  /// φ_m partition count for TG_OptUnbJoin (paper uses φ_1K).
+  uint32_t phi_partitions = 1024;
+};
+
+/// \brief Compiles `query` into an NTGA MR workflow reading the triple
+/// relation at `base_path`; intermediates go under `tmp_prefix`.
+Result<CompiledPlan> CompileNtgaPlan(
+    std::shared_ptr<const GraphPatternQuery> query,
+    const std::string& base_path, const std::string& tmp_prefix,
+    const NtgaOptions& options);
+
+/// \brief A compiled multi-query batch: ONE shared grouping cycle (γ is
+/// query-independent, so a batch of queries shares a single scan and a
+/// single subject-grouping shuffle — MRShare-style sharing, which NTGA
+/// gets structurally) followed by each query's join pipeline.
+struct NtgaBatchPlan {
+  WorkflowSpec workflow;
+  /// Per query: its answer file and decoder.
+  std::vector<std::string> final_output_paths;
+  std::vector<AnswerDecoder> decoders;
+  /// The shared grouping cycle's equivalence-class files.
+  std::vector<std::string> star_phase_paths;
+};
+
+/// \brief Compiles several queries into one shared-scan NTGA workflow.
+Result<NtgaBatchPlan> CompileSharedNtgaPlan(
+    const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
+    const std::string& base_path, const std::string& tmp_prefix,
+    const NtgaOptions& options);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_NTGA_NTGA_COMPILER_H_

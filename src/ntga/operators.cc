@@ -1,0 +1,237 @@
+#include "ntga/operators.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace rdfmr {
+
+uint32_t PhiPartition(const std::string& value, uint32_t m) {
+  RDFMR_CHECK(m > 0) << "phi partition count must be positive";
+  return static_cast<uint32_t>(Fnv1a64(value) % m);
+}
+
+std::optional<AnnTg> BuildAnnTg(const StarPattern& star, uint32_t star_id,
+                                const std::string& subject,
+                                const std::vector<PropObj>& subject_pairs) {
+  AnnTg tg;
+  tg.subject = subject;
+  tg.star_id = star_id;
+
+  // Keep pairs relevant to at least one pattern of this star. For bound
+  // patterns relevance means property equality plus the object constraint;
+  // for unbound patterns any pair passing the object constraint is a
+  // candidate (β group-filter keeps the implicit candidate set).
+  for (const PropObj& po : subject_pairs) {
+    bool relevant = false;
+    for (const TriplePattern& tp : star.patterns) {
+      if (tp.property_bound) {
+        if (tp.property == po.property && tp.object.Matches(po.object)) {
+          relevant = true;
+          break;
+        }
+      } else {
+        if (tp.object.Matches(po.object)) {
+          relevant = true;
+          break;
+        }
+      }
+    }
+    if (relevant) tg.AddPair(po.property, po.object);
+  }
+
+  // Structural validation: every mandatory bound property present with a
+  // pair that passes its pattern's object constraint, and every mandatory
+  // unbound pattern with at least one candidate. Optional patterns impose
+  // no requirement (their pairs, if any, were retained above).
+  for (const TriplePattern& tp : star.patterns) {
+    if (tp.optional) continue;
+    bool satisfied = false;
+    if (tp.property_bound) {
+      auto it = tg.pairs.find(tp.property);
+      if (it != tg.pairs.end()) {
+        for (const std::string& o : it->second) {
+          if (tp.object.Matches(o)) {
+            satisfied = true;
+            break;
+          }
+        }
+      }
+    } else {
+      for (const auto& [property, objects] : tg.pairs) {
+        (void)property;
+        for (const std::string& o : objects) {
+          if (tp.object.Matches(o)) {
+            satisfied = true;
+            break;
+          }
+        }
+        if (satisfied) break;
+      }
+    }
+    if (!satisfied) return std::nullopt;
+  }
+  return tg;
+}
+
+std::vector<PropObj> UnboundCandidates(const StarPattern& star,
+                                       const AnnTg& tg, size_t tp_index) {
+  RDFMR_CHECK(tp_index < star.patterns.size());
+  const TriplePattern& tp = star.patterns[tp_index];
+  RDFMR_CHECK(tp.unbound_property())
+      << "candidates requested for a bound pattern";
+  auto it = tg.overrides.find(static_cast<uint32_t>(tp_index));
+  if (it != tg.overrides.end()) return it->second;
+  std::vector<PropObj> out;
+  for (const auto& [property, objects] : tg.pairs) {
+    for (const std::string& o : objects) {
+      if (tp.object.Matches(o)) out.push_back(PropObj{property, o});
+    }
+  }
+  return out;
+}
+
+std::vector<AnnTg> BetaUnnest(const StarPattern& star, const AnnTg& tg,
+                              std::vector<size_t> tp_indexes) {
+  if (tp_indexes.empty()) {
+    for (size_t idx : star.UnboundIndexes()) {
+      // Optional patterns stay implicit: pinning one would wrongly force a
+      // match where the left join should keep the solution unextended.
+      if (star.patterns[idx].optional) continue;
+      if (tg.overrides.count(static_cast<uint32_t>(idx)) == 0 ||
+          tg.overrides.at(static_cast<uint32_t>(idx)).size() > 1) {
+        tp_indexes.push_back(idx);
+      }
+    }
+  }
+  std::vector<AnnTg> current = {tg};
+  for (size_t idx : tp_indexes) {
+    std::vector<AnnTg> next;
+    for (const AnnTg& base : current) {
+      for (const PropObj& cand : UnboundCandidates(star, base, idx)) {
+        AnnTg pinned = base;
+        pinned.overrides[static_cast<uint32_t>(idx)] = {cand};
+        next.push_back(std::move(pinned));
+      }
+    }
+    current = std::move(next);
+  }
+  for (AnnTg& out : current) out.Compact(star);
+  return current;
+}
+
+std::vector<std::pair<uint32_t, AnnTg>> PartialBetaUnnest(
+    const StarPattern& star, const AnnTg& tg, size_t tp_index, uint32_t m) {
+  std::map<uint32_t, std::vector<PropObj>> partitions;
+  for (const PropObj& cand : UnboundCandidates(star, tg, tp_index)) {
+    partitions[PhiPartition(cand.object, m)].push_back(cand);
+  }
+  std::vector<std::pair<uint32_t, AnnTg>> out;
+  out.reserve(partitions.size());
+  for (auto& [partition, cands] : partitions) {
+    AnnTg restricted = tg;
+    restricted.overrides[static_cast<uint32_t>(tp_index)] = std::move(cands);
+    restricted.Compact(star);
+    out.emplace_back(partition, std::move(restricted));
+  }
+  return out;
+}
+
+namespace {
+
+// Recursively merges per-pattern candidate bindings.
+void ExpandRecurse(const std::vector<std::vector<Solution>>& candidates,
+                   size_t level, const Solution& partial,
+                   std::vector<Solution>* out) {
+  if (level == candidates.size()) {
+    out->push_back(partial);
+    return;
+  }
+  for (const Solution& cand : candidates[level]) {
+    Result<Solution> merged = partial.Merge(cand);
+    if (merged.ok()) {
+      ExpandRecurse(candidates, level + 1, *merged, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Solution> ExpandAnnTg(const StarPattern& star, const AnnTg& tg) {
+  std::vector<std::vector<Solution>> candidates(star.patterns.size());
+  std::vector<std::vector<Solution>> mandatory;
+  for (size_t i = 0; i < star.patterns.size(); ++i) {
+    const TriplePattern& tp = star.patterns[i];
+    auto add = [&](const std::string& property, const std::string& object) {
+      Solution s;
+      if (tp.subject.is_variable()) s.Bind(tp.subject.value, tg.subject);
+      if (!tp.property_bound && !s.Bind(tp.property, property)) return;
+      if (tp.object.is_variable() && !s.Bind(tp.object.value, object)) {
+        return;
+      }
+      candidates[i].push_back(std::move(s));
+    };
+    if (tp.property_bound) {
+      auto it = tg.pairs.find(tp.property);
+      if (it != tg.pairs.end()) {
+        for (const std::string& o : it->second) {
+          if (tp.object.Matches(o)) add(tp.property, o);
+        }
+      }
+    } else {
+      for (const PropObj& cand : UnboundCandidates(star, tg, i)) {
+        if (tp.object.Matches(cand.object)) {
+          add(cand.property, cand.object);
+        }
+      }
+    }
+    if (tp.optional) continue;
+    if (candidates[i].empty()) return {};
+    mandatory.push_back(candidates[i]);
+  }
+  std::vector<Solution> out;
+  ExpandRecurse(mandatory, 0, Solution{}, &out);
+
+  // Left-join the optional patterns (extend when compatible, else keep).
+  for (size_t i = 0; i < star.patterns.size(); ++i) {
+    if (!star.patterns[i].optional) continue;
+    std::vector<Solution> extended;
+    for (Solution& s : out) {
+      bool any = false;
+      for (const Solution& cand : candidates[i]) {
+        Result<Solution> merged = s.Merge(cand);
+        if (merged.ok()) {
+          any = true;
+          extended.push_back(merged.MoveValueUnsafe());
+        }
+      }
+      if (!any) extended.push_back(std::move(s));
+    }
+    out = std::move(extended);
+  }
+  return out;
+}
+
+std::vector<Solution> ExpandJoinedTg(const std::vector<StarPattern>& stars,
+                                     const JoinedTg& jtg) {
+  std::vector<Solution> acc = {Solution{}};
+  for (const AnnTg& component : jtg.components) {
+    RDFMR_CHECK(component.star_id < stars.size())
+        << "joined component references unknown star";
+    std::vector<Solution> expanded =
+        ExpandAnnTg(stars[component.star_id], component);
+    std::vector<Solution> next;
+    for (const Solution& a : acc) {
+      for (const Solution& b : expanded) {
+        Result<Solution> merged = a.Merge(b);
+        if (merged.ok()) next.push_back(merged.MoveValueUnsafe());
+      }
+    }
+    acc = std::move(next);
+    if (acc.empty()) break;
+  }
+  return acc;
+}
+
+}  // namespace rdfmr

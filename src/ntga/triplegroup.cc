@@ -1,0 +1,201 @@
+#include "ntga/triplegroup.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace rdfmr {
+
+namespace {
+// Nested separators for the record format; escaped via EscapeField.
+constexpr char kFieldSep = '\x1F';   // top-level fields
+constexpr char kEntrySep = '\x1D';   // entries within a field
+constexpr char kItemSep = ',';       // items within an entry
+constexpr char kComponentSep = '\x1E';  // JoinedTg components
+}  // namespace
+
+void AnnTg::AddPair(const std::string& property, const std::string& object) {
+  std::vector<std::string>& objs = pairs[property];
+  auto it = std::lower_bound(objs.begin(), objs.end(), object);
+  if (it == objs.end() || *it != object) objs.insert(it, object);
+}
+
+std::vector<PropObj> AnnTg::AllPairs() const {
+  std::vector<PropObj> out;
+  for (const auto& [property, objects] : pairs) {
+    for (const std::string& object : objects) {
+      out.push_back(PropObj{property, object});
+    }
+  }
+  return out;
+}
+
+size_t AnnTg::PairCount() const {
+  size_t n = 0;
+  for (const auto& [_, objects] : pairs) n += objects.size();
+  return n;
+}
+
+std::vector<Triple> AnnTg::ToTriples() const {
+  std::set<Triple> distinct;
+  for (const auto& [property, objects] : pairs) {
+    for (const std::string& object : objects) {
+      distinct.insert(Triple(subject, property, object));
+    }
+  }
+  for (const auto& [_, pinned] : overrides) {
+    for (const PropObj& po : pinned) {
+      distinct.insert(Triple(subject, po.property, po.object));
+    }
+  }
+  return std::vector<Triple>(distinct.begin(), distinct.end());
+}
+
+void AnnTg::Compact(const StarPattern& star) {
+  // A pair must stay only while something can still consume it: a bound
+  // pattern of the star, or an unbound pattern whose candidates are not yet
+  // overridden and whose object constraint the pair satisfies. Everything
+  // else is dead weight for the rest of the workflow (in particular, once
+  // the joining unbound pattern is pinned, candidate pairs kept for a
+  // *filtered* second unbound pattern shrink to the filter's matches).
+  std::set<std::string> bound = star.AllBoundProperties();
+  std::vector<const TriplePattern*> open_unbound;
+  for (size_t idx : star.UnboundIndexes()) {
+    if (overrides.count(static_cast<uint32_t>(idx)) == 0) {
+      open_unbound.push_back(&star.patterns[idx]);
+    }
+  }
+  for (auto it = pairs.begin(); it != pairs.end();) {
+    if (bound.count(it->first) > 0) {
+      ++it;
+      continue;
+    }
+    std::vector<std::string>& objects = it->second;
+    objects.erase(std::remove_if(objects.begin(), objects.end(),
+                                 [&](const std::string& o) {
+                                   for (const TriplePattern* tp :
+                                        open_unbound) {
+                                     if (tp->object.Matches(o)) return false;
+                                   }
+                                   return true;
+                                 }),
+                  objects.end());
+    if (objects.empty()) {
+      it = pairs.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string AnnTg::Serialize() const {
+  // pairs field: entries "prop,obj1,obj2,..."
+  std::vector<std::string> pair_entries;
+  pair_entries.reserve(pairs.size());
+  for (const auto& [property, objects] : pairs) {
+    std::vector<std::string> items;
+    items.reserve(objects.size() + 1);
+    items.push_back(property);
+    for (const std::string& o : objects) items.push_back(o);
+    pair_entries.push_back(JoinEscaped(items, kItemSep));
+  }
+  // overrides field: entries "tp_index,prop1,obj1,prop2,obj2,..."
+  std::vector<std::string> override_entries;
+  for (const auto& [tp_index, pinned] : overrides) {
+    std::vector<std::string> items;
+    items.reserve(pinned.size() * 2 + 1);
+    items.push_back(std::to_string(tp_index));
+    for (const PropObj& po : pinned) {
+      items.push_back(po.property);
+      items.push_back(po.object);
+    }
+    override_entries.push_back(JoinEscaped(items, kItemSep));
+  }
+  return JoinEscaped({subject, std::to_string(star_id),
+                      JoinEscaped(pair_entries, kEntrySep),
+                      JoinEscaped(override_entries, kEntrySep)},
+                     kFieldSep);
+}
+
+Result<AnnTg> AnnTg::Deserialize(const std::string& line) {
+  std::vector<std::string> fields = SplitEscaped(line, kFieldSep);
+  if (fields.size() != 4) {
+    return Status::IoError("AnnTg record needs 4 fields, got " +
+                           std::to_string(fields.size()));
+  }
+  AnnTg tg;
+  tg.subject = std::move(fields[0]);
+  try {
+    tg.star_id = static_cast<uint32_t>(std::stoul(fields[1]));
+  } catch (...) {
+    return Status::IoError("bad star id: " + fields[1]);
+  }
+  if (!fields[2].empty()) {
+    for (const std::string& entry : SplitEscaped(fields[2], kEntrySep)) {
+      std::vector<std::string> items = SplitEscaped(entry, kItemSep);
+      if (items.size() < 2) {
+        return Status::IoError("bad pair entry: " + entry);
+      }
+      std::vector<std::string> objects(items.begin() + 1, items.end());
+      tg.pairs.emplace(std::move(items[0]), std::move(objects));
+    }
+  }
+  if (!fields[3].empty()) {
+    for (const std::string& entry : SplitEscaped(fields[3], kEntrySep)) {
+      std::vector<std::string> items = SplitEscaped(entry, kItemSep);
+      if (items.empty() || items.size() % 2 != 1) {
+        return Status::IoError("bad override entry: " + entry);
+      }
+      uint32_t tp_index;
+      try {
+        tp_index = static_cast<uint32_t>(std::stoul(items[0]));
+      } catch (...) {
+        return Status::IoError("bad override index: " + items[0]);
+      }
+      std::vector<PropObj> pinned;
+      for (size_t i = 1; i + 1 < items.size() + 1; i += 2) {
+        pinned.push_back(PropObj{items[i], items[i + 1]});
+      }
+      tg.overrides.emplace(tp_index, std::move(pinned));
+    }
+  }
+  return tg;
+}
+
+Result<uint32_t> AnnTg::PeekStarId(const std::string& line) {
+  std::vector<std::string> fields = SplitEscaped(line, kFieldSep);
+  if (fields.size() != 4) {
+    return Status::IoError("AnnTg record needs 4 fields");
+  }
+  try {
+    return static_cast<uint32_t>(std::stoul(fields[1]));
+  } catch (...) {
+    return Status::IoError("bad star id: " + fields[1]);
+  }
+}
+
+const AnnTg* JoinedTg::ComponentForStar(uint32_t star_id) const {
+  for (const AnnTg& c : components) {
+    if (c.star_id == star_id) return &c;
+  }
+  return nullptr;
+}
+
+std::string JoinedTg::Serialize() const {
+  std::vector<std::string> parts;
+  parts.reserve(components.size());
+  for (const AnnTg& c : components) parts.push_back(c.Serialize());
+  return JoinEscaped(parts, kComponentSep);
+}
+
+Result<JoinedTg> JoinedTg::Deserialize(const std::string& line) {
+  JoinedTg out;
+  for (const std::string& part : SplitEscaped(line, kComponentSep)) {
+    RDFMR_ASSIGN_OR_RETURN(AnnTg tg, AnnTg::Deserialize(part));
+    out.components.push_back(std::move(tg));
+  }
+  return out;
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,121 @@
+// The TripleGroup data model (NTGA), extended for unbound-property queries.
+//
+// An annotated triplegroup (AnnTG) is the paper's "extended multi-map":
+// a subject, the star subpattern (equivalence class) it matches, and the
+// subject's (Property, Object) pairs stored once, with multi-valued
+// properties nested under a single property entry. This implicit
+// representation is what keeps intermediate results concise.
+//
+// The `overrides` map records the outcome of (partial) β-unnesting: for an
+// unbound-property triple pattern (identified by its index within the
+// star), the candidate (Property, Object) pairs have been restricted to a
+// subset — a single pair after a full β-unnest ("perfect" triplegroup), or
+// a φ_m partition after a partial β-unnest. Patterns without an override
+// keep the full implicit candidate set (every pair of the group that
+// passes the pattern's object constraint).
+
+#ifndef RDFMR_NTGA_TRIPLEGROUP_H_
+#define RDFMR_NTGA_TRIPLEGROUP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/pattern.h"
+#include "rdf/triple.h"
+
+namespace rdfmr {
+
+/// \brief One (Property, Object) pair of a triplegroup.
+struct PropObj {
+  std::string property;
+  std::string object;
+
+  bool operator==(const PropObj& o) const {
+    return property == o.property && object == o.object;
+  }
+  bool operator<(const PropObj& o) const {
+    if (property != o.property) return property < o.property;
+    return object < o.object;
+  }
+};
+
+/// \brief Nested property map: property -> sorted distinct objects.
+using PropMap = std::map<std::string, std::vector<std::string>>;
+
+/// \brief Annotated triplegroup.
+class AnnTg {
+ public:
+  std::string subject;
+  /// Equivalence class: index of the star subpattern this group matches.
+  uint32_t star_id = 0;
+  /// The group's (Property, Object) pairs, nested per property.
+  PropMap pairs;
+  /// β-unnest state: unbound-pattern index -> restricted candidate pairs.
+  std::map<uint32_t, std::vector<PropObj>> overrides;
+
+  /// \brief Adds a pair (idempotent; keeps objects sorted and distinct).
+  void AddPair(const std::string& property, const std::string& object);
+
+  /// \brief True if `property` is present.
+  bool HasProperty(const std::string& property) const {
+    return pairs.count(property) > 0;
+  }
+
+  /// \brief All pairs, flattened in property order.
+  std::vector<PropObj> AllPairs() const;
+
+  /// \brief Number of (Property, Object) pairs.
+  size_t PairCount() const;
+
+  /// \brief Reconstructs the triples this group represents (its pairs plus
+  /// any override pairs, deduplicated).
+  std::vector<Triple> ToTriples() const;
+
+  /// \brief Drops pairs that nothing can consume anymore: a pair stays only
+  /// if its property is bound in `star`, or it satisfies the object
+  /// constraint of an unbound pattern that has no override yet. A fully
+  /// β-unnested ("perfect") triplegroup thus sheds its candidate list
+  /// before serialization; a partially pinned one keeps only the candidates
+  /// its remaining unbound patterns can still use.
+  void Compact(const StarPattern& star);
+
+  /// \brief Serializes into a single record line.
+  std::string Serialize() const;
+
+  static Result<AnnTg> Deserialize(const std::string& line);
+
+  /// \brief Reads only the star_id field of a serialized record (cheap path
+  /// used by MultipleOutputs demuxing).
+  static Result<uint32_t> PeekStarId(const std::string& line);
+
+  bool operator==(const AnnTg& o) const {
+    return subject == o.subject && star_id == o.star_id && pairs == o.pairs &&
+           overrides == o.overrides;
+  }
+};
+
+/// \brief The result of joining triplegroups across stars: one component
+/// per star reached so far. (A nested triplegroup in the paper's terms; we
+/// keep components flat with their star annotations, which is equivalent
+/// and composes over any number of joins.)
+class JoinedTg {
+ public:
+  std::vector<AnnTg> components;
+
+  /// \brief Finds the component for `star_id`, or nullptr.
+  const AnnTg* ComponentForStar(uint32_t star_id) const;
+
+  std::string Serialize() const;
+  static Result<JoinedTg> Deserialize(const std::string& line);
+
+  bool operator==(const JoinedTg& o) const {
+    return components == o.components;
+  }
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_NTGA_TRIPLEGROUP_H_

@@ -1,0 +1,49 @@
+// Reference matcher: enumerates solution mappings of star patterns over a
+// subject's triples. Used by the relational engines at star-join reducers,
+// by the NTGA engines when converting (β-unnested) triplegroups into final
+// answers, and by tests as the ground-truth oracle.
+
+#ifndef RDFMR_QUERY_MATCHER_H_
+#define RDFMR_QUERY_MATCHER_H_
+
+#include <optional>
+#include <vector>
+
+#include "query/pattern.h"
+#include "query/solution.h"
+#include "rdf/triple.h"
+
+namespace rdfmr {
+
+/// \brief Matches one triple against one pattern; bindings for subject,
+/// property (if unbound), and object variables. nullopt on mismatch.
+std::optional<Solution> MatchTriplePattern(const TriplePattern& pattern,
+                                           const Triple& triple);
+
+/// \brief One complete match of a star: the triple chosen for each pattern
+/// (in pattern order) plus the combined bindings. A single triple may
+/// satisfy several patterns simultaneously — including both a bound and the
+/// unbound pattern, the paper's "triple plays multiple roles" case.
+struct StarMatch {
+  std::vector<Triple> matched;  ///< one triple per pattern, aligned
+  Solution solution;
+};
+
+/// \brief Enumerates all matches of `star` over the triples of one subject
+/// (all entries must share the same subject value).
+std::vector<StarMatch> MatchStarDetailed(
+    const StarPattern& star, const std::vector<Triple>& subject_triples);
+
+/// \brief Bindings-only variant of MatchStarDetailed.
+std::vector<Solution> MatchStar(const StarPattern& star,
+                                const std::vector<Triple>& subject_triples);
+
+/// \brief Ground-truth evaluation of a whole query by in-memory join of the
+/// per-star matches (tests and the quickstart example use this; the MR
+/// engines must agree with it — Lemma 1).
+SolutionSet EvaluateQueryInMemory(const GraphPatternQuery& query,
+                                  const std::vector<Triple>& triples);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_QUERY_MATCHER_H_

@@ -1,0 +1,60 @@
+#include "query/solution.h"
+
+#include "common/strings.h"
+
+namespace rdfmr {
+
+bool Solution::Bind(const std::string& var, const std::string& value) {
+  auto [it, inserted] = bindings_.emplace(var, value);
+  return inserted || it->second == value;
+}
+
+const std::string* Solution::Get(const std::string& var) const {
+  auto it = bindings_.find(var);
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+Result<Solution> Solution::Merge(const Solution& other) const {
+  Solution merged = *this;
+  for (const auto& [var, value] : other.bindings_) {
+    if (!merged.Bind(var, value)) {
+      return Status::InvalidArgument("inconsistent binding for ?" + var);
+    }
+  }
+  return merged;
+}
+
+std::string Solution::Serialize() const {
+  std::vector<std::string> parts;
+  parts.reserve(bindings_.size());
+  for (const auto& [var, value] : bindings_) {
+    parts.push_back(EscapeField(var, '=') + "=" + EscapeField(value, '='));
+  }
+  return JoinEscaped(parts, ';');
+}
+
+Result<Solution> Solution::Deserialize(const std::string& line) {
+  Solution s;
+  if (line.empty()) return s;
+  for (const std::string& part : SplitEscaped(line, ';')) {
+    std::vector<std::string> kv = SplitEscaped(part, '=');
+    if (kv.size() != 2) {
+      return Status::IoError("malformed solution field: " + part);
+    }
+    if (!s.Bind(kv[0], kv[1])) {
+      return Status::IoError("duplicate inconsistent var in: " + line);
+    }
+  }
+  return s;
+}
+
+Result<SolutionSet> ParseSolutionFile(const std::vector<std::string>& lines) {
+  SolutionSet out;
+  for (const std::string& line : lines) {
+    RDFMR_ASSIGN_OR_RETURN(Solution s, Solution::Deserialize(line));
+    out.insert(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,63 @@
+// Solution mappings (variable -> value bindings) and their canonical
+// serialization. Every engine's final MR output is a file of canonical
+// solution lines, which makes cross-engine answer comparison (the Lemma 1
+// content-equivalence check) a direct set comparison.
+
+#ifndef RDFMR_QUERY_SOLUTION_H_
+#define RDFMR_QUERY_SOLUTION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rdfmr {
+
+/// \brief One solution mapping: variable name -> bound value.
+class Solution {
+ public:
+  Solution() = default;
+
+  /// \brief Binds `var` to `value`. Returns false (and changes nothing) if
+  /// `var` is already bound to a different value — the consistency rule for
+  /// merging partial matches.
+  bool Bind(const std::string& var, const std::string& value);
+
+  /// \brief Returns the value bound to `var`, or nullptr.
+  const std::string* Get(const std::string& var) const;
+
+  bool Has(const std::string& var) const { return bindings_.count(var) > 0; }
+
+  size_t size() const { return bindings_.size(); }
+
+  const std::map<std::string, std::string>& bindings() const {
+    return bindings_;
+  }
+
+  /// \brief Merges `other` into a copy of this; empty result if inconsistent.
+  Result<Solution> Merge(const Solution& other) const;
+
+  /// \brief Canonical line: "var=value;var=value" sorted by var, escaped.
+  std::string Serialize() const;
+
+  static Result<Solution> Deserialize(const std::string& line);
+
+  bool operator==(const Solution& o) const { return bindings_ == o.bindings_; }
+  bool operator<(const Solution& o) const { return bindings_ < o.bindings_; }
+
+ private:
+  std::map<std::string, std::string> bindings_;
+};
+
+/// \brief A set of solutions (set semantics, as produced by BGP matching on
+/// set-based RDF graphs).
+using SolutionSet = std::set<Solution>;
+
+/// \brief Parses a whole answer file into a solution set.
+Result<SolutionSet> ParseSolutionFile(const std::vector<std::string>& lines);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_QUERY_SOLUTION_H_

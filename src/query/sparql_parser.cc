@@ -1,0 +1,497 @@
+#include "query/sparql_parser.h"
+
+#include <array>
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace rdfmr {
+
+namespace {
+
+// ---- Tokenizer ------------------------------------------------------------
+
+struct Token {
+  enum class Kind {
+    kKeyword,   // SELECT WHERE FILTER CONTAINS STR COUNT DISTINCT AS ...
+    kVar,       // ?name
+    kIri,       // <...>
+    kLiteral,   // "..."
+    kNumber,    // digits (HAVING thresholds)
+    kPunct,     // { } ( ) . , = * >=
+    kEnd,
+  };
+  Kind kind;
+  std::string text;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#') {  // comment to end of line
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '?') {
+        ++pos_;
+        std::string name = ReadName();
+        if (name.empty()) return Err("variable with empty name");
+        out.push_back({Token::Kind::kVar, name});
+        continue;
+      }
+      if (c == '<') {
+        size_t end = input_.find('>', pos_);
+        if (end == std::string::npos) return Err("unterminated IRI");
+        out.push_back(
+            {Token::Kind::kIri, input_.substr(pos_ + 1, end - pos_ - 1)});
+        pos_ = end + 1;
+        continue;
+      }
+      if (c == '"') {
+        std::string lit;
+        ++pos_;
+        while (pos_ < input_.size() && input_[pos_] != '"') {
+          if (input_[pos_] == '\\' && pos_ + 1 < input_.size()) ++pos_;
+          lit.push_back(input_[pos_++]);
+        }
+        if (pos_ >= input_.size()) return Err("unterminated literal");
+        ++pos_;
+        out.push_back({Token::Kind::kLiteral, lit});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        std::string word = ReadName();
+        std::string upper;
+        for (char w : word) {
+          upper.push_back(
+              static_cast<char>(std::toupper(static_cast<unsigned char>(w))));
+        }
+        out.push_back({Token::Kind::kKeyword, upper});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string number;
+        while (pos_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+          number.push_back(input_[pos_++]);
+        }
+        out.push_back({Token::Kind::kNumber, number});
+        continue;
+      }
+      if (c == '>' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        out.push_back({Token::Kind::kPunct, ">="});
+        pos_ += 2;
+        continue;
+      }
+      if (std::string("{}().,=*;").find(c) != std::string::npos) {
+        out.push_back({Token::Kind::kPunct, std::string(1, c)});
+        ++pos_;
+        continue;
+      }
+      return Err(std::string("unexpected character '") + c + "'");
+    }
+    out.push_back({Token::Kind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  std::string ReadName() {
+    std::string name;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      name.push_back(input_[pos_++]);
+    }
+    return name;
+  }
+
+  Status Err(const std::string& msg) {
+    return Status::IoError("SPARQL tokenizer: " + msg + " at offset " +
+                           std::to_string(pos_));
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+// ---- Parser ---------------------------------------------------------------
+
+struct RawTerm {
+  enum class Kind { kVar, kIri, kLiteral } kind;
+  std::string text;
+};
+
+struct RawTriple {
+  std::array<RawTerm, 3> terms;
+  bool optional = false;
+};
+
+struct Filter {
+  enum class Kind { kContains, kEquals } kind;
+  std::string var;
+  std::string value;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse(const std::string& name) {
+    RDFMR_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    std::optional<AggregateSpec> aggregate;
+    // Projection list (we evaluate SELECT * semantics for the BGP; named
+    // projections are accepted, COUNT expressions start an aggregation).
+    if (Peek().kind == Token::Kind::kPunct && Peek().text == "*") {
+      Advance();
+    } else {
+      std::vector<std::string> projected_vars;
+      while (true) {
+        if (Peek().kind == Token::Kind::kVar) {
+          projected_vars.push_back(Peek().text);
+          Advance();
+          continue;
+        }
+        if (Peek().kind == Token::Kind::kPunct && Peek().text == "(") {
+          // '(' COUNT '(' DISTINCT? var ')' AS var ')'
+          Advance();
+          if (aggregate.has_value()) {
+            return Status::NotImplemented(
+                "only one COUNT expression is supported");
+          }
+          aggregate.emplace();
+          RDFMR_RETURN_NOT_OK(
+              ParseCountExpr(&aggregate->counted_var, &aggregate->distinct));
+          RDFMR_RETURN_NOT_OK(ExpectKeyword("AS"));
+          if (Peek().kind != Token::Kind::kVar) {
+            return Status::IoError("COUNT(...) AS needs a variable");
+          }
+          aggregate->count_var = Peek().text;
+          Advance();
+          RDFMR_RETURN_NOT_OK(ExpectPunct(")"));
+          continue;
+        }
+        break;
+      }
+      if (aggregate.has_value()) {
+        // The projected plain variables default the GROUP BY list when no
+        // explicit GROUP BY clause follows.
+        aggregate->group_vars = projected_vars;
+      }
+    }
+    RDFMR_RETURN_NOT_OK(ExpectKeyword("WHERE"));
+    RDFMR_RETURN_NOT_OK(ExpectPunct("{"));
+
+    std::vector<RawTriple> raw_triples;
+    std::vector<Filter> filters;
+    while (!(Peek().kind == Token::Kind::kPunct && Peek().text == "}")) {
+      if (Peek().kind == Token::Kind::kKeyword && Peek().text == "FILTER") {
+        RDFMR_ASSIGN_OR_RETURN(Filter f, ParseFilter());
+        filters.push_back(std::move(f));
+        continue;
+      }
+      if (Peek().kind == Token::Kind::kKeyword &&
+          Peek().text == "OPTIONAL") {
+        // OPTIONAL '{' triple '.'? '}' — one pattern per optional group.
+        Advance();
+        RDFMR_RETURN_NOT_OK(ExpectPunct("{"));
+        RawTriple triple;
+        triple.optional = true;
+        RDFMR_ASSIGN_OR_RETURN(triple.terms[0], ParseTerm());
+        RDFMR_ASSIGN_OR_RETURN(triple.terms[1], ParseTerm());
+        RDFMR_ASSIGN_OR_RETURN(triple.terms[2], ParseTerm());
+        if (Peek().kind == Token::Kind::kPunct && Peek().text == ".") {
+          Advance();
+        }
+        if (!(Peek().kind == Token::Kind::kPunct && Peek().text == "}")) {
+          return Status::NotImplemented(
+              "OPTIONAL groups are limited to one triple pattern");
+        }
+        Advance();  // consume the group's '}'
+        raw_triples.push_back(std::move(triple));
+        continue;
+      }
+      RawTriple triple;
+      RDFMR_ASSIGN_OR_RETURN(triple.terms[0], ParseTerm());
+      RDFMR_ASSIGN_OR_RETURN(triple.terms[1], ParseTerm());
+      RDFMR_ASSIGN_OR_RETURN(triple.terms[2], ParseTerm());
+      raw_triples.push_back(std::move(triple));
+      // Triple separator: '.' (optional before '}').
+      if (Peek().kind == Token::Kind::kPunct && Peek().text == ".") Advance();
+    }
+    Advance();  // consume '}'
+
+    // Optional GROUP BY and HAVING clauses.
+    if (Peek().kind == Token::Kind::kKeyword && Peek().text == "GROUP") {
+      Advance();
+      RDFMR_RETURN_NOT_OK(ExpectKeyword("BY"));
+      if (!aggregate.has_value()) {
+        return Status::InvalidArgument(
+            "GROUP BY without a COUNT expression in the projection");
+      }
+      aggregate->group_vars.clear();
+      while (Peek().kind == Token::Kind::kVar) {
+        aggregate->group_vars.push_back(Peek().text);
+        Advance();
+      }
+      if (aggregate->group_vars.empty()) {
+        return Status::IoError("GROUP BY needs at least one variable");
+      }
+    }
+    if (Peek().kind == Token::Kind::kKeyword && Peek().text == "HAVING") {
+      Advance();
+      if (!aggregate.has_value()) {
+        return Status::InvalidArgument(
+            "HAVING without a COUNT expression in the projection");
+      }
+      RDFMR_RETURN_NOT_OK(ExpectPunct("("));
+      std::string having_var;
+      bool having_distinct = false;
+      RDFMR_RETURN_NOT_OK(ParseCountExpr(&having_var, &having_distinct));
+      if (having_var != aggregate->counted_var ||
+          having_distinct != aggregate->distinct) {
+        return Status::NotImplemented(
+            "HAVING must use the projected COUNT expression");
+      }
+      RDFMR_RETURN_NOT_OK(ExpectPunct(">="));
+      if (Peek().kind != Token::Kind::kNumber) {
+        return Status::IoError("HAVING threshold must be a number");
+      }
+      try {
+        aggregate->min_count = std::stoull(Peek().text);
+      } catch (...) {
+        return Status::IoError("bad HAVING threshold: " + Peek().text);
+      }
+      Advance();
+      RDFMR_RETURN_NOT_OK(ExpectPunct(")"));
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Status::IoError("trailing tokens after query: '" +
+                             Peek().text + "'");
+    }
+
+    if (raw_triples.empty()) {
+      return Status::InvalidArgument("query '" + name + "' has empty BGP");
+    }
+
+    // Apply filters: equality pins a variable to a constant; contains
+    // becomes the node's contains_filter.
+    std::map<std::string, std::string> equals;
+    std::map<std::string, std::string> contains;
+    for (const Filter& f : filters) {
+      if (f.kind == Filter::Kind::kEquals) {
+        equals[f.var] = f.value;
+      } else {
+        contains[f.var] = f.value;
+      }
+    }
+
+    auto to_node = [&](const RawTerm& t) -> NodePattern {
+      switch (t.kind) {
+        case RawTerm::Kind::kIri:
+        case RawTerm::Kind::kLiteral:
+          return NodePattern::Const(t.text);
+        case RawTerm::Kind::kVar: {
+          auto eq = equals.find(t.text);
+          if (eq != equals.end()) return NodePattern::Const(eq->second);
+          auto ct = contains.find(t.text);
+          if (ct != contains.end()) {
+            return NodePattern::Var(t.text, ct->second);
+          }
+          return NodePattern::Var(t.text);
+        }
+      }
+      return NodePattern::Var(t.text);
+    };
+
+    std::vector<TriplePattern> patterns;
+    for (const RawTriple& raw : raw_triples) {
+      const RawTerm& s = raw.terms[0];
+      const RawTerm& p = raw.terms[1];
+      const RawTerm& o = raw.terms[2];
+      if (p.kind == RawTerm::Kind::kLiteral) {
+        return Status::InvalidArgument("literal in property position");
+      }
+      TriplePattern tp;
+      tp.subject = to_node(s);
+      tp.object = to_node(o);
+      tp.optional = raw.optional;
+      if (p.kind == RawTerm::Kind::kIri) {
+        tp.property_bound = true;
+        tp.property = p.text;
+      } else {
+        auto eq = equals.find(p.text);
+        if (eq != equals.end()) {
+          tp.property_bound = true;  // FILTER pinned the property
+          tp.property = eq->second;
+        } else {
+          tp.property_bound = false;
+          tp.property = p.text;
+        }
+      }
+      patterns.push_back(std::move(tp));
+    }
+    RDFMR_ASSIGN_OR_RETURN(
+        GraphPatternQuery query,
+        GraphPatternQuery::Create(name, std::move(patterns)));
+    if (aggregate.has_value()) {
+      if (aggregate->group_vars.empty()) {
+        return Status::InvalidArgument(
+            "aggregate query needs projected variables or GROUP BY");
+      }
+      RDFMR_RETURN_NOT_OK(aggregate->Validate(query));
+    }
+    ParsedQuery out{std::move(query), std::move(aggregate)};
+    return out;
+  }
+
+ private:
+  // COUNT '(' DISTINCT? var ')'
+  Status ParseCountExpr(std::string* var, bool* distinct) {
+    RDFMR_RETURN_NOT_OK(ExpectKeyword("COUNT"));
+    RDFMR_RETURN_NOT_OK(ExpectPunct("("));
+    *distinct = false;
+    if (Peek().kind == Token::Kind::kKeyword && Peek().text == "DISTINCT") {
+      *distinct = true;
+      Advance();
+    }
+    if (Peek().kind != Token::Kind::kVar) {
+      return Status::IoError("COUNT needs a variable");
+    }
+    *var = Peek().text;
+    Advance();
+    return ExpectPunct(")");
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (Peek().kind != Token::Kind::kKeyword || Peek().text != kw) {
+      return Status::IoError("expected " + kw + ", got '" + Peek().text +
+                             "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectPunct(const std::string& p) {
+    if (Peek().kind != Token::Kind::kPunct || Peek().text != p) {
+      return Status::IoError("expected '" + p + "', got '" + Peek().text +
+                             "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<RawTerm> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Token::Kind::kVar: {
+        RawTerm out{RawTerm::Kind::kVar, t.text};
+        Advance();
+        return out;
+      }
+      case Token::Kind::kIri: {
+        RawTerm out{RawTerm::Kind::kIri, t.text};
+        Advance();
+        return out;
+      }
+      case Token::Kind::kLiteral: {
+        RawTerm out{RawTerm::Kind::kLiteral, t.text};
+        Advance();
+        return out;
+      }
+      default:
+        return Status::IoError("expected term, got '" + t.text + "'");
+    }
+  }
+
+  // FILTER '(' CONTAINS '(' STR '(' var ')' ',' literal ')' ')'
+  // FILTER '(' var '=' (literal|iri) ')'
+  Result<Filter> ParseFilter() {
+    RDFMR_RETURN_NOT_OK(ExpectKeyword("FILTER"));
+    RDFMR_RETURN_NOT_OK(ExpectPunct("("));
+    Filter f;
+    if (Peek().kind == Token::Kind::kKeyword && Peek().text == "CONTAINS") {
+      Advance();
+      RDFMR_RETURN_NOT_OK(ExpectPunct("("));
+      if (Peek().kind == Token::Kind::kKeyword && Peek().text == "STR") {
+        Advance();
+        RDFMR_RETURN_NOT_OK(ExpectPunct("("));
+        if (Peek().kind != Token::Kind::kVar) {
+          return Status::IoError("CONTAINS(STR(...)) needs a variable");
+        }
+        f.var = Peek().text;
+        Advance();
+        RDFMR_RETURN_NOT_OK(ExpectPunct(")"));
+      } else if (Peek().kind == Token::Kind::kVar) {
+        f.var = Peek().text;
+        Advance();
+      } else {
+        return Status::IoError("CONTAINS needs a variable argument");
+      }
+      RDFMR_RETURN_NOT_OK(ExpectPunct(","));
+      if (Peek().kind != Token::Kind::kLiteral) {
+        return Status::IoError("CONTAINS needs a literal pattern");
+      }
+      f.value = Peek().text;
+      Advance();
+      RDFMR_RETURN_NOT_OK(ExpectPunct(")"));
+      f.kind = Filter::Kind::kContains;
+    } else if (Peek().kind == Token::Kind::kVar) {
+      f.var = Peek().text;
+      Advance();
+      RDFMR_RETURN_NOT_OK(ExpectPunct("="));
+      if (Peek().kind != Token::Kind::kLiteral &&
+          Peek().kind != Token::Kind::kIri) {
+        return Status::IoError("equality filter needs a literal or IRI");
+      }
+      f.value = Peek().text;
+      Advance();
+      f.kind = Filter::Kind::kEquals;
+    } else {
+      return Status::IoError("unsupported FILTER expression");
+    }
+    RDFMR_RETURN_NOT_OK(ExpectPunct(")"));
+    return f;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseSparqlQuery(const std::string& name,
+                                     const std::string& text) {
+  Tokenizer tokenizer(text);
+  RDFMR_ASSIGN_OR_RETURN(std::vector<Token> tokens, tokenizer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse(name);
+}
+
+Result<GraphPatternQuery> ParseSparql(const std::string& name,
+                                      const std::string& text) {
+  RDFMR_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSparqlQuery(name, text));
+  if (parsed.aggregate.has_value()) {
+    return Status::InvalidArgument(
+        "query '" + name +
+        "' uses COUNT aggregation; use ParseSparqlQuery");
+  }
+  return std::move(parsed.query);
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,53 @@
+// Parser for the SPARQL subset exercised by the paper's testbed:
+// SELECT * / SELECT ?v..., a single BGP of triple patterns (bound or
+// unbound properties), FILTER(CONTAINS(STR(?v), "...")) / FILTER(?v = ...)
+// constraints for (partially-)bound objects, and COUNT aggregation with
+// GROUP BY / HAVING (the future-work extension).
+//
+// Grammar (informal):
+//   query    := 'SELECT' projection 'WHERE' '{' clause* '}' group? having?
+//   projection := '*' | (var | count_expr)+
+//   count_expr := '(' 'COUNT' '(' 'DISTINCT'? var ')' 'AS' var ')'
+//   clause   := triple '.' | filter
+//   triple   := term term term
+//   term     := var | '<' iri '>' | '"' literal '"'
+//   filter   := 'FILTER' '(' 'CONTAINS' '(' 'STR' '(' var ')' ',' lit ')' ')'
+//             | 'FILTER' '(' var '=' (lit | iri) ')'
+//   group    := 'GROUP' 'BY' var+
+//   having   := 'HAVING' '(' 'COUNT' '(' 'DISTINCT'? var ')' '>=' number ')'
+//   var      := '?' name
+
+#ifndef RDFMR_QUERY_SPARQL_PARSER_H_
+#define RDFMR_QUERY_SPARQL_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "query/aggregate.h"
+#include "query/pattern.h"
+
+namespace rdfmr {
+
+/// \brief A parsed query: the BGP plus an optional aggregation constraint.
+struct ParsedQuery {
+  GraphPatternQuery query;
+  std::optional<AggregateSpec> aggregate;
+};
+
+/// \brief Parses the full subset including COUNT/GROUP BY/HAVING.
+Result<ParsedQuery> ParseSparqlQuery(const std::string& name,
+                                     const std::string& text);
+
+/// \brief Parses `text` into a plain GraphPatternQuery named `name`;
+/// rejects aggregate queries (use ParseSparqlQuery for those).
+///
+/// Equality filters turn the variable's occurrences into constants;
+/// CONTAINS filters become contains-filters on the variable's node pattern
+/// ("partially-bound" objects in the paper's terminology).
+Result<GraphPatternQuery> ParseSparql(const std::string& name,
+                                      const std::string& text);
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_QUERY_SPARQL_PARSER_H_

@@ -1,0 +1,30 @@
+#include "rdf/dictionary.h"
+
+#include "common/logging.h"
+
+namespace rdfmr {
+
+uint32_t Dictionary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(terms_.size());
+  terms_.emplace_back(term);
+  string_bytes_ += term.size();
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+Result<uint32_t> Dictionary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  if (it == index_.end()) {
+    return Status::NotFound("term not in dictionary: " + std::string(term));
+  }
+  return it->second;
+}
+
+const std::string& Dictionary::At(uint32_t id) const {
+  RDFMR_CHECK(id < terms_.size()) << "dictionary id out of range";
+  return terms_[id];
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,47 @@
+// Bidirectional term dictionary (string <-> dense id).
+//
+// Used by graph statistics and the vertical-partitioning store to avoid
+// repeated string comparisons, and by the N-Triples loader to compact long
+// IRIs into short local names.
+
+#ifndef RDFMR_RDF_DICTIONARY_H_
+#define RDFMR_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rdfmr {
+
+/// \brief Append-only string interning table with dense uint32 ids.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// \brief Returns the id for `term`, inserting it if new.
+  uint32_t Intern(std::string_view term);
+
+  /// \brief Returns the id for `term` or NotFound.
+  Result<uint32_t> Lookup(std::string_view term) const;
+
+  /// \brief Returns the string for `id`; id must be < size().
+  const std::string& At(uint32_t id) const;
+
+  size_t size() const { return terms_.size(); }
+
+  /// \brief Total bytes of all interned strings (dictionary footprint).
+  size_t StringBytes() const { return string_bytes_; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> terms_;
+  size_t string_bytes_ = 0;
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_RDF_DICTIONARY_H_

@@ -1,0 +1,72 @@
+#include "rdf/graph_stats.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace rdfmr {
+
+GraphStats GraphStats::Compute(const std::vector<Triple>& triples) {
+  GraphStats stats;
+  stats.triple_count_ = triples.size();
+
+  std::unordered_set<std::string> subjects;
+  // (property -> subject -> count)
+  std::unordered_map<std::string, std::unordered_map<std::string, uint64_t>>
+      per_property;
+  for (const Triple& t : triples) {
+    subjects.insert(t.subject);
+    per_property[t.property][t.subject]++;
+  }
+  stats.distinct_subjects_ = subjects.size();
+
+  for (const auto& [property, subject_counts] : per_property) {
+    PropertyStats ps;
+    ps.subject_count = subject_counts.size();
+    for (const auto& [_, count] : subject_counts) {
+      ps.triple_count += count;
+      ps.max_multiplicity = std::max(ps.max_multiplicity, count);
+    }
+    ps.avg_multiplicity =
+        ps.subject_count == 0
+            ? 0.0
+            : static_cast<double>(ps.triple_count) /
+                  static_cast<double>(ps.subject_count);
+    stats.properties_[property] = ps;
+  }
+  return stats;
+}
+
+PropertyStats GraphStats::ForProperty(const std::string& property) const {
+  auto it = properties_.find(property);
+  if (it == properties_.end()) return PropertyStats{};
+  return it->second;
+}
+
+double GraphStats::MultiValuedFraction() const {
+  if (properties_.empty()) return 0.0;
+  uint64_t multi = 0;
+  for (const auto& [_, ps] : properties_) {
+    if (ps.multi_valued()) ++multi;
+  }
+  return static_cast<double>(multi) / static_cast<double>(properties_.size());
+}
+
+double GraphStats::AvgTriplesPerSubject() const {
+  if (distinct_subjects_ == 0) return 0.0;
+  return static_cast<double>(triple_count_) /
+         static_cast<double>(distinct_subjects_);
+}
+
+std::string GraphStats::Summary() const {
+  return StringFormat(
+      "triples=%llu subjects=%llu properties=%llu multi-valued=%.0f%% "
+      "avg-star=%.1f",
+      static_cast<unsigned long long>(triple_count_),
+      static_cast<unsigned long long>(distinct_subjects_),
+      static_cast<unsigned long long>(distinct_properties()),
+      MultiValuedFraction() * 100.0, AvgTriplesPerSubject());
+}
+
+}  // namespace rdfmr

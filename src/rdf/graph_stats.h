@@ -1,0 +1,67 @@
+// Graph statistics used by the planner and by the experiment harnesses:
+// property selectivity, multiplicity (multi-valuedness), subject counts.
+//
+// The paper's redundancy analysis hinges on property multiplicity: Bio2RDF
+// properties reach multiplicity 13K, and >45% of DBpedia/BTC properties are
+// multi-valued. These statistics quantify that for any loaded graph.
+
+#ifndef RDFMR_RDF_GRAPH_STATS_H_
+#define RDFMR_RDF_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace rdfmr {
+
+/// \brief Per-property aggregate statistics.
+struct PropertyStats {
+  uint64_t triple_count = 0;     ///< number of triples with this property
+  uint64_t subject_count = 0;    ///< distinct subjects carrying it
+  uint64_t max_multiplicity = 0; ///< max #objects for one subject
+  double avg_multiplicity = 0.0; ///< triple_count / subject_count
+
+  bool multi_valued() const { return max_multiplicity > 1; }
+};
+
+/// \brief Whole-graph statistics.
+class GraphStats {
+ public:
+  /// \brief Computes statistics over a triple set in one pass.
+  static GraphStats Compute(const std::vector<Triple>& triples);
+
+  uint64_t triple_count() const { return triple_count_; }
+  uint64_t distinct_subjects() const { return distinct_subjects_; }
+  uint64_t distinct_properties() const {
+    return static_cast<uint64_t>(properties_.size());
+  }
+
+  /// \brief Stats for one property; zeroed entry if absent.
+  PropertyStats ForProperty(const std::string& property) const;
+
+  /// \brief All per-property stats, keyed by property name.
+  const std::map<std::string, PropertyStats>& properties() const {
+    return properties_;
+  }
+
+  /// \brief Fraction of properties with max multiplicity > 1.
+  double MultiValuedFraction() const;
+
+  /// \brief Average number of triples per subject (star fan-out).
+  double AvgTriplesPerSubject() const;
+
+  /// \brief One-line summary for logs and bench headers.
+  std::string Summary() const;
+
+ private:
+  uint64_t triple_count_ = 0;
+  uint64_t distinct_subjects_ = 0;
+  std::map<std::string, PropertyStats> properties_;
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_RDF_GRAPH_STATS_H_

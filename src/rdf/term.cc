@@ -1,0 +1,134 @@
+#include "rdf/term.h"
+
+#include "common/strings.h"
+
+namespace rdfmr {
+
+namespace {
+
+std::string EscapeLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeLiteral(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return Status::IoError("dangling escape in literal");
+    }
+    switch (s[++i]) {
+      case '"':
+        out.push_back('"');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      default:
+        return Status::IoError("unknown escape in literal");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Term::ToNTriples() const {
+  switch (kind_) {
+    case TermKind::kIri:
+      return "<" + value_ + ">";
+    case TermKind::kBlank:
+      return "_:" + value_;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(value_) + "\"";
+      if (!language_.empty()) {
+        out += "@" + language_;
+      } else if (!datatype_.empty()) {
+        out += "^^<" + datatype_ + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+Result<Term> Term::FromNTriples(std::string_view token) {
+  token = Trim(token);
+  if (token.empty()) return Status::IoError("empty term token");
+  if (token.front() == '<') {
+    if (token.back() != '>' || token.size() < 2) {
+      return Status::IoError("malformed IRI: " + std::string(token));
+    }
+    return Term::Iri(std::string(token.substr(1, token.size() - 2)));
+  }
+  if (StartsWith(token, "_:")) {
+    return Term::Blank(std::string(token.substr(2)));
+  }
+  if (token.front() == '"') {
+    // Find the closing unescaped quote.
+    size_t end = std::string_view::npos;
+    for (size_t i = 1; i < token.size(); ++i) {
+      if (token[i] == '\\') {
+        ++i;
+      } else if (token[i] == '"') {
+        end = i;
+        break;
+      }
+    }
+    if (end == std::string_view::npos) {
+      return Status::IoError("unterminated literal: " + std::string(token));
+    }
+    RDFMR_ASSIGN_OR_RETURN(std::string lexical,
+                           UnescapeLiteral(token.substr(1, end - 1)));
+    std::string_view rest = token.substr(end + 1);
+    if (rest.empty()) return Term::Literal(std::move(lexical));
+    if (rest.front() == '@') {
+      return Term::Literal(std::move(lexical), "",
+                           std::string(rest.substr(1)));
+    }
+    if (StartsWith(rest, "^^<") && rest.back() == '>') {
+      return Term::Literal(std::move(lexical),
+                           std::string(rest.substr(3, rest.size() - 4)));
+    }
+    return Status::IoError("malformed literal suffix: " + std::string(token));
+  }
+  return Status::IoError("unrecognized term: " + std::string(token));
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,87 @@
+// RDF terms: IRIs, literals and blank nodes, with N-Triples lexical forms.
+//
+// Inside the execution engines triples travel as plain strings (the
+// serialized record layer measures real byte footprints); Term is the typed
+// view used by the parser/writer layer and by data generators.
+
+#ifndef RDFMR_RDF_TERM_H_
+#define RDFMR_RDF_TERM_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace rdfmr {
+
+enum class TermKind : uint8_t { kIri = 0, kLiteral = 1, kBlank = 2 };
+
+/// \brief A single RDF term.
+///
+/// For literals, `value` is the lexical form and `datatype`/`language`
+/// optionally qualify it. For IRIs and blank nodes only `value` is used.
+class Term {
+ public:
+  Term() : kind_(TermKind::kIri) {}
+
+  static Term Iri(std::string iri) {
+    Term t;
+    t.kind_ = TermKind::kIri;
+    t.value_ = std::move(iri);
+    return t;
+  }
+
+  static Term Literal(std::string lexical, std::string datatype = "",
+                      std::string language = "") {
+    Term t;
+    t.kind_ = TermKind::kLiteral;
+    t.value_ = std::move(lexical);
+    t.datatype_ = std::move(datatype);
+    t.language_ = std::move(language);
+    return t;
+  }
+
+  static Term Blank(std::string label) {
+    Term t;
+    t.kind_ = TermKind::kBlank;
+    t.value_ = std::move(label);
+    return t;
+  }
+
+  TermKind kind() const { return kind_; }
+  bool is_iri() const { return kind_ == TermKind::kIri; }
+  bool is_literal() const { return kind_ == TermKind::kLiteral; }
+  bool is_blank() const { return kind_ == TermKind::kBlank; }
+
+  const std::string& value() const { return value_; }
+  const std::string& datatype() const { return datatype_; }
+  const std::string& language() const { return language_; }
+
+  /// \brief Serializes to N-Triples syntax (<iri>, "lit"^^<dt>, _:b).
+  std::string ToNTriples() const;
+
+  /// \brief Parses a single N-Triples term token.
+  static Result<Term> FromNTriples(std::string_view token);
+
+  bool operator==(const Term& o) const {
+    return kind_ == o.kind_ && value_ == o.value_ &&
+           datatype_ == o.datatype_ && language_ == o.language_;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+  bool operator<(const Term& o) const {
+    if (kind_ != o.kind_) return kind_ < o.kind_;
+    if (value_ != o.value_) return value_ < o.value_;
+    if (datatype_ != o.datatype_) return datatype_ < o.datatype_;
+    return language_ < o.language_;
+  }
+
+ private:
+  TermKind kind_;
+  std::string value_;
+  std::string datatype_;
+  std::string language_;
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_RDF_TERM_H_

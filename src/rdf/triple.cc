@@ -1,0 +1,39 @@
+#include "rdf/triple.h"
+
+#include "common/strings.h"
+
+namespace rdfmr {
+
+std::string Triple::Serialize() const {
+  return JoinEscaped({subject, property, object}, '\t');
+}
+
+Result<Triple> Triple::Deserialize(const std::string& line) {
+  std::vector<std::string> fields = SplitEscaped(line, '\t');
+  if (fields.size() != 3) {
+    return Status::IoError("triple record must have 3 fields, got " +
+                           std::to_string(fields.size()) + ": " + line);
+  }
+  return Triple(std::move(fields[0]), std::move(fields[1]),
+                std::move(fields[2]));
+}
+
+std::vector<std::string> SerializeTriples(const std::vector<Triple>& triples) {
+  std::vector<std::string> out;
+  out.reserve(triples.size());
+  for (const Triple& t : triples) out.push_back(t.Serialize());
+  return out;
+}
+
+Result<std::vector<Triple>> DeserializeTriples(
+    const std::vector<std::string>& lines) {
+  std::vector<Triple> out;
+  out.reserve(lines.size());
+  for (const std::string& line : lines) {
+    RDFMR_ASSIGN_OR_RETURN(Triple t, Triple::Deserialize(line));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace rdfmr

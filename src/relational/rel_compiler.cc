@@ -1,0 +1,473 @@
+#include "relational/rel_compiler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/strings.h"
+#include "query/matcher.h"
+#include "relational/rel_tuple.h"
+
+namespace rdfmr {
+
+namespace {
+
+using QueryPtr = std::shared_ptr<const GraphPatternQuery>;
+
+// ---- Map-side helpers -------------------------------------------------------
+
+// True iff `t` can contribute to any triple pattern of the query (used by
+// Pig's initial filter/compress job).
+bool RelevantToAnyPattern(const GraphPatternQuery& query, const Triple& t) {
+  for (const TriplePattern& tp : query.patterns()) {
+    if (MatchTriplePattern(tp, t).has_value()) return true;
+  }
+  return false;
+}
+
+// Mapper scanning for ONE triple pattern (a VP relation operand, Pig-style).
+MapFn MakeSinglePatternMapper(QueryPtr query, size_t star, size_t tp_index) {
+  return [query, star, tp_index](const std::string& record,
+                                 const MapEmit& emit, Counters* counters) {
+    Result<Triple> t = Triple::Deserialize(record);
+    if (!t.ok()) {
+      (*counters)["bad_records"] += 1;
+      return;
+    }
+    const TriplePattern& tp = query->stars()[star].patterns[tp_index];
+    if (MatchTriplePattern(tp, *t).has_value()) {
+      (*counters)["vp_matches"] += 1;
+      emit(t->subject, record);
+    }
+  };
+}
+
+// Mapper scanning for ALL patterns of one star in a single pass
+// (Hive-style shared scan). A triple matching several patterns is emitted
+// once per pattern, mirroring its membership in several VP relations.
+MapFn MakeStarMapper(QueryPtr query, size_t star) {
+  return [query, star](const std::string& record, const MapEmit& emit,
+                       Counters* counters) {
+    Result<Triple> t = Triple::Deserialize(record);
+    if (!t.ok()) {
+      (*counters)["bad_records"] += 1;
+      return;
+    }
+    for (const TriplePattern& tp : query->stars()[star].patterns) {
+      if (MatchTriplePattern(tp, *t).has_value()) {
+        (*counters)["vp_matches"] += 1;
+        emit(t->subject, record);
+      }
+    }
+  };
+}
+
+// Star-join reducer: assembles all distinct triples of one subject and
+// enumerates the star's n-tuples (relational arity 3k).
+ReduceFn MakeStarReducer(QueryPtr query, size_t star) {
+  return [query, star](const std::string& /*key*/,
+                       const std::vector<std::string>& values,
+                       const RecordEmit& emit, Counters* counters) {
+    std::set<Triple> distinct;
+    for (const std::string& v : values) {
+      Result<Triple> t = Triple::Deserialize(v);
+      if (t.ok()) distinct.insert(t.MoveValueUnsafe());
+    }
+    std::vector<Triple> triples(distinct.begin(), distinct.end());
+    std::vector<StarMatch> matches =
+        MatchStarDetailed(query->stars()[star], triples);
+    (*counters)["star_tuples"] += matches.size();
+    for (StarMatch& m : matches) {
+      emit(RelTuple{std::move(m.matched)}.Serialize());
+    }
+  };
+}
+
+// Tags a relational intermediate tuple with its join-key value.
+MapFn MakeJoinMapper(RelSchema schema, std::string var, std::string tag) {
+  return [schema = std::move(schema), var = std::move(var),
+          tag = std::move(tag)](const std::string& record,
+                                const MapEmit& emit, Counters* counters) {
+    Result<RelTuple> tuple = RelTuple::Deserialize(record, schema.size());
+    if (!tuple.ok()) {
+      (*counters)["bad_records"] += 1;
+      return;
+    }
+    Result<std::string> key = ExtractJoinKey(schema, *tuple, var);
+    if (!key.ok()) {
+      (*counters)["bad_records"] += 1;
+      return;
+    }
+    emit(*key, tag + "|" + record);
+  };
+}
+
+// Reduce-side join of two relational intermediates; enforces consistency of
+// ALL shared variables (not only the shuffle key) so multi-predicate joins
+// between the same pair of stars stay correct.
+ReduceFn MakeJoinReducer(RelSchema left_schema, RelSchema right_schema) {
+  return [left_schema = std::move(left_schema),
+          right_schema = std::move(right_schema)](
+             const std::string& /*key*/,
+             const std::vector<std::string>& values, const RecordEmit& emit,
+             Counters* counters) {
+    std::vector<std::pair<RelTuple, Solution>> lefts, rights;
+    for (const std::string& v : values) {
+      std::vector<std::string> parts = SplitN(v, '|', 2);
+      if (parts.size() != 2) continue;
+      const RelSchema& schema =
+          parts[0] == "L" ? left_schema : right_schema;
+      Result<RelTuple> tuple = RelTuple::Deserialize(parts[1], schema.size());
+      if (!tuple.ok()) {
+        (*counters)["bad_records"] += 1;
+        continue;
+      }
+      Result<Solution> sol = tuple->ToSolution(schema);
+      if (!sol.ok()) {
+        (*counters)["bad_records"] += 1;
+        continue;
+      }
+      auto& side = parts[0] == "L" ? lefts : rights;
+      side.emplace_back(tuple.MoveValueUnsafe(), sol.MoveValueUnsafe());
+    }
+    for (const auto& [lt, ls] : lefts) {
+      for (const auto& [rt, rs] : rights) {
+        Result<Solution> merged = ls.Merge(rs);
+        if (!merged.ok()) continue;  // residual predicate rejected the pair
+        RelTuple joined;
+        joined.triples = lt.triples;
+        joined.triples.insert(joined.triples.end(), rt.triples.begin(),
+                              rt.triples.end());
+        (*counters)["join_tuples"] += 1;
+        emit(joined.Serialize());
+      }
+    }
+  };
+}
+
+// ---- Plan assembly ----------------------------------------------------------
+
+struct RelationState {
+  std::string path;
+  RelSchema schema;
+  /// Single-pattern stars need no star-join cycle: the pattern's VP scan is
+  /// folded directly into the map side of the join cycle that consumes it
+  /// (this is how Hive/Pig evaluate a lone edge pattern, e.g. A5's label
+  /// lookup: 2 jobs, both scanning the triple relation).
+  bool inline_single_pattern = false;
+  size_t star_index = 0;
+};
+
+// Mapper for an inlined single-pattern star inside a join cycle: scans the
+// (compressed) triple relation, emits arity-1 tuples keyed by the join
+// variable.
+MapFn MakeInlineSingleTpJoinMapper(QueryPtr query, size_t star,
+                                   std::string var, std::string tag) {
+  return [query, star, var = std::move(var), tag = std::move(tag)](
+             const std::string& record, const MapEmit& emit,
+             Counters* counters) {
+    Result<Triple> t = Triple::Deserialize(record);
+    if (!t.ok()) {
+      (*counters)["bad_records"] += 1;
+      return;
+    }
+    const TriplePattern& tp = query->stars()[star].patterns[0];
+    if (!MatchTriplePattern(tp, *t).has_value()) return;
+    RelTuple tuple;
+    tuple.triples.push_back(t.MoveValueUnsafe());
+    Result<std::string> key = ExtractJoinKey({tp}, tuple, var);
+    if (!key.ok()) {
+      (*counters)["bad_records"] += 1;
+      return;
+    }
+    emit(*key, tag + "|" + tuple.Serialize());
+  };
+}
+
+// Builds the standard plan: one star-join cycle per star, then one join
+// cycle per spanning star join.
+Result<CompiledPlan> CompileStarPerCycle(QueryPtr query,
+                                         const std::string& base_path,
+                                         const std::string& tmp_prefix,
+                                         const RelationalOptions& options) {
+  CompiledPlan plan;
+  plan.workflow.name = query->name() + "/" +
+                       (options.style == RelationalStyle::kPig ? "pig"
+                                                               : "hive");
+  std::string scan_path = base_path;
+  bool scanning_base = true;
+
+  // Pig prepends a map-only filter/compress job for unbound multi-star
+  // queries (the paper's observed A4/A6 behaviour).
+  if (options.style == RelationalStyle::kPig && query->HasUnbound() &&
+      query->stars().size() > 1) {
+    JobSpec job;
+    job.name = "pig-filter-compress";
+    job.full_scans_of_base = 1;
+    job.inputs.push_back(MapInput{
+        base_path, [query](const std::string& record, const MapEmit& emit,
+                           Counters* counters) {
+          Result<Triple> t = Triple::Deserialize(record);
+          if (!t.ok()) {
+            (*counters)["bad_records"] += 1;
+            return;
+          }
+          if (RelevantToAnyPattern(*query, *t)) emit("", record);
+        }});
+    job.output_path = tmp_prefix + "/compressed";
+    plan.workflow.jobs.push_back(std::move(job));
+    plan.workflow.intermediate_paths.push_back(tmp_prefix + "/compressed");
+    scan_path = tmp_prefix + "/compressed";
+    scanning_base = false;
+  }
+
+  // --- Star-join cycles.
+  std::vector<RelationState> relations(query->stars().size());
+  for (size_t s = 0; s < query->stars().size(); ++s) {
+    const StarPattern& star = query->stars()[s];
+    if (star.patterns.size() == 1 && query->stars().size() > 1) {
+      // Lone edge pattern: fold its scan into the consuming join cycle.
+      relations[s] = RelationState{scan_path, star.patterns, true, s};
+      continue;
+    }
+    JobSpec job;
+    job.name = StringFormat("star-join-%zu", s);
+    if (options.style == RelationalStyle::kPig) {
+      // One scan per join operand (VP relation).
+      for (size_t i = 0; i < star.patterns.size(); ++i) {
+        job.inputs.push_back(
+            MapInput{scan_path, MakeSinglePatternMapper(query, s, i)});
+      }
+      job.full_scans_of_base =
+          scanning_base ? static_cast<uint32_t>(star.patterns.size()) : 0;
+    } else {
+      job.inputs.push_back(MapInput{scan_path, MakeStarMapper(query, s)});
+      job.full_scans_of_base = scanning_base ? 1 : 0;
+    }
+    job.reduce = MakeStarReducer(query, s);
+    job.output_path = StringFormat("%s/star%zu", tmp_prefix.c_str(), s);
+    relations[s] = RelationState{job.output_path, star.patterns};
+    plan.star_phase_paths.push_back(job.output_path);
+    plan.workflow.jobs.push_back(std::move(job));
+  }
+
+  // --- Join cycles (union-find over stars).
+  std::vector<size_t> component(query->stars().size());
+  std::iota(component.begin(), component.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (component[x] != x) x = component[x] = component[component[x]];
+    return x;
+  };
+
+  size_t join_count = 0;
+  for (const StarJoin& join : query->joins()) {
+    size_t a = find(join.left_star);
+    size_t b = find(join.right_star);
+    if (a == b) continue;  // residual predicate; enforced inside reducers
+    const RelationState& left = relations[a];
+    const RelationState& right = relations[b];
+
+    JobSpec job;
+    job.name = StringFormat("join-%zu-on-%s", join_count,
+                            join.variable.c_str());
+    auto add_side = [&](const RelationState& rel, const char* tag) {
+      if (rel.inline_single_pattern) {
+        job.inputs.push_back(MapInput{
+            rel.path, MakeInlineSingleTpJoinMapper(query, rel.star_index,
+                                                   join.variable, tag)});
+        if (scanning_base) job.full_scans_of_base += 1;
+      } else {
+        job.inputs.push_back(MapInput{
+            rel.path, MakeJoinMapper(rel.schema, join.variable, tag)});
+      }
+    };
+    add_side(left, "L");
+    add_side(right, "R");
+    job.reduce = MakeJoinReducer(left.schema, right.schema);
+    job.output_path = StringFormat("%s/join%zu", tmp_prefix.c_str(),
+                                   join_count);
+    RelSchema joined_schema = left.schema;
+    joined_schema.insert(joined_schema.end(), right.schema.begin(),
+                         right.schema.end());
+    component[b] = a;
+    relations[a] = RelationState{job.output_path, std::move(joined_schema)};
+    plan.workflow.jobs.push_back(std::move(job));
+    ++join_count;
+  }
+
+  const RelationState& final_rel = relations[find(0)];
+  plan.workflow.final_output_path = final_rel.path;
+  for (const JobSpec& job : plan.workflow.jobs) {
+    if (job.output_path != final_rel.path &&
+        job.output_path != tmp_prefix + "/compressed") {
+      plan.workflow.intermediate_paths.push_back(job.output_path);
+    }
+  }
+  RelSchema final_schema = final_rel.schema;
+  plan.decoder = [final_schema](const std::vector<std::string>& lines) {
+    return DecodeRelationalAnswers(final_schema, lines);
+  };
+  plan.record_decoder = [final_schema](const std::string& record)
+      -> Result<std::vector<Solution>> {
+    RDFMR_ASSIGN_OR_RETURN(RelTuple tuple,
+                           RelTuple::Deserialize(record,
+                                                 final_schema.size()));
+    RDFMR_ASSIGN_OR_RETURN(Solution solution,
+                           tuple.ToSolution(final_schema));
+    return std::vector<Solution>{std::move(solution)};
+  };
+  return plan;
+}
+
+// Builds the Fig. 3 "Sel-SJ-first" grouping for two-star queries.
+Result<CompiledPlan> CompileSelSJFirst(QueryPtr query,
+                                       const std::string& base_path,
+                                       const std::string& tmp_prefix) {
+  if (query->stars().size() != 2 || query->joins().empty()) {
+    return Status::NotImplemented(
+        "Sel-SJ-first grouping is defined for two-star queries");
+  }
+  const StarJoin& join = query->joins()[0];
+
+  CompiledPlan plan;
+  plan.workflow.name = query->name() + "/sel-sj-first";
+
+  if (join.kind == StarJoinKind::kObjectSubject) {
+    // The star whose SUBJECT is the join variable can be folded into the
+    // join cycle; the other star ("first") is computed in cycle 1.
+    size_t first = join.left_star;    // carries the object side
+    size_t folded = join.right_star;  // subject side, folded into cycle 2
+
+    // Cycle 1: compute `first`.
+    JobSpec job1;
+    job1.name = StringFormat("selsj-star-%zu", first);
+    job1.inputs.push_back(MapInput{base_path, MakeStarMapper(query, first)});
+    job1.full_scans_of_base = 1;
+    job1.reduce = MakeStarReducer(query, first);
+    job1.output_path = tmp_prefix + "/selsj-first";
+    plan.star_phase_paths.push_back(job1.output_path);
+    plan.workflow.jobs.push_back(std::move(job1));
+
+    // Cycle 2: scan base for `folded`'s patterns keyed by subject, join
+    // with cycle 1's tuples keyed by the join variable.
+    RelSchema first_schema = query->stars()[first].patterns;
+    RelSchema folded_schema = query->stars()[folded].patterns;
+
+    JobSpec job2;
+    job2.name = "selsj-join";
+    job2.inputs.push_back(
+        MapInput{tmp_prefix + "/selsj-first",
+                 MakeJoinMapper(first_schema, join.variable, "L")});
+    job2.inputs.push_back(MapInput{
+        base_path, [query, folded](const std::string& record,
+                                   const MapEmit& emit, Counters* counters) {
+          Result<Triple> t = Triple::Deserialize(record);
+          if (!t.ok()) {
+            (*counters)["bad_records"] += 1;
+            return;
+          }
+          for (const TriplePattern& tp : query->stars()[folded].patterns) {
+            if (MatchTriplePattern(tp, *t).has_value()) {
+              emit(t->subject, "B|" + record);
+              break;  // routing only; the reducer re-derives matches
+            }
+          }
+        }});
+    job2.full_scans_of_base = 1;
+    job2.reduce = [query, folded, first_schema, folded_schema](
+                      const std::string& /*key*/,
+                      const std::vector<std::string>& values,
+                      const RecordEmit& emit, Counters* counters) {
+      std::set<Triple> triples;
+      std::vector<std::pair<RelTuple, Solution>> lefts;
+      for (const std::string& v : values) {
+        std::vector<std::string> parts = SplitN(v, '|', 2);
+        if (parts.size() != 2) continue;
+        if (parts[0] == "B") {
+          Result<Triple> t = Triple::Deserialize(parts[1]);
+          if (t.ok()) triples.insert(t.MoveValueUnsafe());
+        } else {
+          Result<RelTuple> tuple =
+              RelTuple::Deserialize(parts[1], first_schema.size());
+          if (!tuple.ok()) continue;
+          Result<Solution> sol = tuple->ToSolution(first_schema);
+          if (!sol.ok()) continue;
+          lefts.emplace_back(tuple.MoveValueUnsafe(), sol.MoveValueUnsafe());
+        }
+      }
+      if (lefts.empty() || triples.empty()) return;
+      std::vector<Triple> star_triples(triples.begin(), triples.end());
+      std::vector<StarMatch> matches =
+          MatchStarDetailed(query->stars()[folded], star_triples);
+      for (const auto& [lt, ls] : lefts) {
+        for (const StarMatch& m : matches) {
+          Result<Solution> merged = ls.Merge(m.solution);
+          if (!merged.ok()) continue;
+          RelTuple joined;
+          joined.triples = lt.triples;
+          joined.triples.insert(joined.triples.end(), m.matched.begin(),
+                                m.matched.end());
+          (*counters)["join_tuples"] += 1;
+          emit(joined.Serialize());
+        }
+      }
+    };
+    job2.output_path = tmp_prefix + "/selsj-out";
+    plan.workflow.jobs.push_back(std::move(job2));
+
+    plan.workflow.final_output_path = tmp_prefix + "/selsj-out";
+    plan.workflow.intermediate_paths.push_back(tmp_prefix + "/selsj-first");
+    RelSchema final_schema = first_schema;
+    final_schema.insert(final_schema.end(), folded_schema.begin(),
+                        folded_schema.end());
+    plan.decoder = [final_schema](const std::vector<std::string>& lines) {
+      return DecodeRelationalAnswers(final_schema, lines);
+    };
+    plan.record_decoder = [final_schema](const std::string& record)
+        -> Result<std::vector<Solution>> {
+      RDFMR_ASSIGN_OR_RETURN(RelTuple tuple,
+                             RelTuple::Deserialize(record,
+                                                   final_schema.size()));
+      RDFMR_ASSIGN_OR_RETURN(Solution solution,
+                             tuple.ToSolution(final_schema));
+      return std::vector<Solution>{std::move(solution)};
+    };
+    return plan;
+  }
+
+  // Object-Object (or Subject-Subject) joins cannot fold a star into the
+  // join cycle: fall back to 3 cycles, with the join cycle re-scanning the
+  // base relation (reproducing the case study's observation that
+  // Sel-SJ-first does a full scan in all 3 cycles for O-O joins).
+  RelationalOptions hive;
+  hive.style = RelationalStyle::kHive;
+  RDFMR_ASSIGN_OR_RETURN(
+      CompiledPlan plan3,
+      CompileStarPerCycle(query, base_path, tmp_prefix, hive));
+  plan3.workflow.name = query->name() + "/sel-sj-first";
+  if (!plan3.workflow.jobs.empty()) {
+    JobSpec& join_job = plan3.workflow.jobs.back();
+    join_job.inputs.push_back(MapInput{
+        base_path,
+        [](const std::string&, const MapEmit&, Counters*) { /* rescan */ }});
+    join_job.full_scans_of_base += 1;
+  }
+  return plan3;
+}
+
+}  // namespace
+
+Result<CompiledPlan> CompileRelationalPlan(
+    std::shared_ptr<const GraphPatternQuery> query,
+    const std::string& base_path, const std::string& tmp_prefix,
+    const RelationalOptions& options) {
+  if (query == nullptr) {
+    return Status::InvalidArgument("null query");
+  }
+  if (options.grouping == RelationalGrouping::kSelSJFirst) {
+    return CompileSelSJFirst(query, base_path, tmp_prefix);
+  }
+  return CompileStarPerCycle(query, base_path, tmp_prefix, options);
+}
+
+}  // namespace rdfmr

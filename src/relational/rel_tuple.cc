@@ -1,0 +1,93 @@
+#include "relational/rel_tuple.h"
+
+#include "common/strings.h"
+#include "query/matcher.h"
+
+namespace rdfmr {
+
+std::string RelTuple::Serialize() const {
+  std::vector<std::string> fields;
+  fields.reserve(triples.size() * 3);
+  for (const Triple& t : triples) {
+    fields.push_back(t.subject);
+    fields.push_back(t.property);
+    fields.push_back(t.object);
+  }
+  return JoinEscaped(fields, '\t');
+}
+
+Result<RelTuple> RelTuple::Deserialize(const std::string& line,
+                                       size_t arity) {
+  std::vector<std::string> fields = SplitEscaped(line, '\t');
+  if (fields.size() != arity * 3) {
+    return Status::IoError(StringFormat(
+        "relational tuple needs %zu fields, got %zu", arity * 3,
+        fields.size()));
+  }
+  RelTuple tuple;
+  tuple.triples.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    tuple.triples.emplace_back(std::move(fields[3 * i]),
+                               std::move(fields[3 * i + 1]),
+                               std::move(fields[3 * i + 2]));
+  }
+  return tuple;
+}
+
+namespace {
+// The SPARQL "unbound" placeholder at optional positions: all-empty triple.
+bool IsNullTriple(const Triple& t) {
+  return t.subject.empty() && t.property.empty() && t.object.empty();
+}
+}  // namespace
+
+Result<Solution> RelTuple::ToSolution(const RelSchema& schema) const {
+  if (schema.size() != triples.size()) {
+    return Status::InvalidArgument("tuple arity does not match schema");
+  }
+  Solution out;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (IsNullTriple(triples[i])) {
+      if (schema[i].optional) continue;  // unmatched optional pattern
+      return Status::InvalidArgument(
+          "null triple at mandatory column " + std::to_string(i));
+    }
+    std::optional<Solution> m = MatchTriplePattern(schema[i], triples[i]);
+    if (!m.has_value()) {
+      return Status::InvalidArgument("tuple column " + std::to_string(i) +
+                                     " does not match its pattern");
+    }
+    RDFMR_ASSIGN_OR_RETURN(out, out.Merge(*m));
+  }
+  return out;
+}
+
+Result<SolutionSet> DecodeRelationalAnswers(
+    const RelSchema& schema, const std::vector<std::string>& lines) {
+  SolutionSet out;
+  for (const std::string& line : lines) {
+    RDFMR_ASSIGN_OR_RETURN(RelTuple tuple,
+                           RelTuple::Deserialize(line, schema.size()));
+    RDFMR_ASSIGN_OR_RETURN(Solution s, tuple.ToSolution(schema));
+    out.insert(std::move(s));
+  }
+  return out;
+}
+
+Result<std::string> ExtractJoinKey(const RelSchema& schema,
+                                   const RelTuple& tuple,
+                                   const std::string& var) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const TriplePattern& tp = schema[i];
+    if (IsNullTriple(tuple.triples[i])) continue;  // unmatched optional
+    if (tp.subject.is_variable() && tp.subject.value == var) {
+      return tuple.triples[i].subject;
+    }
+    if (tp.object.is_variable() && tp.object.value == var) {
+      return tuple.triples[i].object;
+    }
+  }
+  return Status::NotFound("variable ?" + var + " not in schema");
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,305 @@
+// Unit tests for the common layer: Status/Result, string helpers (with
+// escaping roundtrip properties), deterministic RNG, and stable hashing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace rdfmr {
+namespace {
+
+// ---- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::OutOfSpace("disk full");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsOutOfSpace());
+  EXPECT_EQ(st.message(), "disk full");
+  EXPECT_EQ(st.ToString(), "OutOfSpace: disk full");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ExecutionError("x").code(),
+            StatusCode::kExecutionError);
+  EXPECT_EQ(Status::NotImplemented("x").code(),
+            StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Unknown("x").code(), StatusCode::kUnknown);
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::NotFound("file f").WithContext("loading base");
+  EXPECT_EQ(st.message(), "loading base: file f");
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusTest, CopySharesState) {
+  Status a = Status::IoError("oops");
+  Status b = a;
+  EXPECT_EQ(b.ToString(), a.ToString());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveValueUnsafe) {
+  Result<std::string> r = std::string("payload");
+  std::string v = r.MoveValueUnsafe();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  RDFMR_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  Result<int> ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> bad = QuarterEven(6);  // 6/2 = 3, odd at the second step
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+// ---- Strings ---------------------------------------------------------------
+
+TEST(StringsTest, SplitBasics) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, SplitNLimitsFields) {
+  EXPECT_EQ(SplitN("a|b|c", '|', 2),
+            (std::vector<std::string>{"a", "b|c"}));
+  EXPECT_EQ(SplitN("a|b|c", '|', 5),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitN("abc", '|', 2), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  std::vector<std::string> parts = {"x", "", "yz"};
+  EXPECT_EQ(Split(Join(parts, ';'), ';'), parts);
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "llo"));
+  EXPECT_FALSE(EndsWith("llo", "hello"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+class EscapeRoundtripTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EscapeRoundtripTest, FieldRoundtrips) {
+  const std::string& input = GetParam();
+  for (char sep : {'\t', ',', ';', '\x1F', '\x1D'}) {
+    std::string escaped = EscapeField(input, sep);
+    EXPECT_EQ(escaped.find(sep), std::string::npos)
+        << "escaped field may not contain the separator";
+    EXPECT_EQ(UnescapeField(escaped, sep), input);
+  }
+}
+
+TEST_P(EscapeRoundtripTest, JoinSplitRoundtrips) {
+  const std::string& input = GetParam();
+  std::vector<std::string> fields = {input, "plain", input + input, ""};
+  for (char sep : {'\t', ',', '\x1F'}) {
+    EXPECT_EQ(SplitEscaped(JoinEscaped(fields, sep), sep), fields);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NastyStrings, EscapeRoundtripTest,
+    ::testing::Values("", "simple", "with\ttab", "with,comma",
+                      "back\\slash", "\\", "\\\\", "trailing\\",
+                      "new\nline", "\x1F\x1D\x1E", "a\tb\\c,d;e",
+                      "unicode \xE2\x8B\x88 join"));
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3ULL << 20), "3.00 MB");
+  EXPECT_EQ(HumanBytes(5ULL << 30), "5.00 GB");
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("abcd", 2), "abcd");
+  EXPECT_EQ(PadLeft("abcd", 2), "abcd");
+}
+
+TEST(StringsTest, StringFormat) {
+  EXPECT_EQ(StringFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StringFormat("empty"), "empty");
+}
+
+// ---- Random ----------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(99);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all 5 values should appear in 300 draws";
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng a(42);
+  Rng fork1 = a.Fork();
+  Rng b(42);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fork1.Next(), fork2.Next());
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfSampler zipf(50, 1.1);
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 50u);
+  }
+}
+
+TEST(ZipfTest, HeadIsHot) {
+  ZipfSampler zipf(100, 1.2);
+  Rng rng(13);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = zipf.Sample(&rng);
+    if (v < 10) ++head;
+    if (v >= 90) ++tail;
+  }
+  EXPECT_GT(head, 4 * tail)
+      << "the first decile must be far more probable than the last";
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(17);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+// ---- Hash ------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aGoldenValues) {
+  // Stable across platforms and runs — the MR partitioner depends on it.
+  EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171F73967E8ULL);
+}
+
+TEST(HashTest, DifferentInputsDiffer) {
+  EXPECT_NE(Fnv1a64("gene9"), Fnv1a64("gene10"));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// ---- Logging ---------------------------------------------------------------
+
+TEST(LoggingTest, LevelRoundtrip) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  RDFMR_LOG(Info) << "suppressed message";  // must not crash
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace rdfmr

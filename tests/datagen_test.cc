@@ -1,0 +1,271 @@
+// Tests for the synthetic dataset generators and the testbed catalog:
+// determinism, the structural properties the paper's evaluation depends on
+// (multi-valuedness, skewed multiplicity, query-relevant tokens), and the
+// catalog queries' parseability and non-vacuousness.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/bio2rdf.h"
+#include "datagen/bsbm.h"
+#include "datagen/btc.h"
+#include "datagen/dbpedia.h"
+#include "datagen/testbed.h"
+#include "query/matcher.h"
+#include "rdf/graph_stats.h"
+#include "tests/test_util.h"
+
+namespace rdfmr {
+namespace {
+
+TEST(BsbmTest, DeterministicForSeed) {
+  BsbmConfig config;
+  config.num_products = 50;
+  EXPECT_EQ(GenerateBsbm(config), GenerateBsbm(config));
+  config.seed += 1;
+  EXPECT_NE(GenerateBsbm(config), GenerateBsbm(BsbmConfig{}));
+}
+
+TEST(BsbmTest, ProductsCarryTheQueriedProperties) {
+  BsbmConfig config;
+  config.num_products = 40;
+  GraphStats stats = GraphStats::Compute(GenerateBsbm(config));
+  for (const char* property :
+       {bsbm::kLabel, bsbm::kType, bsbm::kProducer, bsbm::kProdFeature,
+        bsbm::kPropertyNum1, bsbm::kPropertyNum2, bsbm::kPropertyTex1,
+        bsbm::kProduct, bsbm::kVendor, bsbm::kPrice, bsbm::kReviewFor,
+        bsbm::kTitle, bsbm::kFeatureLabel, bsbm::kFeatureType}) {
+    EXPECT_GT(stats.ForProperty(property).triple_count, 0u)
+        << "missing property " << property;
+  }
+}
+
+TEST(BsbmTest, ProdFeatureIsMultiValuedWithinBounds) {
+  BsbmConfig config;
+  config.num_products = 60;
+  config.min_features_per_product = 3;
+  config.max_features_per_product = 9;
+  GraphStats stats = GraphStats::Compute(GenerateBsbm(config));
+  PropertyStats pf = stats.ForProperty(bsbm::kProdFeature);
+  EXPECT_TRUE(pf.multi_valued());
+  EXPECT_LE(pf.max_multiplicity, 9u);
+  EXPECT_GE(pf.avg_multiplicity, 2.0)
+      << "duplicated draws aside, multiplicity should stay near the range";
+}
+
+TEST(BsbmTest, SelectiveTokensExist) {
+  BsbmConfig config;
+  config.num_products = 200;
+  std::vector<Triple> triples = GenerateBsbm(config);
+  size_t gold = 0, awful = 0, labels = 0, titles = 0;
+  for (const Triple& t : triples) {
+    if (t.property == bsbm::kLabel &&
+        t.subject.find("product") == 0) {
+      ++labels;
+      if (t.object.find("gold") != std::string::npos) ++gold;
+    }
+    if (t.property == bsbm::kTitle) {
+      ++titles;
+      if (t.object.find("awful") != std::string::npos) ++awful;
+    }
+  }
+  EXPECT_GT(gold, 0u);
+  EXPECT_LT(gold, labels / 4) << "the gold filter must stay selective";
+  EXPECT_GT(awful, 0u);
+  EXPECT_LT(awful, titles / 4);
+}
+
+TEST(BsbmTest, ScaleIsLinearInProducts) {
+  BsbmConfig small, large;
+  small.num_products = 50;
+  large.num_products = 100;
+  size_t s = GenerateBsbm(small).size();
+  size_t l = GenerateBsbm(large).size();
+  EXPECT_GT(l, static_cast<size_t>(1.6 * s));
+  EXPECT_LT(l, static_cast<size_t>(2.4 * s));
+}
+
+TEST(Bio2RdfTest, DeterministicAndDeduplicated) {
+  Bio2RdfConfig config;
+  config.num_genes = 60;
+  std::vector<Triple> a = GenerateBio2Rdf(config);
+  EXPECT_EQ(a, GenerateBio2Rdf(config));
+  std::set<Triple> distinct(a.begin(), a.end());
+  EXPECT_EQ(distinct.size(), a.size()) << "set semantics";
+}
+
+TEST(Bio2RdfTest, MultiplicityIsSkewedAndBounded) {
+  Bio2RdfConfig config;
+  config.num_genes = 150;
+  config.max_multiplicity = 25;
+  GraphStats stats = GraphStats::Compute(GenerateBio2Rdf(config));
+  PropertyStats xgo = stats.ForProperty(bio::kXGo);
+  EXPECT_TRUE(xgo.multi_valued());
+  EXPECT_LE(xgo.max_multiplicity, 25u);
+  EXPECT_GE(xgo.max_multiplicity, 8u)
+      << "hot genes should approach the multiplicity knob";
+  EXPECT_LT(xgo.avg_multiplicity, xgo.max_multiplicity / 2.0)
+      << "the head must be much hotter than the average (Zipf-like)";
+}
+
+TEST(Bio2RdfTest, QueryAnchorsPresent) {
+  Bio2RdfConfig config;
+  config.num_genes = 200;
+  config.hexokinase_fraction = 0.05;
+  config.nur77_link_fraction = 0.1;
+  std::vector<Triple> triples = GenerateBio2Rdf(config);
+  bool hexo = false, nur77_target = false, nur77_link = false;
+  for (const Triple& t : triples) {
+    if (t.property == bio::kLabel &&
+        t.object.find("hexokinase") != std::string::npos) {
+      hexo = true;
+    }
+    if (t.subject == "gene_nur77" && t.property == bio::kLabel) {
+      nur77_target = true;
+    }
+    if (t.object == "gene_nur77") nur77_link = true;
+  }
+  EXPECT_TRUE(hexo);
+  EXPECT_TRUE(nur77_target);
+  EXPECT_TRUE(nur77_link);
+}
+
+TEST(DbpediaTest, HeterogeneousAndMultiValued) {
+  DbpediaConfig config;
+  config.num_entities = 400;
+  GraphStats stats = GraphStats::Compute(GenerateDbpedia(config));
+  EXPECT_GT(stats.MultiValuedFraction(), 0.45)
+      << "the paper: >45% of DBpedia/BTC properties are multi-valued";
+  // All the queried classes exist.
+  std::vector<Triple> triples = GenerateDbpedia(config);
+  std::set<std::string> classes;
+  for (const Triple& t : triples) {
+    if (t.property == dbp::kType) classes.insert(t.object);
+  }
+  EXPECT_TRUE(classes.count(dbp::kScientist));
+  EXPECT_TRUE(classes.count(dbp::kCity));
+  EXPECT_TRUE(classes.count(dbp::kTvSeries));
+}
+
+TEST(DbpediaTest, ScientistsLinkToCitiesThroughSeveralProperties) {
+  DbpediaConfig config;
+  config.num_entities = 500;
+  std::vector<Triple> triples = GenerateDbpedia(config);
+  std::set<std::string> cities;
+  for (const Triple& t : triples) {
+    if (t.property == dbp::kType && t.object == dbp::kCity) {
+      cities.insert(t.subject);
+    }
+  }
+  std::set<std::string> linking_properties;
+  for (const Triple& t : triples) {
+    if (cities.count(t.object) > 0 && t.property != dbp::kType) {
+      linking_properties.insert(t.property);
+    }
+  }
+  EXPECT_GE(linking_properties.size(), 3u)
+      << "the 'scientists related to a city in some way' scenario needs "
+         "several distinct edge labels";
+}
+
+TEST(BtcTest, MixesDomainsAndCrossLinks) {
+  BtcConfig config;
+  config.num_dbpedia_entities = 200;
+  config.num_genes = 50;
+  config.num_cross_links = 80;
+  std::vector<Triple> triples = GenerateBtc(config);
+  bool has_dbp = false, has_bio = false, has_link = false;
+  for (const Triple& t : triples) {
+    if (t.property == dbp::kType) has_dbp = true;
+    if (t.property == bio::kXGo) has_bio = true;
+    if (t.property == btc::kSameAs || t.property == btc::kSeeAlso) {
+      has_link = true;
+    }
+  }
+  EXPECT_TRUE(has_dbp);
+  EXPECT_TRUE(has_bio);
+  EXPECT_TRUE(has_link);
+}
+
+// ---- Testbed catalog -----------------------------------------------------------
+
+TEST(TestbedTest, CatalogCoversThePapersQuerySets) {
+  std::set<std::string> ids;
+  for (const TestbedEntry& entry : TestbedCatalog()) {
+    ids.insert(entry.id);
+    EXPECT_FALSE(entry.sparql.empty());
+    EXPECT_FALSE(entry.description.empty());
+  }
+  for (const char* id :
+       {"Q1a", "Q1b", "Q2a", "Q2b", "Q3a", "Q3b", "B0", "B1", "B2", "B3",
+        "B4", "B5", "B6", "B1-3bnd", "B1-4bnd", "B1-5bnd", "B1-6bnd", "A1",
+        "A2", "A3", "A4", "A5", "A6", "C1", "C2", "C3", "C4"}) {
+    EXPECT_TRUE(ids.count(id)) << "catalog is missing " << id;
+  }
+}
+
+TEST(TestbedTest, LookupByIdWorks) {
+  auto entry = GetTestbedEntry("B3");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->dataset, DatasetFamily::kBsbm);
+  EXPECT_TRUE(GetTestbedEntry("nope").status().IsNotFound());
+  EXPECT_FALSE(GetTestbedQuery("nope").ok());
+}
+
+class CatalogQueryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CatalogQueryTest, ParsesAndIsNonVacuous) {
+  auto entry = GetTestbedEntry(GetParam());
+  ASSERT_TRUE(entry.ok());
+  auto query = GetTestbedQuery(GetParam());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ((*query)->name(), GetParam());
+  std::vector<Triple> triples =
+      testing_util::SmallDataset(entry->dataset);
+  EXPECT_FALSE(EvaluateQueryInMemory(**query, triples).empty())
+      << GetParam() << " must have answers on its dataset";
+}
+
+std::vector<std::string> AllIds() {
+  std::vector<std::string> ids;
+  for (const TestbedEntry& entry : TestbedCatalog()) {
+    ids.push_back(entry.id);
+  }
+  return ids;
+}
+
+std::string IdName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, CatalogQueryTest,
+                         ::testing::ValuesIn(AllIds()), IdName);
+
+TEST(TestbedTest, UnboundCountsMatchTheQueryDesign) {
+  struct Expect {
+    const char* id;
+    size_t stars;
+    size_t unbound;
+  };
+  for (const Expect& e : std::vector<Expect>{{"B0", 2, 0},
+                                             {"B1", 2, 1},
+                                             {"B3", 2, 2},
+                                             {"B5", 3, 1},
+                                             {"B6", 3, 2},
+                                             {"A5", 2, 2},
+                                             {"C1", 1, 1},
+                                             {"C4", 2, 2}}) {
+    auto query = GetTestbedQuery(e.id);
+    ASSERT_TRUE(query.ok()) << e.id;
+    EXPECT_EQ((*query)->stars().size(), e.stars) << e.id;
+    EXPECT_EQ((*query)->NumUnbound(), e.unbound) << e.id;
+  }
+}
+
+}  // namespace
+}  // namespace rdfmr

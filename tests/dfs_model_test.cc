@@ -1,0 +1,136 @@
+// Model-based property test for the simulated DFS: a random sequence of
+// write/read/delete operations is executed against both the SimDfs and a
+// trivial in-memory reference model; contents, sizes, existence, and
+// aggregate usage must agree after every step, and capacity accounting
+// must never leak across failed operations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "dfs/sim_dfs.h"
+#include "rdf/triple.h"
+
+namespace rdfmr {
+namespace {
+
+struct ModelFile {
+  std::vector<std::string> lines;
+  uint64_t bytes = 0;
+};
+
+class DfsModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DfsModelTest, RandomOperationSequenceAgreesWithModel) {
+  Rng rng(GetParam() * 31 + 5);
+  ClusterConfig config;
+  config.num_nodes = 3;
+  config.disk_per_node = 4096;
+  config.replication = 1 + static_cast<uint32_t>(rng.Uniform(2));
+  config.block_size = 256;
+  SimDfs dfs(config);
+  std::map<std::string, ModelFile> model;
+
+  auto random_path = [&]() {
+    return StringFormat("f%llu",
+                        static_cast<unsigned long long>(rng.Uniform(6)));
+  };
+  auto random_lines = [&]() {
+    std::vector<std::string> lines;
+    size_t n = rng.Uniform(20);
+    for (size_t i = 0; i < n; ++i) {
+      lines.push_back(std::string(1 + rng.Uniform(40), 'a' +
+                                  static_cast<char>(rng.Uniform(26))));
+    }
+    return lines;
+  };
+
+  for (int step = 0; step < 200; ++step) {
+    switch (rng.Uniform(3)) {
+      case 0: {  // write
+        std::string path = random_path();
+        std::vector<std::string> lines = random_lines();
+        uint64_t bytes = 0;
+        for (const std::string& l : lines) bytes += l.size() + 1;
+        uint64_t used_before = dfs.UsedBytes();
+        Status st = dfs.WriteFile(path, lines);
+        if (model.count(path) > 0) {
+          EXPECT_EQ(st.code(), StatusCode::kAlreadyExists) << path;
+          EXPECT_EQ(dfs.UsedBytes(), used_before);
+        } else if (st.ok()) {
+          model[path] = ModelFile{lines, bytes};
+          EXPECT_EQ(dfs.UsedBytes(),
+                    used_before + bytes * config.replication);
+        } else {
+          EXPECT_TRUE(st.IsOutOfSpace()) << st.ToString();
+          EXPECT_EQ(dfs.UsedBytes(), used_before)
+              << "failed writes must roll back fully";
+          EXPECT_FALSE(dfs.Exists(path));
+        }
+        break;
+      }
+      case 1: {  // read
+        std::string path = random_path();
+        auto lines = dfs.ReadFile(path);
+        auto it = model.find(path);
+        if (it == model.end()) {
+          EXPECT_TRUE(lines.status().IsNotFound());
+        } else {
+          ASSERT_TRUE(lines.ok());
+          EXPECT_EQ(*lines, it->second.lines);
+          auto size = dfs.FileSize(path);
+          ASSERT_TRUE(size.ok());
+          EXPECT_EQ(*size, it->second.bytes);
+        }
+        break;
+      }
+      case 2: {  // delete
+        std::string path = random_path();
+        uint64_t used_before = dfs.UsedBytes();
+        Status st = dfs.DeleteFile(path);
+        auto it = model.find(path);
+        if (it == model.end()) {
+          EXPECT_TRUE(st.IsNotFound());
+        } else {
+          ASSERT_TRUE(st.ok());
+          EXPECT_EQ(dfs.UsedBytes(),
+                    used_before - it->second.bytes * config.replication);
+          model.erase(it);
+        }
+        break;
+      }
+    }
+    // Global invariants after every step.
+    uint64_t model_bytes = 0;
+    for (const auto& [_, f] : model) model_bytes += f.bytes;
+    EXPECT_EQ(dfs.UsedBytes(), model_bytes * config.replication);
+    EXPECT_EQ(dfs.ListFiles().size(), model.size());
+    uint64_t node_sum = 0;
+    for (uint64_t u : dfs.NodeUsage()) {
+      EXPECT_LE(u, config.disk_per_node);
+      node_sum += u;
+    }
+    EXPECT_EQ(node_sum, dfs.UsedBytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfsModelTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+// Deserializers must never crash on arbitrary input (fuzz-lite).
+TEST(RobustnessTest, DeserializersRejectRandomBytesGracefully) {
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    std::string junk;
+    size_t n = rng.Uniform(60);
+    for (size_t j = 0; j < n; ++j) {
+      junk.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    (void)Triple::Deserialize(junk);  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace rdfmr

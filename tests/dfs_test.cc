@@ -1,0 +1,194 @@
+// Unit tests for the simulated distributed file system: placement,
+// replication accounting, capacity enforcement (the failure mechanism the
+// paper's 'X' bars rely on), metrics, and reclamation.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dfs/sim_dfs.h"
+
+namespace rdfmr {
+namespace {
+
+ClusterConfig SmallCluster(uint32_t nodes = 4, uint64_t disk = 1 << 20,
+                           uint32_t repl = 1, uint64_t block = 4096) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  config.disk_per_node = disk;
+  config.replication = repl;
+  config.block_size = block;
+  return config;
+}
+
+std::vector<std::string> Lines(size_t n, size_t width = 10) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::string(width - 1, 'x') +
+                  static_cast<char>('a' + i % 26));
+  }
+  return out;
+}
+
+TEST(SimDfsTest, WriteReadRoundtrip) {
+  SimDfs dfs(SmallCluster());
+  std::vector<std::string> lines = {"first", "second", "third"};
+  ASSERT_TRUE(dfs.WriteFile("f", lines).ok());
+  auto back = dfs.ReadFile("f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, lines);
+}
+
+TEST(SimDfsTest, FileSizeIncludesNewlines) {
+  SimDfs dfs(SmallCluster());
+  ASSERT_TRUE(dfs.WriteFile("f", {"abc", "de"}).ok());
+  auto size = dfs.FileSize("f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 4u + 3u);
+}
+
+TEST(SimDfsTest, EmptyFileAllowed) {
+  SimDfs dfs(SmallCluster());
+  ASSERT_TRUE(dfs.WriteFile("empty", {}).ok());
+  EXPECT_TRUE(dfs.Exists("empty"));
+  auto lines = dfs.ReadFile("empty");
+  ASSERT_TRUE(lines.ok());
+  EXPECT_TRUE(lines->empty());
+}
+
+TEST(SimDfsTest, DuplicateWriteRejected) {
+  SimDfs dfs(SmallCluster());
+  ASSERT_TRUE(dfs.WriteFile("f", {"x"}).ok());
+  Status st = dfs.WriteFile("f", {"y"});
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SimDfsTest, MissingFileOperations) {
+  SimDfs dfs(SmallCluster());
+  EXPECT_TRUE(dfs.ReadFile("nope").status().IsNotFound());
+  EXPECT_TRUE(dfs.FileSize("nope").status().IsNotFound());
+  EXPECT_TRUE(dfs.BlockCount("nope").status().IsNotFound());
+  EXPECT_TRUE(dfs.DeleteFile("nope").IsNotFound());
+  EXPECT_FALSE(dfs.Exists("nope"));
+}
+
+TEST(SimDfsTest, BlockCountRoundsUp) {
+  SimDfs dfs(SmallCluster(4, 1 << 20, 1, /*block=*/100));
+  ASSERT_TRUE(dfs.WriteFile("f", Lines(25, 10)).ok());  // 250 bytes
+  auto blocks = dfs.BlockCount("f");
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ(*blocks, 3u);
+}
+
+TEST(SimDfsTest, ReplicationMultipliesPhysicalUsage) {
+  SimDfs dfs(SmallCluster(4, 1 << 20, 2));
+  ASSERT_TRUE(dfs.WriteFile("f", Lines(10)).ok());
+  uint64_t logical = *dfs.FileSize("f");
+  EXPECT_EQ(dfs.UsedBytes(), logical * 2);
+  EXPECT_EQ(dfs.metrics().bytes_written, logical);
+  EXPECT_EQ(dfs.metrics().bytes_written_replicated, logical * 2);
+}
+
+TEST(SimDfsTest, ReplicasLandOnDistinctNodes) {
+  SimDfs dfs(SmallCluster(3, 1 << 20, 3, /*block=*/1 << 20));
+  ASSERT_TRUE(dfs.WriteFile("f", Lines(10)).ok());
+  uint64_t logical = *dfs.FileSize("f");
+  for (uint64_t used : dfs.NodeUsage()) {
+    EXPECT_EQ(used, logical) << "every node must hold exactly one replica";
+  }
+}
+
+TEST(SimDfsTest, PlacementBalancesLoad) {
+  SimDfs dfs(SmallCluster(4, 1 << 20, 1, /*block=*/100));
+  // 8 blocks of ~100 bytes should spread across 4 nodes evenly.
+  ASSERT_TRUE(dfs.WriteFile("f", Lines(80, 10)).ok());
+  auto usage = dfs.NodeUsage();
+  uint64_t min = *std::min_element(usage.begin(), usage.end());
+  uint64_t max = *std::max_element(usage.begin(), usage.end());
+  EXPECT_LE(max - min, 100u);
+}
+
+TEST(SimDfsTest, OutOfSpaceAtCapacity) {
+  // 2 nodes x 1000 bytes; replication 2 => capacity 1000 logical bytes.
+  SimDfs dfs(SmallCluster(2, 1000, 2, /*block=*/256));
+  ASSERT_TRUE(dfs.WriteFile("fits", Lines(50, 10)).ok());  // 500 bytes x2
+  Status st = dfs.WriteFile("too-big", Lines(60, 10));     // 600 bytes x2
+  EXPECT_TRUE(st.IsOutOfSpace()) << st.ToString();
+}
+
+TEST(SimDfsTest, FailedWriteRollsBackPlacement) {
+  SimDfs dfs(SmallCluster(2, 1000, 1, /*block=*/256));
+  ASSERT_TRUE(dfs.WriteFile("a", Lines(100, 10)).ok());  // 1000 bytes
+  uint64_t used_before = dfs.UsedBytes();
+  Status st = dfs.WriteFile("b", Lines(150, 10));  // cannot fit
+  EXPECT_TRUE(st.IsOutOfSpace());
+  EXPECT_EQ(dfs.UsedBytes(), used_before)
+      << "partial placements must be rolled back";
+  EXPECT_FALSE(dfs.Exists("b"));
+}
+
+TEST(SimDfsTest, DeleteReclaimsSpace) {
+  SimDfs dfs(SmallCluster(2, 1000, 2, /*block=*/256));
+  ASSERT_TRUE(dfs.WriteFile("a", Lines(90, 10)).ok());
+  EXPECT_GT(dfs.UsedBytes(), 0u);
+  ASSERT_TRUE(dfs.DeleteFile("a").ok());
+  EXPECT_EQ(dfs.UsedBytes(), 0u);
+  // Space is genuinely reusable.
+  ASSERT_TRUE(dfs.WriteFile("b", Lines(90, 10)).ok());
+}
+
+TEST(SimDfsTest, CapacityExceededOnlyWhenReplicasDoNotFit) {
+  // Replication 2 on 2 nodes: a block needs space on BOTH nodes.
+  SimDfs dfs(SmallCluster(2, 500, 2, /*block=*/256));
+  ASSERT_TRUE(dfs.WriteFile("half", Lines(40, 10)).ok());  // 400 per node
+  Status st = dfs.WriteFile("more", Lines(20, 10));  // needs 200 per node
+  EXPECT_TRUE(st.IsOutOfSpace());
+}
+
+TEST(SimDfsTest, MetricsAccumulateAndReset) {
+  SimDfs dfs(SmallCluster());
+  ASSERT_TRUE(dfs.WriteFile("a", {"x", "y"}).ok());
+  ASSERT_TRUE(dfs.ReadFile("a").ok());
+  ASSERT_TRUE(dfs.ReadFile("a").ok());
+  const DfsMetrics& m = dfs.metrics();
+  EXPECT_EQ(m.files_created, 1u);
+  EXPECT_EQ(m.write_ops, 1u);
+  EXPECT_EQ(m.read_ops, 2u);
+  EXPECT_EQ(m.bytes_read, 2 * m.bytes_written);
+  ASSERT_TRUE(dfs.DeleteFile("a").ok());
+  EXPECT_EQ(dfs.metrics().files_deleted, 1u);
+  dfs.ResetMetrics();
+  EXPECT_EQ(dfs.metrics().bytes_read, 0u);
+  EXPECT_EQ(dfs.metrics().files_created, 0u);
+}
+
+TEST(SimDfsTest, ListFilesSorted) {
+  SimDfs dfs(SmallCluster());
+  ASSERT_TRUE(dfs.WriteFile("b", {"1"}).ok());
+  ASSERT_TRUE(dfs.WriteFile("a", {"1"}).ok());
+  ASSERT_TRUE(dfs.WriteFile("c", {"1"}).ok());
+  EXPECT_EQ(dfs.ListFiles(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SimDfsTest, FreeBytesConsistent) {
+  ClusterConfig config = SmallCluster(3, 1000, 1, 256);
+  SimDfs dfs(config);
+  EXPECT_EQ(dfs.FreeBytes(), config.TotalCapacity());
+  ASSERT_TRUE(dfs.WriteFile("a", Lines(30, 10)).ok());
+  EXPECT_EQ(dfs.FreeBytes() + dfs.UsedBytes(), config.TotalCapacity());
+}
+
+class ReplicationSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ReplicationSweepTest, UsageIsLinearInReplication) {
+  uint32_t repl = GetParam();
+  SimDfs dfs(SmallCluster(6, 1 << 20, repl, 1024));
+  ASSERT_TRUE(dfs.WriteFile("f", Lines(100, 10)).ok());
+  EXPECT_EQ(dfs.UsedBytes(), *dfs.FileSize("f") * repl);
+}
+
+INSTANTIATE_TEST_SUITE_P(Replication, ReplicationSweepTest,
+                         ::testing::Values(1u, 2u, 3u, 6u));
+
+}  // namespace
+}  // namespace rdfmr

@@ -1,0 +1,130 @@
+// Failure-injection tests: a write failure injected at EVERY position of a
+// workflow must surface as a clean engine failure — correct failed-job
+// index, no partial temporary state left behind, and the DFS still usable
+// afterwards. Also covers union queries (which ride on the batch path).
+
+#include <gtest/gtest.h>
+
+#include "query/matcher.h"
+#include "query/sparql_parser.h"
+#include "tests/test_util.h"
+
+namespace rdfmr {
+namespace {
+
+using testing_util::MakeDfsWithBase;
+using testing_util::SmallDataset;
+
+TEST(FaultInjectionTest, DfsWriteFailsOnCommandAndRearms) {
+  SimDfs dfs(testing_util::RoomyCluster());
+  dfs.InjectWriteFailureAfter(2);
+  EXPECT_TRUE(dfs.WriteFile("first", {"x"}).ok());
+  Status st = dfs.WriteFile("second", {"x"});
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_FALSE(dfs.Exists("second"));
+  EXPECT_TRUE(dfs.WriteFile("third", {"x"}).ok())
+      << "the injection is one-shot";
+}
+
+TEST(FaultInjectionTest, EngineFailsCleanlyAtEveryWritePosition) {
+  std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+  // B1 on NTGA: grouping job demuxes into 2 EC files, then 1 join output:
+  // three workflow writes. Fail each one in turn.
+  for (uint32_t failing_write = 1; failing_write <= 3; ++failing_write) {
+    auto dfs = MakeDfsWithBase(triples);
+    ASSERT_NE(dfs, nullptr);
+    dfs->InjectWriteFailureAfter(failing_write);
+    EngineOptions options;
+    options.kind = EngineKind::kNtgaLazy;
+    auto exec = RunQuery(dfs.get(), "base", *query, options);
+    ASSERT_TRUE(exec.ok()) << "infrastructure must not error";
+    EXPECT_FALSE(exec->stats.ok()) << "write " << failing_write;
+    EXPECT_EQ(exec->stats.status.code(), StatusCode::kIoError);
+    EXPECT_GE(exec->stats.failed_job_index, 0);
+    EXPECT_EQ(dfs->ListFiles(), (std::vector<std::string>{"base"}))
+        << "no temporaries may survive a failure at write "
+        << failing_write;
+    // The DFS remains usable: the same query succeeds afterwards.
+    auto retry = RunQuery(dfs.get(), "base", *query, options);
+    ASSERT_TRUE(retry.ok());
+    EXPECT_TRUE(retry->stats.ok());
+  }
+}
+
+TEST(FaultInjectionTest, RelationalEngineAlsoFailsCleanly) {
+  std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  auto query = GetTestbedQuery("B0");
+  ASSERT_TRUE(query.ok());
+  for (uint32_t failing_write = 1; failing_write <= 3; ++failing_write) {
+    auto dfs = MakeDfsWithBase(triples);
+    ASSERT_NE(dfs, nullptr);
+    dfs->InjectWriteFailureAfter(failing_write);
+    EngineOptions options;
+    options.kind = EngineKind::kHive;
+    auto exec = RunQuery(dfs.get(), "base", *query, options);
+    ASSERT_TRUE(exec.ok());
+    EXPECT_FALSE(exec->stats.ok());
+    EXPECT_EQ(exec->stats.failed_job_index,
+              static_cast<int>(failing_write) - 1)
+        << "Hive's B0 plan writes once per job";
+    EXPECT_EQ(dfs->ListFiles(), (std::vector<std::string>{"base"}));
+  }
+}
+
+TEST(FaultInjectionTest, BatchFailureLeavesNoState) {
+  std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  std::vector<std::shared_ptr<const GraphPatternQuery>> queries;
+  for (const char* id : {"B0", "B1"}) {
+    auto q = GetTestbedQuery(id);
+    ASSERT_TRUE(q.ok());
+    queries.push_back(*q);
+  }
+  auto dfs = MakeDfsWithBase(triples);
+  ASSERT_NE(dfs, nullptr);
+  dfs->InjectWriteFailureAfter(4);
+  EngineOptions options;
+  options.kind = EngineKind::kNtgaLazy;
+  auto batch = RunQueryBatch(dfs.get(), "base", queries, options);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch->stats.ok());
+  EXPECT_EQ(dfs->ListFiles(), (std::vector<std::string>{"base"}));
+}
+
+// ---- Union queries --------------------------------------------------------------
+
+TEST(UnionTest, UnionOfBranchesEqualsUnionOfOracles) {
+  std::vector<Triple> triples = SmallDataset(DatasetFamily::kBio2Rdf);
+  // The ontological-rewriting shape: "things related to a GO term" as the
+  // union of two conjunctive rewritings.
+  auto branch1 = ParseSparql("via-unbound", R"(SELECT * WHERE {
+    ?g <label> ?l . ?g ?up ?x . FILTER(CONTAINS(STR(?x), "go_")) })");
+  auto branch2 = ParseSparql("via-subtype", R"(SELECT * WHERE {
+    ?g <label> ?l . ?g <subType> ?st . })");
+  ASSERT_TRUE(branch1.ok() && branch2.ok());
+  std::vector<std::shared_ptr<const GraphPatternQuery>> branches = {
+      std::make_shared<const GraphPatternQuery>(branch1.MoveValueUnsafe()),
+      std::make_shared<const GraphPatternQuery>(branch2.MoveValueUnsafe()),
+  };
+  SolutionSet oracle;
+  for (const auto& branch : branches) {
+    SolutionSet part = EvaluateQueryInMemory(*branch, triples);
+    oracle.insert(part.begin(), part.end());
+  }
+  ASSERT_FALSE(oracle.empty());
+
+  auto dfs = MakeDfsWithBase(triples);
+  ASSERT_NE(dfs, nullptr);
+  EngineOptions options;
+  options.kind = EngineKind::kNtgaLazy;
+  auto exec = RunUnionQuery(dfs.get(), "base", branches, options);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  ASSERT_TRUE(exec->stats.ok());
+  EXPECT_TRUE(exec->answers == oracle);
+  EXPECT_EQ(exec->stats.full_scans, 1u)
+      << "the union shares the grouping cycle";
+}
+
+}  // namespace
+}  // namespace rdfmr

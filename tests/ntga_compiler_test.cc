@@ -1,0 +1,183 @@
+// Structural tests for the NTGA physical compiler: job layout, per-EC
+// demuxed outputs, join operator selection (TG_Join / TG_UnbJoin /
+// TG_OptUnbJoin), and end-to-end workflow execution details that the
+// engine-level tests do not pin down.
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "datagen/testbed.h"
+#include "mapreduce/workflow.h"
+#include "ntga/ntga_compiler.h"
+#include "ntga/triplegroup.h"
+#include "tests/test_util.h"
+
+namespace rdfmr {
+namespace {
+
+CompiledPlan Compile(const std::string& query_id, NtgaStrategy strategy) {
+  auto query = GetTestbedQuery(query_id);
+  EXPECT_TRUE(query.ok());
+  NtgaOptions options;
+  options.strategy = strategy;
+  options.phi_partitions = 8;
+  auto plan = CompileNtgaPlan(*query, "base", "tmp", options);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return std::move(*plan);
+}
+
+TEST(NtgaCompilerTest, TwoStarQueryIsTwoJobs) {
+  CompiledPlan plan = Compile("B0", NtgaStrategy::kLazyAuto);
+  ASSERT_EQ(plan.workflow.jobs.size(), 2u);
+  EXPECT_EQ(plan.workflow.jobs[0].name, "tg-group-filter");
+  EXPECT_EQ(plan.workflow.jobs[0].full_scans_of_base, 1u);
+  EXPECT_EQ(plan.workflow.jobs[1].full_scans_of_base, 0u);
+  EXPECT_NE(plan.workflow.jobs[1].name.find("tg-join"), std::string::npos);
+}
+
+TEST(NtgaCompilerTest, GroupingJobDemuxesPerEquivalenceClass) {
+  CompiledPlan plan = Compile("B0", NtgaStrategy::kLazyAuto);
+  const JobSpec& job1 = plan.workflow.jobs[0];
+  ASSERT_NE(job1.demux, nullptr);
+  ASSERT_EQ(job1.ensure_outputs.size(), 2u);
+  EXPECT_EQ(job1.ensure_outputs[0], "tmp/ec0");
+  EXPECT_EQ(job1.ensure_outputs[1], "tmp/ec1");
+  // The demux function routes a serialized AnnTg by its star id.
+  AnnTg tg;
+  tg.subject = "s";
+  tg.star_id = 1;
+  tg.AddPair("p", "o");
+  EXPECT_EQ(job1.demux(tg.Serialize()), "1");
+}
+
+TEST(NtgaCompilerTest, JoinOperatorNamesFollowThePlan) {
+  // B0: all bound -> TG_Join. A3 lazy: full unnest -> TG_UnbJoin.
+  // B1 lazy-auto: partial -> TG_OptUnbJoin.
+  EXPECT_NE(Compile("B0", NtgaStrategy::kLazyAuto)
+                .workflow.jobs[1]
+                .name.find("tg-join"),
+            std::string::npos);
+  EXPECT_NE(Compile("A3", NtgaStrategy::kLazyAuto)
+                .workflow.jobs[1]
+                .name.find("tg-unbjoin"),
+            std::string::npos);
+  EXPECT_NE(Compile("B1", NtgaStrategy::kLazyAuto)
+                .workflow.jobs[1]
+                .name.find("tg-optunbjoin"),
+            std::string::npos);
+}
+
+TEST(NtgaCompilerTest, SingleStarQueryIsOneJobWithEcFinal) {
+  CompiledPlan plan = Compile("A1", NtgaStrategy::kLazyAuto);
+  EXPECT_EQ(plan.workflow.jobs.size(), 1u);
+  EXPECT_EQ(plan.workflow.final_output_path, "tmp/ec0");
+}
+
+TEST(NtgaCompilerTest, ThreeStarQueryChainsJoinOutputs) {
+  CompiledPlan plan = Compile("B5", NtgaStrategy::kLazyAuto);
+  ASSERT_EQ(plan.workflow.jobs.size(), 3u);
+  EXPECT_EQ(plan.workflow.final_output_path, "tmp/tgjoin1");
+  // The second join reads the first join's output on one side.
+  bool reads_join0 = false;
+  for (const MapInput& input : plan.workflow.jobs[2].inputs) {
+    if (input.path == "tmp/tgjoin0") reads_join0 = true;
+  }
+  EXPECT_TRUE(reads_join0);
+}
+
+TEST(NtgaCompilerTest, StarPhasePathsAreTheEcFiles) {
+  CompiledPlan plan = Compile("B0", NtgaStrategy::kLazyAuto);
+  EXPECT_EQ(plan.star_phase_paths,
+            (std::vector<std::string>{"tmp/ec0", "tmp/ec1"}));
+}
+
+TEST(NtgaCompilerTest, NullQueryRejected) {
+  NtgaOptions options;
+  EXPECT_FALSE(CompileNtgaPlan(nullptr, "base", "tmp", options).ok());
+}
+
+// ---- Execution details --------------------------------------------------------
+
+TEST(NtgaCompilerTest, EagerGroupingWritesPerfectTriplegroups) {
+  auto triples = testing_util::SmallDataset(DatasetFamily::kBsbm);
+  auto dfs = testing_util::MakeDfsWithBase(triples);
+  ASSERT_NE(dfs, nullptr);
+  CompiledPlan plan = Compile("B1", NtgaStrategy::kEager);
+  WorkflowSpec spec = plan.workflow;
+  spec.intermediate_paths.clear();  // keep files for inspection
+  WorkflowResult result = RunWorkflow(dfs.get(), spec);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+  auto ec0 = dfs->ReadFile("tmp/ec0");
+  ASSERT_TRUE(ec0.ok());
+  ASSERT_FALSE(ec0->empty());
+  for (const std::string& line : *ec0) {
+    auto tg = AnnTg::Deserialize(line);
+    ASSERT_TRUE(tg.ok());
+    // Eager: the unbound pattern (index 2 in B1's first star) is pinned to
+    // exactly one candidate in every record.
+    const auto& star = (*query)->stars()[0];
+    std::vector<size_t> unbound = star.UnboundIndexes();
+    ASSERT_EQ(unbound.size(), 1u);
+    auto it = tg->overrides.find(static_cast<uint32_t>(unbound[0]));
+    ASSERT_NE(it, tg->overrides.end());
+    EXPECT_EQ(it->second.size(), 1u);
+  }
+}
+
+TEST(NtgaCompilerTest, LazyGroupingKeepsGroupsNested) {
+  auto triples = testing_util::SmallDataset(DatasetFamily::kBsbm);
+  auto dfs = testing_util::MakeDfsWithBase(triples);
+  ASSERT_NE(dfs, nullptr);
+  CompiledPlan plan = Compile("B1", NtgaStrategy::kLazyAuto);
+  WorkflowSpec spec = plan.workflow;
+  spec.intermediate_paths.clear();
+  WorkflowResult result = RunWorkflow(dfs.get(), spec);
+  ASSERT_TRUE(result.ok());
+
+  auto ec0 = dfs->ReadFile("tmp/ec0");
+  ASSERT_TRUE(ec0.ok());
+  ASSERT_FALSE(ec0->empty());
+  size_t with_overrides = 0;
+  for (const std::string& line : *ec0) {
+    auto tg = AnnTg::Deserialize(line);
+    ASSERT_TRUE(tg.ok());
+    if (!tg->overrides.empty()) ++with_overrides;
+  }
+  EXPECT_EQ(with_overrides, 0u)
+      << "lazy strategies must not unnest at the grouping cycle";
+  // One nested group per qualifying subject (vs one per candidate for
+  // eager) — the A1-style representation gap.
+  auto eager_plan = Compile("B1", NtgaStrategy::kEager);
+  // Re-run eager on a fresh DFS for comparison.
+  auto dfs2 = testing_util::MakeDfsWithBase(triples);
+  WorkflowSpec spec2 = eager_plan.workflow;
+  spec2.intermediate_paths.clear();
+  ASSERT_TRUE(RunWorkflow(dfs2.get(), spec2).ok());
+  auto eager_ec0 = dfs2->ReadFile("tmp/ec0");
+  ASSERT_TRUE(eager_ec0.ok());
+  EXPECT_LT(ec0->size(), eager_ec0->size());
+}
+
+TEST(NtgaCompilerTest, EmptyEcFileStillLetsJoinRun) {
+  // A dataset where star 1 (features) never matches: the grouping job must
+  // still create an (empty) EC file so the join job's input exists.
+  std::vector<Triple> triples = {
+      {"p1", "label", "x"}, {"p1", "type", "t"}, {"p1", "other", "y"},
+  };
+  auto dfs = testing_util::MakeDfsWithBase(triples);
+  ASSERT_NE(dfs, nullptr);
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+  EngineOptions options;
+  options.kind = EngineKind::kNtgaLazy;
+  auto exec = RunQuery(dfs.get(), "base", *query, options);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  ASSERT_TRUE(exec->stats.ok()) << exec->stats.status.ToString();
+  EXPECT_TRUE(exec->answers.empty());
+}
+
+}  // namespace
+}  // namespace rdfmr

@@ -1,0 +1,142 @@
+// Tests for the rewrite rules (R1-R5): filter flavors, eager-unnest flags,
+// join-site resolution, and the per-strategy unnest placement decisions —
+// verified against the paper's testbed query shapes.
+
+#include <gtest/gtest.h>
+
+#include "datagen/testbed.h"
+#include "ntga/logical_plan.h"
+
+namespace rdfmr {
+namespace {
+
+NtgaLogicalPlan PlanFor(const std::string& query_id, NtgaStrategy strategy) {
+  auto query = GetTestbedQuery(query_id);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  auto plan = RewriteToNtga(**query, strategy);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+TEST(RewriteTest, BoundOnlyQueryUsesPlainGroupFilter) {
+  NtgaLogicalPlan plan = PlanFor("B0", NtgaStrategy::kLazyAuto);
+  ASSERT_EQ(plan.beta_filter.size(), 2u);
+  EXPECT_FALSE(plan.beta_filter[0]);
+  EXPECT_FALSE(plan.beta_filter[1]);
+  EXPECT_FALSE(plan.eager_unnest[0]);
+  ASSERT_EQ(plan.joins.size(), 1u);
+  EXPECT_FALSE(plan.joins[0].partial);
+  EXPECT_EQ(plan.joins[0].left.unnest, UnnestPlacement::kNone);
+  EXPECT_EQ(plan.joins[0].right.unnest, UnnestPlacement::kNone);
+}
+
+TEST(RewriteTest, UnboundStarGetsBetaFilter) {
+  NtgaLogicalPlan plan = PlanFor("B1", NtgaStrategy::kLazyAuto);
+  EXPECT_TRUE(plan.beta_filter[0]) << "star with ?up needs σ^βγ";
+  EXPECT_FALSE(plan.beta_filter[1]) << "feature star is all bound";
+}
+
+TEST(RewriteTest, EagerStrategyUnnestsAtGroupingCycle) {
+  NtgaLogicalPlan plan = PlanFor("B1", NtgaStrategy::kEager);
+  EXPECT_TRUE(plan.eager_unnest[0]);
+  ASSERT_EQ(plan.joins.size(), 1u);
+  // Already unnested: nothing left to do at the join's map phase.
+  EXPECT_EQ(plan.joins[0].left.unnest, UnnestPlacement::kNone);
+  EXPECT_EQ(plan.joins[0].right.unnest, UnnestPlacement::kNone);
+  EXPECT_FALSE(plan.joins[0].partial);
+}
+
+TEST(RewriteTest, LazyAutoPicksPartialForUnboundObjectJoin) {
+  // B1 joins on a fully unbound object -> rule R5 picks μ^β_φm.
+  NtgaLogicalPlan plan = PlanFor("B1", NtgaStrategy::kLazyAuto);
+  ASSERT_EQ(plan.joins.size(), 1u);
+  const JoinCyclePlan& join = plan.joins[0];
+  EXPECT_TRUE(join.partial);
+  const JoinSidePlan& unbound_side =
+      join.left.site_unbound ? join.left : join.right;
+  EXPECT_EQ(unbound_side.unnest, UnnestPlacement::kLazyPartial);
+}
+
+TEST(RewriteTest, LazyAutoPicksFullForPartiallyBoundObjectJoin) {
+  // A3 joins on ?go, the object of an unbound pattern filtered by "go_".
+  NtgaLogicalPlan plan = PlanFor("A3", NtgaStrategy::kLazyAuto);
+  ASSERT_EQ(plan.joins.size(), 1u);
+  const JoinCyclePlan& join = plan.joins[0];
+  EXPECT_FALSE(join.partial);
+  const JoinSidePlan& unbound_side =
+      join.left.site_unbound ? join.left : join.right;
+  EXPECT_TRUE(unbound_side.site_unbound);
+  EXPECT_EQ(unbound_side.unnest, UnnestPlacement::kLazyFull);
+}
+
+TEST(RewriteTest, UnboundNotInJoinIsNeverUnnested) {
+  // B4's unbound pattern does not participate in the join: the join lands
+  // on the star's subject, so no unnest is planned anywhere (lazy).
+  NtgaLogicalPlan plan = PlanFor("B4", NtgaStrategy::kLazyAuto);
+  ASSERT_EQ(plan.joins.size(), 1u);
+  EXPECT_EQ(plan.joins[0].left.unnest, UnnestPlacement::kNone);
+  EXPECT_EQ(plan.joins[0].right.unnest, UnnestPlacement::kNone);
+  EXPECT_FALSE(plan.eager_unnest[0]);
+}
+
+TEST(RewriteTest, SubjectSitePreferredOverObjectSites) {
+  NtgaLogicalPlan plan = PlanFor("B4", NtgaStrategy::kLazyAuto);
+  const JoinCyclePlan& join = plan.joins[0];
+  // One side must join by its star's subject (?p).
+  bool subject_side = (join.left.site_tp == -1) || (join.right.site_tp == -1);
+  EXPECT_TRUE(subject_side);
+}
+
+TEST(RewriteTest, LazyFullForcesFullEverywhere) {
+  NtgaLogicalPlan plan = PlanFor("B1", NtgaStrategy::kLazyFull);
+  const JoinCyclePlan& join = plan.joins[0];
+  const JoinSidePlan& unbound_side =
+      join.left.site_unbound ? join.left : join.right;
+  EXPECT_EQ(unbound_side.unnest, UnnestPlacement::kLazyFull);
+  EXPECT_FALSE(join.partial);
+}
+
+TEST(RewriteTest, LazyPartialForcesPartial) {
+  NtgaLogicalPlan plan = PlanFor("A3", NtgaStrategy::kLazyPartial);
+  const JoinCyclePlan& join = plan.joins[0];
+  EXPECT_TRUE(join.partial);
+}
+
+TEST(RewriteTest, ThreeStarQueryPlansTwoJoinCycles) {
+  NtgaLogicalPlan plan = PlanFor("B5", NtgaStrategy::kLazyAuto);
+  EXPECT_EQ(plan.joins.size(), 2u);
+  // After the first join the left side's relation contains both stars.
+  EXPECT_EQ(plan.joins[1].left.stars.size() +
+                plan.joins[1].right.stars.size(),
+            3u);
+}
+
+TEST(RewriteTest, A5JoinOnSecondUnboundObject) {
+  NtgaLogicalPlan plan = PlanFor("A5", NtgaStrategy::kLazyAuto);
+  ASSERT_EQ(plan.joins.size(), 1u);
+  const JoinCyclePlan& join = plan.joins[0];
+  const JoinSidePlan& unbound_side =
+      join.left.site_unbound ? join.left : join.right;
+  EXPECT_TRUE(unbound_side.site_unbound);
+  EXPECT_TRUE(join.partial) << "?a is fully unbound -> partial unnest";
+}
+
+TEST(RewriteTest, ToStringRendersAlgebra) {
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+  auto plan = RewriteToNtga(**query, NtgaStrategy::kLazyAuto);
+  ASSERT_TRUE(plan.ok());
+  std::string rendered = plan->ToString(**query);
+  EXPECT_NE(rendered.find("MR1"), std::string::npos);
+  EXPECT_NE(rendered.find("MR2"), std::string::npos);
+  EXPECT_NE(rendered.find("EC0"), std::string::npos);
+  EXPECT_NE(rendered.find("TG_OptUnbJoin"), std::string::npos);
+}
+
+TEST(RewriteTest, StrategyNames) {
+  EXPECT_STREQ(NtgaStrategyToString(NtgaStrategy::kEager), "EagerUnnest");
+  EXPECT_STREQ(NtgaStrategyToString(NtgaStrategy::kLazyAuto), "LazyUnnest");
+}
+
+}  // namespace
+}  // namespace rdfmr

@@ -1,0 +1,210 @@
+// Unit tests for the TripleGroup data model: nested pair storage,
+// compaction rules, serialization (with adversarial strings), and joined
+// triplegroups.
+
+#include <gtest/gtest.h>
+
+#include "ntga/triplegroup.h"
+
+namespace rdfmr {
+namespace {
+
+StarPattern StarWithUnbound() {
+  StarPattern star;
+  star.subject_var = "g";
+  star.patterns.push_back(TriplePattern::Bound(
+      NodePattern::Var("g"), "label", NodePattern::Var("l")));
+  star.patterns.push_back(TriplePattern::Bound(
+      NodePattern::Var("g"), "xGO", NodePattern::Var("go")));
+  star.patterns.push_back(TriplePattern::Unbound(
+      NodePattern::Var("g"), "up", NodePattern::Var("x")));
+  return star;
+}
+
+TEST(AnnTgTest, AddPairDeduplicatesAndSorts) {
+  AnnTg tg;
+  tg.AddPair("xGO", "go9");
+  tg.AddPair("xGO", "go1");
+  tg.AddPair("xGO", "go9");
+  ASSERT_EQ(tg.pairs.at("xGO"),
+            (std::vector<std::string>{"go1", "go9"}));
+  EXPECT_EQ(tg.PairCount(), 2u);
+}
+
+TEST(AnnTgTest, AllPairsFlattensInOrder) {
+  AnnTg tg;
+  tg.AddPair("b", "2");
+  tg.AddPair("a", "1");
+  std::vector<PropObj> pairs = tg.AllPairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].property, "a");
+  EXPECT_EQ(pairs[1].property, "b");
+}
+
+TEST(AnnTgTest, ToTriplesIncludesOverrides) {
+  AnnTg tg;
+  tg.subject = "gene9";
+  tg.AddPair("label", "retinoid");
+  tg.overrides[2] = {PropObj{"xRef", "ref1"}};
+  std::vector<Triple> triples = tg.ToTriples();
+  ASSERT_EQ(triples.size(), 2u);
+  EXPECT_EQ(triples[0], Triple("gene9", "label", "retinoid"));
+  EXPECT_EQ(triples[1], Triple("gene9", "xRef", "ref1"));
+}
+
+TEST(AnnTgTest, CompactKeepsBoundAndOpenUnboundCandidates) {
+  StarPattern star = StarWithUnbound();
+  AnnTg tg;
+  tg.subject = "g";
+  tg.AddPair("label", "l1");
+  tg.AddPair("xGO", "go1");
+  tg.AddPair("synonym", "s1");  // only an unbound candidate
+  tg.Compact(star);
+  // The unbound pattern is unrestricted and not overridden: all pairs stay.
+  EXPECT_TRUE(tg.HasProperty("synonym"));
+  EXPECT_TRUE(tg.HasProperty("label"));
+}
+
+TEST(AnnTgTest, CompactDropsCandidatesOncePinned) {
+  StarPattern star = StarWithUnbound();
+  AnnTg tg;
+  tg.subject = "g";
+  tg.AddPair("label", "l1");
+  tg.AddPair("xGO", "go1");
+  tg.AddPair("synonym", "s1");
+  tg.overrides[2] = {PropObj{"synonym", "s1"}};  // pin the unbound pattern
+  tg.Compact(star);
+  EXPECT_FALSE(tg.HasProperty("synonym"))
+      << "a pinned pattern's candidates must be shed";
+  EXPECT_TRUE(tg.HasProperty("label"));
+  EXPECT_TRUE(tg.HasProperty("xGO"));
+}
+
+TEST(AnnTgTest, CompactRespectsOpenPatternsObjectFilter) {
+  // Star with TWO unbound patterns, the second filtered; pin the first.
+  StarPattern star;
+  star.subject_var = "g";
+  star.patterns.push_back(TriplePattern::Bound(
+      NodePattern::Var("g"), "subType", NodePattern::Var("st")));
+  star.patterns.push_back(TriplePattern::Unbound(
+      NodePattern::Var("g"), "up1", NodePattern::Var("a")));
+  star.patterns.push_back(TriplePattern::Unbound(
+      NodePattern::Var("g"), "up2", NodePattern::Var("o", "nur77")));
+  AnnTg tg;
+  tg.subject = "g";
+  tg.AddPair("subType", "protein");
+  tg.AddPair("interactsWith", "gene_nur77");
+  tg.AddPair("xGO", "go1");
+  tg.overrides[1] = {PropObj{"xGO", "go1"}};  // pin up1
+  tg.Compact(star);
+  EXPECT_TRUE(tg.HasProperty("subType")) << "bound pair stays";
+  EXPECT_TRUE(tg.HasProperty("interactsWith"))
+      << "still a candidate for the filtered open pattern";
+  EXPECT_FALSE(tg.HasProperty("xGO"))
+      << "cannot satisfy the open pattern's 'nur77' filter";
+}
+
+TEST(AnnTgTest, SerdeRoundtripBasic) {
+  AnnTg tg;
+  tg.subject = "gene9";
+  tg.star_id = 3;
+  tg.AddPair("label", "retinoid receptor");
+  tg.AddPair("xGO", "go1");
+  tg.AddPair("xGO", "go9");
+  tg.overrides[2] = {PropObj{"xRef", "ref1"}, PropObj{"xRef", "ref2"}};
+  auto back = AnnTg::Deserialize(tg.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, tg);
+}
+
+class AnnTgSerdeParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AnnTgSerdeParamTest, RoundtripsWithAdversarialStrings) {
+  const std::string& nasty = GetParam();
+  AnnTg tg;
+  tg.subject = nasty;
+  tg.star_id = 7;
+  tg.AddPair(nasty + "_p", nasty + "_o");
+  tg.AddPair("normal", nasty);
+  tg.overrides[0] = {PropObj{nasty, nasty}};
+  auto back = AnnTg::Deserialize(tg.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, tg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Nasty, AnnTgSerdeParamTest,
+    ::testing::Values("plain", "with,comma", "with\ttab",
+                      std::string("\x1F\x1D\x1E"), "back\\slash\\",
+                      "new\nline", "=;|,", ""));
+
+TEST(AnnTgTest, PeekStarIdMatchesFull) {
+  AnnTg tg;
+  tg.subject = "s";
+  tg.star_id = 42;
+  tg.AddPair("p", "o");
+  auto peeked = AnnTg::PeekStarId(tg.Serialize());
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(*peeked, 42u);
+}
+
+TEST(AnnTgTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(AnnTg::Deserialize("").ok());
+  EXPECT_FALSE(AnnTg::Deserialize("no separators at all").ok());
+  EXPECT_FALSE(AnnTg::PeekStarId("nope").ok());
+}
+
+TEST(AnnTgTest, EmptyGroupSerde) {
+  AnnTg tg;
+  tg.subject = "lonely";
+  tg.star_id = 0;
+  auto back = AnnTg::Deserialize(tg.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, tg);
+}
+
+// ---- JoinedTg -----------------------------------------------------------------
+
+TEST(JoinedTgTest, SerdeRoundtripMultiComponent) {
+  AnnTg a;
+  a.subject = "gene9";
+  a.star_id = 0;
+  a.AddPair("label", "retinoid");
+  AnnTg b;
+  b.subject = "go1";
+  b.star_id = 1;
+  b.AddPair("goLabel", "molecular function");
+  b.overrides[1] = {PropObj{"goSyn", "mf"}};
+  JoinedTg joined;
+  joined.components = {a, b};
+  auto back = JoinedTg::Deserialize(joined.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, joined);
+}
+
+TEST(JoinedTgTest, SingleAnnTgLineParsesAsOneComponent) {
+  AnnTg a;
+  a.subject = "s";
+  a.star_id = 5;
+  a.AddPair("p", "o");
+  auto back = JoinedTg::Deserialize(a.Serialize());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->components.size(), 1u);
+  EXPECT_EQ(back->components[0], a);
+}
+
+TEST(JoinedTgTest, ComponentForStar) {
+  AnnTg a, b;
+  a.star_id = 0;
+  a.subject = "x";
+  b.star_id = 2;
+  b.subject = "y";
+  JoinedTg joined;
+  joined.components = {a, b};
+  ASSERT_NE(joined.ComponentForStar(2), nullptr);
+  EXPECT_EQ(joined.ComponentForStar(2)->subject, "y");
+  EXPECT_EQ(joined.ComponentForStar(1), nullptr);
+}
+
+}  // namespace
+}  // namespace rdfmr

@@ -1,0 +1,331 @@
+// Unit tests for the query model: node/triple/star patterns, star
+// decomposition and join-graph derivation, solutions, and the SPARQL
+// subset parser.
+
+#include <gtest/gtest.h>
+
+#include "query/pattern.h"
+#include "query/solution.h"
+#include "query/sparql_parser.h"
+
+namespace rdfmr {
+namespace {
+
+// ---- NodePattern ------------------------------------------------------------
+
+TEST(NodePatternTest, ConstantMatchesExactly) {
+  NodePattern n = NodePattern::Const("go1");
+  EXPECT_TRUE(n.Matches("go1"));
+  EXPECT_FALSE(n.Matches("go11"));
+  EXPECT_TRUE(n.is_constant());
+  EXPECT_FALSE(n.partially_bound());
+}
+
+TEST(NodePatternTest, VariableMatchesEverything) {
+  NodePattern n = NodePattern::Var("x");
+  EXPECT_TRUE(n.Matches("anything"));
+  EXPECT_TRUE(n.Matches(""));
+}
+
+TEST(NodePatternTest, ContainsFilterIsSubstring) {
+  NodePattern n = NodePattern::Var("x", "hexo");
+  EXPECT_TRUE(n.partially_bound());
+  EXPECT_TRUE(n.Matches("hexokinase gene"));
+  EXPECT_TRUE(n.Matches("prefix hexo"));
+  EXPECT_FALSE(n.Matches("HEXOKINASE"));
+  EXPECT_FALSE(n.Matches("hex o"));
+}
+
+// ---- TriplePattern / StarPattern ---------------------------------------------
+
+TEST(TriplePatternTest, VariablesCollectsAllPositions) {
+  TriplePattern tp = TriplePattern::Unbound(NodePattern::Var("s"), "p",
+                                            NodePattern::Var("o"));
+  EXPECT_EQ(tp.Variables(), (std::vector<std::string>{"s", "p", "o"}));
+  TriplePattern bound = TriplePattern::Bound(
+      NodePattern::Var("s"), "label", NodePattern::Const("x"));
+  EXPECT_EQ(bound.Variables(), (std::vector<std::string>{"s"}));
+}
+
+TEST(StarPatternTest, BoundAndUnboundBookkeeping) {
+  StarPattern star;
+  star.subject_var = "g";
+  star.patterns.push_back(TriplePattern::Bound(
+      NodePattern::Var("g"), "label", NodePattern::Var("l")));
+  star.patterns.push_back(TriplePattern::Bound(
+      NodePattern::Var("g"), "xGO", NodePattern::Var("go")));
+  star.patterns.push_back(TriplePattern::Unbound(
+      NodePattern::Var("g"), "up", NodePattern::Var("x")));
+  EXPECT_EQ(star.BoundProperties(),
+            (std::set<std::string>{"label", "xGO"}));
+  EXPECT_EQ(star.UnboundIndexes(), (std::vector<size_t>{2}));
+  EXPECT_TRUE(star.HasUnbound());
+  EXPECT_EQ(star.NumUnbound(), 1u);
+  EXPECT_EQ(star.Arity(), 3u);
+}
+
+// ---- GraphPatternQuery decomposition -----------------------------------------
+
+std::vector<TriplePattern> TwoStarPatterns() {
+  return {
+      TriplePattern::Bound(NodePattern::Var("p"), "label",
+                           NodePattern::Var("l")),
+      TriplePattern::Unbound(NodePattern::Var("p"), "up",
+                             NodePattern::Var("x")),
+      TriplePattern::Bound(NodePattern::Var("o"), "product",
+                           NodePattern::Var("p")),
+      TriplePattern::Bound(NodePattern::Var("o"), "price",
+                           NodePattern::Var("pr")),
+  };
+}
+
+TEST(QueryTest, DecomposesIntoStarsInFirstAppearanceOrder) {
+  auto q = GraphPatternQuery::Create("q", TwoStarPatterns());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->stars().size(), 2u);
+  EXPECT_EQ(q->stars()[0].subject_var, "p");
+  EXPECT_EQ(q->stars()[1].subject_var, "o");
+  EXPECT_EQ(q->stars()[0].Arity(), 2u);
+  EXPECT_EQ(q->stars()[1].Arity(), 2u);
+  EXPECT_TRUE(q->HasUnbound());
+  EXPECT_EQ(q->NumUnbound(), 1u);
+}
+
+TEST(QueryTest, DerivesObjectSubjectJoin) {
+  auto q = GraphPatternQuery::Create("q", TwoStarPatterns());
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->joins().size(), 1u);
+  const StarJoin& join = q->joins()[0];
+  EXPECT_EQ(join.variable, "p");
+  EXPECT_EQ(join.kind, StarJoinKind::kObjectSubject);
+  // Normalized: the left side carries the object position.
+  EXPECT_EQ(join.left_star, 1u);
+  EXPECT_EQ(join.right_star, 0u);
+  EXPECT_EQ(join.left_pattern_index, 0);
+  EXPECT_EQ(join.right_pattern_index, -1);
+  EXPECT_FALSE(join.LeftOnUnbound(q->stars()));
+}
+
+TEST(QueryTest, DerivesObjectObjectJoin) {
+  std::vector<TriplePattern> patterns = {
+      TriplePattern::Bound(NodePattern::Var("a"), "product",
+                           NodePattern::Var("p")),
+      TriplePattern::Bound(NodePattern::Var("b"), "reviewFor",
+                           NodePattern::Var("p")),
+  };
+  auto q = GraphPatternQuery::Create("oo", std::move(patterns));
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->joins().size(), 1u);
+  EXPECT_EQ(q->joins()[0].kind, StarJoinKind::kObjectObject);
+}
+
+TEST(QueryTest, JoinOnUnboundObjectIsFlagged) {
+  std::vector<TriplePattern> patterns = {
+      TriplePattern::Bound(NodePattern::Var("p"), "label",
+                           NodePattern::Var("l")),
+      TriplePattern::Unbound(NodePattern::Var("p"), "up",
+                             NodePattern::Var("x")),
+      TriplePattern::Bound(NodePattern::Var("x"), "featureLabel",
+                           NodePattern::Var("fl")),
+  };
+  auto q = GraphPatternQuery::Create("b1", std::move(patterns));
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->joins().size(), 1u);
+  const StarJoin& join = q->joins()[0];
+  EXPECT_EQ(join.kind, StarJoinKind::kObjectSubject);
+  EXPECT_TRUE(join.LeftOnUnbound(q->stars()));
+}
+
+TEST(QueryTest, RejectsEmptyQuery) {
+  EXPECT_FALSE(GraphPatternQuery::Create("empty", {}).ok());
+}
+
+TEST(QueryTest, RejectsDisconnectedStars) {
+  std::vector<TriplePattern> patterns = {
+      TriplePattern::Bound(NodePattern::Var("a"), "p1",
+                           NodePattern::Var("x")),
+      TriplePattern::Bound(NodePattern::Var("b"), "p2",
+                           NodePattern::Var("y")),
+  };
+  auto q = GraphPatternQuery::Create("disc", std::move(patterns));
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(QueryTest, RejectsConstantSubject) {
+  std::vector<TriplePattern> patterns = {
+      TriplePattern::Bound(NodePattern::Const("gene9"), "label",
+                           NodePattern::Var("l")),
+  };
+  EXPECT_FALSE(GraphPatternQuery::Create("cs", std::move(patterns)).ok());
+}
+
+TEST(QueryTest, RejectsPropertyVariableInNodePosition) {
+  std::vector<TriplePattern> patterns = {
+      TriplePattern::Unbound(NodePattern::Var("s"), "p",
+                             NodePattern::Var("o")),
+      TriplePattern::Bound(NodePattern::Var("s"), "label",
+                           NodePattern::Var("p")),  // reuses ?p as object
+  };
+  auto q = GraphPatternQuery::Create("pv", std::move(patterns));
+  EXPECT_EQ(q.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(QueryTest, VariablesAreSortedAndComplete) {
+  auto q = GraphPatternQuery::Create("q", TwoStarPatterns());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->variables(),
+            (std::vector<std::string>{"l", "o", "p", "pr", "up", "x"}));
+}
+
+TEST(QueryTest, ToStringMentionsStarsAndJoins) {
+  auto q = GraphPatternQuery::Create("pretty", TwoStarPatterns());
+  ASSERT_TRUE(q.ok());
+  std::string s = q->ToString();
+  EXPECT_NE(s.find("Star(?p)"), std::string::npos);
+  EXPECT_NE(s.find("Object-Subject"), std::string::npos);
+}
+
+// ---- Solutions ---------------------------------------------------------------
+
+TEST(SolutionTest, BindAndConflict) {
+  Solution s;
+  EXPECT_TRUE(s.Bind("x", "1"));
+  EXPECT_TRUE(s.Bind("x", "1"));   // re-binding same value is fine
+  EXPECT_FALSE(s.Bind("x", "2"));  // conflicting value rejected
+  EXPECT_EQ(*s.Get("x"), "1");
+  EXPECT_EQ(s.Get("y"), nullptr);
+}
+
+TEST(SolutionTest, MergeConsistency) {
+  Solution a, b, c;
+  a.Bind("x", "1");
+  b.Bind("y", "2");
+  c.Bind("x", "other");
+  auto ab = a.Merge(b);
+  ASSERT_TRUE(ab.ok());
+  EXPECT_EQ(ab->size(), 2u);
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(SolutionTest, SerdeRoundtripWithNastyValues) {
+  Solution s;
+  s.Bind("var1", "value with = and ; and \\ chars");
+  s.Bind("var2", "");
+  s.Bind("a=b", "tricky var name");
+  auto back = Solution::Deserialize(s.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(SolutionTest, EmptySolutionSerde) {
+  Solution s;
+  auto back = Solution::Deserialize(s.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 0u);
+}
+
+TEST(SolutionTest, ParseSolutionFileDeduplicates) {
+  Solution s;
+  s.Bind("x", "1");
+  auto set = ParseSolutionFile({s.Serialize(), s.Serialize()});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 1u);
+}
+
+// ---- SPARQL parser -------------------------------------------------------------
+
+TEST(SparqlTest, ParsesBoundAndUnboundPatterns) {
+  auto q = ParseSparql("t", R"(SELECT * WHERE {
+    ?g <label> ?l .
+    ?g ?up ?x .
+  })");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->stars().size(), 1u);
+  EXPECT_TRUE(q->stars()[0].patterns[0].property_bound);
+  EXPECT_FALSE(q->stars()[0].patterns[1].property_bound);
+  EXPECT_EQ(q->stars()[0].patterns[1].property, "up");
+}
+
+TEST(SparqlTest, ContainsFilterBecomesPartiallyBoundObject) {
+  auto q = ParseSparql("t", R"(SELECT * WHERE {
+    ?g <label> ?l . ?g ?up ?x .
+    FILTER(CONTAINS(STR(?x), "go_"))
+  })");
+  ASSERT_TRUE(q.ok());
+  const NodePattern& obj = q->stars()[0].patterns[1].object;
+  EXPECT_TRUE(obj.partially_bound());
+  EXPECT_EQ(obj.contains_filter, "go_");
+}
+
+TEST(SparqlTest, EqualityFilterPinsConstant) {
+  auto q = ParseSparql("t", R"(SELECT * WHERE {
+    ?g <label> ?l . FILTER(?l = "nur77")
+    ?g <xGO> ?go .
+  })");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->stars()[0].patterns[0].object.is_constant());
+  EXPECT_EQ(q->stars()[0].patterns[0].object.value, "nur77");
+}
+
+TEST(SparqlTest, EqualityFilterOnPropertyVariableBindsProperty) {
+  auto q = ParseSparql("t", R"(SELECT * WHERE {
+    ?g ?p ?o . FILTER(?p = <xGO>)
+    ?g <label> ?l .
+  })");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->stars()[0].patterns[0].property_bound);
+  EXPECT_EQ(q->stars()[0].patterns[0].property, "xGO");
+}
+
+TEST(SparqlTest, IriObjectIsConstant) {
+  auto q = ParseSparql("t",
+                       "SELECT * WHERE { ?s <type> <Scientist> . ?s ?p ?o }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->stars()[0].patterns[0].object.is_constant());
+  EXPECT_EQ(q->stars()[0].patterns[0].object.value, "Scientist");
+}
+
+TEST(SparqlTest, ProjectionListAccepted) {
+  auto q = ParseSparql(
+      "t", "SELECT ?s ?o WHERE { ?s <p> ?o . ?s ?up ?x . }");
+  EXPECT_TRUE(q.ok());
+}
+
+TEST(SparqlTest, CommentsIgnored) {
+  auto q = ParseSparql("t", R"(# leading comment
+  SELECT * WHERE {
+    ?s <p> ?o . # trailing comment
+  })");
+  EXPECT_TRUE(q.ok());
+}
+
+TEST(SparqlTest, ParseErrors) {
+  EXPECT_FALSE(ParseSparql("t", "").ok());
+  EXPECT_FALSE(ParseSparql("t", "SELECT * { ?s <p> ?o }").ok());
+  EXPECT_FALSE(ParseSparql("t", "SELECT * WHERE { }").ok());
+  EXPECT_FALSE(ParseSparql("t", "SELECT * WHERE { ?s <p> }").ok());
+  EXPECT_FALSE(
+      ParseSparql("t", "SELECT * WHERE { ?s \"lit\" ?o }").ok());
+  EXPECT_FALSE(ParseSparql(
+                   "t", "SELECT * WHERE { ?s <p> ?o FILTER(BOGUS(?o)) }")
+                   .ok());
+  EXPECT_FALSE(ParseSparql("t", "SELECT * WHERE { ?s <unterminated ?o }")
+                   .ok());
+}
+
+TEST(SparqlTest, ComplexThreeStarQueryParses) {
+  // The full catalog is covered in datagen_test; this is the most complex
+  // single shape: three stars, two unbound patterns, one filtered.
+  auto q = ParseSparql("b6", R"(SELECT * WHERE {
+    ?p <label> ?l . ?p ?up1 ?x .
+    ?x <featureLabel> ?fl .
+    ?o <product> ?p . ?o ?up2 ?y .
+    FILTER(CONTAINS(STR(?y), "vendor"))
+    ?o <price> ?pr . })");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->stars().size(), 3u);
+  EXPECT_EQ(q->NumUnbound(), 2u);
+}
+
+}  // namespace
+}  // namespace rdfmr

@@ -1,0 +1,202 @@
+// Tests for the relational layer: n-tuple serde, join-key extraction,
+// answer decoding, and the Pig/Hive plan compilers' structural properties
+// (cycle counts, scan counts, compress jobs, inlined single-pattern stars,
+// Sel-SJ-first shapes).
+
+#include <gtest/gtest.h>
+
+#include "datagen/testbed.h"
+#include "relational/rel_compiler.h"
+#include "relational/rel_tuple.h"
+
+namespace rdfmr {
+namespace {
+
+RelSchema TwoPatternSchema() {
+  return {
+      TriplePattern::Bound(NodePattern::Var("g"), "label",
+                           NodePattern::Var("l")),
+      TriplePattern::Unbound(NodePattern::Var("g"), "up",
+                             NodePattern::Var("x")),
+  };
+}
+
+RelTuple MakeTuple() {
+  RelTuple t;
+  t.triples.emplace_back("gene9", "label", "retinoid");
+  t.triples.emplace_back("gene9", "xGO", "go1");
+  return t;
+}
+
+TEST(RelTupleTest, SerdeRoundtrip) {
+  RelTuple t = MakeTuple();
+  auto back = RelTuple::Deserialize(t.Serialize(), 2);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->triples, t.triples);
+}
+
+TEST(RelTupleTest, DeserializeChecksArity) {
+  RelTuple t = MakeTuple();
+  EXPECT_FALSE(RelTuple::Deserialize(t.Serialize(), 3).ok());
+  EXPECT_FALSE(RelTuple::Deserialize("a\tb", 1).ok());
+}
+
+TEST(RelTupleTest, ToSolutionBindsAllVariables) {
+  auto sol = MakeTuple().ToSolution(TwoPatternSchema());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(*sol->Get("g"), "gene9");
+  EXPECT_EQ(*sol->Get("l"), "retinoid");
+  EXPECT_EQ(*sol->Get("up"), "xGO");
+  EXPECT_EQ(*sol->Get("x"), "go1");
+}
+
+TEST(RelTupleTest, ToSolutionRejectsMismatchedColumn) {
+  RelTuple t = MakeTuple();
+  t.triples[0].property = "wrongProperty";
+  EXPECT_FALSE(t.ToSolution(TwoPatternSchema()).ok());
+}
+
+TEST(RelTupleTest, ToSolutionRejectsInconsistentSharedVariable) {
+  RelSchema schema = {
+      TriplePattern::Bound(NodePattern::Var("g"), "p1",
+                           NodePattern::Var("v")),
+      TriplePattern::Bound(NodePattern::Var("g"), "p2",
+                           NodePattern::Var("v")),
+  };
+  RelTuple t;
+  t.triples.emplace_back("s", "p1", "same");
+  t.triples.emplace_back("s", "p2", "different");
+  EXPECT_FALSE(t.ToSolution(schema).ok());
+}
+
+TEST(RelTupleTest, ExtractJoinKeyPositions) {
+  RelSchema schema = TwoPatternSchema();
+  RelTuple t = MakeTuple();
+  auto g = ExtractJoinKey(schema, t, "g");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(*g, "gene9");
+  auto x = ExtractJoinKey(schema, t, "x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, "go1");
+  EXPECT_TRUE(ExtractJoinKey(schema, t, "nope").status().IsNotFound());
+}
+
+TEST(RelTupleTest, DecodeAnswersDeduplicates) {
+  RelTuple t = MakeTuple();
+  auto set = DecodeRelationalAnswers(TwoPatternSchema(),
+                                     {t.Serialize(), t.Serialize()});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 1u);
+}
+
+// ---- Plan compiler structure ---------------------------------------------------
+
+CompiledPlan CompileFor(const std::string& query_id, RelationalStyle style,
+                        RelationalGrouping grouping =
+                            RelationalGrouping::kStarPerCycle) {
+  auto query = GetTestbedQuery(query_id);
+  EXPECT_TRUE(query.ok());
+  RelationalOptions options;
+  options.style = style;
+  options.grouping = grouping;
+  auto plan = CompileRelationalPlan(*query, "base", "tmp", options);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return std::move(*plan);
+}
+
+uint32_t TotalFullScans(const CompiledPlan& plan) {
+  uint32_t scans = 0;
+  for (const JobSpec& job : plan.workflow.jobs) {
+    scans += job.full_scans_of_base;
+  }
+  return scans;
+}
+
+TEST(RelCompilerTest, HiveTwoStarPlanShape) {
+  CompiledPlan plan = CompileFor("B0", RelationalStyle::kHive);
+  // 2 star cycles + 1 join cycle.
+  ASSERT_EQ(plan.workflow.jobs.size(), 3u);
+  EXPECT_EQ(TotalFullScans(plan), 2u) << "Hive shares scans per cycle";
+  EXPECT_EQ(plan.star_phase_paths.size(), 2u);
+  EXPECT_FALSE(plan.workflow.final_output_path.empty());
+}
+
+TEST(RelCompilerTest, PigScansOncePerOperand) {
+  CompiledPlan plan = CompileFor("B0", RelationalStyle::kPig);
+  // B0: star1 has 3 patterns, star2 has 3 patterns -> 6 operand scans.
+  EXPECT_EQ(TotalFullScans(plan), 6u);
+}
+
+TEST(RelCompilerTest, PigAddsCompressJobForUnboundMultiStar) {
+  CompiledPlan plan = CompileFor("B1", RelationalStyle::kPig);
+  ASSERT_FALSE(plan.workflow.jobs.empty());
+  EXPECT_EQ(plan.workflow.jobs[0].name, "pig-filter-compress");
+  // After compressing, later cycles scan the compressed copy, so the base
+  // is scanned exactly once.
+  EXPECT_EQ(TotalFullScans(plan), 1u);
+  // Hive runs the same query without the extra job.
+  CompiledPlan hive = CompileFor("B1", RelationalStyle::kHive);
+  EXPECT_EQ(hive.workflow.jobs.size() + 1, plan.workflow.jobs.size());
+}
+
+TEST(RelCompilerTest, SingleStarQueryIsOneCycle) {
+  CompiledPlan plan = CompileFor("A1", RelationalStyle::kHive);
+  EXPECT_EQ(plan.workflow.jobs.size(), 1u);
+  EXPECT_EQ(plan.workflow.final_output_path,
+            plan.star_phase_paths.at(0));
+}
+
+TEST(RelCompilerTest, SinglePatternStarInlinedIntoJoinCycle) {
+  // A5's second star is a lone label edge: Hive folds it into the join
+  // cycle (2 jobs total, both scanning the base), mirroring the paper.
+  CompiledPlan plan = CompileFor("A5", RelationalStyle::kHive);
+  EXPECT_EQ(plan.workflow.jobs.size(), 2u);
+  EXPECT_EQ(TotalFullScans(plan), 2u);
+}
+
+TEST(RelCompilerTest, SelSjFirstFoldsObjectSubjectJoin) {
+  CompiledPlan plan = CompileFor("Q1a", RelationalStyle::kHive,
+                                 RelationalGrouping::kSelSJFirst);
+  EXPECT_EQ(plan.workflow.jobs.size(), 2u);
+  EXPECT_EQ(TotalFullScans(plan), 2u);
+}
+
+TEST(RelCompilerTest, SelSjFirstObjectObjectStaysThreeCycles) {
+  CompiledPlan plan = CompileFor("Q3a", RelationalStyle::kHive,
+                                 RelationalGrouping::kSelSJFirst);
+  EXPECT_EQ(plan.workflow.jobs.size(), 3u);
+  EXPECT_EQ(TotalFullScans(plan), 3u)
+      << "the case study's O-O join rescans the base in the join cycle";
+}
+
+TEST(RelCompilerTest, ThreeStarQueryChainsJoins) {
+  CompiledPlan plan = CompileFor("B5", RelationalStyle::kHive);
+  // B5: product star + offer star get cycles; the single-pattern feature
+  // star is inlined; then 2 join cycles.
+  EXPECT_EQ(plan.workflow.jobs.size(), 4u);
+}
+
+TEST(RelCompilerTest, NullQueryRejected) {
+  RelationalOptions options;
+  EXPECT_FALSE(
+      CompileRelationalPlan(nullptr, "base", "tmp", options).ok());
+}
+
+TEST(RelCompilerTest, SelSjFirstRequiresTwoStars) {
+  auto query = GetTestbedQuery("A1");  // single star
+  ASSERT_TRUE(query.ok());
+  RelationalOptions options;
+  options.grouping = RelationalGrouping::kSelSJFirst;
+  auto plan = CompileRelationalPlan(*query, "base", "tmp", options);
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(RelCompilerTest, IntermediatePathsExcludeFinalOutput) {
+  CompiledPlan plan = CompileFor("B0", RelationalStyle::kHive);
+  for (const std::string& path : plan.workflow.intermediate_paths) {
+    EXPECT_NE(path, plan.workflow.final_output_path);
+  }
+}
+
+}  // namespace
+}  // namespace rdfmr

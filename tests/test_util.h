@@ -1,0 +1,93 @@
+// Shared helpers for the test suite: small deterministic datasets per
+// family, DFS loading, and engine option lists.
+
+#ifndef RDFMR_TESTS_TEST_UTIL_H_
+#define RDFMR_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/bio2rdf.h"
+#include "datagen/bsbm.h"
+#include "datagen/btc.h"
+#include "datagen/dbpedia.h"
+#include "datagen/testbed.h"
+#include "dfs/sim_dfs.h"
+#include "engine/engine.h"
+#include "rdf/triple.h"
+
+namespace rdfmr {
+namespace testing_util {
+
+/// Small-but-meaningful dataset for one family (deterministic).
+inline std::vector<Triple> SmallDataset(DatasetFamily family) {
+  switch (family) {
+    case DatasetFamily::kBsbm: {
+      BsbmConfig config;
+      config.num_products = 60;
+      config.num_features = 30;
+      config.offers_per_product = 2;
+      config.reviews_per_product = 2;
+      return GenerateBsbm(config);
+    }
+    case DatasetFamily::kBio2Rdf: {
+      Bio2RdfConfig config;
+      config.num_genes = 80;
+      config.num_go_terms = 40;
+      config.num_articles = 40;
+      config.max_multiplicity = 12;
+      // Keep A5/A6 non-vacuous at this scale.
+      config.hexokinase_fraction = 0.1;
+      config.nur77_link_fraction = 0.15;
+      return GenerateBio2Rdf(config);
+    }
+    case DatasetFamily::kDbpedia: {
+      DbpediaConfig config;
+      config.num_entities = 150;
+      config.sopranos_fraction = 0.12;  // keep C2 non-vacuous at this scale
+      return GenerateDbpedia(config);
+    }
+    case DatasetFamily::kBtc: {
+      BtcConfig config;
+      config.num_dbpedia_entities = 120;
+      config.num_genes = 40;
+      config.num_cross_links = 60;
+      return GenerateBtc(config);
+    }
+  }
+  return {};
+}
+
+/// A roomy cluster for correctness tests (no artificial disk pressure).
+inline ClusterConfig RoomyCluster() {
+  ClusterConfig config;
+  config.num_nodes = 8;
+  config.disk_per_node = 256ULL << 20;
+  config.replication = 1;
+  config.block_size = 4ULL << 20;
+  config.num_reducers = 4;
+  return config;
+}
+
+/// Loads `triples` into a fresh DFS at path "base".
+inline std::unique_ptr<SimDfs> MakeDfsWithBase(
+    const std::vector<Triple>& triples,
+    ClusterConfig config = RoomyCluster()) {
+  auto dfs = std::make_unique<SimDfs>(config);
+  Status st = dfs->WriteFile("base", SerializeTriples(triples));
+  if (!st.ok()) return nullptr;
+  return dfs;
+}
+
+/// All engine kinds under test.
+inline std::vector<EngineKind> AllEngineKinds() {
+  return {EngineKind::kPig,          EngineKind::kHive,
+          EngineKind::kNtgaEager,    EngineKind::kNtgaLazyFull,
+          EngineKind::kNtgaLazyPartial, EngineKind::kNtgaLazy};
+}
+
+}  // namespace testing_util
+}  // namespace rdfmr
+
+#endif  // RDFMR_TESTS_TEST_UTIL_H_

@@ -1,0 +1,506 @@
+// rdfmr — command-line front end for the library.
+//
+//   rdfmr catalog
+//       List the paper's testbed queries.
+//   rdfmr generate --family bsbm|bio2rdf|dbpedia|btc [--scale N]
+//                  [--seed S] --out FILE[.nt|.tsv]
+//       Generate a synthetic dataset (N-Triples or tab-separated).
+//   rdfmr stats --data FILE
+//       Print graph statistics (sizes, multiplicities, multi-valuedness).
+//   rdfmr explain (--query ID | --sparql FILE)
+//       Show the star decomposition, join graph, and the NTGA logical
+//       plans produced by the rewrite rules for every strategy.
+//   rdfmr advise (--query ID | --sparql FILE) --data FILE [--nodes N]
+//       Predict per-strategy footprints from graph statistics and
+//       recommend an unnesting strategy and a phi_m partition factor.
+//   rdfmr batch --queries ID,ID,... --data FILE [--engine ...]
+//       Run several testbed queries as ONE shared-scan NTGA workflow.
+//   rdfmr run (--query ID | --sparql FILE) --data FILE
+//              [--engine pig|hive|eager|lazyfull|lazypartial|lazy]
+//              [--nodes N] [--disk-mb M] [--repl R] [--phi M]
+//              [--show-answers K]
+//       Execute the query on the simulated cluster and print metrics.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+#include "datagen/bio2rdf.h"
+#include "datagen/bsbm.h"
+#include "datagen/btc.h"
+#include "datagen/dbpedia.h"
+#include "datagen/testbed.h"
+#include "engine/advisor.h"
+#include "engine/engine.h"
+#include "mapreduce/workflow.h"
+#include "ntga/logical_plan.h"
+#include "ntga/ntga_compiler.h"
+#include "relational/rel_compiler.h"
+#include "query/sparql_parser.h"
+#include "rdf/graph_stats.h"
+#include "rdf/ntriples.h"
+
+namespace rdfmr {
+namespace {
+
+constexpr const char* kIriPrefix = "http://rdfmr.example/";
+
+// ---- tiny flag parser -------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (StartsWith(arg, "--")) {
+        std::string key = arg.substr(2);
+        if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "";
+        }
+      } else {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, std::string fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stoull(it->second);
+    } catch (...) {
+      std::fprintf(stderr, "bad integer for --%s: %s\n", key.c_str(),
+                   it->second.c_str());
+      return fallback;
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+// ---- dataset I/O --------------------------------------------------------------
+
+Result<std::vector<Triple>> GenerateFamily(const std::string& family,
+                                           uint64_t scale, uint64_t seed) {
+  if (family == "bsbm") {
+    BsbmConfig config;
+    config.num_products = scale;
+    config.seed = seed;
+    return GenerateBsbm(config);
+  }
+  if (family == "bio2rdf") {
+    Bio2RdfConfig config;
+    config.num_genes = scale;
+    config.seed = seed;
+    return GenerateBio2Rdf(config);
+  }
+  if (family == "dbpedia") {
+    DbpediaConfig config;
+    config.num_entities = scale;
+    config.seed = seed;
+    return GenerateDbpedia(config);
+  }
+  if (family == "btc") {
+    BtcConfig config;
+    config.num_dbpedia_entities = scale;
+    config.num_genes = scale / 4 + 1;
+    config.seed = seed;
+    return GenerateBtc(config);
+  }
+  return Status::InvalidArgument("unknown family: " + family +
+                                 " (want bsbm|bio2rdf|dbpedia|btc)");
+}
+
+Status WriteDataset(const std::string& path,
+                    const std::vector<Triple>& triples) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  if (EndsWith(path, ".nt")) {
+    for (const Triple& t : triples) {
+      // Objects that look like identifiers become IRIs, the rest literals.
+      bool iri_object = t.object.find(' ') == std::string::npos;
+      out << "<" << kIriPrefix << t.subject << "> <" << kIriPrefix
+          << t.property << "> ";
+      if (iri_object) {
+        out << "<" << kIriPrefix << t.object << ">";
+      } else {
+        out << Term::Literal(t.object).ToNTriples();
+      }
+      out << " .\n";
+    }
+  } else {
+    for (const Triple& t : triples) out << t.Serialize() << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::IoError("write failed: " + path);
+}
+
+Result<std::vector<Triple>> ReadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  if (EndsWith(path, ".nt")) {
+    IriCompactor compactor(
+        std::vector<std::pair<std::string, std::string>>{{kIriPrefix, ""}});
+    return LoadNTriples(text, compactor);
+  }
+  std::vector<Triple> triples;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    RDFMR_ASSIGN_OR_RETURN(Triple t, Triple::Deserialize(line));
+    triples.push_back(std::move(t));
+  }
+  return triples;
+}
+
+struct LoadedQuery {
+  std::shared_ptr<const GraphPatternQuery> query;
+  std::optional<AggregateSpec> aggregate;
+};
+
+Result<LoadedQuery> LoadQuery(const Flags& flags) {
+  if (flags.Has("query")) {
+    RDFMR_ASSIGN_OR_RETURN(std::shared_ptr<const GraphPatternQuery> q,
+                           GetTestbedQuery(flags.Get("query")));
+    return LoadedQuery{std::move(q), std::nullopt};
+  }
+  if (flags.Has("sparql")) {
+    std::ifstream in(flags.Get("sparql"));
+    if (!in) {
+      return Status::IoError("cannot open: " + flags.Get("sparql"));
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    RDFMR_ASSIGN_OR_RETURN(
+        ParsedQuery parsed,
+        ParseSparqlQuery(flags.Get("sparql"), buffer.str()));
+    return LoadedQuery{std::make_shared<const GraphPatternQuery>(
+                           std::move(parsed.query)),
+                       std::move(parsed.aggregate)};
+  }
+  return Status::InvalidArgument("need --query ID or --sparql FILE");
+}
+
+// ---- subcommands ----------------------------------------------------------------
+
+int CmdCatalog() {
+  std::printf("%-9s %-16s %s\n", "id", "dataset", "description");
+  for (const TestbedEntry& entry : TestbedCatalog()) {
+    std::printf("%-9s %-16s %s\n", entry.id.c_str(),
+                DatasetFamilyToString(entry.dataset),
+                entry.description.c_str());
+  }
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags) {
+  if (!flags.Has("out")) {
+    std::fprintf(stderr, "generate: need --out FILE\n");
+    return 2;
+  }
+  auto triples = GenerateFamily(flags.Get("family", "bsbm"),
+                                flags.GetInt("scale", 500),
+                                flags.GetInt("seed", 42));
+  if (!triples.ok()) {
+    std::fprintf(stderr, "%s\n", triples.status().ToString().c_str());
+    return 1;
+  }
+  Status st = WriteDataset(flags.Get("out"), *triples);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu triples to %s\n", triples->size(),
+              flags.Get("out").c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto triples = ReadDataset(flags.Get("data"));
+  if (!triples.ok()) {
+    std::fprintf(stderr, "%s\n", triples.status().ToString().c_str());
+    return 1;
+  }
+  GraphStats stats = GraphStats::Compute(*triples);
+  std::printf("%s\n\n", stats.Summary().c_str());
+  std::printf("%-18s %10s %10s %8s %8s\n", "property", "triples",
+              "subjects", "avg-mult", "max-mult");
+  for (const auto& [property, ps] : stats.properties()) {
+    std::printf("%-18s %10llu %10llu %8.2f %8llu\n", property.c_str(),
+                static_cast<unsigned long long>(ps.triple_count),
+                static_cast<unsigned long long>(ps.subject_count),
+                ps.avg_multiplicity,
+                static_cast<unsigned long long>(ps.max_multiplicity));
+  }
+  return 0;
+}
+
+int CmdExplain(const Flags& flags) {
+  auto query = LoadQuery(flags);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", query->query->ToString().c_str());
+  if (query->aggregate.has_value()) {
+    std::printf("aggregate: COUNT(%s?%s) AS ?%s GROUP BY %zu var(s), "
+                "HAVING >= %llu\n",
+                query->aggregate->distinct ? "DISTINCT " : "",
+                query->aggregate->counted_var.c_str(),
+                query->aggregate->count_var.c_str(),
+                query->aggregate->group_vars.size(),
+                static_cast<unsigned long long>(
+                    query->aggregate->min_count));
+  }
+  std::printf("\n");
+  for (NtgaStrategy strategy :
+       {NtgaStrategy::kEager, NtgaStrategy::kLazyFull,
+        NtgaStrategy::kLazyPartial, NtgaStrategy::kLazyAuto}) {
+    auto plan = RewriteToNtga(*query->query, strategy);
+    if (plan.ok()) {
+      std::printf("%s\n", plan->ToString(*query->query).c_str());
+    } else {
+      std::printf("%s: %s\n", NtgaStrategyToString(strategy),
+                  plan.status().ToString().c_str());
+    }
+  }
+  std::printf("relational baseline: %zu star-join cycle(s) + join cycles "
+              "(one star-join per MR cycle)%s\n",
+              query->query->stars().size(),
+              query->aggregate.has_value() ? " + 1 aggregation cycle" : "");
+
+  // Physical job layouts.
+  std::printf("\n-- physical plans --\n");
+  {
+    RelationalOptions rel;
+    rel.style = RelationalStyle::kHive;
+    auto plan = CompileRelationalPlan(query->query, "base", "tmp", rel);
+    if (plan.ok()) {
+      std::printf("%s", DescribeWorkflow(plan->workflow).c_str());
+    }
+  }
+  {
+    NtgaOptions ntga;
+    auto plan = CompileNtgaPlan(query->query, "base", "tmp", ntga);
+    if (plan.ok()) {
+      std::printf("%s", DescribeWorkflow(plan->workflow).c_str());
+    }
+  }
+  return 0;
+}
+
+Result<EngineKind> ParseEngine(const std::string& name) {
+  if (name == "pig") return EngineKind::kPig;
+  if (name == "hive") return EngineKind::kHive;
+  if (name == "eager") return EngineKind::kNtgaEager;
+  if (name == "lazyfull") return EngineKind::kNtgaLazyFull;
+  if (name == "lazypartial") return EngineKind::kNtgaLazyPartial;
+  if (name == "lazy") return EngineKind::kNtgaLazy;
+  return Status::InvalidArgument(
+      "unknown engine: " + name +
+      " (want pig|hive|eager|lazyfull|lazypartial|lazy)");
+}
+
+int CmdRun(const Flags& flags) {
+  auto query = LoadQuery(flags);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  auto triples = ReadDataset(flags.Get("data"));
+  if (!triples.ok()) {
+    std::fprintf(stderr, "%s\n", triples.status().ToString().c_str());
+    return 1;
+  }
+  ClusterConfig cluster;
+  cluster.num_nodes = static_cast<uint32_t>(flags.GetInt("nodes", 8));
+  cluster.disk_per_node = flags.GetInt("disk-mb", 256) << 20;
+  cluster.replication = static_cast<uint32_t>(flags.GetInt("repl", 1));
+  cluster.block_size = cluster.disk_per_node / 64 + 1;
+  SimDfs dfs(cluster);
+  Status st = dfs.WriteFile("base", SerializeTriples(*triples));
+  if (!st.ok()) {
+    std::fprintf(stderr, "loading base relation: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  auto kind = ParseEngine(flags.Get("engine", "lazy"));
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 2;
+  }
+  EngineOptions options;
+  options.kind = *kind;
+  options.phi_partitions =
+      static_cast<uint32_t>(flags.GetInt("phi", 1024));
+  auto exec = query->aggregate.has_value()
+                  ? RunAggregateQuery(&dfs, "base", query->query,
+                                      *query->aggregate, options)
+                  : RunQuery(&dfs, "base", query->query, options);
+  if (!exec.ok()) {
+    std::fprintf(stderr, "%s\n", exec.status().ToString().c_str());
+    return 1;
+  }
+  const ExecStats& s = exec->stats;
+  if (!s.ok()) {
+    std::printf("execution FAILED at job %d of %zu: %s\n",
+                s.failed_job_index, s.planned_cycles,
+                s.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("engine            : %s\n", s.engine.c_str());
+  std::printf("MR cycles         : %zu\n", s.mr_cycles);
+  std::printf("full scans of base: %u\n", s.full_scans);
+  std::printf("HDFS read         : %s\n",
+              HumanBytes(s.hdfs_read_bytes).c_str());
+  std::printf("shuffle           : %s\n",
+              HumanBytes(s.shuffle_bytes).c_str());
+  std::printf("HDFS write        : %s (replicated %s)\n",
+              HumanBytes(s.hdfs_write_bytes).c_str(),
+              HumanBytes(s.hdfs_write_bytes_replicated).c_str());
+  std::printf("star-phase output : %s\n",
+              HumanBytes(s.star_phase_write_bytes).c_str());
+  std::printf("final output      : %s\n",
+              HumanBytes(s.final_output_bytes).c_str());
+  std::printf("redundancy factor : %.2f (final %.2f)\n",
+              s.redundancy_factor, s.final_redundancy_factor);
+  std::printf("modeled time      : %.1f s\n", s.modeled_seconds);
+  std::printf("answers           : %zu\n", exec->answers.size());
+  uint64_t show = flags.GetInt("show-answers", 0);
+  for (const Solution& sol : exec->answers) {
+    if (show == 0) break;
+    std::printf("  %s\n", sol.Serialize().c_str());
+    --show;
+  }
+  return 0;
+}
+
+int CmdAdvise(const Flags& flags) {
+  auto query = LoadQuery(flags);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  auto triples = ReadDataset(flags.Get("data"));
+  if (!triples.ok()) {
+    std::fprintf(stderr, "%s\n", triples.status().ToString().c_str());
+    return 1;
+  }
+  GraphStats stats = GraphStats::Compute(*triples);
+  ClusterConfig cluster;
+  cluster.num_nodes = static_cast<uint32_t>(flags.GetInt("nodes", 8));
+  cluster.num_reducers = cluster.num_nodes;
+  StrategyAdvice advice = AdviseStrategy(*query->query, stats, cluster);
+  std::printf("graph   : %s\n", stats.Summary().c_str());
+  std::printf("advice  : %s, phi_m=%u\n",
+              NtgaStrategyToString(advice.strategy), advice.phi_partitions);
+  std::printf("          %s\n", advice.rationale.c_str());
+  return 0;
+}
+
+int CmdBatch(const Flags& flags) {
+  std::vector<std::shared_ptr<const GraphPatternQuery>> queries;
+  for (const std::string& id : Split(flags.Get("queries"), ',')) {
+    auto q = GetTestbedQuery(std::string(Trim(id)));
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(*q);
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "batch: need --queries ID,ID,...\n");
+    return 2;
+  }
+  auto triples = ReadDataset(flags.Get("data"));
+  if (!triples.ok()) {
+    std::fprintf(stderr, "%s\n", triples.status().ToString().c_str());
+    return 1;
+  }
+  ClusterConfig cluster;
+  cluster.num_nodes = static_cast<uint32_t>(flags.GetInt("nodes", 8));
+  cluster.disk_per_node = flags.GetInt("disk-mb", 256) << 20;
+  cluster.replication = static_cast<uint32_t>(flags.GetInt("repl", 1));
+  cluster.block_size = cluster.disk_per_node / 64 + 1;
+  SimDfs dfs(cluster);
+  if (!dfs.WriteFile("base", SerializeTriples(*triples)).ok()) return 1;
+
+  auto kind = ParseEngine(flags.Get("engine", "lazy"));
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 2;
+  }
+  EngineOptions options;
+  options.kind = *kind;
+  auto batch = RunQueryBatch(&dfs, "base", queries, options);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  if (!batch->stats.ok()) {
+    std::printf("batch FAILED: %s\n",
+                batch->stats.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("shared batch: %zu MR cycles, %u full scan(s), %s read, "
+              "%s shuffled, %s written\n",
+              batch->stats.mr_cycles, batch->stats.full_scans,
+              HumanBytes(batch->stats.hdfs_read_bytes).c_str(),
+              HumanBytes(batch->stats.shuffle_bytes).c_str(),
+              HumanBytes(batch->stats.hdfs_write_bytes).c_str());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::printf("  %-9s %zu answers\n", queries[q]->name().c_str(),
+                batch->answers[q].size());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rdfmr "
+               "<catalog|generate|stats|explain|advise|run|batch> "
+               "[flags]\n(see the header of tools/rdfmr.cc)\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) return 2;
+  if (command == "catalog") return CmdCatalog();
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "explain") return CmdExplain(flags);
+  if (command == "advise") return CmdAdvise(flags);
+  if (command == "run") return CmdRun(flags);
+  if (command == "batch") return CmdBatch(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace rdfmr
+
+int main(int argc, char** argv) { return rdfmr::Main(argc, argv); }
