@@ -207,6 +207,10 @@ bench/CMakeFiles/rdfmr_bench_util.dir/calibration.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/status.h /root/repo/src/dfs/sim_dfs.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/dfs/cluster_config.h /root/repo/src/mapreduce/workflow.h \
  /root/repo/src/mapreduce/cost_model.h /root/repo/src/mapreduce/job.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \

@@ -213,7 +213,12 @@ examples/CMakeFiles/warehouse_exploration_workflow.dir/warehouse_exploration_wor
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/rdf/graph_stats.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/engine/engine.h \
- /root/repo/src/dfs/sim_dfs.h /root/repo/src/mapreduce/workflow.h \
+ /root/repo/src/dfs/sim_dfs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/mapreduce/workflow.h \
  /root/repo/src/mapreduce/cost_model.h /root/repo/src/mapreduce/job.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

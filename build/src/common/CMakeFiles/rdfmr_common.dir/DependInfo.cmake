@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/random.cc" "src/common/CMakeFiles/rdfmr_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/rdfmr_common.dir/random.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/rdfmr_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/rdfmr_common.dir/status.cc.o.d"
   "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/rdfmr_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/rdfmr_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/rdfmr_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/rdfmr_common.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

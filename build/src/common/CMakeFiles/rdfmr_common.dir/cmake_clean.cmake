@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/rdfmr_common.dir/status.cc.o.d"
   "CMakeFiles/rdfmr_common.dir/strings.cc.o"
   "CMakeFiles/rdfmr_common.dir/strings.cc.o.d"
+  "CMakeFiles/rdfmr_common.dir/thread_pool.cc.o"
+  "CMakeFiles/rdfmr_common.dir/thread_pool.cc.o.d"
   "librdfmr_common.a"
   "librdfmr_common.pdb"
 )

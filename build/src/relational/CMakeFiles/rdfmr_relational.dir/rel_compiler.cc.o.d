@@ -216,7 +216,11 @@ src/relational/CMakeFiles/rdfmr_relational.dir/rel_compiler.cc.o: \
  /root/repo/src/mapreduce/workflow.h /root/repo/src/dfs/sim_dfs.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/dfs/cluster_config.h \
  /root/repo/src/mapreduce/cost_model.h /root/repo/src/mapreduce/job.h \
  /root/repo/src/query/solution.h /usr/include/c++/12/set \
@@ -226,6 +230,6 @@ src/relational/CMakeFiles/rdfmr_relational.dir/rel_compiler.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/common/strings.h /root/repo/src/query/matcher.h \
  /root/repo/src/rdf/triple.h /root/repo/src/relational/rel_tuple.h

@@ -299,8 +299,11 @@ tests/CMakeFiles/batch_test.dir/batch_test.cc.o: \
  /root/repo/tests/test_util.h /root/repo/src/datagen/bio2rdf.h \
  /root/repo/src/datagen/bsbm.h /root/repo/src/datagen/btc.h \
  /root/repo/src/datagen/dbpedia.h /root/repo/src/datagen/testbed.h \
- /root/repo/src/dfs/sim_dfs.h /root/repo/src/dfs/cluster_config.h \
- /root/repo/src/engine/engine.h /root/repo/src/mapreduce/workflow.h \
+ /root/repo/src/dfs/sim_dfs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/dfs/cluster_config.h /root/repo/src/engine/engine.h \
+ /root/repo/src/mapreduce/workflow.h \
  /root/repo/src/mapreduce/cost_model.h /root/repo/src/mapreduce/job.h \
  /root/repo/src/ntga/logical_plan.h /root/repo/src/query/aggregate.h \
  /root/repo/src/relational/rel_compiler.h \

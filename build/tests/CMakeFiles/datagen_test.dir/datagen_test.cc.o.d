@@ -300,6 +300,8 @@ tests/CMakeFiles/datagen_test.dir/datagen_test.cc.o: \
  /root/repo/src/query/pattern.h /root/repo/src/query/matcher.h \
  /root/repo/src/query/solution.h /root/repo/src/rdf/graph_stats.h \
  /root/repo/tests/test_util.h /root/repo/src/dfs/sim_dfs.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/dfs/cluster_config.h /root/repo/src/engine/engine.h \
  /root/repo/src/mapreduce/workflow.h \
  /root/repo/src/mapreduce/cost_model.h /root/repo/src/mapreduce/job.h \

@@ -294,6 +294,8 @@ tests/CMakeFiles/dfs_model_test.dir/dfs_model_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/random.h /root/repo/src/common/strings.h \
- /root/repo/src/dfs/sim_dfs.h /root/repo/src/common/result.h \
+ /root/repo/src/dfs/sim_dfs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/result.h \
  /root/repo/src/common/status.h /root/repo/src/dfs/cluster_config.h \
  /root/repo/src/rdf/triple.h

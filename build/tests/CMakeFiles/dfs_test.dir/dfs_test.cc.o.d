@@ -295,5 +295,7 @@ tests/CMakeFiles/dfs_test.dir/dfs_test.cc.o: /root/repo/tests/dfs_test.cc \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/dfs/sim_dfs.h /root/repo/src/common/result.h \
+ /root/repo/src/dfs/sim_dfs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/result.h \
  /root/repo/src/common/status.h /root/repo/src/dfs/cluster_config.h

@@ -295,8 +295,10 @@ tests/CMakeFiles/engine_test.dir/engine_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/strings.h /root/repo/src/engine/engine.h \
  /root/repo/src/common/result.h /root/repo/src/common/status.h \
- /root/repo/src/dfs/sim_dfs.h /root/repo/src/dfs/cluster_config.h \
- /root/repo/src/mapreduce/workflow.h \
+ /root/repo/src/dfs/sim_dfs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/dfs/cluster_config.h /root/repo/src/mapreduce/workflow.h \
  /root/repo/src/mapreduce/cost_model.h /root/repo/src/mapreduce/job.h \
  /root/repo/src/ntga/logical_plan.h /root/repo/src/query/pattern.h \
  /root/repo/src/query/aggregate.h /root/repo/src/query/solution.h \

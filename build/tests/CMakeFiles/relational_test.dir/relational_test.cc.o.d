@@ -298,6 +298,8 @@ tests/CMakeFiles/relational_test.dir/relational_test.cc.o: \
  /root/repo/src/relational/rel_compiler.h \
  /root/repo/src/engine/compiled_plan.h \
  /root/repo/src/mapreduce/workflow.h /root/repo/src/dfs/sim_dfs.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/dfs/cluster_config.h \
  /root/repo/src/mapreduce/cost_model.h /root/repo/src/mapreduce/job.h \
  /root/repo/src/query/solution.h /root/repo/src/relational/rel_tuple.h \

@@ -220,7 +220,12 @@ tools/CMakeFiles/rdfmr.dir/rdfmr.cc.o: /root/repo/tools/rdfmr.cc \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/engine/advisor.h \
  /root/repo/src/dfs/cluster_config.h /root/repo/src/ntga/logical_plan.h \
  /root/repo/src/rdf/graph_stats.h /root/repo/src/engine/engine.h \
- /root/repo/src/dfs/sim_dfs.h /root/repo/src/mapreduce/workflow.h \
+ /root/repo/src/dfs/sim_dfs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/mapreduce/workflow.h \
  /root/repo/src/mapreduce/cost_model.h /root/repo/src/mapreduce/job.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace rdfmr {
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t t = 0; t + 1 < num_threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared cursor + completion latch. `fn` is captured by pointer: safe
+  // because this function blocks until every runner has finished.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    size_t n;
+    const std::function<void(size_t)>* fn;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t finished = 0;
+  };
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+
+  auto runner = [state] {
+    for (size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+         i < state->n;
+         i = state->next.fetch_add(1, std::memory_order_relaxed)) {
+      (*state->fn)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->finished += 1;
+    }
+    state->done_cv.notify_one();
+  };
+
+  size_t runners = workers_.size() + 1;
+  if (runners > n) runners = n;
+  for (size_t r = 0; r + 1 < runners; ++r) Submit(runner);
+  runner();  // the calling thread is one of the runners
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock,
+                      [&] { return state->finished == runners; });
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,67 @@
+// Fixed-size worker pool for the deterministic multi-threaded MR runtime.
+//
+// The pool owns `num_threads - 1` worker threads; the thread that calls
+// ParallelFor participates as the remaining worker, so a pool built with
+// `num_threads == 1` spawns nothing and executes everything inline — the
+// single-threaded path has zero synchronization overhead and is bitwise
+// the sequential execution.
+//
+// Tasks must not throw: an exception escaping a task run on a worker
+// thread terminates the process (Status/Result is the error channel
+// everywhere in this codebase).
+
+#ifndef RDFMR_COMMON_THREAD_POOL_H_
+#define RDFMR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdfmr {
+
+class ThreadPool {
+ public:
+  /// \brief Creates a pool providing `num_threads` total execution slots
+  /// (the caller of ParallelFor counts as one, so `num_threads - 1` OS
+  /// threads are spawned). Values <= 1 create a no-thread inline pool.
+  explicit ThreadPool(uint32_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Drains queued tasks and joins all workers.
+  ~ThreadPool();
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// \brief Enqueues one task for asynchronous execution on a worker.
+  /// With an inline pool (num_threads <= 1) the task runs immediately on
+  /// the calling thread.
+  void Submit(std::function<void()> task);
+
+  /// \brief Runs `fn(i)` for every i in [0, n), distributing indices over
+  /// the workers plus the calling thread, and blocks until all calls have
+  /// returned. Index-to-thread assignment is dynamic (work stealing via a
+  /// shared atomic cursor), so callers needing determinism must give each
+  /// index its own output slot and merge in index order afterwards.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_COMMON_THREAD_POOL_H_

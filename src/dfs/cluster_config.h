@@ -28,6 +28,13 @@ struct ClusterConfig {
   /// Number of reduce tasks per job (paper: proportional to cluster size).
   uint32_t num_reducers = 4;
 
+  /// Host-side execution parallelism of the simulator runtime: how many
+  /// map tasks / reducer partitions run concurrently on the machine
+  /// executing the simulation. Purely a wall-clock knob — it affects no
+  /// simulated metric, no modeled time, and the runtime guarantees output
+  /// and metrics byte-identical to `num_threads = 1`.
+  uint32_t num_threads = 1;
+
   uint64_t TotalCapacity() const {
     return static_cast<uint64_t>(num_nodes) * disk_per_node;
   }

@@ -47,7 +47,8 @@ Result<std::vector<uint32_t>> SimDfs::PlaceBlock(uint64_t size) {
     return Status::OutOfSpace(StringFormat(
         "cannot place %llu-byte block with replication %u (free %llu bytes)",
         static_cast<unsigned long long>(size), config_.replication,
-        static_cast<unsigned long long>(FreeBytes())));
+        static_cast<unsigned long long>(config_.TotalCapacity() -
+                                        UsedBytesLocked())));
   }
   for (uint32_t node : chosen) node_used_[node] += size;
   return chosen;
@@ -55,6 +56,7 @@ Result<std::vector<uint32_t>> SimDfs::PlaceBlock(uint64_t size) {
 
 Status SimDfs::WriteFile(const std::string& path,
                          std::vector<std::string> lines) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (write_failure_countdown_ > 0 && --write_failure_countdown_ == 0) {
     return Status::IoError("injected write failure: " + path);
   }
@@ -98,6 +100,7 @@ Status SimDfs::WriteFile(const std::string& path,
 
 Result<std::vector<std::string>> SimDfs::ReadFile(
     const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   metrics_.bytes_read += it->second.bytes;
@@ -106,22 +109,26 @@ Result<std::vector<std::string>> SimDfs::ReadFile(
 }
 
 Result<uint64_t> SimDfs::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return it->second.bytes;
 }
 
 Result<uint32_t> SimDfs::BlockCount(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return it->second.blocks;
 }
 
 bool SimDfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(path) > 0;
 }
 
 Status SimDfs::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   const FileEntry& entry = it->second;
@@ -137,20 +144,27 @@ Status SimDfs::DeleteFile(const std::string& path) {
 }
 
 std::vector<std::string> SimDfs::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [path, _] : files_) out.push_back(path);
   return out;
 }
 
-uint64_t SimDfs::UsedBytes() const {
+uint64_t SimDfs::UsedBytesLocked() const {
   uint64_t used = 0;
   for (uint64_t u : node_used_) used += u;
   return used;
 }
 
+uint64_t SimDfs::UsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return UsedBytesLocked();
+}
+
 uint64_t SimDfs::FreeBytes() const {
-  return config_.TotalCapacity() - UsedBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_.TotalCapacity() - UsedBytesLocked();
 }
 
 }  // namespace rdfmr

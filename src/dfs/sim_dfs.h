@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,11 @@ struct DfsMetrics {
 };
 
 /// \brief One simulated HDFS namespace over a set of nodes.
+///
+/// Thread-safe: all file, placement, and metric state is guarded by an
+/// internal mutex, so concurrent map/reduce tasks of the multi-threaded
+/// job runner (and concurrent engines sharing one namespace) may call any
+/// method. Metric accessors return snapshots by value.
 class SimDfs {
  public:
   explicit SimDfs(ClusterConfig config);
@@ -66,20 +72,33 @@ class SimDfs {
   /// \brief Physical bytes still available across all nodes.
   uint64_t FreeBytes() const;
 
-  /// \brief Per-node physical usage.
-  const std::vector<uint64_t>& NodeUsage() const { return node_used_; }
+  /// \brief Per-node physical usage (snapshot).
+  std::vector<uint64_t> NodeUsage() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return node_used_;
+  }
 
-  const DfsMetrics& metrics() const { return metrics_; }
+  /// \brief Cumulative metrics (snapshot).
+  DfsMetrics metrics() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return metrics_;
+  }
+
+  /// \brief Immutable after construction; safe to read without locking.
   const ClusterConfig& config() const { return config_; }
 
   /// \brief Zeroes the cumulative metrics (files stay).
-  void ResetMetrics() { metrics_ = DfsMetrics{}; }
+  void ResetMetrics() {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = DfsMetrics{};
+  }
 
   /// \brief Fault injection: the `countdown`-th subsequent WriteFile call
   /// (1 = the very next one) fails with kIoError before any placement, as
   /// a crashed datanode would. 0 disarms. Used to test that workflows and
   /// engines fail cleanly at arbitrary points.
   void InjectWriteFailureAfter(uint32_t countdown) {
+    std::lock_guard<std::mutex> lock(mu_);
     write_failure_countdown_ = countdown;
   }
 
@@ -93,10 +112,14 @@ class SimDfs {
   };
 
   /// Places one block of `size` bytes on `replication` distinct least-loaded
-  /// nodes; returns the chosen node ids or kOutOfSpace.
+  /// nodes; returns the chosen node ids or kOutOfSpace. Requires mu_ held.
   Result<std::vector<uint32_t>> PlaceBlock(uint64_t size);
 
+  uint64_t UsedBytesLocked() const;
+
   ClusterConfig config_;
+  /// Guards files_, node_used_, metrics_, and write_failure_countdown_.
+  mutable std::mutex mu_;
   std::map<std::string, FileEntry> files_;
   std::vector<uint64_t> node_used_;
   mutable DfsMetrics metrics_;

@@ -171,8 +171,12 @@ Result<Execution> ExecutePlan(SimDfs* dfs, CompiledPlan plan,
   workflow.intermediate_paths.clear();
   std::string final_path = workflow.final_output_path;
   workflow.final_output_path.clear();
+  // Keep partial outputs around for stat sampling below; everything under
+  // tmp_prefix is scrubbed at the end of this function anyway.
+  workflow.cleanup_demuxed_on_failure = false;
 
-  WorkflowResult result = RunWorkflow(dfs, workflow, options.cost);
+  WorkflowResult result =
+      RunWorkflow(dfs, workflow, options.cost, options.num_threads);
 
   Execution exec;
   ExecStats& stats = exec.stats;
@@ -189,6 +193,9 @@ Result<Execution> ExecutePlan(SimDfs* dfs, CompiledPlan plan,
   stats.shuffle_bytes = result.totals.map_output_bytes;
   stats.peak_dfs_used_bytes = result.peak_dfs_used_bytes;
   stats.modeled_seconds = result.modeled_seconds;
+  stats.map_seconds = result.totals.map_seconds;
+  stats.shuffle_sort_seconds = result.totals.shuffle_sort_seconds;
+  stats.reduce_seconds = result.totals.reduce_seconds;
   stats.counters = result.totals.counters;
   stats.jobs = result.job_metrics;
 
@@ -330,7 +337,9 @@ Result<BatchExecution> RunQueryBatch(
   size_t planned_cycles = workflow.jobs.size();
   workflow.intermediate_paths.clear();
   workflow.final_output_path.clear();
-  WorkflowResult result = RunWorkflow(dfs, workflow, options.cost);
+  workflow.cleanup_demuxed_on_failure = false;  // tmp_prefix scrub below
+  WorkflowResult result =
+      RunWorkflow(dfs, workflow, options.cost, options.num_threads);
 
   BatchExecution exec;
   ExecStats& stats = exec.stats;
@@ -347,6 +356,9 @@ Result<BatchExecution> RunQueryBatch(
   stats.shuffle_bytes = result.totals.map_output_bytes;
   stats.peak_dfs_used_bytes = result.peak_dfs_used_bytes;
   stats.modeled_seconds = result.modeled_seconds;
+  stats.map_seconds = result.totals.map_seconds;
+  stats.shuffle_sort_seconds = result.totals.shuffle_sort_seconds;
+  stats.reduce_seconds = result.totals.reduce_seconds;
   stats.counters = result.totals.counters;
   stats.jobs = result.job_metrics;
   for (const std::string& path : plan.star_phase_paths) {

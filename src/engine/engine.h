@@ -46,6 +46,11 @@ struct EngineOptions {
   /// cycle of RunAggregateQuery; off exposes the raw shuffle volume for
   /// ablation.
   bool aggregation_combiner = true;
+  /// Host-side execution parallelism of the MR runtime (concurrent map
+  /// tasks / reducer partitions); 0 defers to ClusterConfig::num_threads.
+  /// Outputs and all byte/record metrics are byte-identical for any
+  /// value — only real wall time changes.
+  uint32_t num_threads = 0;
   /// Cost model for the modeled execution time.
   CostModelConfig cost;
 };
@@ -78,6 +83,13 @@ struct ExecStats {
   /// Pig/Hive output).
   double final_redundancy_factor = 0.0;
   double modeled_seconds = 0.0;
+  /// Real (host) wall-clock seconds the simulator spent per MR phase,
+  /// summed over jobs — perf attribution for the runtime itself, NOT a
+  /// simulated quantity (and the one part of ExecStats that is not
+  /// deterministic across runs or thread counts).
+  double map_seconds = 0.0;
+  double shuffle_sort_seconds = 0.0;
+  double reduce_seconds = 0.0;
   Counters counters;
   std::vector<JobMetrics> jobs;
 

@@ -59,8 +59,9 @@ struct JobSpec {
   std::vector<MapInput> inputs;
   /// Null reduce => map-only job; map values become output records.
   ReduceFn reduce;
-  /// Optional map-side combiner; applied per input task before the shuffle,
-  /// so shuffle volume is metered post-combining.
+  /// Optional map-side combiner; applied per block-sized map task before
+  /// the shuffle (Hadoop semantics: one combiner scope per map task, not
+  /// per input file), so shuffle volume is metered post-combining.
   CombineFn combine;
   std::string output_path;
   /// Optional output demultiplexer (Hadoop MultipleOutputs): maps an output
@@ -83,13 +84,28 @@ struct JobMetrics {
   std::string job_name;
   uint64_t input_records = 0;
   uint64_t input_bytes = 0;          ///< HDFS bytes read
+  /// Shuffle volume: records/bytes entering the (post-combine) shuffle.
+  /// Map-only jobs have no shuffle; their emissions are metered in
+  /// map_direct_output_* instead and never count here.
   uint64_t map_output_records = 0;
   uint64_t map_output_bytes = 0;     ///< shuffle volume (key+value bytes)
+  /// Map-only jobs: records/bytes emitted straight to the output file
+  /// (no shuffle, no sort; bytes are as-written, value + newline).
+  uint64_t map_direct_output_records = 0;
+  uint64_t map_direct_output_bytes = 0;
   uint64_t reduce_input_groups = 0;
   uint64_t output_records = 0;
   uint64_t output_bytes = 0;         ///< logical HDFS bytes written
   uint64_t output_bytes_replicated = 0;  ///< physical incl. replicas
   uint32_t full_scans_of_base = 0;
+  /// Real (host) wall-clock seconds per phase of this job's execution —
+  /// diagnostic only, NOT deterministic and NOT part of the simulated
+  /// cost model. map_seconds covers input scan + map tasks + partition
+  /// merge; shuffle_sort_seconds the per-partition sorts; reduce_seconds
+  /// the reduce calls + output merge.
+  double map_seconds = 0.0;
+  double shuffle_sort_seconds = 0.0;
+  double reduce_seconds = 0.0;
   Counters counters;
 
   /// \brief Accumulates `other` into this (for workflow totals).

@@ -1,6 +1,8 @@
 #include "mapreduce/job_runner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -15,9 +17,92 @@ struct ShuffleRecord {
   uint64_t seq;  // preserves map emission order for stable grouping
 };
 
+// One per-block map task: a contiguous line range of one input, mirroring
+// an HDFS input split (a record belongs to the block containing its first
+// byte, so the task count per input never exceeds SimDfs::BlockCount).
+struct MapTask {
+  size_t input_index = 0;
+  size_t begin = 0;  // first line (inclusive)
+  size_t end = 0;    // last line (exclusive)
+};
+
+// Private output of one map task, merged deterministically at the phase
+// barrier: emissions in emission order, counters into the job counters.
+struct MapTaskOutput {
+  std::vector<std::pair<std::string, std::string>> emits;
+  Counters counters;
+};
+
+// Private output of one reducer partition.
+struct ReduceTaskOutput {
+  std::vector<std::string> records;
+  Counters counters;
+  uint64_t groups = 0;
+};
+
+void MergeCounters(Counters* into, const Counters& from) {
+  for (const auto& [name, value] : from) (*into)[name] += value;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Runs fn(i) for i in [0, n) — concurrently when a pool is supplied,
+// inline otherwise.
+void ForEachTask(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+// Executes one map task against its line range: either plain mapping or
+// the per-task combiner path (buffer -> combine per key -> emit), exactly
+// the Hadoop combiner scope.
+void RunMapTask(const JobSpec& spec, const MapTask& task,
+                const std::vector<std::string>& lines, bool map_only,
+                MapTaskOutput* out) {
+  const MapFn& map = spec.inputs[task.input_index].map;
+  if (spec.combine == nullptr || map_only) {
+    MapEmit emit = [out](std::string key, std::string value) {
+      out->emits.emplace_back(std::move(key), std::move(value));
+    };
+    for (size_t i = task.begin; i < task.end; ++i) {
+      map(lines[i], emit, &out->counters);
+    }
+    return;
+  }
+  // Combiner path: buffer this task's output, combine per key, then hand
+  // the combined pairs on (insertion order preserved).
+  std::map<std::string, std::vector<std::string>> task_output;
+  std::vector<std::string> key_order;
+  MapEmit emit = [&](std::string key, std::string value) {
+    out->counters["combine_input_records"] += 1;
+    auto [it, inserted] = task_output.try_emplace(std::move(key));
+    if (inserted) key_order.push_back(it->first);
+    it->second.push_back(std::move(value));
+  };
+  for (size_t i = task.begin; i < task.end; ++i) {
+    map(lines[i], emit, &out->counters);
+  }
+  for (const std::string& key : key_order) {
+    std::vector<std::string> combined =
+        spec.combine(key, task_output.at(key), &out->counters);
+    for (std::string& value : combined) {
+      out->emits.emplace_back(key, std::move(value));
+    }
+  }
+}
+
 }  // namespace
 
-Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec) {
+Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
+                          ThreadPool* pool) {
   RDFMR_CHECK(dfs != nullptr);
   if (spec.inputs.empty()) {
     return Status::InvalidArgument("job '" + spec.name + "' has no inputs");
@@ -37,27 +122,15 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec) {
   RDFMR_CHECK(num_reducers > 0);
 
   // ---- Map phase -------------------------------------------------------
-  std::vector<std::vector<ShuffleRecord>> partitions(
-      map_only ? 1 : static_cast<size_t>(num_reducers));
-  std::vector<std::string> map_only_output;
-  uint64_t seq = 0;
-
-  // Routes one post-combine (key, value) pair into the shuffle, charging
-  // the metered shuffle volume.
-  auto route = [&](std::string key, std::string value) {
-    metrics.map_output_records += 1;
-    metrics.map_output_bytes += key.size() + value.size() + 2;
-    if (map_only) {
-      map_only_output.push_back(std::move(value));
-    } else {
-      size_t p = static_cast<size_t>(Fnv1a64(key) %
-                                     static_cast<uint64_t>(num_reducers));
-      partitions[p].push_back(
-          ShuffleRecord{std::move(key), std::move(value), seq++});
-    }
-  };
-
-  for (const MapInput& input : spec.inputs) {
+  // Scan the inputs (metered, on the calling thread) and cut each into
+  // per-block map tasks; a line belongs to the block holding its first
+  // byte, as a Hadoop input split would.
+  auto map_start = std::chrono::steady_clock::now();
+  const uint64_t block_size = dfs->config().block_size;
+  std::vector<std::vector<std::string>> input_lines(spec.inputs.size());
+  std::vector<MapTask> tasks;
+  for (size_t in = 0; in < spec.inputs.size(); ++in) {
+    const MapInput& input = spec.inputs[in];
     auto lines = dfs->ReadFile(input.path);
     if (!lines.ok()) {
       return lines.status().WithContext("job '" + spec.name + "' input");
@@ -65,52 +138,89 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec) {
     metrics.input_records += lines->size();
     RDFMR_ASSIGN_OR_RETURN(uint64_t in_bytes, dfs->FileSize(input.path));
     metrics.input_bytes += in_bytes;
+    input_lines[in] = lines.MoveValueUnsafe();
 
-    if (spec.combine == nullptr || map_only) {
-      MapEmit emit = [&](std::string key, std::string value) {
-        route(std::move(key), std::move(value));
-      };
-      for (const std::string& record : *lines) {
-        input.map(record, emit, &metrics.counters);
+    uint64_t offset = 0;
+    uint64_t task_block = 0;
+    size_t task_begin = 0;
+    for (size_t i = 0; i < input_lines[in].size(); ++i) {
+      uint64_t block = offset / block_size;
+      if (block != task_block) {
+        tasks.push_back(MapTask{in, task_begin, i});
+        task_block = block;
+        task_begin = i;
       }
-    } else {
-      // Combiner path: buffer this map task's output, combine per key,
-      // then shuffle the combined pairs (insertion order preserved).
-      std::map<std::string, std::vector<std::string>> task_output;
-      std::vector<std::string> key_order;
-      MapEmit emit = [&](std::string key, std::string value) {
-        metrics.counters["combine_input_records"] += 1;
-        auto [it, inserted] = task_output.try_emplace(std::move(key));
-        if (inserted) key_order.push_back(it->first);
-        it->second.push_back(std::move(value));
-      };
-      for (const std::string& record : *lines) {
-        input.map(record, emit, &metrics.counters);
-      }
-      for (const std::string& key : key_order) {
-        std::vector<std::string> combined =
-            spec.combine(key, task_output.at(key), &metrics.counters);
-        for (std::string& value : combined) {
-          route(key, std::move(value));
-        }
-      }
+      offset += input_lines[in][i].size() + 1;
+    }
+    if (task_begin < input_lines[in].size()) {
+      tasks.push_back(MapTask{in, task_begin, input_lines[in].size()});
     }
   }
+
+  std::vector<MapTaskOutput> task_outputs(tasks.size());
+  ForEachTask(pool, tasks.size(), [&](size_t t) {
+    RunMapTask(spec, tasks[t], input_lines[tasks[t].input_index], map_only,
+               &task_outputs[t]);
+  });
+
+  // Barrier reached: merge the per-task buffers in (input, block) order —
+  // the exact emission order of a sequential run — assigning shuffle
+  // sequence numbers and metering the shuffle volume. Map-only emissions
+  // go straight to the output buffer and are metered separately (they
+  // never cross a shuffle).
+  std::vector<std::vector<ShuffleRecord>> partitions(
+      map_only ? 1 : static_cast<size_t>(num_reducers));
+  std::vector<std::string> map_only_output;
+  uint64_t seq = 0;
+  for (MapTaskOutput& out : task_outputs) {
+    for (auto& [key, value] : out.emits) {
+      if (map_only) {
+        metrics.map_direct_output_records += 1;
+        metrics.map_direct_output_bytes += value.size() + 1;
+        map_only_output.push_back(std::move(value));
+      } else {
+        metrics.map_output_records += 1;
+        metrics.map_output_bytes += key.size() + value.size() + 2;
+        size_t p = static_cast<size_t>(Fnv1a64(key) %
+                                       static_cast<uint64_t>(num_reducers));
+        partitions[p].push_back(
+            ShuffleRecord{std::move(key), std::move(value), seq++});
+      }
+    }
+    MergeCounters(&metrics.counters, out.counters);
+  }
+  input_lines.clear();
+  task_outputs.clear();
+  metrics.map_seconds = SecondsSince(map_start);
 
   // ---- Shuffle + reduce phase -------------------------------------------
   std::vector<std::string> output;
   if (map_only) {
     output = std::move(map_only_output);
   } else {
-    for (std::vector<ShuffleRecord>& part : partitions) {
+    // Per-partition stable sort, all partitions concurrently.
+    auto sort_start = std::chrono::steady_clock::now();
+    ForEachTask(pool, partitions.size(), [&](size_t p) {
+      std::vector<ShuffleRecord>& part = partitions[p];
       // Secondary sort: by key, ties broken by emission order (stable).
       std::sort(part.begin(), part.end(),
                 [](const ShuffleRecord& a, const ShuffleRecord& b) {
                   if (a.key != b.key) return a.key < b.key;
                   return a.seq < b.seq;
                 });
-      RecordEmit emit = [&](std::string record) {
-        output.push_back(std::move(record));
+    });
+    metrics.shuffle_sort_seconds = SecondsSince(sort_start);
+
+    // Per-partition reduce with private output buffers and counters,
+    // merged in partition order behind the barrier — the sequential
+    // partition-loop order.
+    auto reduce_start = std::chrono::steady_clock::now();
+    std::vector<ReduceTaskOutput> reduce_outputs(partitions.size());
+    ForEachTask(pool, partitions.size(), [&](size_t p) {
+      std::vector<ShuffleRecord>& part = partitions[p];
+      ReduceTaskOutput& out = reduce_outputs[p];
+      RecordEmit emit = [&out](std::string record) {
+        out.records.push_back(std::move(record));
       };
       size_t i = 0;
       while (i < part.size()) {
@@ -120,13 +230,21 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec) {
           values.push_back(std::move(part[j].value));
           ++j;
         }
-        metrics.reduce_input_groups += 1;
-        spec.reduce(part[i].key, values, emit, &metrics.counters);
+        out.groups += 1;
+        spec.reduce(part[i].key, values, emit, &out.counters);
         i = j;
       }
       part.clear();
       part.shrink_to_fit();
+    });
+    for (ReduceTaskOutput& out : reduce_outputs) {
+      metrics.reduce_input_groups += out.groups;
+      for (std::string& record : out.records) {
+        output.push_back(std::move(record));
+      }
+      MergeCounters(&metrics.counters, out.counters);
     }
+    metrics.reduce_seconds = SecondsSince(reduce_start);
   }
 
   // ---- Output materialization --------------------------------------------
@@ -171,11 +289,16 @@ void JobMetrics::Accumulate(const JobMetrics& other) {
   input_bytes += other.input_bytes;
   map_output_records += other.map_output_records;
   map_output_bytes += other.map_output_bytes;
+  map_direct_output_records += other.map_direct_output_records;
+  map_direct_output_bytes += other.map_direct_output_bytes;
   reduce_input_groups += other.reduce_input_groups;
   output_records += other.output_records;
   output_bytes += other.output_bytes;
   output_bytes_replicated += other.output_bytes_replicated;
   full_scans_of_base += other.full_scans_of_base;
+  map_seconds += other.map_seconds;
+  shuffle_sort_seconds += other.shuffle_sort_seconds;
+  reduce_seconds += other.reduce_seconds;
   for (const auto& [name, value] : other.counters) {
     counters[name] += value;
   }

@@ -4,6 +4,7 @@
 #define RDFMR_MAPREDUCE_JOB_RUNNER_H_
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "dfs/sim_dfs.h"
 #include "mapreduce/job.h"
 
@@ -15,7 +16,18 @@ namespace rdfmr {
 /// Fnv1a64(key) % R -> per-partition stable sort by key -> reduce ->
 /// write output (can fail with kOutOfSpace, which is how the paper's
 /// failed executions arise). On success returns the job's metrics.
-Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec);
+///
+/// When `pool` is non-null, the map phase is decomposed into one task per
+/// HDFS block of each input (the same granularity SimDfs::BlockCount
+/// reports) and tasks run concurrently, each with a private emit buffer
+/// and counter map; buffers are merged in (input, block) order behind a
+/// barrier. The shuffle's per-partition sort and the per-partition reduce
+/// likewise run concurrently across reducer partitions and merge in
+/// partition order. Output and every metric except the wall-clock
+/// *_seconds fields are therefore byte-identical to the sequential run
+/// (`pool == nullptr` or a 1-thread pool).
+Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
+                          ThreadPool* pool = nullptr);
 
 }  // namespace rdfmr
 

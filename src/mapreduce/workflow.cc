@@ -1,8 +1,11 @@
 #include "mapreduce/workflow.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
 #include "mapreduce/job_runner.h"
 
 namespace rdfmr {
@@ -34,16 +37,23 @@ std::string DescribeWorkflow(const WorkflowSpec& spec) {
 }
 
 WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
-                           const CostModelConfig& cost) {
+                           const CostModelConfig& cost,
+                           uint32_t num_threads) {
   WorkflowResult result;
   result.peak_dfs_used_bytes = dfs->UsedBytes();
+
+  // One pool for the whole workflow; with <= 1 thread no workers are
+  // spawned and every job runs inline on this thread.
+  if (num_threads == 0) num_threads = dfs->config().num_threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
 
   for (size_t i = 0; i < spec.jobs.size(); ++i) {
     const JobSpec& job = spec.jobs[i];
     RDFMR_LOG(Info) << "workflow '" << spec.name << "': running job "
                     << (i + 1) << "/" << spec.jobs.size() << " '" << job.name
                     << "'";
-    Result<JobMetrics> metrics = RunJob(dfs, job);
+    Result<JobMetrics> metrics = RunJob(dfs, job, pool.get());
     if (!metrics.ok()) {
       result.status =
           metrics.status().WithContext("workflow '" + spec.name + "'");
@@ -73,6 +83,27 @@ WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
   if (!result.ok() && !spec.final_output_path.empty() &&
       dfs->Exists(spec.final_output_path)) {
     (void)dfs->DeleteFile(spec.final_output_path);
+  }
+  // Demuxed jobs write `output_path + suffix` files whose suffixes are
+  // data-dependent, so intermediate_paths cannot list them; sweep them by
+  // prefix after a failure (including the failed job itself, which may
+  // have materialized some suffix files before running out of space).
+  if (!result.ok() && spec.cleanup_demuxed_on_failure) {
+    size_t ran_or_failed =
+        std::min(spec.jobs.size(),
+                 static_cast<size_t>(result.failed_job_index) + 1);
+    for (size_t i = 0; i < ran_or_failed; ++i) {
+      const JobSpec& job = spec.jobs[i];
+      if (job.demux == nullptr) continue;
+      for (const std::string& path : dfs->ListFiles()) {
+        if (StartsWith(path, job.output_path)) {
+          (void)dfs->DeleteFile(path);
+        }
+      }
+      for (const std::string& path : job.ensure_outputs) {
+        if (dfs->Exists(path)) (void)dfs->DeleteFile(path);
+      }
+    }
   }
   return result;
 }

@@ -28,6 +28,14 @@ struct WorkflowSpec {
   std::vector<std::string> intermediate_paths;
   /// Path of the final query answer file.
   std::string final_output_path;
+  /// On failure, also delete every file a demuxed job wrote (its
+  /// `output_path + suffix` family plus `ensure_outputs`). Demux suffixes
+  /// are data-dependent, so `intermediate_paths` cannot enumerate them up
+  /// front; without this sweep a failed workflow leaks partial demuxed
+  /// outputs into the next run. Callers that scrub a temporary namespace
+  /// themselves (e.g. the engine's tmp-prefix cleanup) may disable it to
+  /// keep partial outputs observable for post-mortem stats.
+  bool cleanup_demuxed_on_failure = true;
 };
 
 /// \brief Outcome of executing a workflow.
@@ -54,8 +62,14 @@ std::string DescribeWorkflow(const WorkflowSpec& spec);
 /// failure case (so a failed engine run leaves the DFS reusable for the
 /// next engine in a benchmark), but the recorded peak usage reflects the
 /// accumulation while the workflow ran.
+///
+/// `num_threads` selects the host-side execution parallelism of every
+/// job's map and reduce phases; 0 defers to the cluster's
+/// `ClusterConfig::num_threads`. Any value yields byte-identical outputs
+/// and metrics (only the *_seconds wall times differ) — see RunJob.
 WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
-                           const CostModelConfig& cost = CostModelConfig{});
+                           const CostModelConfig& cost = CostModelConfig{},
+                           uint32_t num_threads = 0);
 
 }  // namespace rdfmr
 

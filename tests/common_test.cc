@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -289,6 +293,58 @@ TEST(HashTest, Fnv1aGoldenValues) {
 TEST(HashTest, DifferentInputsDiffer) {
   EXPECT_NE(Fnv1a64("gene9"), Fnv1a64("gene10"));
   EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::vector<std::atomic<int>> visits(1000);
+    pool.ParallelFor(visits.size(),
+                     [&](size_t i) { visits[i].fetch_add(1); });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  std::atomic<int> calls{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor drains the queue and joins
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, PerIndexSlotsMergeDeterministically) {
+  // The runtime's pattern: each index writes its own slot; the merged
+  // result is identical for any thread count.
+  auto run = [](uint32_t threads) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> slots(500);
+    pool.ParallelFor(slots.size(),
+                     [&](size_t i) { slots[i] = Fnv1a64(std::to_string(i)); });
+    return slots;
+  };
+  std::vector<uint64_t> sequential = run(1);
+  EXPECT_EQ(run(2), sequential);
+  EXPECT_EQ(run(8), sequential);
 }
 
 // ---- Logging ---------------------------------------------------------------

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the repo with a sanitizer and runs the full test suite under it.
+#
+#   tools/check.sh [thread|address]     (default: thread)
+#
+# ThreadSanitizer is the gate for the multi-threaded MR runtime: the
+# determinism tests exercise every engine at 1/2/8 threads, so a clean
+# `tools/check.sh thread` means the parallel map/sort/reduce phases are
+# data-race free. Build trees live in build-<san>-san/ next to build/.
+set -euo pipefail
+
+san="${1:-thread}"
+case "$san" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+esac
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-${san}-san"
+
+cmake -B "$build_dir" -S "$repo_root" -DRDFMR_SANITIZE="$san"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure
