@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_aggregation.dir/ext_aggregation.cc.o"
+  "CMakeFiles/ext_aggregation.dir/ext_aggregation.cc.o.d"
+  "ext_aggregation"
+  "ext_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

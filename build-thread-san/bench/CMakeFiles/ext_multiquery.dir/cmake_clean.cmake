@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiquery.dir/ext_multiquery.cc.o"
+  "CMakeFiles/ext_multiquery.dir/ext_multiquery.cc.o.d"
+  "ext_multiquery"
+  "ext_multiquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_star_groupings.dir/fig03_star_groupings.cc.o"
+  "CMakeFiles/fig03_star_groupings.dir/fig03_star_groupings.cc.o.d"
+  "fig03_star_groupings"
+  "fig03_star_groupings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_star_groupings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

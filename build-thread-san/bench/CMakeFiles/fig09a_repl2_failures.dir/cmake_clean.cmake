@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_repl2_failures.dir/fig09a_repl2_failures.cc.o"
+  "CMakeFiles/fig09a_repl2_failures.dir/fig09a_repl2_failures.cc.o.d"
+  "fig09a_repl2_failures"
+  "fig09a_repl2_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_repl2_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09a_repl2_failures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_repl1_times.dir/fig09b_repl1_times.cc.o"
+  "CMakeFiles/fig09b_repl1_times.dir/fig09b_repl1_times.cc.o.d"
+  "fig09b_repl1_times"
+  "fig09b_repl1_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_repl1_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09b_repl1_times.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09c_vary_bound_times.dir/fig09c_vary_bound_times.cc.o"
+  "CMakeFiles/fig09c_vary_bound_times.dir/fig09c_vary_bound_times.cc.o.d"
+  "fig09c_vary_bound_times"
+  "fig09c_vary_bound_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09c_vary_bound_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09c_vary_bound_times.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09c_vary_bound_times.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vary_bound_writes.dir/fig10_vary_bound_writes.cc.o"
+  "CMakeFiles/fig10_vary_bound_writes.dir/fig10_vary_bound_writes.cc.o.d"
+  "fig10_vary_bound_writes"
+  "fig10_vary_bound_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vary_bound_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_vary_bound_writes.
+# This may be replaced when dependencies are built.

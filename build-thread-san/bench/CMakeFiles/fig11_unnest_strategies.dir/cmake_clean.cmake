@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_unnest_strategies.dir/fig11_unnest_strategies.cc.o"
+  "CMakeFiles/fig11_unnest_strategies.dir/fig11_unnest_strategies.cc.o.d"
+  "fig11_unnest_strategies"
+  "fig11_unnest_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_unnest_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bsbm1m.dir/fig12_bsbm1m.cc.o"
+  "CMakeFiles/fig12_bsbm1m.dir/fig12_bsbm1m.cc.o.d"
+  "fig12_bsbm1m"
+  "fig12_bsbm1m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bsbm1m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

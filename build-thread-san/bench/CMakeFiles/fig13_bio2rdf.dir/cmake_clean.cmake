@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bio2rdf.dir/fig13_bio2rdf.cc.o"
+  "CMakeFiles/fig13_bio2rdf.dir/fig13_bio2rdf.cc.o.d"
+  "fig13_bio2rdf"
+  "fig13_bio2rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bio2rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dbpedia_btc.dir/fig14_dbpedia_btc.cc.o"
+  "CMakeFiles/fig14_dbpedia_btc.dir/fig14_dbpedia_btc.cc.o.d"
+  "fig14_dbpedia_btc"
+  "fig14_dbpedia_btc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dbpedia_btc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

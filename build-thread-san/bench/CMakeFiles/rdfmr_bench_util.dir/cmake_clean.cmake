@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/librdfmr_bench_util.a"
+  "../lib/librdfmr_bench_util.pdb"
+  "CMakeFiles/rdfmr_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/rdfmr_bench_util.dir/bench_util.cc.o.d"
+  "CMakeFiles/rdfmr_bench_util.dir/calibration.cc.o"
+  "CMakeFiles/rdfmr_bench_util.dir/calibration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

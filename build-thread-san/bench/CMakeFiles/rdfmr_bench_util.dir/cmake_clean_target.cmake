@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/librdfmr_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_warehouse.dir/bio_warehouse.cpp.o"
+  "CMakeFiles/bio_warehouse.dir/bio_warehouse.cpp.o.d"
+  "bio_warehouse"
+  "bio_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

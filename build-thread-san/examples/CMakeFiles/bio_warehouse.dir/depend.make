@@ -1,0 +1,2 @@
+# Empty dependencies file for bio_warehouse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_unknown_relationships.dir/explore_unknown_relationships.cpp.o"
+  "CMakeFiles/explore_unknown_relationships.dir/explore_unknown_relationships.cpp.o.d"
+  "explore_unknown_relationships"
+  "explore_unknown_relationships.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_unknown_relationships.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

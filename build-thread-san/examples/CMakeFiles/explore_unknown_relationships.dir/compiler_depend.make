@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for explore_unknown_relationships.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for explore_unknown_relationships.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_exploration_workflow.dir/warehouse_exploration_workflow.cpp.o"
+  "CMakeFiles/warehouse_exploration_workflow.dir/warehouse_exploration_workflow.cpp.o.d"
+  "warehouse_exploration_workflow"
+  "warehouse_exploration_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_exploration_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

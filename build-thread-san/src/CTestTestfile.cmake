@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-thread-san/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("rdf")
+subdirs("dfs")
+subdirs("mapreduce")
+subdirs("query")
+subdirs("relational")
+subdirs("ntga")
+subdirs("engine")
+subdirs("datagen")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfmr_common.dir/logging.cc.o"
+  "CMakeFiles/rdfmr_common.dir/logging.cc.o.d"
+  "CMakeFiles/rdfmr_common.dir/random.cc.o"
+  "CMakeFiles/rdfmr_common.dir/random.cc.o.d"
+  "CMakeFiles/rdfmr_common.dir/status.cc.o"
+  "CMakeFiles/rdfmr_common.dir/status.cc.o.d"
+  "CMakeFiles/rdfmr_common.dir/strings.cc.o"
+  "CMakeFiles/rdfmr_common.dir/strings.cc.o.d"
+  "CMakeFiles/rdfmr_common.dir/thread_pool.cc.o"
+  "CMakeFiles/rdfmr_common.dir/thread_pool.cc.o.d"
+  "librdfmr_common.a"
+  "librdfmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/bio2rdf.cc" "src/datagen/CMakeFiles/rdfmr_datagen.dir/bio2rdf.cc.o" "gcc" "src/datagen/CMakeFiles/rdfmr_datagen.dir/bio2rdf.cc.o.d"
+  "/root/repo/src/datagen/bsbm.cc" "src/datagen/CMakeFiles/rdfmr_datagen.dir/bsbm.cc.o" "gcc" "src/datagen/CMakeFiles/rdfmr_datagen.dir/bsbm.cc.o.d"
+  "/root/repo/src/datagen/btc.cc" "src/datagen/CMakeFiles/rdfmr_datagen.dir/btc.cc.o" "gcc" "src/datagen/CMakeFiles/rdfmr_datagen.dir/btc.cc.o.d"
+  "/root/repo/src/datagen/dbpedia.cc" "src/datagen/CMakeFiles/rdfmr_datagen.dir/dbpedia.cc.o" "gcc" "src/datagen/CMakeFiles/rdfmr_datagen.dir/dbpedia.cc.o.d"
+  "/root/repo/src/datagen/testbed.cc" "src/datagen/CMakeFiles/rdfmr_datagen.dir/testbed.cc.o" "gcc" "src/datagen/CMakeFiles/rdfmr_datagen.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread-san/src/common/CMakeFiles/rdfmr_common.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/rdf/CMakeFiles/rdfmr_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/query/CMakeFiles/rdfmr_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfmr_datagen.dir/bio2rdf.cc.o"
+  "CMakeFiles/rdfmr_datagen.dir/bio2rdf.cc.o.d"
+  "CMakeFiles/rdfmr_datagen.dir/bsbm.cc.o"
+  "CMakeFiles/rdfmr_datagen.dir/bsbm.cc.o.d"
+  "CMakeFiles/rdfmr_datagen.dir/btc.cc.o"
+  "CMakeFiles/rdfmr_datagen.dir/btc.cc.o.d"
+  "CMakeFiles/rdfmr_datagen.dir/dbpedia.cc.o"
+  "CMakeFiles/rdfmr_datagen.dir/dbpedia.cc.o.d"
+  "CMakeFiles/rdfmr_datagen.dir/testbed.cc.o"
+  "CMakeFiles/rdfmr_datagen.dir/testbed.cc.o.d"
+  "librdfmr_datagen.a"
+  "librdfmr_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

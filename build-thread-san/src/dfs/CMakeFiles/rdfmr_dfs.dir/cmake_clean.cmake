@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfmr_dfs.dir/sim_dfs.cc.o"
+  "CMakeFiles/rdfmr_dfs.dir/sim_dfs.cc.o.d"
+  "librdfmr_dfs.a"
+  "librdfmr_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

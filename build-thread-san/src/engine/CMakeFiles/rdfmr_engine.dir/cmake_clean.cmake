@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfmr_engine.dir/advisor.cc.o"
+  "CMakeFiles/rdfmr_engine.dir/advisor.cc.o.d"
+  "CMakeFiles/rdfmr_engine.dir/engine.cc.o"
+  "CMakeFiles/rdfmr_engine.dir/engine.cc.o.d"
+  "librdfmr_engine.a"
+  "librdfmr_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

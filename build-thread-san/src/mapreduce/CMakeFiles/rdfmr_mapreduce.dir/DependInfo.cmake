@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/cost_model.cc" "src/mapreduce/CMakeFiles/rdfmr_mapreduce.dir/cost_model.cc.o" "gcc" "src/mapreduce/CMakeFiles/rdfmr_mapreduce.dir/cost_model.cc.o.d"
+  "/root/repo/src/mapreduce/job_runner.cc" "src/mapreduce/CMakeFiles/rdfmr_mapreduce.dir/job_runner.cc.o" "gcc" "src/mapreduce/CMakeFiles/rdfmr_mapreduce.dir/job_runner.cc.o.d"
+  "/root/repo/src/mapreduce/workflow.cc" "src/mapreduce/CMakeFiles/rdfmr_mapreduce.dir/workflow.cc.o" "gcc" "src/mapreduce/CMakeFiles/rdfmr_mapreduce.dir/workflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread-san/src/common/CMakeFiles/rdfmr_common.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/dfs/CMakeFiles/rdfmr_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfmr_mapreduce.dir/cost_model.cc.o"
+  "CMakeFiles/rdfmr_mapreduce.dir/cost_model.cc.o.d"
+  "CMakeFiles/rdfmr_mapreduce.dir/job_runner.cc.o"
+  "CMakeFiles/rdfmr_mapreduce.dir/job_runner.cc.o.d"
+  "CMakeFiles/rdfmr_mapreduce.dir/workflow.cc.o"
+  "CMakeFiles/rdfmr_mapreduce.dir/workflow.cc.o.d"
+  "librdfmr_mapreduce.a"
+  "librdfmr_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

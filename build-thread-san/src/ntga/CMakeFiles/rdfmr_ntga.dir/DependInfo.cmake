@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ntga/logical_plan.cc" "src/ntga/CMakeFiles/rdfmr_ntga.dir/logical_plan.cc.o" "gcc" "src/ntga/CMakeFiles/rdfmr_ntga.dir/logical_plan.cc.o.d"
+  "/root/repo/src/ntga/ntga_compiler.cc" "src/ntga/CMakeFiles/rdfmr_ntga.dir/ntga_compiler.cc.o" "gcc" "src/ntga/CMakeFiles/rdfmr_ntga.dir/ntga_compiler.cc.o.d"
+  "/root/repo/src/ntga/operators.cc" "src/ntga/CMakeFiles/rdfmr_ntga.dir/operators.cc.o" "gcc" "src/ntga/CMakeFiles/rdfmr_ntga.dir/operators.cc.o.d"
+  "/root/repo/src/ntga/triplegroup.cc" "src/ntga/CMakeFiles/rdfmr_ntga.dir/triplegroup.cc.o" "gcc" "src/ntga/CMakeFiles/rdfmr_ntga.dir/triplegroup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread-san/src/common/CMakeFiles/rdfmr_common.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/rdf/CMakeFiles/rdfmr_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/query/CMakeFiles/rdfmr_query.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/mapreduce/CMakeFiles/rdfmr_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/dfs/CMakeFiles/rdfmr_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

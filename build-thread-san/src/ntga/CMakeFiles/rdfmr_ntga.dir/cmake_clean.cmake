@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfmr_ntga.dir/logical_plan.cc.o"
+  "CMakeFiles/rdfmr_ntga.dir/logical_plan.cc.o.d"
+  "CMakeFiles/rdfmr_ntga.dir/ntga_compiler.cc.o"
+  "CMakeFiles/rdfmr_ntga.dir/ntga_compiler.cc.o.d"
+  "CMakeFiles/rdfmr_ntga.dir/operators.cc.o"
+  "CMakeFiles/rdfmr_ntga.dir/operators.cc.o.d"
+  "CMakeFiles/rdfmr_ntga.dir/triplegroup.cc.o"
+  "CMakeFiles/rdfmr_ntga.dir/triplegroup.cc.o.d"
+  "librdfmr_ntga.a"
+  "librdfmr_ntga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr_ntga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

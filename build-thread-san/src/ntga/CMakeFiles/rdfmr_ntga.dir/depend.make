@@ -1,0 +1,2 @@
+# Empty dependencies file for rdfmr_ntga.
+# This may be replaced when dependencies are built.

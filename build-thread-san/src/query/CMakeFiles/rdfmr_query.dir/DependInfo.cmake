@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/query/CMakeFiles/rdfmr_query.dir/aggregate.cc.o" "gcc" "src/query/CMakeFiles/rdfmr_query.dir/aggregate.cc.o.d"
+  "/root/repo/src/query/matcher.cc" "src/query/CMakeFiles/rdfmr_query.dir/matcher.cc.o" "gcc" "src/query/CMakeFiles/rdfmr_query.dir/matcher.cc.o.d"
+  "/root/repo/src/query/pattern.cc" "src/query/CMakeFiles/rdfmr_query.dir/pattern.cc.o" "gcc" "src/query/CMakeFiles/rdfmr_query.dir/pattern.cc.o.d"
+  "/root/repo/src/query/solution.cc" "src/query/CMakeFiles/rdfmr_query.dir/solution.cc.o" "gcc" "src/query/CMakeFiles/rdfmr_query.dir/solution.cc.o.d"
+  "/root/repo/src/query/sparql_parser.cc" "src/query/CMakeFiles/rdfmr_query.dir/sparql_parser.cc.o" "gcc" "src/query/CMakeFiles/rdfmr_query.dir/sparql_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread-san/src/common/CMakeFiles/rdfmr_common.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/rdf/CMakeFiles/rdfmr_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

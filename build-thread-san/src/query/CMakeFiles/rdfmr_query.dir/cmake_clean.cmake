@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfmr_query.dir/aggregate.cc.o"
+  "CMakeFiles/rdfmr_query.dir/aggregate.cc.o.d"
+  "CMakeFiles/rdfmr_query.dir/matcher.cc.o"
+  "CMakeFiles/rdfmr_query.dir/matcher.cc.o.d"
+  "CMakeFiles/rdfmr_query.dir/pattern.cc.o"
+  "CMakeFiles/rdfmr_query.dir/pattern.cc.o.d"
+  "CMakeFiles/rdfmr_query.dir/solution.cc.o"
+  "CMakeFiles/rdfmr_query.dir/solution.cc.o.d"
+  "CMakeFiles/rdfmr_query.dir/sparql_parser.cc.o"
+  "CMakeFiles/rdfmr_query.dir/sparql_parser.cc.o.d"
+  "librdfmr_query.a"
+  "librdfmr_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdfmr_query.a"
+)

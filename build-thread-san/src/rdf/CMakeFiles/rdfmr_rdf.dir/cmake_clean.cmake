@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfmr_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/rdfmr_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/rdfmr_rdf.dir/graph_stats.cc.o"
+  "CMakeFiles/rdfmr_rdf.dir/graph_stats.cc.o.d"
+  "CMakeFiles/rdfmr_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/rdfmr_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/rdfmr_rdf.dir/term.cc.o"
+  "CMakeFiles/rdfmr_rdf.dir/term.cc.o.d"
+  "CMakeFiles/rdfmr_rdf.dir/triple.cc.o"
+  "CMakeFiles/rdfmr_rdf.dir/triple.cc.o.d"
+  "librdfmr_rdf.a"
+  "librdfmr_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

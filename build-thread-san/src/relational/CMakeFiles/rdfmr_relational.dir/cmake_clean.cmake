@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfmr_relational.dir/rel_compiler.cc.o"
+  "CMakeFiles/rdfmr_relational.dir/rel_compiler.cc.o.d"
+  "CMakeFiles/rdfmr_relational.dir/rel_tuple.cc.o"
+  "CMakeFiles/rdfmr_relational.dir/rel_tuple.cc.o.d"
+  "librdfmr_relational.a"
+  "librdfmr_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdfmr_relational.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouping_equivalence_test.dir/grouping_equivalence_test.cc.o"
+  "CMakeFiles/grouping_equivalence_test.dir/grouping_equivalence_test.cc.o.d"
+  "grouping_equivalence_test"
+  "grouping_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouping_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lemma1_property_test.cc" "tests/CMakeFiles/lemma1_property_test.dir/lemma1_property_test.cc.o" "gcc" "tests/CMakeFiles/lemma1_property_test.dir/lemma1_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread-san/src/engine/CMakeFiles/rdfmr_engine.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/datagen/CMakeFiles/rdfmr_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/ntga/CMakeFiles/rdfmr_ntga.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/relational/CMakeFiles/rdfmr_relational.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/query/CMakeFiles/rdfmr_query.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/mapreduce/CMakeFiles/rdfmr_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/dfs/CMakeFiles/rdfmr_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/rdf/CMakeFiles/rdfmr_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-thread-san/src/common/CMakeFiles/rdfmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

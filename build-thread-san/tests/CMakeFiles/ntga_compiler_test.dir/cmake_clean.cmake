@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntga_compiler_test.dir/ntga_compiler_test.cc.o"
+  "CMakeFiles/ntga_compiler_test.dir/ntga_compiler_test.cc.o.d"
+  "ntga_compiler_test"
+  "ntga_compiler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntga_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

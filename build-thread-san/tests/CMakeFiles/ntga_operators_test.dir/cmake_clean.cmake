@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntga_operators_test.dir/ntga_operators_test.cc.o"
+  "CMakeFiles/ntga_operators_test.dir/ntga_operators_test.cc.o.d"
+  "ntga_operators_test"
+  "ntga_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntga_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntga_plan_test.dir/ntga_plan_test.cc.o"
+  "CMakeFiles/ntga_plan_test.dir/ntga_plan_test.cc.o.d"
+  "ntga_plan_test"
+  "ntga_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntga_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntga_triplegroup_test.dir/ntga_triplegroup_test.cc.o"
+  "CMakeFiles/ntga_triplegroup_test.dir/ntga_triplegroup_test.cc.o.d"
+  "ntga_triplegroup_test"
+  "ntga_triplegroup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntga_triplegroup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfmr.dir/rdfmr.cc.o"
+  "CMakeFiles/rdfmr.dir/rdfmr.cc.o.d"
+  "rdfmr"
+  "rdfmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rdfmr.
+# This may be replaced when dependencies are built.
