@@ -1,11 +1,24 @@
 #include "ntga/operators.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/hash.h"
 #include "common/logging.h"
 
 namespace rdfmr {
+
+namespace {
+std::atomic<bool> g_flip_beta_group_filter{false};
+}  // namespace
+
+void SetBetaGroupFilterFlipForTesting(bool enabled) {
+  g_flip_beta_group_filter.store(enabled, std::memory_order_relaxed);
+}
+
+bool BetaGroupFilterFlippedForTesting() {
+  return g_flip_beta_group_filter.load(std::memory_order_relaxed);
+}
 
 uint32_t PhiPartition(const std::string& value, uint32_t m) {
   RDFMR_CHECK(m > 0) << "phi partition count must be positive";
@@ -68,6 +81,9 @@ std::optional<AnnTg> BuildAnnTg(const StarPattern& star, uint32_t star_id,
           }
         }
         if (satisfied) break;
+      }
+      if (g_flip_beta_group_filter.load(std::memory_order_relaxed)) {
+        satisfied = !satisfied;
       }
     }
     if (!satisfied) return std::nullopt;

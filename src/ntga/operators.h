@@ -35,6 +35,15 @@
 
 namespace rdfmr {
 
+/// \brief Test-only fault injection: when enabled, BuildAnnTg inverts the
+/// satisfaction verdict of mandatory *unbound* patterns in the β
+/// group-filter — a realistic operator bug (σ^βγ admitting exactly the
+/// wrong groups) that only the NTGA engines exhibit. The differential fuzz
+/// harness uses it to prove it can catch and shrink a seeded defect; it
+/// must never be enabled outside tests.
+void SetBetaGroupFilterFlipForTesting(bool enabled);
+bool BetaGroupFilterFlippedForTesting();
+
 /// \brief The partition function φ_m over join-key values.
 uint32_t PhiPartition(const std::string& value, uint32_t m);
 

@@ -1,0 +1,131 @@
+// Cross-engine differential fuzzing: the load-bearing correctness claim of
+// the reproduction is that every engine kind — relational (Pig, Hive) and
+// every NTGA β-unnest strategy — computes exactly the same answers
+// (Lemma 1), at any thread count, while satisfying the metrics-invariant
+// catalog. This module runs one (graph, query) case through the full
+// engine x thread-count matrix against the in-memory oracle, shrinks
+// failing cases (drop triples, then triple patterns, re-checking each
+// step), and renders a failing case as a ready-to-paste C++ test body.
+
+#ifndef RDFMR_TESTING_DIFFERENTIAL_H_
+#define RDFMR_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dfs/cluster_config.h"
+#include "engine/engine.h"
+#include "query/aggregate.h"
+#include "query/pattern.h"
+#include "rdf/triple.h"
+#include "testing/graph_gen.h"
+#include "testing/query_gen.h"
+
+namespace rdfmr {
+namespace fuzz {
+
+/// \brief One self-contained differential test case. Patterns are kept in
+/// raw form (not as a built GraphPatternQuery) so the shrinker can drop
+/// them and rebuild.
+struct FuzzCase {
+  std::string name;
+  std::vector<Triple> triples;
+  std::vector<TriplePattern> patterns;
+  std::optional<AggregateSpec> aggregate;
+};
+
+/// \brief Execution matrix for one case.
+struct DifferentialConfig {
+  /// Engines to compare; empty = all six kinds.
+  std::vector<EngineKind> engines;
+  /// Host thread counts; stats must be byte-identical across them.
+  std::vector<uint32_t> thread_counts = {1, 4};
+  /// Small φ_m so partition collisions are exercised on small data.
+  uint32_t phi_partitions = 16;
+  /// Roomy cluster (no artificial disk pressure) used for every run.
+  ClusterConfig cluster;
+
+  DifferentialConfig();
+};
+
+/// \brief Outcome of running one case through the matrix.
+struct CaseOutcome {
+  /// One line per equivalence or invariant violation (empty = clean).
+  std::vector<std::string> violations;
+  /// True when the patterns do not form a valid query (only reachable via
+  /// shrinking — generated cases are valid by construction).
+  bool query_invalid = false;
+  /// Ground-truth answer count (coverage signal).
+  size_t expected_answers = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// \brief Runs `fuzz_case` through every engine x thread count, comparing
+/// answers against the in-memory oracle and checking all invariants.
+CaseOutcome RunCase(const FuzzCase& fuzz_case,
+                    const DifferentialConfig& config);
+
+/// \brief Greedily minimizes a failing case: removes triples (halving
+/// chunks down to single triples), then triple patterns, then the
+/// aggregate, re-running the matrix after each candidate removal and
+/// keeping it only if the case still fails. Returns the smallest failing
+/// case found (the input itself if nothing could be removed).
+FuzzCase ShrinkCase(const FuzzCase& fuzz_case,
+                    const DifferentialConfig& config);
+
+/// \brief Renders `fuzz_case` as a self-contained gtest test body
+/// (ready to paste into tests/fuzz_regression_test.cc) that loads the
+/// triples, builds the query, and asserts engine/oracle equivalence.
+std::string ReproTestBody(const FuzzCase& fuzz_case,
+                          const CaseOutcome& outcome);
+
+/// \brief Whole-harness options.
+struct FuzzOptions {
+  uint64_t seed = 1;
+  uint64_t cases = 100;
+  GraphGenConfig graph;
+  QueryGenConfig query;
+  DifferentialConfig diff;
+  /// Shrink failing cases before reporting (disable for raw speed).
+  bool shrink = true;
+  /// Stop after this many failures (0 = run all cases regardless).
+  uint64_t max_failures = 1;
+};
+
+struct FuzzFailure {
+  uint64_t case_index = 0;
+  FuzzCase shrunk;
+  CaseOutcome outcome;
+  std::string repro;
+};
+
+struct FuzzReport {
+  uint64_t cases_run = 0;
+  // Coverage counters over generated cases.
+  uint64_t with_unbound = 0;
+  uint64_t with_optional = 0;
+  uint64_t with_aggregate = 0;
+  uint64_t multi_star = 0;
+  uint64_t nonempty_ground_truth = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// \brief Deterministically derives case `index` of stream `seed` —
+/// exactly the case RunFuzz would run, for standalone replay.
+FuzzCase MakeCase(const FuzzOptions& options, uint64_t index);
+
+/// \brief The harness loop: generate, run, shrink, report. `log` (may be
+/// null) receives progress lines and repro bodies for failures.
+FuzzReport RunFuzz(const FuzzOptions& options, std::ostream* log = nullptr);
+
+}  // namespace fuzz
+}  // namespace rdfmr
+
+#endif  // RDFMR_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,227 @@
+#include "testing/invariants.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rdfmr {
+namespace fuzz {
+
+namespace {
+
+void Violation(std::vector<std::string>* out, const std::string& line) {
+  out->push_back(line);
+}
+
+std::string U64(uint64_t v) {
+  return StringFormat("%llu", (unsigned long long)v);
+}
+
+}  // namespace
+
+std::vector<std::string> CheckStatsInvariants(const ExecStats& stats,
+                                              const InvariantContext& ctx) {
+  std::vector<std::string> v;
+
+  // --- Per-job accounting feeding the totals.
+  uint64_t sum_input = 0, sum_shuffle = 0, sum_out = 0, sum_out_repl = 0;
+  uint32_t sum_scans = 0;
+  uint64_t max_out_repl = 0;
+  for (size_t j = 0; j < stats.jobs.size(); ++j) {
+    const JobMetrics& job = stats.jobs[j];
+    sum_input += job.input_bytes;
+    sum_shuffle += job.map_output_bytes;
+    sum_out += job.output_bytes;
+    sum_out_repl += job.output_bytes_replicated;
+    sum_scans += job.full_scans_of_base;
+    max_out_repl = std::max(max_out_repl, job.output_bytes_replicated);
+    // A job meters its map emissions either as shuffle volume (reduce
+    // jobs) or as direct output (map-only jobs) — never as both.
+    if (job.map_output_bytes > 0 && job.map_direct_output_bytes > 0) {
+      Violation(&v, "job '" + job.job_name +
+                        "' metered both shuffle bytes (" +
+                        U64(job.map_output_bytes) + ") and direct map "
+                        "output bytes (" +
+                        U64(job.map_direct_output_bytes) + ")");
+    }
+    if (job.map_direct_output_bytes > 0 && job.reduce_input_groups > 0) {
+      Violation(&v, "job '" + job.job_name +
+                        "' has direct map output but nonzero reduce groups");
+    }
+    // Replication is exact in the simulator: physical = logical x factor.
+    if (job.output_bytes_replicated !=
+        job.output_bytes * ctx.replication) {
+      Violation(&v, "job '" + job.job_name + "' replicated output " +
+                        U64(job.output_bytes_replicated) + " != logical " +
+                        U64(job.output_bytes) + " x replication " +
+                        U64(ctx.replication));
+    }
+  }
+
+  if (stats.shuffle_bytes != sum_shuffle) {
+    Violation(&v, "shuffle_bytes " + U64(stats.shuffle_bytes) +
+                      " != sum of per-job map_output_bytes " +
+                      U64(sum_shuffle));
+  }
+  if (stats.hdfs_read_bytes != sum_input) {
+    Violation(&v, "hdfs_read_bytes " + U64(stats.hdfs_read_bytes) +
+                      " != sum of per-job input_bytes " + U64(sum_input));
+  }
+  if (stats.hdfs_write_bytes != sum_out) {
+    Violation(&v, "hdfs_write_bytes " + U64(stats.hdfs_write_bytes) +
+                      " != sum of per-job output_bytes " + U64(sum_out));
+  }
+  if (stats.hdfs_write_bytes_replicated != sum_out_repl) {
+    Violation(&v, "hdfs_write_bytes_replicated " +
+                      U64(stats.hdfs_write_bytes_replicated) +
+                      " != per-job sum " + U64(sum_out_repl));
+  }
+  if (stats.full_scans != sum_scans) {
+    Violation(&v, "full_scans " + U64(stats.full_scans) +
+                      " != per-job sum " + U64(sum_scans));
+  }
+
+  // --- Write decomposition: everything written is either intermediate or
+  // the final answer file.
+  if (stats.intermediate_write_bytes + stats.final_output_bytes !=
+      stats.hdfs_write_bytes) {
+    Violation(&v, "intermediate " + U64(stats.intermediate_write_bytes) +
+                      " + final " + U64(stats.final_output_bytes) +
+                      " != hdfs_write_bytes " + U64(stats.hdfs_write_bytes));
+  }
+  if (stats.final_output_bytes > stats.hdfs_write_bytes) {
+    Violation(&v, "final_output_bytes exceeds total writes");
+  }
+
+  // --- DFS high-water mark covers the largest live write set: the base
+  // relation is live throughout, and a job's freshly written output is
+  // live the moment it lands.
+  if (stats.peak_dfs_used_bytes < ctx.base_bytes_replicated + max_out_repl) {
+    Violation(&v, "peak_dfs_used_bytes " + U64(stats.peak_dfs_used_bytes) +
+                      " < base " + U64(ctx.base_bytes_replicated) +
+                      " + largest job output " + U64(max_out_repl));
+  }
+  // On an exclusive DFS nothing is deleted until the workflow ends, so on
+  // success the peak equals base + every job's replicated output.
+  if (ctx.exclusive_dfs && stats.ok() &&
+      stats.peak_dfs_used_bytes != ctx.base_bytes_replicated + sum_out_repl) {
+    Violation(&v, "peak_dfs_used_bytes " + U64(stats.peak_dfs_used_bytes) +
+                      " != base " + U64(ctx.base_bytes_replicated) +
+                      " + all job outputs " + U64(sum_out_repl) +
+                      " on an exclusive DFS");
+  }
+
+  // --- Completion accounting.
+  if (stats.ok()) {
+    if (stats.mr_cycles != stats.planned_cycles) {
+      Violation(&v, "successful run completed " + U64(stats.mr_cycles) +
+                        " of " + U64(stats.planned_cycles) +
+                        " planned cycles");
+    }
+    if (stats.failed_job_index != -1) {
+      Violation(&v, "successful run reports failed_job_index " +
+                        StringFormat("%d", stats.failed_job_index));
+    }
+  } else {
+    if (stats.failed_job_index < 0 ||
+        static_cast<size_t>(stats.failed_job_index) >=
+            stats.planned_cycles) {
+      Violation(&v, "failed run reports out-of-range failed_job_index " +
+                        StringFormat("%d", stats.failed_job_index));
+    }
+  }
+
+  // --- Redundancy factors: fractions by definition; nested triplegroup
+  // intermediates repeat (almost) nothing, flat relational ones may.
+  auto check_fraction = [&](double value, const char* name) {
+    if (value < 0.0 || value > 1.0) {
+      Violation(&v, StringFormat("%s %.4f outside [0, 1]", name, value));
+    }
+  };
+  check_fraction(stats.redundancy_factor, "redundancy_factor");
+  check_fraction(stats.final_redundancy_factor, "final_redundancy_factor");
+  if (ctx.ntga_engine && stats.redundancy_factor > 0.05) {
+    Violation(&v, StringFormat("NTGA star-phase redundancy_factor %.4f "
+                               "not ~0 (nested representation leaked "
+                               "flat tuples?)",
+                               stats.redundancy_factor));
+  }
+
+  if (stats.modeled_seconds < 0.0) {
+    Violation(&v, "negative modeled_seconds");
+  }
+  return v;
+}
+
+std::vector<std::string> CompareStatsIgnoringWallTimes(const ExecStats& a,
+                                                       const ExecStats& b) {
+  std::vector<std::string> v;
+  auto diff = [&](const char* field, const std::string& lhs,
+                  const std::string& rhs) {
+    if (lhs != rhs) {
+      Violation(&v, std::string(field) + " differs across runs: " + lhs +
+                        " vs " + rhs);
+    }
+  };
+  diff("engine", a.engine, b.engine);
+  diff("query", a.query, b.query);
+  diff("status", a.status.ToString(), b.status.ToString());
+  diff("failed_job_index", StringFormat("%d", a.failed_job_index),
+       StringFormat("%d", b.failed_job_index));
+  diff("mr_cycles", U64(a.mr_cycles), U64(b.mr_cycles));
+  diff("planned_cycles", U64(a.planned_cycles), U64(b.planned_cycles));
+  diff("full_scans", U64(a.full_scans), U64(b.full_scans));
+  diff("hdfs_read_bytes", U64(a.hdfs_read_bytes), U64(b.hdfs_read_bytes));
+  diff("hdfs_write_bytes", U64(a.hdfs_write_bytes), U64(b.hdfs_write_bytes));
+  diff("hdfs_write_bytes_replicated", U64(a.hdfs_write_bytes_replicated),
+       U64(b.hdfs_write_bytes_replicated));
+  diff("shuffle_bytes", U64(a.shuffle_bytes), U64(b.shuffle_bytes));
+  diff("star_phase_write_bytes", U64(a.star_phase_write_bytes),
+       U64(b.star_phase_write_bytes));
+  diff("intermediate_write_bytes", U64(a.intermediate_write_bytes),
+       U64(b.intermediate_write_bytes));
+  diff("final_output_bytes", U64(a.final_output_bytes),
+       U64(b.final_output_bytes));
+  diff("peak_dfs_used_bytes", U64(a.peak_dfs_used_bytes),
+       U64(b.peak_dfs_used_bytes));
+  diff("redundancy_factor", StringFormat("%.10f", a.redundancy_factor),
+       StringFormat("%.10f", b.redundancy_factor));
+  diff("final_redundancy_factor",
+       StringFormat("%.10f", a.final_redundancy_factor),
+       StringFormat("%.10f", b.final_redundancy_factor));
+  diff("modeled_seconds", StringFormat("%.10f", a.modeled_seconds),
+       StringFormat("%.10f", b.modeled_seconds));
+  if (a.counters != b.counters) {
+    Violation(&v, "counters differ across runs");
+  }
+  if (a.jobs.size() != b.jobs.size()) {
+    Violation(&v, "job count differs across runs: " + U64(a.jobs.size()) +
+                      " vs " + U64(b.jobs.size()));
+    return v;
+  }
+  for (size_t j = 0; j < a.jobs.size(); ++j) {
+    const JobMetrics& ja = a.jobs[j];
+    const JobMetrics& jb = b.jobs[j];
+    bool same = ja.job_name == jb.job_name &&
+                ja.input_records == jb.input_records &&
+                ja.input_bytes == jb.input_bytes &&
+                ja.map_output_records == jb.map_output_records &&
+                ja.map_output_bytes == jb.map_output_bytes &&
+                ja.map_direct_output_records == jb.map_direct_output_records &&
+                ja.map_direct_output_bytes == jb.map_direct_output_bytes &&
+                ja.reduce_input_groups == jb.reduce_input_groups &&
+                ja.output_records == jb.output_records &&
+                ja.output_bytes == jb.output_bytes &&
+                ja.output_bytes_replicated == jb.output_bytes_replicated &&
+                ja.full_scans_of_base == jb.full_scans_of_base &&
+                ja.counters == jb.counters;
+    if (!same) {
+      Violation(&v, "job " + U64(j) + " ('" + ja.job_name +
+                        "') metrics differ across runs");
+    }
+  }
+  return v;
+}
+
+}  // namespace fuzz
+}  // namespace rdfmr

@@ -1,0 +1,51 @@
+// Metrics-invariant catalog for engine executions.
+//
+// Every ExecStats an engine reports must satisfy structural accounting
+// identities regardless of query, data, or engine kind — totals match
+// per-job sums, intermediate + final = all writes, the DFS high-water mark
+// covers the live write set, a job's volume is metered either as shuffle
+// or as direct map output (never both), and nested (NTGA) intermediates
+// carry ~zero redundancy. A second entry point checks that two runs of the
+// same plan (e.g. at different thread counts) produced byte-identical
+// stats, excluding the explicitly nondeterministic host wall times.
+
+#ifndef RDFMR_TESTING_INVARIANTS_H_
+#define RDFMR_TESTING_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace rdfmr {
+namespace fuzz {
+
+/// \brief What the invariant checks need to know about the run's context.
+struct InvariantContext {
+  /// Physical bytes of the base triple relation (logical x replication) —
+  /// live in the DFS for the whole workflow.
+  uint64_t base_bytes_replicated = 0;
+  /// Cluster replication factor.
+  uint32_t replication = 1;
+  /// True for the NTGA engine kinds (nested intermediates).
+  bool ntga_engine = false;
+  /// True when the workflow ran alone on a DFS holding only the base
+  /// relation (enables the exact peak-usage identity).
+  bool exclusive_dfs = true;
+};
+
+/// \brief Checks every catalog invariant; returns one human-readable line
+/// per violation (empty = clean).
+std::vector<std::string> CheckStatsInvariants(const ExecStats& stats,
+                                              const InvariantContext& ctx);
+
+/// \brief Field-by-field equality of two ExecStats excluding the host
+/// wall-clock *_seconds diagnostics; returns one line per differing field.
+std::vector<std::string> CompareStatsIgnoringWallTimes(const ExecStats& a,
+                                                       const ExecStats& b);
+
+}  // namespace fuzz
+}  // namespace rdfmr
+
+#endif  // RDFMR_TESTING_INVARIANTS_H_

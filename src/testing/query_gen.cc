@@ -1,0 +1,218 @@
+#include "testing/query_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rdfmr {
+namespace fuzz {
+
+namespace {
+
+// Mutable star under construction; converted to TriplePatterns at the end.
+struct StarDraft {
+  std::string subject_var;
+  std::vector<TriplePattern> patterns;
+  uint64_t unbound_count = 0;
+};
+
+class QueryBuilder {
+ public:
+  QueryBuilder(const QueryGenConfig& config, const GraphVocabulary& vocab,
+               Rng* rng)
+      : config_(config), vocab_(vocab), rng_(rng) {}
+
+  GeneratedQuery Build() {
+    uint64_t num_stars = 1 + rng_->Uniform(std::max<uint64_t>(
+                                 config_.max_stars, 1));
+    for (uint64_t i = 0; i < num_stars; ++i) {
+      StarDraft star;
+      star.subject_var = StringFormat("qs%llu", (unsigned long long)i);
+      stars_.push_back(std::move(star));
+    }
+    for (uint64_t i = 0; i < num_stars; ++i) FillStar(i);
+    // Connect star i to an earlier star: a chain most of the time, a
+    // branch back to a random ancestor otherwise (chained-star shapes).
+    for (uint64_t i = 1; i < num_stars; ++i) {
+      uint64_t parent = rng_->Chance(0.75) ? i - 1 : rng_->Uniform(i);
+      ConnectStars(parent, i);
+    }
+    EnsureMinUnbound();
+
+    GeneratedQuery out;
+    for (const StarDraft& star : stars_) {
+      out.patterns.insert(out.patterns.end(), star.patterns.begin(),
+                          star.patterns.end());
+    }
+    Result<GraphPatternQuery> query =
+        GraphPatternQuery::Create("fuzz", out.patterns);
+    // The builder only emits shapes Create accepts; a rejection here is a
+    // generator bug worth failing loudly on.
+    RDFMR_CHECK(query.ok()) << "generator produced an invalid query: "
+                            << query.status().ToString();
+    out.query =
+        std::make_shared<const GraphPatternQuery>(query.MoveValueUnsafe());
+    MaybeAddAggregate(&out);
+    return out;
+  }
+
+ private:
+  std::string FreshObjectVar() {
+    return StringFormat("v%llu", (unsigned long long)var_counter_++);
+  }
+  std::string FreshPropertyVar() {
+    return StringFormat("up%llu", (unsigned long long)prop_counter_++);
+  }
+  std::string RandomProperty() {
+    return StringFormat(
+        "p%llu", (unsigned long long)rng_->Uniform(
+                     std::max<uint64_t>(vocab_.num_properties, 1)));
+  }
+  std::string RandomConstantObject() {
+    if (rng_->Chance(0.4) && vocab_.num_subjects > 0) {
+      return StringFormat("s%llu", (unsigned long long)rng_->Uniform(
+                                       vocab_.num_subjects));
+    }
+    return StringFormat("o%llu", (unsigned long long)rng_->Uniform(
+                                     std::max<uint64_t>(vocab_.object_pool, 1)));
+  }
+  std::string RandomToken() {
+    return StringFormat("tok%llu", (unsigned long long)rng_->Uniform(
+                                       std::max<uint64_t>(vocab_.literal_tokens, 1)));
+  }
+
+  // Draws property position for one pattern of `star`, honoring the
+  // per-star unbound cap.
+  void DrawProperty(StarDraft* star, TriplePattern* tp) {
+    if (star->unbound_count < config_.max_unbound_per_star &&
+        rng_->Chance(config_.unbound_prob)) {
+      tp->property_bound = false;
+      tp->property = FreshPropertyVar();
+      star->unbound_count += 1;
+    } else {
+      tp->property_bound = true;
+      tp->property = RandomProperty();
+    }
+  }
+
+  // Object position for a non-join pattern: fresh variable, CONTAINS-
+  // filtered fresh variable, or constant.
+  NodePattern DrawObject() {
+    double roll = rng_->NextDouble();
+    if (roll < config_.constant_object_prob) {
+      return NodePattern::Const(RandomConstantObject());
+    }
+    if (roll < config_.constant_object_prob + config_.contains_prob) {
+      return NodePattern::Var(FreshObjectVar(), RandomToken());
+    }
+    return NodePattern::Var(FreshObjectVar());
+  }
+
+  void FillStar(uint64_t index) {
+    StarDraft& star = stars_[index];
+    uint64_t n = 1 + rng_->Uniform(std::max<uint64_t>(
+                         config_.max_patterns_per_star, 1));
+    for (uint64_t k = 0; k < n; ++k) {
+      TriplePattern tp;
+      tp.subject = NodePattern::Var(star.subject_var);
+      DrawProperty(&star, &tp);
+      tp.object = DrawObject();
+      // The first pattern stays mandatory so the star survives Create's
+      // "only OPTIONAL patterns" rejection; others may be optional when
+      // they introduce only fresh variables (true by construction: object
+      // and property variables are always freshly drawn).
+      tp.optional = k > 0 && tp.object.is_variable() &&
+                    rng_->Chance(config_.optional_prob);
+      star.patterns.push_back(std::move(tp));
+    }
+  }
+
+  // Adds the join edge between `parent` and `child`: Object-Subject
+  // (parent's object is the child's subject variable) or Object-Object
+  // (both stars carry the same fresh object variable). Join patterns are
+  // mandatory — OPTIONAL patterns may not share variables.
+  void ConnectStars(uint64_t parent, uint64_t child) {
+    StarDraft& from = stars_[parent];
+    StarDraft& to = stars_[child];
+    TriplePattern tp;
+    tp.subject = NodePattern::Var(from.subject_var);
+    DrawProperty(&from, &tp);
+    if (rng_->Chance(0.7)) {
+      tp.object = NodePattern::Var(to.subject_var);
+      from.patterns.push_back(std::move(tp));
+    } else {
+      std::string join_var =
+          StringFormat("jv%llu", (unsigned long long)var_counter_++);
+      tp.object = NodePattern::Var(join_var);
+      from.patterns.push_back(std::move(tp));
+      TriplePattern back;
+      back.subject = NodePattern::Var(to.subject_var);
+      DrawProperty(&to, &back);
+      back.object = NodePattern::Var(join_var);
+      to.patterns.push_back(std::move(back));
+    }
+  }
+
+  // Converts bound mandatory patterns to unbound until the query carries
+  // at least `min_unbound` unbound-property patterns.
+  void EnsureMinUnbound() {
+    uint64_t have = 0;
+    for (const StarDraft& star : stars_) have += star.unbound_count;
+    for (StarDraft& star : stars_) {
+      for (TriplePattern& tp : star.patterns) {
+        if (have >= config_.min_unbound) return;
+        if (tp.property_bound && !tp.optional &&
+            star.unbound_count < config_.max_unbound_per_star) {
+          tp.property_bound = false;
+          tp.property = FreshPropertyVar();
+          star.unbound_count += 1;
+          ++have;
+        }
+      }
+    }
+  }
+
+  void MaybeAddAggregate(GeneratedQuery* out) {
+    if (!rng_->Chance(config_.aggregate_prob)) return;
+    // Group and counted variables come from mandatory patterns only, so
+    // every solution binds them and engine-side "incomplete solution"
+    // skipping never diverges from the in-memory oracle.
+    std::set<std::string> mandatory_vars;
+    for (const TriplePattern& tp : out->patterns) {
+      if (tp.optional) continue;
+      for (const std::string& v : tp.Variables()) mandatory_vars.insert(v);
+    }
+    std::vector<std::string> vars(mandatory_vars.begin(),
+                                  mandatory_vars.end());
+    if (vars.size() < 2) return;
+    AggregateSpec spec;
+    size_t group_idx = rng_->Uniform(vars.size());
+    spec.group_vars = {vars[group_idx]};
+    size_t counted_idx = rng_->Uniform(vars.size());
+    while (counted_idx == group_idx) counted_idx = rng_->Uniform(vars.size());
+    spec.counted_var = vars[counted_idx];
+    spec.count_var = std::string("n");
+    spec.distinct = rng_->Chance(0.7);
+    spec.min_count = rng_->Uniform(3);
+    if (spec.Validate(*out->query).ok()) out->aggregate = std::move(spec);
+  }
+
+  const QueryGenConfig& config_;
+  const GraphVocabulary& vocab_;
+  Rng* rng_;
+  std::vector<StarDraft> stars_;
+  uint64_t var_counter_ = 0;
+  uint64_t prop_counter_ = 0;
+};
+
+}  // namespace
+
+GeneratedQuery GenerateQuery(const QueryGenConfig& config,
+                             const GraphVocabulary& vocab, Rng* rng) {
+  return QueryBuilder(config, vocab, rng).Build();
+}
+
+}  // namespace fuzz
+}  // namespace rdfmr

@@ -1,0 +1,59 @@
+// Seeded random BGP query generation over a fuzz graph's vocabulary.
+//
+// Shapes are the ones the paper's engines support (src/query/pattern.h):
+// star and chained-star BGPs whose stars connect through Object-Subject or
+// Object-Object joins, with 0..k unbound-property triple patterns per
+// star, OPTIONAL patterns (fresh variables only), CONTAINS object filters
+// (partially-bound objects), constant objects, and an optional COUNT /
+// GROUP BY / HAVING aggregate. Every query returned passed
+// GraphPatternQuery::Create, so its star decomposition and join graph are
+// valid by construction.
+
+#ifndef RDFMR_TESTING_QUERY_GEN_H_
+#define RDFMR_TESTING_QUERY_GEN_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "query/aggregate.h"
+#include "query/pattern.h"
+#include "testing/graph_gen.h"
+
+namespace rdfmr {
+namespace fuzz {
+
+struct QueryGenConfig {
+  uint64_t max_stars = 3;
+  uint64_t max_patterns_per_star = 3;
+  /// Unbound-property density: probability a pattern's property position is
+  /// a variable, capped at `max_unbound_per_star` per star.
+  double unbound_prob = 0.35;
+  uint64_t max_unbound_per_star = 2;
+  /// At least this many unbound-property patterns across the query (the
+  /// injected-bug tests pin this to 1 so every case exercises σ^βγ).
+  uint64_t min_unbound = 0;
+  double optional_prob = 0.15;
+  double contains_prob = 0.12;
+  double constant_object_prob = 0.15;
+  /// Probability the case carries a COUNT/GROUP BY/HAVING aggregate.
+  double aggregate_prob = 0.2;
+};
+
+/// \brief A generated query plus (sometimes) an aggregation constraint.
+struct GeneratedQuery {
+  std::vector<TriplePattern> patterns;
+  std::shared_ptr<const GraphPatternQuery> query;
+  std::optional<AggregateSpec> aggregate;
+};
+
+/// \brief Generates one random query against `vocab`. Deterministic given
+/// the rng state; always returns a structurally valid query.
+GeneratedQuery GenerateQuery(const QueryGenConfig& config,
+                             const GraphVocabulary& vocab, Rng* rng);
+
+}  // namespace fuzz
+}  // namespace rdfmr
+
+#endif  // RDFMR_TESTING_QUERY_GEN_H_

@@ -165,6 +165,124 @@ TEST(JobRunnerTest, DemuxRoutesRecordsAndEnsuresOutputs) {
   EXPECT_TRUE(c->empty()) << "ensure_outputs creates empty files";
 }
 
+TEST(JobRunnerTest, MapOnlyJobMetersDirectOutputNotShuffle) {
+  SimDfs dfs(TestCluster());
+  ASSERT_TRUE(dfs.WriteFile("in", {"alpha", "beta", "gamma"}).ok());
+  JobSpec job;
+  job.name = "identity";
+  job.inputs.push_back(MapInput{
+      "in", [](const std::string& r, const MapEmit& emit, Counters*) {
+        emit("", r);
+      }});
+  job.reduce = nullptr;  // map-only
+  job.output_path = "out";
+  auto metrics = RunJob(&dfs, job);
+  ASSERT_TRUE(metrics.ok());
+  // Emissions of a map-only job never enter a shuffle: they are metered
+  // as direct output (value + newline, exactly the bytes written) and the
+  // shuffle-side meters stay at zero.
+  EXPECT_EQ(metrics->map_output_records, 0u);
+  EXPECT_EQ(metrics->map_output_bytes, 0u);
+  EXPECT_EQ(metrics->map_direct_output_records, 3u);
+  EXPECT_EQ(metrics->map_direct_output_bytes, metrics->output_bytes);
+  EXPECT_EQ(metrics->map_direct_output_bytes, *dfs.FileSize("out"));
+  EXPECT_EQ(metrics->reduce_input_groups, 0u);
+}
+
+TEST(JobRunnerTest, ReduceJobMetersShuffleNotDirectOutput) {
+  SimDfs dfs(TestCluster());
+  ASSERT_TRUE(dfs.WriteFile("in", {"a b", "b"}).ok());
+  JobSpec job;
+  job.name = "counting";
+  job.inputs.push_back(MapInput{"in", WordMapper()});
+  job.reduce = CountReducer();
+  job.output_path = "out";
+  auto metrics = RunJob(&dfs, job);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->map_output_records, 0u);
+  EXPECT_GT(metrics->map_output_bytes, 0u);
+  EXPECT_EQ(metrics->map_direct_output_records, 0u);
+  EXPECT_EQ(metrics->map_direct_output_bytes, 0u);
+}
+
+TEST(CombinerTest, ShuffleMeteredPostCombinePerBlockMapTask) {
+  SimDfs dfs(TestCluster());
+  // A file wide enough to span several 4KB blocks: every line maps to the
+  // same key, and the dedup combiner collapses each map task's emissions
+  // to one value, so the post-combine shuffle volume counts exactly one
+  // record per block-sized map task.
+  std::vector<std::string> lines(
+      300, "padding padding padding padding padding padding padding");
+  ASSERT_TRUE(dfs.WriteFile("in", lines).ok());
+  auto blocks = dfs.BlockCount("in");
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_GT(*blocks, 1u) << "input must span multiple blocks";
+  JobSpec job;
+  job.name = "per-block-combine";
+  job.inputs.push_back(MapInput{
+      "in", [](const std::string&, const MapEmit& emit, Counters*) {
+        emit("k", "1");
+      }});
+  job.combine = [](const std::string&,
+                   const std::vector<std::string>& values, Counters*) {
+    std::set<std::string> distinct(values.begin(), values.end());
+    return std::vector<std::string>(distinct.begin(), distinct.end());
+  };
+  job.reduce = CountReducer();
+  job.output_path = "out";
+  auto metrics = RunJob(&dfs, job);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->map_output_records, *blocks)
+      << "one combined record per block-sized map task enters the shuffle";
+  EXPECT_EQ(metrics->map_output_bytes,
+            static_cast<uint64_t>(*blocks) * (1 + 1 + 2))
+      << "shuffle bytes are metered post-combine (key 'k' + value '1' + 2)";
+  EXPECT_EQ(metrics->counters.at("combine_input_records"), lines.size());
+}
+
+TEST(JobRunnerTest, EnsuredEmptyOutputsAreReadableDownstream) {
+  SimDfs dfs(TestCluster());
+  ASSERT_TRUE(dfs.WriteFile("in", {"a1", "a2"}).ok());
+  JobSpec producer;
+  producer.name = "demux-producer";
+  producer.inputs.push_back(MapInput{
+      "in", [](const std::string& r, const MapEmit& emit, Counters*) {
+        emit("", r);
+      }});
+  producer.output_path = "part-";
+  producer.demux = [](const std::string& record) {
+    return record.substr(0, 1);
+  };
+  // "b" receives no record; ensure_outputs must still create it so the
+  // consumer below finds every input it was planned against.
+  producer.ensure_outputs = {"part-a", "part-b"};
+  ASSERT_TRUE(RunJob(&dfs, producer).ok());
+  ASSERT_TRUE(dfs.Exists("part-b"));
+  EXPECT_EQ(*dfs.FileSize("part-b"), 0u);
+
+  JobSpec consumer;
+  consumer.name = "demux-consumer";
+  for (const char* path : {"part-a", "part-b"}) {
+    consumer.inputs.push_back(MapInput{
+        path, [](const std::string& r, const MapEmit& emit, Counters*) {
+          emit(r, "1");
+        }});
+  }
+  consumer.reduce = CountReducer();
+  consumer.output_path = "out";
+  auto metrics = RunJob(&dfs, consumer);
+  ASSERT_TRUE(metrics.ok())
+      << "a downstream job must be able to read an ensured empty output: "
+      << metrics.status().ToString();
+  EXPECT_EQ(metrics->input_records, 2u)
+      << "the empty input contributes no records";
+  auto lines = dfs.ReadFile("out");
+  ASSERT_TRUE(lines.ok());
+  std::vector<std::string> sorted = *lines;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::string>{"a1=1", "a2=1"}));
+}
+
 TEST(JobRunnerTest, CountersFlowToMetrics) {
   SimDfs dfs(TestCluster());
   ASSERT_TRUE(dfs.WriteFile("in", {"r1", "r2"}).ok());

@@ -1,23 +1,73 @@
 #!/usr/bin/env bash
-# Builds the repo with a sanitizer and runs the full test suite under it.
+# Builds the repo with a sanitizer and runs the full test suite under it,
+# including the differential fuzz smoke (ctest label fuzz_smoke).
 #
-#   tools/check.sh [thread|address]     (default: thread)
+#   tools/check.sh [thread|address|both]     (default: thread)
 #
 # ThreadSanitizer is the gate for the multi-threaded MR runtime: the
 # determinism tests exercise every engine at 1/2/8 threads, so a clean
 # `tools/check.sh thread` means the parallel map/sort/reduce phases are
-# data-race free. Build trees live in build-<san>-san/ next to build/.
+# data-race free. `both` runs thread then address. Build trees live in
+# build-<san>-san/ next to build/; each is configured from scratch
+# idempotently (a stale or half-configured tree is wiped and redone).
 set -euo pipefail
 
-san="${1:-thread}"
-case "$san" in
-  thread|address) ;;
-  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+mode="${1:-thread}"
+case "$mode" in
+  thread|address) sans=("$mode") ;;
+  both) sans=(thread address) ;;
+  *) echo "usage: $0 [thread|address|both]" >&2; exit 2 ;;
 esac
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${repo_root}/build-${san}-san"
+cxx="${CXX:-c++}"
 
-cmake -B "$build_dir" -S "$repo_root" -DRDFMR_SANITIZE="$san"
-cmake --build "$build_dir" -j "$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure
+# Fail fast, readably, when the compiler cannot produce sanitized
+# binaries (e.g. a toolchain without the TSan runtime) instead of dying
+# mid-build on a cryptic linker error.
+probe_sanitizer() {
+  local san="$1"
+  local probe_dir
+  probe_dir="$(mktemp -d)"
+  echo 'int main() { return 0; }' > "$probe_dir/probe.cc"
+  if ! "$cxx" -fsanitize="$san" "$probe_dir/probe.cc" \
+       -o "$probe_dir/probe" > "$probe_dir/log" 2>&1; then
+    echo "error: compiler '$cxx' cannot build with -fsanitize=$san." >&2
+    echo "Install the ${san} sanitizer runtime (e.g. libtsan/libasan for" >&2
+    echo "gcc, or use a clang with compiler-rt), or run plain" >&2
+    echo "'cmake -B build -S . && ctest --test-dir build' instead." >&2
+    echo "--- compiler output ---" >&2
+    cat "$probe_dir/log" >&2
+    rm -rf "$probe_dir"
+    return 1
+  fi
+  rm -rf "$probe_dir"
+}
+
+run_one() {
+  local san="$1"
+  local build_dir="${repo_root}/build-${san}-san"
+
+  probe_sanitizer "$san"
+
+  # Configure from scratch idempotently: if an earlier configure was
+  # interrupted or cached a different setting, retry once on a clean tree
+  # rather than leaving the user to rm -rf by hand.
+  if ! cmake -B "$build_dir" -S "$repo_root" -DRDFMR_SANITIZE="$san"; then
+    echo "configure failed; retrying on a clean ${build_dir}" >&2
+    rm -rf "$build_dir"
+    cmake -B "$build_dir" -S "$repo_root" -DRDFMR_SANITIZE="$san"
+  fi
+
+  cmake --build "$build_dir" -j "$(nproc)"
+  # Full suite first (includes the fuzz regression tests), then the
+  # fuzz_smoke label explicitly so the 200-case differential sweep and the
+  # injected-bug drill always run under the sanitizer.
+  ctest --test-dir "$build_dir" --output-on-failure
+  ctest --test-dir "$build_dir" -L fuzz_smoke --output-on-failure
+}
+
+for san in "${sans[@]}"; do
+  echo "== sanitizer: ${san} =="
+  run_one "$san"
+done
