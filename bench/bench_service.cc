@@ -1,0 +1,205 @@
+// Serving-layer throughput: queries/sec through the QueryService at 1 and
+// 4 workers, cold (caches bypassed: compile + execute every request),
+// warm-plan (plan cache on, result cache off: retarget + execute), and
+// warm-result (both caches: answers replayed). Emits BENCH_service.json
+// alongside the printed table.
+//
+// Requests go through Submit directly — the same admission/cache/execute
+// path `rdfmr serve` drives — so the numbers isolate the service from
+// socket transport noise.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "service/query_service.h"
+
+namespace rdfmr {
+namespace bench {
+namespace {
+
+struct Cell {
+  uint32_t workers = 0;
+  std::string mode;
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+  double seconds = 0.0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t result_cache_hits = 0;
+
+  double Qps() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+/// Submits `requests` round-robin over `queries` and blocks until every
+/// callback fired; returns the wall seconds of the submission+drain.
+Cell RunCell(service::QueryService* query_service,
+             const std::vector<std::shared_ptr<const GraphPatternQuery>>&
+                 queries,
+             const EngineOptions& options, uint32_t workers,
+             const std::string& mode, uint64_t requests) {
+  Cell cell;
+  cell.workers = workers;
+  cell.mode = mode;
+  cell.requests = requests;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t done = 0;
+  uint64_t failures = 0;
+
+  const service::ServiceStatsSnapshot before = query_service->Stats();
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < requests; ++i) {
+    service::ServiceRequest request;
+    request.dataset = "bsbm";
+    request.query = queries[i % queries.size()];
+    request.options = options;
+    request.use_plan_cache = mode != "cold";
+    request.use_result_cache = mode == "warm-result";
+    query_service->Submit(request, [&](service::ServiceResponse response) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!response.ok() || !response.stats.ok()) ++failures;
+      ++done;
+      cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == requests; });
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const service::ServiceStatsSnapshot after = query_service->Stats();
+
+  cell.failures = failures;
+  cell.seconds = std::chrono::duration<double>(stop - start).count();
+  cell.plan_cache_hits = after.plan_cache_hits - before.plan_cache_hits;
+  cell.result_cache_hits =
+      after.result_cache_hits - before.result_cache_hits;
+  return cell;
+}
+
+int Main() {
+  std::vector<Triple> triples = BsbmAtScale(400);
+  std::printf("Service throughput (%zu triples, B0/B1/B4 round-robin)\n\n",
+              triples.size());
+
+  std::vector<std::shared_ptr<const GraphPatternQuery>> queries;
+  for (const char* id : {"B0", "B1", "B4"}) {
+    auto q = GetTestbedQuery(id);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(*q);
+  }
+
+  EngineOptions options;
+  options.kind = EngineKind::kNtgaLazy;
+
+  constexpr uint64_t kRequests = 48;
+  const std::vector<std::string> modes = {"cold", "warm-plan",
+                                          "warm-result"};
+  std::vector<Cell> cells;
+  for (uint32_t workers : {1u, 4u}) {
+    service::ServiceConfig config;
+    config.cluster.num_nodes = 8;
+    config.cluster.disk_per_node = 256ULL << 20;
+    config.cluster.replication = 1;
+    config.cluster.num_reducers = 4;
+    config.max_concurrent = workers;
+    config.queue_bound = kRequests;
+    service::QueryService query_service(config);
+    auto loaded = query_service.LoadDataset("bsbm", triples);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    // Prime both caches so the warm modes measure steady state.
+    for (const auto& query : queries) {
+      service::ServiceRequest warmup;
+      warmup.dataset = "bsbm";
+      warmup.query = query;
+      warmup.options = options;
+      (void)query_service.Query(warmup);
+    }
+    for (const std::string& mode : modes) {
+      cells.push_back(RunCell(&query_service, queries, options, workers,
+                              mode, kRequests));
+    }
+  }
+
+  std::printf("%-8s %-12s %10s %10s %10s %10s %10s\n", "workers", "mode",
+              "requests", "seconds", "qps", "plan_hits", "result_hits");
+  bool failed = false;
+  for (const Cell& cell : cells) {
+    failed = failed || cell.failures > 0;
+    std::printf("%-8u %-12s %10llu %10.3f %10.1f %10llu %10llu\n",
+                cell.workers, cell.mode.c_str(),
+                (unsigned long long)cell.requests, cell.seconds,
+                cell.Qps(), (unsigned long long)cell.plan_cache_hits,
+                (unsigned long long)cell.result_cache_hits);
+  }
+  if (failed) {
+    std::fprintf(stderr, "some served requests failed\n");
+    return 1;
+  }
+
+  JsonValue report = JsonValue::MakeObject();
+  report.Set("bench", "service_throughput");
+  report.Set("num_triples", static_cast<uint64_t>(triples.size()));
+  report.Set("engine", "lazy");
+  report.Set("requests_per_cell", kRequests);
+  JsonValue rows = JsonValue::MakeArray();
+  for (const Cell& cell : cells) {
+    JsonValue row = JsonValue::MakeObject();
+    row.Set("workers", static_cast<uint64_t>(cell.workers));
+    row.Set("mode", cell.mode);
+    row.Set("requests", cell.requests);
+    row.Set("seconds", cell.seconds);
+    row.Set("qps", cell.Qps());
+    row.Set("plan_cache_hits", cell.plan_cache_hits);
+    row.Set("result_cache_hits", cell.result_cache_hits);
+    rows.Append(std::move(row));
+  }
+  report.Set("cells", std::move(rows));
+  std::ofstream out("BENCH_service.json");
+  out << report.Dump() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "failed to write BENCH_service.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_service.json\n");
+
+  // Sanity shapes rather than absolute numbers: warm-result must beat
+  // cold (it skips compilation AND execution) at every worker count.
+  int bad = 0;
+  for (uint32_t workers : {1u, 4u}) {
+    const Cell* cold = nullptr;
+    const Cell* warm = nullptr;
+    for (const Cell& cell : cells) {
+      if (cell.workers != workers) continue;
+      if (cell.mode == "cold") cold = &cell;
+      if (cell.mode == "warm-result") warm = &cell;
+    }
+    if (cold != nullptr && warm != nullptr && warm->Qps() <= cold->Qps()) {
+      std::fprintf(stderr,
+                   "shape check failed: warm-result qps <= cold qps at "
+                   "%u worker(s)\n",
+                   workers);
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfmr
+
+int main() { return rdfmr::bench::Main(); }

@@ -1,0 +1,71 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/strings.h"
+
+namespace rdfmr {
+
+namespace {
+
+size_t BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  size_t index = static_cast<size_t>(std::bit_width(value));
+  return std::min(index, Histogram::kNumBuckets - 1);
+}
+
+uint64_t BucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  if (index >= 64) return ~0ULL;
+  return (1ULL << index) - 1;
+}
+
+}  // namespace
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketIndex(value)] += 1;
+  count_ += 1;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the percentile sample, 1-based (nearest-rank definition).
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                        static_cast<double>(count_));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::ToJson() const {
+  return StringFormat(
+      "{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+      "\"mean\":%.3f,\"p50\":%llu,\"p95\":%llu,\"p99\":%llu}",
+      static_cast<unsigned long long>(count_),
+      static_cast<unsigned long long>(sum_),
+      static_cast<unsigned long long>(min()),
+      static_cast<unsigned long long>(max_), Mean(),
+      static_cast<unsigned long long>(Percentile(50)),
+      static_cast<unsigned long long>(Percentile(95)),
+      static_cast<unsigned long long>(Percentile(99)));
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,60 @@
+// Power-of-two bucketed histogram for the query service's latency and
+// queue-depth distributions. Fixed memory, O(1) Add, approximate
+// percentiles (upper bucket bound), mergeable, JSON-exportable.
+//
+// Not internally synchronized: owners guard it with their own mutex (the
+// service records under its stats lock).
+
+#ifndef RDFMR_COMMON_HISTOGRAM_H_
+#define RDFMR_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rdfmr {
+
+/// \brief Histogram over uint64 samples with buckets [0], [1], [2,3],
+/// [4,7], ... (bucket i>0 spans [2^(i-1), 2^i - 1]).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 41;  // covers up to ~1.1e12
+
+  void Add(uint64_t value);
+
+  /// \brief Accumulates `other` into this.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// \brief Upper bound of the bucket holding the p-th percentile sample
+  /// (p in [0, 100]); 0 when empty. Approximate by construction.
+  uint64_t Percentile(double p) const;
+
+  const std::array<uint64_t, kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// \brief {"count":..,"sum":..,"min":..,"max":..,"mean":..,
+  /// "p50":..,"p95":..,"p99":..} as a JSON object string.
+  std::string ToJson() const;
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_COMMON_HISTOGRAM_H_

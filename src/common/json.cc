@@ -1,0 +1,380 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace rdfmr {
+
+namespace {
+
+const JsonValue& NullValue() {
+  static const JsonValue kNull;
+  return kNull;
+}
+
+}  // namespace
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  if (!is_object()) return NullValue();
+  auto it = object_.find(key);
+  return it == object_.end() ? NullValue() : it->second;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 std::string fallback) const {
+  const JsonValue& v = Get(key);
+  return v.is_string() ? v.string_ : fallback;
+}
+
+uint64_t JsonValue::GetUint(const std::string& key, uint64_t fallback) const {
+  const JsonValue& v = Get(key);
+  return v.is_number() ? v.AsUint(fallback) : fallback;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  const JsonValue& v = Get(key);
+  return v.is_number() ? v.number_ : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue& v = Get(key);
+  return v.is_bool() ? v.bool_ : fallback;
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  return is_object() && object_.count(key) > 0;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  kind_ = Kind::kObject;
+  object_[std::move(key)] = std::move(value);
+}
+
+void JsonValue::Append(JsonValue value) {
+  kind_ = Kind::kArray;
+  array_.push_back(std::move(value));
+}
+
+bool JsonValue::operator==(const JsonValue& o) const {
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return bool_ == o.bool_;
+    case Kind::kNumber:
+      return number_ == o.number_;
+    case Kind::kString:
+      return string_ == o.string_;
+    case Kind::kArray:
+      return array_ == o.array_;
+    case Kind::kObject:
+      return object_ == o.object_;
+  }
+  return false;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringFormat("\\u%04x", c);
+        } else {
+          out += c;  // UTF-8 bytes pass through unchanged
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      if (std::isfinite(number_) && number_ == std::floor(number_) &&
+          std::fabs(number_) < 9.007199254740992e15) {
+        *out += StringFormat("%lld", static_cast<long long>(number_));
+      } else if (std::isfinite(number_)) {
+        *out += StringFormat("%.17g", number_);
+      } else {
+        *out += "null";  // JSON has no Inf/NaN
+      }
+      return;
+    }
+    case Kind::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      return;
+    case Kind::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) *out += ',';
+        array_[i].DumpTo(out);
+      }
+      *out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        *out += JsonEscape(key);
+        *out += "\":";
+        value.DumpTo(out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    RDFMR_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::IoError(
+        StringFormat("JSON parse error at offset %zu: %s", pos_,
+                     msg.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (++depth_ > kMaxDepth) return Error("nesting too deep");
+    struct DepthGuard {
+      int* d;
+      ~DepthGuard() { --*d; }
+    } guard{&depth_};
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      RDFMR_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeWord("null")) return JsonValue();
+    if (ConsumeWord("true")) return JsonValue(true);
+    if (ConsumeWord("false")) return JsonValue(false);
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    Consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue(value);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the code point as UTF-8 (surrogate pairs are passed
+          // through as two 3-byte sequences; the protocol never emits
+          // them, so lossless round-tripping of BMP text suffices).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Error("expected '['");
+    JsonValue::Array items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue(std::move(items));
+    while (true) {
+      RDFMR_ASSIGN_OR_RETURN(JsonValue item, ParseValue());
+      items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return JsonValue(std::move(items));
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Error("expected '{'");
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      RDFMR_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      RDFMR_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      members[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume('}')) return JsonValue(std::move(members));
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace rdfmr

@@ -22,6 +22,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "InvalidCode";
 }

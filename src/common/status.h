@@ -22,6 +22,9 @@ enum class StatusCode : int {
   kExecutionError = 6,  // a MapReduce job failed mid-flight
   kNotImplemented = 7,
   kUnknown = 8,
+  kUnavailable = 9,        // admission control rejected the request
+  kCancelled = 10,         // caller cancelled a queued request
+  kDeadlineExceeded = 11,  // request deadline expired before completion
 };
 
 /// \brief Human-readable name of a StatusCode ("OutOfSpace", ...).
@@ -68,6 +71,15 @@ class Status {
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsOutOfSpace() const { return code() == StatusCode::kOutOfSpace; }
@@ -77,6 +89,11 @@ class Status {
   }
   bool IsExecutionError() const {
     return code() == StatusCode::kExecutionError;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   StatusCode code() const {

@@ -27,6 +27,18 @@ const char* EngineKindToString(EngineKind kind) {
   return "?";
 }
 
+Result<EngineKind> EngineKindFromString(const std::string& name) {
+  if (name == "pig") return EngineKind::kPig;
+  if (name == "hive") return EngineKind::kHive;
+  if (name == "eager") return EngineKind::kNtgaEager;
+  if (name == "lazyfull") return EngineKind::kNtgaLazyFull;
+  if (name == "lazypartial") return EngineKind::kNtgaLazyPartial;
+  if (name == "lazy") return EngineKind::kNtgaLazy;
+  return Status::InvalidArgument(
+      "unknown engine: " + name +
+      " (want pig|hive|eager|lazyfull|lazypartial|lazy)");
+}
+
 namespace {
 
 Result<CompiledPlan> Compile(std::shared_ptr<const GraphPatternQuery> query,
@@ -250,6 +262,72 @@ std::string NextTmpPrefix() {
                       static_cast<unsigned long long>(run_counter++));
 }
 
+// ---- plan retargeting -----------------------------------------------------
+//
+// Every DFS path a compiled plan mentions lives in plain string fields
+// (MapInput::path, JobSpec::output_path / ensure_outputs, the workflow's
+// intermediate / final paths, star_phase_paths); the map/reduce closures
+// capture query structure only. Rewriting those strings therefore fully
+// retargets a plan to a new temporary namespace while sharing the
+// (expensive to build) closures with the template.
+
+std::string RetargetPath(const std::string& path,
+                         const std::string& old_prefix,
+                         const std::string& new_prefix) {
+  if (!StartsWith(path, old_prefix)) return path;
+  return new_prefix + path.substr(old_prefix.size());
+}
+
+void RetargetWorkflow(WorkflowSpec* workflow, const std::string& old_prefix,
+                      const std::string& new_prefix) {
+  for (JobSpec& job : workflow->jobs) {
+    for (MapInput& input : job.inputs) {
+      input.path = RetargetPath(input.path, old_prefix, new_prefix);
+    }
+    job.output_path = RetargetPath(job.output_path, old_prefix, new_prefix);
+    for (std::string& path : job.ensure_outputs) {
+      path = RetargetPath(path, old_prefix, new_prefix);
+    }
+  }
+  for (std::string& path : workflow->intermediate_paths) {
+    path = RetargetPath(path, old_prefix, new_prefix);
+  }
+  workflow->final_output_path =
+      RetargetPath(workflow->final_output_path, old_prefix, new_prefix);
+}
+
+CompiledPlan RetargetPlan(const CompiledPlan& plan,
+                          const std::string& new_prefix) {
+  CompiledPlan out = plan;
+  RetargetWorkflow(&out.workflow, kPlanTemplatePrefix, new_prefix);
+  for (std::string& path : out.star_phase_paths) {
+    path = RetargetPath(path, kPlanTemplatePrefix, new_prefix);
+  }
+  return out;
+}
+
+NtgaBatchPlan RetargetBatchPlan(const NtgaBatchPlan& plan,
+                                const std::string& new_prefix) {
+  NtgaBatchPlan out = plan;
+  RetargetWorkflow(&out.workflow, kPlanTemplatePrefix, new_prefix);
+  for (std::string& path : out.star_phase_paths) {
+    path = RetargetPath(path, kPlanTemplatePrefix, new_prefix);
+  }
+  for (std::string& path : out.final_output_paths) {
+    path = RetargetPath(path, kPlanTemplatePrefix, new_prefix);
+  }
+  return out;
+}
+
+Status CheckBasePath(const std::string& base_path) {
+  if (StartsWith(base_path, kPlanTemplatePrefix)) {
+    return Status::InvalidArgument(
+        "base relation must not live under the plan-template namespace: " +
+        base_path);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 double ComputeRedundancyFactor(const std::vector<std::string>& lines) {
@@ -281,6 +359,39 @@ double ComputeRedundancyFactor(const std::vector<std::string>& lines) {
                    static_cast<double>(flat_bytes);
 }
 
+Result<CompiledPlan> CompileQueryPlanTemplate(
+    std::shared_ptr<const GraphPatternQuery> query,
+    const std::string& base_path,
+    const std::optional<AggregateSpec>& aggregate,
+    const EngineOptions& options) {
+  if (query == nullptr) {
+    return Status::InvalidArgument("CompileQueryPlanTemplate needs a query");
+  }
+  RDFMR_RETURN_NOT_OK(CheckBasePath(base_path));
+  if (aggregate.has_value()) {
+    RDFMR_RETURN_NOT_OK(aggregate->Validate(*query));
+  }
+  RDFMR_ASSIGN_OR_RETURN(
+      CompiledPlan plan,
+      Compile(query, base_path, kPlanTemplatePrefix, options));
+  if (aggregate.has_value()) {
+    AppendAggregationCycle(&plan, *aggregate, kPlanTemplatePrefix,
+                           options.aggregation_combiner);
+  }
+  return plan;
+}
+
+Result<Execution> RunCompiledQuery(SimDfs* dfs, const CompiledPlan& plan,
+                                   const std::string& query_name,
+                                   const EngineOptions& options) {
+  if (dfs == nullptr) {
+    return Status::InvalidArgument("RunCompiledQuery needs a dfs");
+  }
+  const std::string tmp_prefix = NextTmpPrefix();
+  return ExecutePlan(dfs, RetargetPlan(plan, tmp_prefix), tmp_prefix,
+                     query_name, options);
+}
+
 Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
                            std::shared_ptr<const GraphPatternQuery> query,
                            const EngineOptions& options) {
@@ -290,23 +401,16 @@ Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
   if (!dfs->Exists(base_path)) {
     return Status::NotFound("base triple relation missing: " + base_path);
   }
-  const std::string tmp_prefix = NextTmpPrefix();
-  RDFMR_ASSIGN_OR_RETURN(CompiledPlan plan,
-                         Compile(query, base_path, tmp_prefix, options));
-  return ExecutePlan(dfs, std::move(plan), tmp_prefix, query->name(),
-                     options);
+  RDFMR_ASSIGN_OR_RETURN(
+      CompiledPlan plan,
+      CompileQueryPlanTemplate(query, base_path, std::nullopt, options));
+  return RunCompiledQuery(dfs, plan, query->name(), options);
 }
 
-Result<BatchExecution> RunQueryBatch(
-    SimDfs* dfs, const std::string& base_path,
+Result<NtgaBatchPlan> CompileBatchPlanTemplate(
     const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
-    const EngineOptions& options) {
-  if (dfs == nullptr) {
-    return Status::InvalidArgument("RunQueryBatch needs a dfs");
-  }
-  if (!dfs->Exists(base_path)) {
-    return Status::NotFound("base triple relation missing: " + base_path);
-  }
+    const std::string& base_path, const EngineOptions& options) {
+  RDFMR_RETURN_NOT_OK(CheckBasePath(base_path));
   NtgaOptions ntga;
   ntga.phi_partitions = options.phi_partitions;
   switch (options.kind) {
@@ -327,11 +431,19 @@ Result<BatchExecution> RunQueryBatch(
           "RunQueryBatch shares the NTGA grouping cycle; relational "
           "engines have nothing to share — run them per query");
   }
+  return CompileSharedNtgaPlan(queries, base_path, kPlanTemplatePrefix,
+                               ntga);
+}
 
+Result<BatchExecution> RunCompiledBatch(SimDfs* dfs,
+                                        const NtgaBatchPlan& plan_template,
+                                        const EngineOptions& options) {
+  if (dfs == nullptr) {
+    return Status::InvalidArgument("RunCompiledBatch needs a dfs");
+  }
   const std::string tmp_prefix = NextTmpPrefix();
-  RDFMR_ASSIGN_OR_RETURN(
-      NtgaBatchPlan plan,
-      CompileSharedNtgaPlan(queries, base_path, tmp_prefix, ntga));
+  NtgaBatchPlan plan = RetargetBatchPlan(plan_template, tmp_prefix);
+  const size_t num_queries = plan.final_output_paths.size();
 
   WorkflowSpec workflow = plan.workflow;
   size_t planned_cycles = workflow.jobs.size();
@@ -344,7 +456,7 @@ Result<BatchExecution> RunQueryBatch(
   BatchExecution exec;
   ExecStats& stats = exec.stats;
   stats.engine = EngineKindToString(options.kind);
-  stats.query = StringFormat("batch-of-%zu", queries.size());
+  stats.query = StringFormat("batch-of-%zu", num_queries);
   stats.status = result.status;
   stats.failed_job_index = result.failed_job_index;
   stats.mr_cycles = result.num_mr_cycles();
@@ -371,7 +483,7 @@ Result<BatchExecution> RunQueryBatch(
       stats.hdfs_write_bytes - stats.final_output_bytes;
 
   if (result.ok() && options.decode_answers) {
-    for (size_t q = 0; q < queries.size(); ++q) {
+    for (size_t q = 0; q < num_queries; ++q) {
       if (!dfs->Exists(plan.final_output_paths[q])) {
         exec.answers.emplace_back();
         continue;
@@ -389,6 +501,22 @@ Result<BatchExecution> RunQueryBatch(
     }
   }
   return exec;
+}
+
+Result<BatchExecution> RunQueryBatch(
+    SimDfs* dfs, const std::string& base_path,
+    const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
+    const EngineOptions& options) {
+  if (dfs == nullptr) {
+    return Status::InvalidArgument("RunQueryBatch needs a dfs");
+  }
+  if (!dfs->Exists(base_path)) {
+    return Status::NotFound("base triple relation missing: " + base_path);
+  }
+  RDFMR_ASSIGN_OR_RETURN(
+      NtgaBatchPlan plan,
+      CompileBatchPlanTemplate(queries, base_path, options));
+  return RunCompiledBatch(dfs, plan, options);
 }
 
 Result<Execution> RunUnionQuery(
@@ -417,14 +545,10 @@ Result<Execution> RunAggregateQuery(
   if (!dfs->Exists(base_path)) {
     return Status::NotFound("base triple relation missing: " + base_path);
   }
-  RDFMR_RETURN_NOT_OK(spec.Validate(*query));
-  const std::string tmp_prefix = NextTmpPrefix();
-  RDFMR_ASSIGN_OR_RETURN(CompiledPlan plan,
-                         Compile(query, base_path, tmp_prefix, options));
-  AppendAggregationCycle(&plan, spec, tmp_prefix,
-                         options.aggregation_combiner);
-  return ExecutePlan(dfs, std::move(plan), tmp_prefix,
-                     query->name() + "+count", options);
+  RDFMR_ASSIGN_OR_RETURN(
+      CompiledPlan plan,
+      CompileQueryPlanTemplate(query, base_path, spec, options));
+  return RunCompiledQuery(dfs, plan, query->name() + "+count", options);
 }
 
 }  // namespace rdfmr

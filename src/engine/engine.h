@@ -7,13 +7,16 @@
 #define RDFMR_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "dfs/sim_dfs.h"
+#include "engine/compiled_plan.h"
 #include "mapreduce/workflow.h"
 #include "ntga/logical_plan.h"
+#include "ntga/ntga_compiler.h"
 #include "query/aggregate.h"
 #include "query/pattern.h"
 #include "query/solution.h"
@@ -32,6 +35,10 @@ enum class EngineKind {
 };
 
 const char* EngineKindToString(EngineKind kind);
+
+/// \brief Parses the CLI / wire-protocol engine names
+/// (pig|hive|eager|lazyfull|lazypartial|lazy).
+Result<EngineKind> EngineKindFromString(const std::string& name);
 
 struct EngineOptions {
   EngineKind kind = EngineKind::kNtgaLazy;
@@ -160,6 +167,55 @@ Result<Execution> RunUnionQuery(
 /// in excess of one copy of each distinct triple per subject, divided by
 /// total bytes. Lines that are not flat tuples contribute no redundancy.
 double ComputeRedundancyFactor(const std::vector<std::string>& lines);
+
+// ---- Plan templates (compile once, execute many) --------------------------
+//
+// The serving layer pays query compilation once and executes the compiled
+// plan for every subsequent request. A *plan template* is an ordinary
+// CompiledPlan whose temporary paths live under the canonical
+// kPlanTemplatePrefix; executing it clones the plan structs (the map /
+// reduce closures are shared — they capture only query structure, never
+// DFS paths) and rewrites every template-prefixed path to a fresh per-run
+// prefix, so any number of executions of one template may run concurrently
+// against the same SimDfs. RunQuery/RunAggregateQuery/RunQueryBatch are
+// themselves implemented as compile-template + execute, so the cached and
+// the one-shot paths are byte-identical by construction.
+
+/// \brief Canonical temporary prefix of compiled plan templates. Base
+/// relations must not live under it (compilation rejects such paths).
+inline constexpr const char kPlanTemplatePrefix[] = "tmp/plan-template";
+
+/// \brief Compiles `query` (with an optional trailing aggregation cycle)
+/// for the engine in `options`, placing every temporary under
+/// kPlanTemplatePrefix. The result is immutable and reusable: execute it
+/// any number of times, from any thread, via RunCompiledQuery.
+Result<CompiledPlan> CompileQueryPlanTemplate(
+    std::shared_ptr<const GraphPatternQuery> query,
+    const std::string& base_path,
+    const std::optional<AggregateSpec>& aggregate,
+    const EngineOptions& options);
+
+/// \brief Executes a plan template compiled by CompileQueryPlanTemplate
+/// under a fresh run-unique tmp prefix. Safe to call concurrently with
+/// other executions sharing `dfs` (each run touches only its own prefix);
+/// under such concurrency every ExecStats field is still deterministic
+/// except peak_dfs_used_bytes, which then includes other runs' temporaries.
+/// The caller must ensure the template's base relation exists; a missing
+/// base surfaces as a measured in-workflow failure, not an error Result.
+Result<Execution> RunCompiledQuery(SimDfs* dfs, const CompiledPlan& plan,
+                                   const std::string& query_name,
+                                   const EngineOptions& options);
+
+/// \brief Batch analogue of CompileQueryPlanTemplate (NTGA engines only —
+/// see RunQueryBatch for why relational engines are rejected).
+Result<NtgaBatchPlan> CompileBatchPlanTemplate(
+    const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
+    const std::string& base_path, const EngineOptions& options);
+
+/// \brief Batch analogue of RunCompiledQuery.
+Result<BatchExecution> RunCompiledBatch(SimDfs* dfs,
+                                        const NtgaBatchPlan& plan,
+                                        const EngineOptions& options);
 
 }  // namespace rdfmr
 

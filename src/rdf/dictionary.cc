@@ -1,11 +1,21 @@
 #include "rdf/dictionary.h"
 
+#include <mutex>
+
 #include "common/logging.h"
 
 namespace rdfmr {
 
 uint32_t Dictionary::Intern(std::string_view term) {
-  auto it = index_.find(std::string(term));
+  // Fast path: already interned — shared lock only, so concurrent
+  // re-interning of known terms never serializes readers behind writers.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(term);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(term);  // re-check: another writer may have won
   if (it != index_.end()) return it->second;
   uint32_t id = static_cast<uint32_t>(terms_.size());
   terms_.emplace_back(term);
@@ -15,7 +25,8 @@ uint32_t Dictionary::Intern(std::string_view term) {
 }
 
 Result<uint32_t> Dictionary::Lookup(std::string_view term) const {
-  auto it = index_.find(std::string(term));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(term);
   if (it == index_.end()) {
     return Status::NotFound("term not in dictionary: " + std::string(term));
   }
@@ -23,7 +34,10 @@ Result<uint32_t> Dictionary::Lookup(std::string_view term) const {
 }
 
 const std::string& Dictionary::At(uint32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   RDFMR_CHECK(id < terms_.size()) << "dictionary id out of range";
+  // Safe to return by reference after unlocking: deque elements are never
+  // relocated and interned terms are never mutated or removed.
   return terms_[id];
 }
 

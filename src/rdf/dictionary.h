@@ -8,19 +8,30 @@
 #define RDFMR_RDF_DICTIONARY_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "common/result.h"
 
 namespace rdfmr {
 
 /// \brief Append-only string interning table with dense uint32 ids.
+///
+/// Thread-safe for the serving layer's shared read paths: Intern takes an
+/// exclusive lock; Lookup/At/size/StringBytes take a shared lock, so any
+/// number of concurrent readers may run against a dictionary that is still
+/// being extended. Terms live in a std::deque, whose elements are never
+/// relocated, so the reference At() returns stays valid for the
+/// dictionary's lifetime even across later Intern calls.
 class Dictionary {
  public:
   Dictionary() = default;
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
 
   /// \brief Returns the id for `term`, inserting it if new.
   uint32_t Intern(std::string_view term);
@@ -28,17 +39,29 @@ class Dictionary {
   /// \brief Returns the id for `term` or NotFound.
   Result<uint32_t> Lookup(std::string_view term) const;
 
-  /// \brief Returns the string for `id`; id must be < size().
+  /// \brief Returns the string for `id`; id must be < size(). The
+  /// reference remains valid for the dictionary's lifetime.
   const std::string& At(uint32_t id) const;
 
-  size_t size() const { return terms_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return terms_.size();
+  }
 
   /// \brief Total bytes of all interned strings (dictionary footprint).
-  size_t StringBytes() const { return string_bytes_; }
+  size_t StringBytes() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return string_bytes_;
+  }
 
  private:
-  std::unordered_map<std::string, uint32_t> index_;
-  std::vector<std::string> terms_;
+  /// Guards index_, terms_, and string_bytes_ (shared for reads,
+  /// exclusive for Intern).
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+  /// Deque, not vector: growth must not relocate the strings that
+  /// index_'s string_view keys and At()'s returned references point into.
+  std::deque<std::string> terms_;
   size_t string_bytes_ = 0;
 };
 

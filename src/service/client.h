@@ -1,0 +1,47 @@
+// Minimal blocking client for the query service's socket protocol: one
+// request line out, one response line back. Used by the rdfmr CLI's
+// `client` subcommand, the service tests, and the fuzz harness's
+// --service replay mode.
+
+#ifndef RDFMR_SERVICE_CLIENT_H_
+#define RDFMR_SERVICE_CLIENT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace rdfmr {
+namespace service {
+
+class ServiceClient {
+ public:
+  /// \brief Connects to a listening server; IoError when nobody listens.
+  static Result<ServiceClient> Connect(const std::string& socket_path);
+
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ~ServiceClient();
+
+  /// \brief Sends `request` and blocks for the matching response line.
+  Result<JsonValue> Call(const JsonValue& request);
+
+  /// \brief Raw line round-trip (request must not contain '\n').
+  Result<std::string> CallLine(const std::string& line);
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+
+  Status SendLine(const std::string& line);
+  Result<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace service
+}  // namespace rdfmr
+
+#endif  // RDFMR_SERVICE_CLIENT_H_

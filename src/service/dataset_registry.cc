@@ -1,0 +1,140 @@
+#include "service/dataset_registry.h"
+
+#include <utility>
+
+namespace rdfmr {
+namespace service {
+
+constexpr const char DatasetHandle::kBasePath[];
+
+Status DatasetHandle::EnsureLoaded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (attempted_) return load_status_;
+  attempted_ = true;
+  TripleLoader loader = std::move(loader_);
+  loader_ = nullptr;
+  if (!loader) {
+    load_status_ = Status::Unknown("dataset has no loader: " + name_);
+    return load_status_;
+  }
+  Result<std::vector<Triple>> triples = loader();
+  if (!triples.ok()) {
+    load_status_ = triples.status();
+    return load_status_;
+  }
+  auto dfs = std::make_unique<SimDfs>(cluster_);
+  Status st = dfs->WriteFile(kBasePath, SerializeTriples(*triples));
+  if (!st.ok()) {
+    load_status_ = st;
+    return load_status_;
+  }
+  num_triples_ = triples->size();
+  auto size = dfs->FileSize(kBasePath);
+  base_bytes_ = size.ok() ? *size : 0;
+  dfs_ = std::move(dfs);
+  load_status_ = Status::OK();
+  return load_status_;
+}
+
+SimDfs* DatasetHandle::dfs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dfs_.get();
+}
+
+DatasetInfo DatasetHandle::Info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DatasetInfo info;
+  info.name = name_;
+  info.epoch = epoch_;
+  info.loaded = dfs_ != nullptr;
+  info.num_triples = num_triples_;
+  info.base_bytes = base_bytes_;
+  return info;
+}
+
+std::shared_ptr<DatasetHandle> DatasetRegistry::Replace(
+    const std::string& name, TripleLoader loader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto handle = std::shared_ptr<DatasetHandle>(
+      new DatasetHandle(name, next_epoch_++, cluster_, std::move(loader)));
+  datasets_[name] = handle;
+  return handle;
+}
+
+Result<DatasetInfo> DatasetRegistry::Register(const std::string& name,
+                                              TripleLoader loader) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  if (!loader) {
+    return Status::InvalidArgument("dataset loader must be non-null");
+  }
+  return Replace(name, std::move(loader))->Info();
+}
+
+Result<DatasetInfo> DatasetRegistry::Load(const std::string& name,
+                                          std::vector<Triple> triples) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  auto shared = std::make_shared<std::vector<Triple>>(std::move(triples));
+  auto handle = Replace(name, [shared]() -> Result<std::vector<Triple>> {
+    return *shared;
+  });
+  RDFMR_RETURN_NOT_OK(handle->EnsureLoaded());
+  return handle->Info();
+}
+
+Status DatasetRegistry::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no such dataset: " + name);
+  }
+  datasets_.erase(it);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const DatasetHandle>> DatasetRegistry::Acquire(
+    const std::string& name) const {
+  std::shared_ptr<DatasetHandle> handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      return Status::NotFound("no such dataset: " + name);
+    }
+    handle = it->second;
+  }
+  // Materialize outside the registry lock: a slow load must not block
+  // Acquire/List for other datasets.
+  RDFMR_RETURN_NOT_OK(handle->EnsureLoaded());
+  return std::shared_ptr<const DatasetHandle>(handle);
+}
+
+uint64_t DatasetRegistry::Epoch(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? 0 : it->second->epoch();
+}
+
+std::vector<DatasetInfo> DatasetRegistry::List() const {
+  std::vector<std::shared_ptr<DatasetHandle>> handles;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handles.reserve(datasets_.size());
+    for (const auto& [name, handle] : datasets_) handles.push_back(handle);
+  }
+  std::vector<DatasetInfo> infos;
+  infos.reserve(handles.size());
+  for (const auto& handle : handles) infos.push_back(handle->Info());
+  return infos;
+}
+
+size_t DatasetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return datasets_.size();
+}
+
+}  // namespace service
+}  // namespace rdfmr

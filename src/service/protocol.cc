@@ -1,0 +1,473 @@
+#include "service/protocol.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "datagen/testbed.h"
+#include "query/solution.h"
+#include "query/sparql_parser.h"
+#include "service/dataset_io.h"
+
+namespace rdfmr {
+namespace service {
+
+namespace {
+
+JsonValue ErrorResponse(const Status& status) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("ok", false);
+  o.Set("error", status.message());
+  o.Set("code", StatusCodeToString(status.code()));
+  return o;
+}
+
+JsonValue OkResponse() {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("ok", true);
+  return o;
+}
+
+JsonValue DatasetInfoJson(const DatasetInfo& info) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("name", info.name);
+  o.Set("epoch", info.epoch);
+  o.Set("loaded", info.loaded);
+  o.Set("triples", static_cast<uint64_t>(info.num_triples));
+  o.Set("bytes", info.base_bytes);
+  return o;
+}
+
+Result<NodePattern> NodeFromJson(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("pattern position must be an object");
+  }
+  const bool has_var = value.Has("var");
+  const bool has_const = value.Has("const");
+  if (has_var == has_const) {
+    return Status::InvalidArgument(
+        "pattern position needs exactly one of \"var\" or \"const\"");
+  }
+  if (has_const) {
+    if (value.Has("contains")) {
+      return Status::InvalidArgument(
+          "\"contains\" applies to variables only");
+    }
+    return NodePattern::Const(value.GetString("const"));
+  }
+  return NodePattern::Var(value.GetString("var"),
+                          value.GetString("contains"));
+}
+
+JsonValue NodeToJson(const NodePattern& node) {
+  JsonValue o = JsonValue::MakeObject();
+  if (node.is_constant()) {
+    o.Set("const", node.value);
+  } else {
+    o.Set("var", node.value);
+    if (!node.contains_filter.empty()) o.Set("contains", node.contains_filter);
+  }
+  return o;
+}
+
+/// Builds the executable query + optional aggregate out of one query spec
+/// object ("query_id" | "sparql" | "patterns").
+struct ParsedQuerySpec {
+  std::shared_ptr<const GraphPatternQuery> query;
+  std::optional<AggregateSpec> aggregate;
+};
+
+Result<ParsedQuerySpec> QuerySpecFromJson(const JsonValue& spec) {
+  ParsedQuerySpec out;
+  const bool has_id = spec.Has("query_id");
+  const bool has_sparql = spec.Has("sparql");
+  const bool has_patterns = spec.Has("patterns");
+  if (has_id + has_sparql + has_patterns != 1) {
+    return Status::InvalidArgument(
+        "query spec needs exactly one of \"query_id\", \"sparql\", or "
+        "\"patterns\"");
+  }
+  if (has_id) {
+    RDFMR_ASSIGN_OR_RETURN(out.query,
+                           GetTestbedQuery(spec.GetString("query_id")));
+  } else if (has_sparql) {
+    RDFMR_ASSIGN_OR_RETURN(
+        ParsedQuery parsed,
+        ParseSparqlQuery(spec.GetString("name", "inline"),
+                         spec.GetString("sparql")));
+    out.query = std::make_shared<const GraphPatternQuery>(
+        std::move(parsed.query));
+    out.aggregate = std::move(parsed.aggregate);
+  } else {
+    const JsonValue& patterns = spec.Get("patterns");
+    if (!patterns.is_array() || patterns.AsArray().empty()) {
+      return Status::InvalidArgument(
+          "\"patterns\" must be a non-empty array");
+    }
+    std::vector<TriplePattern> parsed;
+    parsed.reserve(patterns.AsArray().size());
+    for (const JsonValue& p : patterns.AsArray()) {
+      RDFMR_ASSIGN_OR_RETURN(TriplePattern tp, PatternFromJson(p));
+      parsed.push_back(std::move(tp));
+    }
+    RDFMR_ASSIGN_OR_RETURN(
+        GraphPatternQuery query,
+        GraphPatternQuery::Create(spec.GetString("name", "adhoc"),
+                                  std::move(parsed)));
+    out.query =
+        std::make_shared<const GraphPatternQuery>(std::move(query));
+  }
+  if (spec.Has("aggregate")) {
+    RDFMR_ASSIGN_OR_RETURN(AggregateSpec agg,
+                           AggregateFromJson(spec.Get("aggregate")));
+    out.aggregate = std::move(agg);
+  }
+  return out;
+}
+
+Result<EngineOptions> OptionsFromJson(const JsonValue& request) {
+  EngineOptions options;
+  if (request.Has("engine")) {
+    RDFMR_ASSIGN_OR_RETURN(options.kind,
+                           EngineKindFromString(request.GetString("engine")));
+  }
+  options.phi_partitions = static_cast<uint32_t>(
+      request.GetUint("phi", options.phi_partitions));
+  options.num_threads =
+      static_cast<uint32_t>(request.GetUint("threads", 0));
+  return options;
+}
+
+JsonValue AnswersJson(const SolutionSet& answers, uint64_t max_answers) {
+  JsonValue array = JsonValue::MakeArray();
+  uint64_t emitted = 0;
+  for (const Solution& solution : answers) {
+    if (max_answers > 0 && emitted >= max_answers) break;
+    array.Append(solution.Serialize());
+    ++emitted;
+  }
+  return array;
+}
+
+/// Common execution + response shaping for the query/batch verbs.
+JsonValue RunServiceRequest(QueryService* query_service,
+                            ServiceRequest service_request,
+                            const JsonValue& request) {
+  const uint64_t max_answers = request.GetUint("max_answers", 0);
+  const bool per_query = service_request.query == nullptr &&
+                         service_request.batch_mode == BatchMode::kPerQuery;
+  ServiceResponse response =
+      query_service->Query(std::move(service_request));
+  if (!response.ok()) return ErrorResponse(response.status);
+  JsonValue o = OkResponse();
+  o.Set("epoch", response.epoch);
+  o.Set("plan_cache_hit", response.plan_cache_hit);
+  o.Set("result_cache_hit", response.result_cache_hit);
+  o.Set("queue_micros", response.queue_micros);
+  o.Set("exec_micros", response.exec_micros);
+  o.Set("stats", ExecStatsToJson(response.stats));
+  if (per_query) {
+    JsonValue answers = JsonValue::MakeArray();
+    JsonValue counts = JsonValue::MakeArray();
+    for (const SolutionSet& set : response.batch_answers) {
+      answers.Append(AnswersJson(set, max_answers));
+      counts.Append(static_cast<uint64_t>(set.size()));
+    }
+    o.Set("answers", std::move(answers));
+    o.Set("num_answers", std::move(counts));
+  } else {
+    o.Set("answers", AnswersJson(response.answers, max_answers));
+    o.Set("num_answers", static_cast<uint64_t>(response.answers.size()));
+  }
+  return o;
+}
+
+JsonValue HandleLoad(QueryService* query_service, const JsonValue& request) {
+  const std::string dataset = request.GetString("dataset");
+  if (dataset.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("load: need a \"dataset\" name"));
+  }
+  const bool has_path = request.Has("path");
+  const bool has_family = request.Has("family");
+  const bool has_triples = request.Has("triples");
+  if (has_path + has_family + has_triples != 1) {
+    return ErrorResponse(Status::InvalidArgument(
+        "load: need exactly one of \"path\", \"family\", or \"triples\""));
+  }
+  Result<DatasetInfo> info = Status::Unknown("unreachable");
+  if (has_triples) {
+    const JsonValue& rows = request.Get("triples");
+    if (!rows.is_array()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "load: \"triples\" must be an array of [s,p,o] arrays"));
+    }
+    std::vector<Triple> triples;
+    triples.reserve(rows.AsArray().size());
+    for (const JsonValue& row : rows.AsArray()) {
+      if (!row.is_array() || row.AsArray().size() != 3) {
+        return ErrorResponse(Status::InvalidArgument(
+            "load: each triple must be a [s,p,o] array"));
+      }
+      const JsonValue::Array& fields = row.AsArray();
+      triples.emplace_back(fields[0].AsString(), fields[1].AsString(),
+                           fields[2].AsString());
+    }
+    info = query_service->LoadDataset(dataset, std::move(triples));
+  } else {
+    TripleLoader loader;
+    if (has_path) {
+      const std::string path = request.GetString("path");
+      loader = [path] { return ReadDatasetFile(path); };
+    } else {
+      const std::string family = request.GetString("family");
+      const uint64_t scale = request.GetUint("scale", 100);
+      const uint64_t seed = request.GetUint("seed", 42);
+      loader = [family, scale, seed] {
+        return GenerateFamilyDataset(family, scale, seed);
+      };
+    }
+    if (request.GetBool("eager")) {
+      Result<std::vector<Triple>> triples = loader();
+      if (!triples.ok()) return ErrorResponse(triples.status());
+      info = query_service->LoadDataset(dataset, *std::move(triples));
+    } else {
+      info = query_service->RegisterDataset(dataset, std::move(loader));
+    }
+  }
+  if (!info.ok()) return ErrorResponse(info.status());
+  JsonValue o = OkResponse();
+  o.Set("dataset", DatasetInfoJson(*info));
+  return o;
+}
+
+JsonValue HandleQuery(QueryService* query_service, const JsonValue& request) {
+  ServiceRequest service_request;
+  service_request.dataset = request.GetString("dataset");
+  auto spec = QuerySpecFromJson(request);
+  if (!spec.ok()) return ErrorResponse(spec.status());
+  service_request.query = spec->query;
+  service_request.aggregate = spec->aggregate;
+  auto options = OptionsFromJson(request);
+  if (!options.ok()) return ErrorResponse(options.status());
+  service_request.options = *options;
+  service_request.deadline_ms = request.GetUint("deadline_ms", 0);
+  service_request.use_plan_cache = !request.GetBool("no_plan_cache");
+  service_request.use_result_cache = !request.GetBool("no_result_cache");
+  return RunServiceRequest(query_service, std::move(service_request),
+                           request);
+}
+
+JsonValue HandleBatch(QueryService* query_service, const JsonValue& request) {
+  ServiceRequest service_request;
+  service_request.dataset = request.GetString("dataset");
+  if (request.Has("query_ids")) {
+    const JsonValue& ids = request.Get("query_ids");
+    if (!ids.is_array()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "batch: \"query_ids\" must be an array of catalog ids"));
+    }
+    for (const JsonValue& id : ids.AsArray()) {
+      auto query = GetTestbedQuery(id.AsString());
+      if (!query.ok()) return ErrorResponse(query.status());
+      service_request.batch.push_back(*query);
+    }
+  } else if (request.Has("queries")) {
+    const JsonValue& specs = request.Get("queries");
+    if (!specs.is_array()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "batch: \"queries\" must be an array of query objects"));
+    }
+    for (const JsonValue& spec : specs.AsArray()) {
+      auto parsed = QuerySpecFromJson(spec);
+      if (!parsed.ok()) return ErrorResponse(parsed.status());
+      if (parsed->aggregate.has_value()) {
+        return ErrorResponse(Status::InvalidArgument(
+            "batch: aggregation is not supported in batches"));
+      }
+      service_request.batch.push_back(parsed->query);
+    }
+  }
+  if (service_request.batch.empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "batch: need a non-empty \"query_ids\" or \"queries\" array"));
+  }
+  const std::string mode = request.GetString("mode", "batch");
+  if (mode == "union") {
+    service_request.batch_mode = BatchMode::kUnion;
+  } else if (mode == "batch") {
+    service_request.batch_mode = BatchMode::kPerQuery;
+  } else {
+    return ErrorResponse(Status::InvalidArgument(
+        "batch: \"mode\" must be \"batch\" or \"union\""));
+  }
+  auto options = OptionsFromJson(request);
+  if (!options.ok()) return ErrorResponse(options.status());
+  service_request.options = *options;
+  service_request.deadline_ms = request.GetUint("deadline_ms", 0);
+  service_request.use_plan_cache = !request.GetBool("no_plan_cache");
+  service_request.use_result_cache = !request.GetBool("no_result_cache");
+  return RunServiceRequest(query_service, std::move(service_request),
+                           request);
+}
+
+}  // namespace
+
+Result<TriplePattern> PatternFromJson(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("pattern must be an object");
+  }
+  RDFMR_ASSIGN_OR_RETURN(NodePattern subject, NodeFromJson(value.Get("s")));
+  RDFMR_ASSIGN_OR_RETURN(NodePattern object, NodeFromJson(value.Get("o")));
+  const JsonValue& property = value.Get("p");
+  if (!property.is_object() ||
+      (property.Has("var") == property.Has("const"))) {
+    return Status::InvalidArgument(
+        "pattern \"p\" needs exactly one of \"var\" or \"const\"");
+  }
+  TriplePattern tp;
+  if (property.Has("const")) {
+    tp = TriplePattern::Bound(std::move(subject),
+                              property.GetString("const"),
+                              std::move(object));
+  } else {
+    tp = TriplePattern::Unbound(std::move(subject),
+                                property.GetString("var"),
+                                std::move(object));
+  }
+  tp.optional = value.GetBool("optional");
+  return tp;
+}
+
+JsonValue PatternToJson(const TriplePattern& pattern) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("s", NodeToJson(pattern.subject));
+  JsonValue p = JsonValue::MakeObject();
+  p.Set(pattern.property_bound ? "const" : "var", pattern.property);
+  o.Set("p", std::move(p));
+  o.Set("o", NodeToJson(pattern.object));
+  if (pattern.optional) o.Set("optional", true);
+  return o;
+}
+
+Result<AggregateSpec> AggregateFromJson(const JsonValue& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("aggregate must be an object");
+  }
+  AggregateSpec spec;
+  const JsonValue& group = value.Get("group");
+  if (!group.is_array() || group.AsArray().empty()) {
+    return Status::InvalidArgument(
+        "aggregate \"group\" must be a non-empty array of variables");
+  }
+  for (const JsonValue& var : group.AsArray()) {
+    spec.group_vars.push_back(var.AsString());
+  }
+  spec.counted_var = value.GetString("counted");
+  if (spec.counted_var.empty()) {
+    return Status::InvalidArgument("aggregate needs a \"counted\" variable");
+  }
+  spec.count_var = value.GetString("as", spec.count_var);
+  spec.distinct = value.GetBool("distinct", true);
+  spec.min_count = value.GetUint("min_count", 0);
+  return spec;
+}
+
+JsonValue AggregateToJson(const AggregateSpec& spec) {
+  JsonValue o = JsonValue::MakeObject();
+  JsonValue group = JsonValue::MakeArray();
+  for (const std::string& var : spec.group_vars) group.Append(var);
+  o.Set("group", std::move(group));
+  o.Set("counted", spec.counted_var);
+  o.Set("as", spec.count_var);
+  o.Set("distinct", spec.distinct);
+  o.Set("min_count", spec.min_count);
+  return o;
+}
+
+JsonValue ExecStatsToJson(const ExecStats& stats) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("engine", stats.engine);
+  o.Set("query", stats.query);
+  o.Set("ok", stats.ok());
+  if (!stats.ok()) {
+    o.Set("error", stats.status.ToString());
+    o.Set("failed_job_index", static_cast<int64_t>(stats.failed_job_index));
+  }
+  o.Set("mr_cycles", static_cast<uint64_t>(stats.mr_cycles));
+  o.Set("planned_cycles", static_cast<uint64_t>(stats.planned_cycles));
+  o.Set("full_scans", static_cast<uint64_t>(stats.full_scans));
+  o.Set("hdfs_read_bytes", stats.hdfs_read_bytes);
+  o.Set("hdfs_write_bytes", stats.hdfs_write_bytes);
+  o.Set("hdfs_write_bytes_replicated", stats.hdfs_write_bytes_replicated);
+  o.Set("shuffle_bytes", stats.shuffle_bytes);
+  o.Set("star_phase_write_bytes", stats.star_phase_write_bytes);
+  o.Set("intermediate_write_bytes", stats.intermediate_write_bytes);
+  o.Set("final_output_bytes", stats.final_output_bytes);
+  o.Set("peak_dfs_used_bytes", stats.peak_dfs_used_bytes);
+  o.Set("redundancy_factor", stats.redundancy_factor);
+  o.Set("final_redundancy_factor", stats.final_redundancy_factor);
+  o.Set("modeled_seconds", stats.modeled_seconds);
+  o.Set("map_seconds", stats.map_seconds);
+  o.Set("shuffle_sort_seconds", stats.shuffle_sort_seconds);
+  o.Set("reduce_seconds", stats.reduce_seconds);
+  return o;
+}
+
+HandleResult HandleRequest(QueryService* query_service,
+                           const JsonValue& request) {
+  HandleResult result;
+  if (!request.is_object()) {
+    result.response = ErrorResponse(
+        Status::InvalidArgument("request must be a JSON object"));
+    return result;
+  }
+  const std::string verb = request.GetString("verb");
+  if (verb == "ping") {
+    result.response = OkResponse();
+  } else if (verb == "load") {
+    result.response = HandleLoad(query_service, request);
+  } else if (verb == "drop") {
+    Status st = query_service->DropDataset(request.GetString("dataset"));
+    result.response = st.ok() ? OkResponse() : ErrorResponse(st);
+  } else if (verb == "list") {
+    JsonValue datasets = JsonValue::MakeArray();
+    for (const DatasetInfo& info : query_service->ListDatasets()) {
+      datasets.Append(DatasetInfoJson(info));
+    }
+    result.response = OkResponse();
+    result.response.Set("datasets", std::move(datasets));
+  } else if (verb == "query") {
+    result.response = HandleQuery(query_service, request);
+  } else if (verb == "batch") {
+    result.response = HandleBatch(query_service, request);
+  } else if (verb == "stats") {
+    auto stats = ParseJson(query_service->Stats().ToJson());
+    result.response = OkResponse();
+    result.response.Set("stats", stats.ok() ? *stats : JsonValue());
+  } else if (verb == "shutdown") {
+    result.response = OkResponse();
+    result.shutdown = true;
+  } else {
+    result.response = ErrorResponse(Status::InvalidArgument(
+        "unknown verb: \"" + verb +
+        "\" (want ping|load|drop|list|query|batch|stats|shutdown)"));
+  }
+  if (request.Has("id")) result.response.Set("id", request.Get("id"));
+  return result;
+}
+
+HandleResult HandleRequestLine(QueryService* query_service,
+                               const std::string& line) {
+  Result<JsonValue> request = ParseJson(line);
+  if (!request.ok()) {
+    HandleResult result;
+    result.response = ErrorResponse(request.status());
+    return result;
+  }
+  return HandleRequest(query_service, *request);
+}
+
+}  // namespace service
+}  // namespace rdfmr

@@ -1,0 +1,77 @@
+// Newline-delimited JSON protocol of the query service.
+//
+// One request per line, one response per line. Every response is an
+// object with "ok": true|false; errors carry "error" (message) and "code"
+// (status code name); a request's "id" member, when present, is echoed.
+//
+// Verbs (the "verb" member):
+//   ping      -> {"ok":true}
+//   load      dataset + one source: "path" (host file, lazy), "family" +
+//             "scale"/"seed" (generator, lazy), or "triples" ([[s,p,o],..],
+//             eager). "eager":true forces immediate materialization.
+//   drop      dataset
+//   list      -> {"ok":true,"datasets":[{name,epoch,loaded,triples,bytes}]}
+//   query     dataset + one query source: "query_id" (testbed catalog),
+//             "sparql" (inline text), or "patterns" (see PatternFromJson)
+//             with optional "name" and "aggregate". Options: "engine",
+//             "phi", "threads", "deadline_ms", "no_plan_cache",
+//             "no_result_cache", "max_answers".
+//   batch     dataset + "query_ids" or "queries" (array of query objects),
+//             "mode":"batch"|"union". Same options as query.
+//   stats     -> {"ok":true,"stats":{...ServiceStats...}}
+//   shutdown  -> {"ok":true}; the server stops after responding.
+//
+// The dispatch is a pure function of (service, request line) so tests can
+// exercise the whole protocol without a socket.
+
+#ifndef RDFMR_SERVICE_PROTOCOL_H_
+#define RDFMR_SERVICE_PROTOCOL_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "engine/engine.h"
+#include "query/aggregate.h"
+#include "query/pattern.h"
+#include "service/query_service.h"
+
+namespace rdfmr {
+namespace service {
+
+/// \brief Outcome of one protocol line.
+struct HandleResult {
+  JsonValue response;
+  bool shutdown = false;  ///< the request asked the server to stop
+};
+
+/// \brief Parses and executes one request line against `query_service`.
+/// Never fails: malformed input yields an "ok":false response object.
+HandleResult HandleRequestLine(QueryService* query_service,
+                               const std::string& line);
+
+/// \brief Same, for an already-parsed request object.
+HandleResult HandleRequest(QueryService* query_service,
+                           const JsonValue& request);
+
+// ---- conversions (exposed for the client helper and the fuzz harness) ------
+
+/// \brief {"s":{"var":..|"const":..,"contains":..},"p":{..},"o":{..},
+/// "optional":bool} <-> TriplePattern. The property position accepts only
+/// "var" (unbound) or "const" (bound edge label).
+Result<TriplePattern> PatternFromJson(const JsonValue& value);
+JsonValue PatternToJson(const TriplePattern& pattern);
+
+/// \brief {"group":[vars],"counted":var,"as":var,"distinct":bool,
+/// "min_count":n} <-> AggregateSpec.
+Result<AggregateSpec> AggregateFromJson(const JsonValue& value);
+JsonValue AggregateToJson(const AggregateSpec& spec);
+
+/// \brief Stable JSON rendering of the deterministic ExecStats fields
+/// (plus the host wall-clock phase seconds, which are not deterministic).
+JsonValue ExecStatsToJson(const ExecStats& stats);
+
+}  // namespace service
+}  // namespace rdfmr
+
+#endif  // RDFMR_SERVICE_PROTOCOL_H_

@@ -1,0 +1,500 @@
+#include "service/query_service.h"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace rdfmr {
+namespace service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+uint32_t DeriveMaxConcurrent(const ServiceConfig& config) {
+  if (config.max_concurrent > 0) return config.max_concurrent;
+  return config.cluster.num_threads > 0 ? config.cluster.num_threads : 1;
+}
+
+/// The name RunQuery / RunAggregateQuery would stamp on the stats.
+std::string SingleQueryName(const ServiceRequest& request) {
+  std::string name = request.query->name();
+  if (request.aggregate.has_value()) name += "+count";
+  return name;
+}
+
+uint64_t EstimateAnswerCharge(const std::vector<SolutionSet>& answers) {
+  uint64_t bytes = 128;  // fixed overhead for the ExecStats copy
+  for (const SolutionSet& set : answers) {
+    bytes += 32;
+    for (const Solution& solution : set) {
+      for (const auto& [var, value] : solution.bindings()) {
+        bytes += var.size() + value.size() + 16;
+      }
+    }
+  }
+  return bytes;
+}
+
+Status CheckRequestShape(const ServiceRequest& request) {
+  const bool single = request.query != nullptr;
+  const bool batch = !request.batch.empty();
+  if (single == batch) {
+    return Status::InvalidArgument(
+        "request must carry exactly one of a single query or a batch");
+  }
+  if (request.aggregate.has_value() && !single) {
+    return Status::InvalidArgument(
+        "aggregation applies to single queries only");
+  }
+  return Status::OK();
+}
+
+JsonValue HistogramJson(const Histogram& hist) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("count", hist.count());
+  o.Set("sum", hist.sum());
+  o.Set("min", hist.min());
+  o.Set("max", hist.max());
+  o.Set("mean", hist.Mean());
+  o.Set("p50", hist.Percentile(50));
+  o.Set("p95", hist.Percentile(95));
+  o.Set("p99", hist.Percentile(99));
+  return o;
+}
+
+}  // namespace
+
+// ---- cache keys -------------------------------------------------------------
+
+std::string EngineOptionsFingerprint(const EngineOptions& options) {
+  // num_threads is excluded on purpose: it changes only host wall-clock
+  // fields, never answers or deterministic stats.
+  return StringFormat(
+      "kind=%s;phi=%u;grouping=%d;decode=%d;combiner=%d;"
+      "cost=%.17g,%.17g,%.17g,%.17g,%.17g",
+      EngineKindToString(options.kind), options.phi_partitions,
+      static_cast<int>(options.grouping), options.decode_answers ? 1 : 0,
+      options.aggregation_combiner ? 1 : 0, options.cost.hdfs_read_mbps,
+      options.cost.hdfs_write_mbps, options.cost.shuffle_mbps,
+      options.cost.sort_mbps, options.cost.job_startup_seconds);
+}
+
+std::string CanonicalQueryText(const ServiceRequest& request) {
+  std::string out;
+  auto append_query = [&out](const GraphPatternQuery& query) {
+    for (const TriplePattern& tp : query.patterns()) {
+      out += tp.ToString();
+      out += '\n';
+    }
+  };
+  if (request.query != nullptr) {
+    append_query(*request.query);
+    if (request.aggregate.has_value()) {
+      const AggregateSpec& spec = *request.aggregate;
+      out += "AGG group=";
+      for (const std::string& var : spec.group_vars) {
+        out += var;
+        out += ',';
+      }
+      out += StringFormat(" counted=%s as=%s distinct=%d min=%llu\n",
+                          spec.counted_var.c_str(), spec.count_var.c_str(),
+                          spec.distinct ? 1 : 0,
+                          static_cast<unsigned long long>(spec.min_count));
+    }
+  } else {
+    // The batch *mode* (per-query vs union) is deliberately absent: union
+    // is a response-time fold over the same execution, so both modes share
+    // plan and result cache entries.
+    for (const auto& query : request.batch) {
+      out += "BRANCH\n";
+      append_query(*query);
+    }
+  }
+  return out;
+}
+
+std::string RequestCacheKey(const ServiceRequest& request, uint64_t epoch) {
+  std::string key = request.dataset;
+  key += '\x1f';
+  key += std::to_string(epoch);
+  key += '\x1f';
+  key += EngineOptionsFingerprint(request.options);
+  key += '\x1f';
+  key += CanonicalQueryText(request);
+  return key;
+}
+
+// ---- stats ------------------------------------------------------------------
+
+std::string ServiceStatsSnapshot::ToJson() const {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("submitted", submitted);
+  o.Set("served", served);
+  o.Set("failed", failed);
+  o.Set("rejected", rejected);
+  o.Set("cancelled", cancelled);
+  o.Set("deadline_expired", deadline_expired);
+  o.Set("datasets", datasets);
+  o.Set("queued", queued);
+  o.Set("running", running);
+  JsonValue plan = JsonValue::MakeObject();
+  plan.Set("hits", plan_cache_hits);
+  plan.Set("misses", plan_cache_misses);
+  plan.Set("entries", plan_cache_entries);
+  o.Set("plan_cache", std::move(plan));
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("hits", result_cache_hits);
+  result.Set("misses", result_cache_misses);
+  result.Set("entries", result_cache_entries);
+  result.Set("bytes", result_cache_bytes);
+  o.Set("result_cache", std::move(result));
+  o.Set("queue_depth", HistogramJson(queue_depth));
+  o.Set("queue_wait_micros", HistogramJson(queue_wait_micros));
+  o.Set("exec_micros", HistogramJson(exec_micros));
+  return o.Dump();
+}
+
+// ---- service ---------------------------------------------------------------
+
+struct QueryService::Pending {
+  uint64_t ticket = 0;
+  ServiceRequest request;
+  std::function<void(ServiceResponse)> done;
+  Clock::time_point submit_time;
+  uint64_t deadline_ms = 0;
+  bool cancelled = false;  // guarded by the service mutex
+};
+
+QueryService::QueryService(ServiceConfig config)
+    : config_(std::move(config)),
+      max_concurrent_(DeriveMaxConcurrent(config_)),
+      registry_(config_.cluster),
+      plan_cache_(config_.plan_cache_entries),
+      result_cache_(config_.result_cache_bytes),
+      // One extra slot because ThreadPool reserves the final slot for a
+      // ParallelFor caller: max_concurrent_ + 1 spawns exactly
+      // max_concurrent_ asynchronous workers for Submit tasks.
+      pool_(std::make_unique<ThreadPool>(max_concurrent_ + 1)) {}
+
+QueryService::~QueryService() {
+  // ThreadPool's destructor drains every queued task before joining, so
+  // all admitted requests get their callback; pool_ is declared last,
+  // hence destroyed before any state those tasks touch.
+}
+
+Result<DatasetInfo> QueryService::LoadDataset(const std::string& name,
+                                              std::vector<Triple> triples) {
+  RDFMR_ASSIGN_OR_RETURN(DatasetInfo info,
+                         registry_.Load(name, std::move(triples)));
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = name + '\x1f';
+  // Epoch-keyed entries of the replaced generation are already
+  // unreachable; purge them eagerly so they stop occupying capacity.
+  auto stale = [&prefix](const std::string& key) {
+    return StartsWith(key, prefix);
+  };
+  plan_cache_.EraseIf(stale);
+  result_cache_.EraseIf(stale);
+  return info;
+}
+
+Result<DatasetInfo> QueryService::RegisterDataset(const std::string& name,
+                                                  TripleLoader loader) {
+  return registry_.Register(name, std::move(loader));
+}
+
+Status QueryService::DropDataset(const std::string& name) {
+  RDFMR_RETURN_NOT_OK(registry_.Drop(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = name + '\x1f';
+  auto stale = [&prefix](const std::string& key) {
+    return StartsWith(key, prefix);
+  };
+  plan_cache_.EraseIf(stale);
+  result_cache_.EraseIf(stale);
+  return Status::OK();
+}
+
+std::vector<DatasetInfo> QueryService::ListDatasets() const {
+  return registry_.List();
+}
+
+uint64_t QueryService::Submit(ServiceRequest request,
+                              std::function<void(ServiceResponse)> done) {
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  pending->done = std::move(done);
+  pending->submit_time = Clock::now();
+  pending->deadline_ms = pending->request.deadline_ms > 0
+                             ? pending->request.deadline_ms
+                             : config_.default_deadline_ms;
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stats_.queued >= config_.queue_bound) {
+      ++stats_.rejected;
+      rejected = true;
+    } else {
+      pending->ticket = next_ticket_++;
+      pending_[pending->ticket] = pending;
+      ++stats_.queued;
+      stats_.queue_depth.Add(stats_.queued);
+    }
+  }
+  if (rejected) {
+    ServiceResponse response;
+    response.status = Status::Unavailable(
+        "admission queue full (bound " +
+        std::to_string(config_.queue_bound) + ")");
+    pending->done(std::move(response));
+    return 0;
+  }
+  pool_->Submit([this, pending] { RunPending(pending); });
+  return pending->ticket;
+}
+
+ServiceResponse QueryService::Query(ServiceRequest request) {
+  std::promise<ServiceResponse> promise;
+  std::future<ServiceResponse> future = promise.get_future();
+  Submit(std::move(request), [&promise](ServiceResponse response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+bool QueryService::Cancel(uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(ticket);
+  if (it == pending_.end() || it->second->cancelled) return false;
+  it->second->cancelled = true;
+  return true;
+}
+
+void QueryService::RunPending(const std::shared_ptr<Pending>& pending) {
+  const Clock::time_point start = Clock::now();
+  const uint64_t queue_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          start - pending->submit_time)
+          .count());
+  ServiceResponse early;
+  bool has_early = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(pending->ticket);
+    --stats_.queued;
+    if (pending->cancelled) {
+      ++stats_.cancelled;
+      early.status = Status::Cancelled("request cancelled while queued");
+      has_early = true;
+    } else if (pending->deadline_ms > 0 &&
+               queue_micros >= pending->deadline_ms * 1000) {
+      ++stats_.deadline_expired;
+      early.status =
+          Status::DeadlineExceeded("deadline expired while queued");
+      has_early = true;
+    } else {
+      ++stats_.running;
+      stats_.queue_wait_micros.Add(queue_micros);
+    }
+  }
+  if (has_early) {
+    early.queue_micros = queue_micros;
+    pending->done(std::move(early));
+    return;
+  }
+
+  ServiceResponse response = Execute(pending->request);
+  const uint64_t exec_micros = MicrosSince(start);
+  response.queue_micros = queue_micros;
+  response.exec_micros = exec_micros;
+  const bool expired =
+      pending->deadline_ms > 0 &&
+      queue_micros + exec_micros >= pending->deadline_ms * 1000;
+  if (expired && response.ok()) {
+    // The run completed (and warmed the caches) but the caller's deadline
+    // passed: report expiry, withhold the payload.
+    response.status =
+        Status::DeadlineExceeded("request completed past its deadline");
+    response.answers.clear();
+    response.batch_answers.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --stats_.running;
+    stats_.exec_micros.Add(exec_micros);
+    if (response.ok()) {
+      ++stats_.served;
+    } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_expired;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  pending->done(std::move(response));
+}
+
+ServiceResponse QueryService::Execute(const ServiceRequest& request) {
+  ServiceResponse response;
+  Status shape = CheckRequestShape(request);
+  if (!shape.ok()) {
+    response.status = shape;
+    return response;
+  }
+  auto handle = registry_.Acquire(request.dataset);
+  if (!handle.ok()) {
+    response.status = handle.status();
+    return response;
+  }
+  return ExecuteOnDataset(request, **handle);
+}
+
+ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
+                                               const DatasetHandle& dataset) {
+  ServiceResponse response;
+  response.epoch = dataset.epoch();
+  const std::string key = RequestCacheKey(request, dataset.epoch());
+
+  // Shapes the final response from an execution's stats + per-query
+  // answers (fresh or cached).
+  auto shape = [&request, &response](const ExecStats& stats,
+                                     const std::vector<SolutionSet>& answers) {
+    response.stats = stats;
+    if (request.query != nullptr) {
+      response.stats.query = SingleQueryName(request);
+      if (!answers.empty()) response.answers = answers.front();
+    } else if (request.batch_mode == BatchMode::kUnion) {
+      response.stats.query =
+          StringFormat("union-of-%zu", request.batch.size());
+      for (const SolutionSet& set : answers) {
+        response.answers.insert(set.begin(), set.end());
+      }
+    } else {
+      response.batch_answers = answers;
+    }
+    response.status = Status::OK();
+  };
+
+  if (request.use_result_cache) {
+    std::shared_ptr<const CachedAnswers> cached;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (const auto* hit = result_cache_.Get(key)) {
+        ++stats_.result_cache_hits;
+        cached = *hit;
+      } else {
+        ++stats_.result_cache_misses;
+      }
+    }
+    if (cached != nullptr) {
+      response.result_cache_hit = true;
+      shape(cached->stats, cached->answers);
+      return response;
+    }
+  }
+
+  auto plan = GetOrCompilePlan(request, key, &response.plan_cache_hit);
+  if (!plan.ok()) {
+    response.status = plan.status();
+    return response;
+  }
+
+  ExecStats stats;
+  std::vector<SolutionSet> answers;
+  if (request.query != nullptr) {
+    auto exec = RunCompiledQuery(dataset.dfs(), *plan->single,
+                                 SingleQueryName(request), request.options);
+    if (!exec.ok()) {
+      response.status = exec.status();
+      return response;
+    }
+    stats = std::move(exec->stats);
+    answers.push_back(std::move(exec->answers));
+  } else {
+    auto exec =
+        RunCompiledBatch(dataset.dfs(), *plan->batch, request.options);
+    if (!exec.ok()) {
+      response.status = exec.status();
+      return response;
+    }
+    stats = std::move(exec->stats);
+    answers = std::move(exec->answers);
+  }
+
+  // Cache only complete, decoded, successful runs: failed runs are cheap
+  // to re-measure and undecoded runs carry no reusable payload.
+  if (request.use_result_cache && stats.ok() &&
+      request.options.decode_answers) {
+    auto value = std::make_shared<CachedAnswers>();
+    value->stats = stats;
+    value->answers = answers;
+    value->charge = EstimateAnswerCharge(answers);
+    std::lock_guard<std::mutex> lock(mu_);
+    result_cache_.Put(key, value, value->charge);
+  }
+  shape(stats, answers);
+  return response;
+}
+
+Result<QueryService::CachedPlan> QueryService::GetOrCompilePlan(
+    const ServiceRequest& request, const std::string& key,
+    bool* plan_cache_hit) {
+  *plan_cache_hit = false;
+  if (request.use_plan_cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto* hit = plan_cache_.Get(key)) {
+      ++stats_.plan_cache_hits;
+      *plan_cache_hit = true;
+      return **hit;
+    }
+    ++stats_.plan_cache_misses;
+  }
+  // Compile outside the lock: two racing compilations of the same key are
+  // both correct; the later Put simply replaces the earlier.
+  CachedPlan plan;
+  if (request.query != nullptr) {
+    RDFMR_ASSIGN_OR_RETURN(
+        CompiledPlan compiled,
+        CompileQueryPlanTemplate(request.query, DatasetHandle::kBasePath,
+                                 request.aggregate, request.options));
+    plan.single = std::make_shared<const CompiledPlan>(std::move(compiled));
+  } else {
+    RDFMR_ASSIGN_OR_RETURN(
+        NtgaBatchPlan compiled,
+        CompileBatchPlanTemplate(request.batch, DatasetHandle::kBasePath,
+                                 request.options));
+    plan.batch = std::make_shared<const NtgaBatchPlan>(std::move(compiled));
+  }
+  if (request.use_plan_cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_cache_.Put(key, std::make_shared<const CachedPlan>(plan), 1);
+  }
+  return plan;
+}
+
+ServiceStatsSnapshot QueryService::Stats() const {
+  ServiceStatsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+    snapshot.plan_cache_entries = plan_cache_.size();
+    snapshot.result_cache_entries = result_cache_.size();
+    snapshot.result_cache_bytes = result_cache_.used();
+  }
+  snapshot.datasets = registry_.size();
+  return snapshot;
+}
+
+}  // namespace service
+}  // namespace rdfmr

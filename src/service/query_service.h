@@ -1,0 +1,233 @@
+// Long-lived concurrent query service over the simulated-cluster engines.
+//
+// One QueryService owns:
+//   * a DatasetRegistry (named datasets -> lazily-loaded shared SimDfs
+//     bases — the load cost is paid once per dataset, not per query);
+//   * a plan cache keyed by (dataset epoch, canonical query text, engine
+//     options) holding compiled plan templates, so repeated queries skip
+//     compilation and execute via the engine's retargeting path;
+//   * a bounded result cache (LRU by answer bytes) whose keys embed the
+//     dataset epoch — dropping or reloading a dataset makes its entries
+//     unreachable immediately (and they are purged eagerly);
+//   * an admission controller: a bounded submission queue feeding a fixed
+//     worker pool, per-request deadlines checked at dequeue and at
+//     completion, and explicit cancellation of queued requests;
+//   * ServiceStats counters and histograms, exported as JSON.
+//
+// Determinism contract (what the equivalence tests check): a served query's
+// answers and all deterministic ExecStats fields are byte-identical to a
+// direct RunQuery/RunQueryBatch/RunUnionQuery call with the same options,
+// at any worker count — the service executes the very plan-template path
+// those functions are built on. A result-cache hit replays the producing
+// run's stats verbatim (its *_seconds fields are the producer's wall
+// times).
+
+#ifndef RDFMR_SERVICE_QUERY_SERVICE_H_
+#define RDFMR_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/lru_cache.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "query/aggregate.h"
+#include "query/pattern.h"
+#include "service/dataset_registry.h"
+
+namespace rdfmr {
+namespace service {
+
+struct ServiceConfig {
+  /// Cluster configuration for every dataset's SimDfs.
+  ClusterConfig cluster;
+  /// Maximum queries executing at once; 0 derives it from
+  /// cluster.num_threads (at least 1).
+  uint32_t max_concurrent = 0;
+  /// Maximum requests admitted but not yet executing; submissions beyond
+  /// it are rejected with kUnavailable.
+  uint32_t queue_bound = 64;
+  /// Plan cache capacity in entries.
+  uint64_t plan_cache_entries = 128;
+  /// Result cache capacity in (approximate answer) bytes.
+  uint64_t result_cache_bytes = 16ULL << 20;
+  /// Deadline applied to requests that do not carry one; 0 = none.
+  uint64_t default_deadline_ms = 0;
+};
+
+/// \brief How a batch request combines its per-query answers.
+enum class BatchMode {
+  kPerQuery,  ///< RunQueryBatch semantics: answers aligned with queries
+  kUnion,     ///< RunUnionQuery semantics: one unioned answer set
+};
+
+/// \brief One request. Exactly one of `query` (single, optionally
+/// aggregated) or `batch` (shared-scan NTGA batch) must be set.
+struct ServiceRequest {
+  std::string dataset;
+  std::shared_ptr<const GraphPatternQuery> query;
+  std::optional<AggregateSpec> aggregate;
+  std::vector<std::shared_ptr<const GraphPatternQuery>> batch;
+  BatchMode batch_mode = BatchMode::kPerQuery;
+  EngineOptions options;
+  /// 0 uses the service default; the deadline covers queue wait AND
+  /// execution (a request finishing past it reports kDeadlineExceeded).
+  uint64_t deadline_ms = 0;
+  bool use_plan_cache = true;
+  bool use_result_cache = true;
+};
+
+struct ServiceResponse {
+  /// Infrastructure outcome: OK even when the *measured* run failed
+  /// in-workflow (that failure lives in stats.status, mirroring RunQuery);
+  /// non-OK for rejection, cancellation, deadline, bad request, unknown
+  /// dataset.
+  Status status;
+  ExecStats stats;
+  /// Single-query / union answers.
+  SolutionSet answers;
+  /// Batch answers (kPerQuery mode), aligned with the request's queries.
+  std::vector<SolutionSet> batch_answers;
+  uint64_t epoch = 0;
+  bool plan_cache_hit = false;
+  bool result_cache_hit = false;
+  uint64_t queue_micros = 0;
+  uint64_t exec_micros = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// \brief Point-in-time service counters (all monotonically increasing
+/// except the gauges) plus latency/queue-depth distributions.
+struct ServiceStatsSnapshot {
+  uint64_t submitted = 0;
+  uint64_t served = 0;            ///< responded with OK status
+  uint64_t failed = 0;            ///< infrastructure / bad-request errors
+  uint64_t rejected = 0;          ///< queue bound exceeded
+  uint64_t cancelled = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t plan_cache_entries = 0;
+  uint64_t result_cache_entries = 0;
+  uint64_t result_cache_bytes = 0;
+  uint64_t datasets = 0;     ///< gauge
+  uint64_t queued = 0;       ///< gauge
+  uint64_t running = 0;      ///< gauge
+  Histogram queue_depth;     ///< sampled at each admission
+  Histogram queue_wait_micros;
+  Histogram exec_micros;
+
+  /// \brief Canonical JSON object (sorted keys; histograms nested).
+  std::string ToJson() const;
+};
+
+/// \brief The service. Thread-safe; one instance serves any number of
+/// client threads / socket connections.
+class QueryService {
+ public:
+  explicit QueryService(ServiceConfig config);
+
+  /// \brief Drains every admitted request (their callbacks fire), then
+  /// joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  const ServiceConfig& config() const { return config_; }
+  uint32_t max_concurrent() const { return max_concurrent_; }
+
+  // ---- datasets -----------------------------------------------------------
+
+  Result<DatasetInfo> LoadDataset(const std::string& name,
+                                  std::vector<Triple> triples);
+  Result<DatasetInfo> RegisterDataset(const std::string& name,
+                                      TripleLoader loader);
+  Status DropDataset(const std::string& name);
+  std::vector<DatasetInfo> ListDatasets() const;
+
+  // ---- queries ------------------------------------------------------------
+
+  /// \brief Admits `request`; `done` fires exactly once, possibly inline
+  /// (rejection) or on a worker thread. Returns a ticket usable with
+  /// Cancel until the request starts executing, or 0 when the request was
+  /// rejected at admission (the callback has already fired).
+  uint64_t Submit(ServiceRequest request,
+                  std::function<void(ServiceResponse)> done);
+
+  /// \brief Synchronous Submit: blocks until the response is ready.
+  ServiceResponse Query(ServiceRequest request);
+
+  /// \brief Cancels a still-queued request; returns false when it already
+  /// started (or finished). A cancelled request responds kCancelled.
+  bool Cancel(uint64_t ticket);
+
+  ServiceStatsSnapshot Stats() const;
+
+ private:
+  struct Pending;
+  struct CachedPlan {
+    std::shared_ptr<const CompiledPlan> single;
+    std::shared_ptr<const NtgaBatchPlan> batch;
+  };
+  struct CachedAnswers {
+    ExecStats stats;
+    std::vector<SolutionSet> answers;
+    uint64_t charge = 0;
+  };
+
+  void RunPending(const std::shared_ptr<Pending>& pending);
+  ServiceResponse Execute(const ServiceRequest& request);
+  ServiceResponse ExecuteOnDataset(const ServiceRequest& request,
+                                   const DatasetHandle& dataset);
+  Result<CachedPlan> GetOrCompilePlan(const ServiceRequest& request,
+                                      const std::string& key,
+                                      bool* plan_cache_hit);
+
+  const ServiceConfig config_;
+  const uint32_t max_concurrent_;
+  DatasetRegistry registry_;
+
+  mutable std::mutex mu_;  ///< guards everything below
+  uint64_t next_ticket_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
+  ServiceStatsSnapshot stats_;
+  LruCache<std::shared_ptr<const CachedPlan>> plan_cache_;
+  LruCache<std::shared_ptr<const CachedAnswers>> result_cache_;
+
+  /// Declared last so it is destroyed first: the destructor drains queued
+  /// request tasks, which touch the members above.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+// ---- cache-key helpers (exposed for tests) ---------------------------------
+
+/// \brief Deterministic fingerprint of every EngineOptions field that can
+/// change a deterministic ExecStats field or the answers. Host parallelism
+/// (num_threads) is deliberately excluded: it only moves wall-clock times.
+std::string EngineOptionsFingerprint(const EngineOptions& options);
+
+/// \brief Canonical text of a request's query content (patterns, optional
+/// aggregate, batch composition + mode), independent of query names.
+std::string CanonicalQueryText(const ServiceRequest& request);
+
+/// \brief Full plan/result cache key: dataset, epoch, options fingerprint,
+/// canonical query text.
+std::string RequestCacheKey(const ServiceRequest& request, uint64_t epoch);
+
+}  // namespace service
+}  // namespace rdfmr
+
+#endif  // RDFMR_SERVICE_QUERY_SERVICE_H_

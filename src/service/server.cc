@@ -1,0 +1,175 @@
+#include "service/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/protocol.h"
+
+namespace rdfmr {
+namespace service {
+
+namespace {
+
+constexpr int kPollMillis = 50;
+/// Hard per-line cap: a local debugging protocol has no business buffering
+/// unbounded input from a runaway client.
+constexpr size_t kMaxLineBytes = 64ULL << 20;
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(QueryService* query_service,
+                             std::string socket_path)
+    : query_service_(query_service), socket_path_(std::move(socket_path)) {}
+
+ServiceServer::~ServiceServer() { Stop(); }
+
+Status ServiceServer::Start() {
+  if (socket_path_.empty()) {
+    return Status::InvalidArgument("server needs a socket path");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path_);
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(socket_path_.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status st = Status::IoError("bind " + socket_path_ + ": " +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status st = Status::IoError(std::string("listen: ") +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+    return st;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ServiceServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [this] {
+    return stop_.load(std::memory_order_acquire) || !started_;
+  });
+}
+
+void ServiceServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+  }
+  stop_.store(true, std::memory_order_release);
+  stop_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+  }
+}
+
+void ServiceServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;  // timeout / EINTR: re-check the stop flag
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    connections_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void ServiceServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer closed (or hard error): drop the connection
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.size() > kMaxLineBytes) break;
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      HandleResult result = HandleRequestLine(query_service_, line);
+      if (!SendAll(fd, result.response.Dump() + "\n")) {
+        open = false;
+        break;
+      }
+      if (result.shutdown) {
+        stop_.store(true, std::memory_order_release);
+        stop_cv_.notify_all();
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+}  // namespace service
+}  // namespace rdfmr

@@ -1,0 +1,74 @@
+// AF_UNIX socket front end for the query service: accepts local stream
+// connections and speaks the newline-delimited JSON protocol, one thread
+// per connection (connection concurrency is bounded by the service's
+// admission controller, not by the transport).
+//
+// Shutdown is cooperative and TSan-clean: every blocking loop is a
+// poll(2) with a short timeout re-checking an atomic stop flag, so Stop()
+// (or a client's "shutdown" verb) quiesces accept and connection threads
+// without pthread_cancel or signals.
+
+#ifndef RDFMR_SERVICE_SERVER_H_
+#define RDFMR_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "service/query_service.h"
+
+namespace rdfmr {
+namespace service {
+
+class ServiceServer {
+ public:
+  /// \brief Serves `query_service` (not owned, must outlive the server) at
+  /// `socket_path`. Call Start() to begin listening.
+  ServiceServer(QueryService* query_service, std::string socket_path);
+
+  /// \brief Stops and joins if still running.
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// \brief Binds the socket (replacing a stale file), starts listening
+  /// and spawns the accept thread.
+  Status Start();
+
+  /// \brief Blocks until Stop() is called or a client sends "shutdown".
+  void Wait();
+
+  /// \brief Requests shutdown, joins every thread, unlinks the socket.
+  /// Idempotent.
+  void Stop();
+
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  QueryService* const query_service_;
+  const std::string socket_path_;
+
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  std::mutex mu_;  ///< guards connections_ and started_
+  std::vector<std::thread> connections_;
+  bool started_ = false;
+  std::condition_variable stop_cv_;
+};
+
+}  // namespace service
+}  // namespace rdfmr
+
+#endif  // RDFMR_SERVICE_SERVER_H_

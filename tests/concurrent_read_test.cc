@@ -1,0 +1,120 @@
+// Concurrency regression tests (run under TSan by tools/check.sh): the
+// Dictionary's shared-lock read paths must stay clean while writers
+// intern, and two threads querying one loaded dataset through the
+// QueryService — sharing a single SimDfs base — must race-freely produce
+// the same answers as a direct single-threaded RunQuery.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "service/query_service.h"
+#include "tests/test_util.h"
+
+namespace rdfmr {
+namespace {
+
+using testing_util::RoomyCluster;
+using testing_util::SmallDataset;
+
+TEST(ConcurrentReadTest, DictionaryInternsAndReadsRaceFree) {
+  Dictionary dictionary;
+  // Seed some terms every thread will read while others intern.
+  constexpr int kShared = 64;
+  for (int i = 0; i < kShared; ++i) {
+    dictionary.Intern("shared-" + std::to_string(i));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dictionary, t]() {
+      for (int i = 0; i < kIters; ++i) {
+        // Interleave writes (shared and thread-unique terms) with the
+        // shared-lock read paths: Lookup, At, size, StringBytes.
+        const std::string shared = "shared-" + std::to_string(i % kShared);
+        uint32_t id = dictionary.Intern(shared);
+        EXPECT_EQ(dictionary.At(id), shared);
+        dictionary.Intern("thread-" + std::to_string(t) + "-" +
+                          std::to_string(i));
+        auto looked_up = dictionary.Lookup(shared);
+        ASSERT_TRUE(looked_up.ok());
+        EXPECT_EQ(*looked_up, id);
+        EXPECT_GE(dictionary.size(), static_cast<size_t>(kShared));
+        EXPECT_GT(dictionary.StringBytes(), 0u);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Every term interned exactly once: 64 shared + 4 x 2000 unique.
+  EXPECT_EQ(dictionary.size(),
+            static_cast<size_t>(kShared + kThreads * kIters));
+  for (int i = 0; i < kShared; ++i) {
+    const std::string term = "shared-" + std::to_string(i);
+    auto id = dictionary.Lookup(term);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(dictionary.At(*id), term);
+  }
+}
+
+TEST(ConcurrentReadTest, TwoThreadsQueryOneLoadedDataset) {
+  const std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+
+  EngineOptions options;
+  options.kind = EngineKind::kNtgaLazy;
+  std::vector<std::shared_ptr<const GraphPatternQuery>> queries;
+  std::vector<SolutionSet> expected;
+  {
+    auto dfs = testing_util::MakeDfsWithBase(triples);
+    ASSERT_NE(dfs, nullptr);
+    for (const char* id : {"B0", "B1"}) {
+      auto query = GetTestbedQuery(id);
+      ASSERT_TRUE(query.ok());
+      auto direct = RunQuery(dfs.get(), "base", *query, options);
+      ASSERT_TRUE(direct.ok());
+      queries.push_back(*query);
+      expected.push_back(direct->answers);
+    }
+  }
+
+  service::ServiceConfig config;
+  config.cluster = RoomyCluster();
+  config.max_concurrent = 2;
+  service::QueryService query_service(config);
+  ASSERT_TRUE(query_service.LoadDataset("bsbm", triples).ok());
+
+  // Both threads read the one shared base concurrently; bypassing the
+  // result cache forces a real engine execution per iteration.
+  constexpr int kIters = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kIters; ++i) {
+        service::ServiceRequest request;
+        request.dataset = "bsbm";
+        request.query = queries[t];
+        request.options = options;
+        request.use_result_cache = false;
+        service::ServiceResponse response = query_service.Query(request);
+        ASSERT_TRUE(response.ok()) << response.status.ToString();
+        ASSERT_TRUE(response.stats.ok());
+        EXPECT_EQ(response.answers, expected[t])
+            << "thread " << t << " iteration " << i;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  service::ServiceStatsSnapshot stats = query_service.Stats();
+  EXPECT_EQ(stats.served, static_cast<uint64_t>(2 * kIters));
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+}  // namespace
+}  // namespace rdfmr

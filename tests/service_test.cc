@@ -1,0 +1,682 @@
+// Tests for the concurrent query service: the LRU cache and histogram
+// primitives it is built on, the dataset registry's lazy-load / epoch
+// semantics, cache keys, and — the core contract — that answers and all
+// deterministic ExecStats fields served through QueryService are
+// byte-identical to direct RunQuery / RunQueryBatch / RunUnionQuery calls
+// at any worker count, with plan- and result-cache hits, admission
+// rejections, cancellation, and deadline expiry all observable.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/json.h"
+#include "common/lru_cache.h"
+#include "query/matcher.h"
+#include "query/sparql_parser.h"
+#include "service/protocol.h"
+#include "service/query_service.h"
+#include "tests/test_util.h"
+
+namespace rdfmr {
+namespace service {
+namespace {
+
+using testing_util::MakeDfsWithBase;
+using testing_util::RoomyCluster;
+using testing_util::SmallDataset;
+
+// ---- LRU cache -------------------------------------------------------------
+
+TEST(LruCacheTest, PutGetRecencyAndEviction) {
+  LruCache<int> cache(10);
+  EXPECT_TRUE(cache.Put("a", 1, 4));
+  EXPECT_TRUE(cache.Put("b", 2, 4));
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(*cache.Get("a"), 1);
+  EXPECT_EQ(cache.used(), 8u);
+
+  // "a" was refreshed, so inserting "c" (charge 4) evicts "b".
+  EXPECT_TRUE(cache.Put("c", 3, 4));
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  ASSERT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.used(), 8u);
+}
+
+TEST(LruCacheTest, ReplaceUpdatesCharge) {
+  LruCache<int> cache(10);
+  EXPECT_TRUE(cache.Put("a", 1, 8));
+  EXPECT_TRUE(cache.Put("a", 2, 3));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.used(), 3u);
+  EXPECT_EQ(*cache.Get("a"), 2);
+}
+
+TEST(LruCacheTest, OversizedEntryRefused) {
+  LruCache<int> cache(4);
+  EXPECT_FALSE(cache.Put("big", 1, 5));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used(), 0u);
+  // A refused Put still removes any previous entry under that key.
+  EXPECT_TRUE(cache.Put("k", 1, 2));
+  EXPECT_FALSE(cache.Put("k", 2, 9));
+  EXPECT_EQ(cache.Get("k"), nullptr);
+}
+
+TEST(LruCacheTest, EraseAndEraseIf) {
+  LruCache<int> cache(100);
+  EXPECT_TRUE(cache.Put("x\x1f""1", 1, 1));
+  EXPECT_TRUE(cache.Put("x\x1f""2", 2, 1));
+  EXPECT_TRUE(cache.Put("y\x1f""1", 3, 1));
+  EXPECT_TRUE(cache.Erase("x\x1f""1"));
+  EXPECT_FALSE(cache.Erase("x\x1f""1"));
+  EXPECT_EQ(cache.EraseIf([](const std::string& key) {
+              return key.rfind("x\x1f", 0) == 0;
+            }),
+            1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.used(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used(), 0u);
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+TEST(HistogramTest, CountsAndPercentiles) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(50), 0u);
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 106.0 / 5.0);
+  // Percentiles are bucket upper bounds, clamped to the observed max.
+  EXPECT_EQ(h.Percentile(0), 0u);
+  EXPECT_LE(h.Percentile(50), 3u);
+  EXPECT_EQ(h.Percentile(100), 100u);
+
+  Histogram other;
+  other.Add(7);
+  h.Merge(other);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 113u);
+
+  auto json = ParseJson(h.ToJson());
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->GetUint("count"), 6u);
+  EXPECT_EQ(json->GetUint("sum"), 113u);
+}
+
+// ---- Dataset registry ------------------------------------------------------
+
+std::vector<Triple> TinyTriples() {
+  return {{"a", "p", "b"}, {"a", "q", "c"}, {"b", "p", "c"}};
+}
+
+TEST(DatasetRegistryTest, LazyLoadRunsLoaderOnce) {
+  DatasetRegistry registry(RoomyCluster());
+  std::atomic<int> loads{0};
+  auto info = registry.Register("d", [&]() -> Result<std::vector<Triple>> {
+    ++loads;
+    return TinyTriples();
+  });
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->loaded);
+  EXPECT_EQ(loads.load(), 0);
+
+  auto first = registry.Acquire("d");
+  ASSERT_TRUE(first.ok());
+  auto second = registry.Acquire("d");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(loads.load(), 1);
+  EXPECT_EQ((*first)->Info().num_triples, 3u);
+  EXPECT_TRUE((*first)->Info().loaded);
+  EXPECT_NE((*first)->dfs(), nullptr);
+  // Both acquisitions share the one materialized base.
+  EXPECT_EQ((*first)->dfs(), (*second)->dfs());
+}
+
+TEST(DatasetRegistryTest, EpochsAdvanceAcrossReloadAndRegistry) {
+  DatasetRegistry registry(RoomyCluster());
+  auto a = registry.Load("a", TinyTriples());
+  ASSERT_TRUE(a.ok());
+  auto b = registry.Load("b", TinyTriples());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->epoch, b->epoch);
+
+  auto a2 = registry.Load("a", TinyTriples());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_LT(b->epoch, a2->epoch);
+  EXPECT_EQ(registry.Epoch("a"), a2->epoch);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(DatasetRegistryTest, DropKeepsAcquiredHandlesAlive) {
+  DatasetRegistry registry(RoomyCluster());
+  ASSERT_TRUE(registry.Load("d", TinyTriples()).ok());
+  auto handle = registry.Acquire("d");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(registry.Drop("d").ok());
+  EXPECT_EQ(registry.Drop("d").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Acquire("d").status().code(), StatusCode::kNotFound);
+  // The handle acquired before the drop still serves reads.
+  EXPECT_EQ((*handle)->Info().num_triples, 3u);
+  EXPECT_NE((*handle)->dfs(), nullptr);
+}
+
+TEST(DatasetRegistryTest, LoaderFailureIsCachedNotRetried) {
+  DatasetRegistry registry(RoomyCluster());
+  std::atomic<int> loads{0};
+  ASSERT_TRUE(registry
+                  .Register("bad",
+                            [&]() -> Result<std::vector<Triple>> {
+                              ++loads;
+                              return Status::IoError("disk on fire");
+                            })
+                  .ok());
+  EXPECT_FALSE(registry.Acquire("bad").ok());
+  EXPECT_FALSE(registry.Acquire("bad").ok());
+  EXPECT_EQ(loads.load(), 1);
+}
+
+// ---- Cache keys ------------------------------------------------------------
+
+std::shared_ptr<const GraphPatternQuery> MakeQuery(
+    const std::string& name, const std::string& text) {
+  auto parsed = ParseSparql(name, text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::make_shared<GraphPatternQuery>(parsed.MoveValueUnsafe());
+}
+
+TEST(CacheKeyTest, ThreadsExcludedOptionsAndEpochIncluded) {
+  ServiceRequest request;
+  request.dataset = "d";
+  request.query = MakeQuery("q", "SELECT * WHERE { ?s ?p ?o . }");
+
+  EngineOptions a = request.options;
+  EngineOptions b = request.options;
+  b.num_threads = 4;
+  EXPECT_EQ(EngineOptionsFingerprint(a), EngineOptionsFingerprint(b));
+  b.phi_partitions = a.phi_partitions + 1;
+  EXPECT_NE(EngineOptionsFingerprint(a), EngineOptionsFingerprint(b));
+  b = a;
+  b.kind = EngineKind::kHive;
+  EXPECT_NE(EngineOptionsFingerprint(a), EngineOptionsFingerprint(b));
+
+  const std::string key_epoch1 = RequestCacheKey(request, 1);
+  EXPECT_NE(key_epoch1, RequestCacheKey(request, 2));
+  EXPECT_EQ(key_epoch1.rfind("d\x1f", 0), 0u);
+}
+
+TEST(CacheKeyTest, CanonicalTextIgnoresQueryNames) {
+  ServiceRequest a;
+  a.query = MakeQuery("first", "SELECT * WHERE { ?s <p> ?o . ?s ?q ?x . }");
+  ServiceRequest b;
+  b.query = MakeQuery("second", "SELECT * WHERE { ?s <p> ?o . ?s ?q ?x . }");
+  EXPECT_EQ(CanonicalQueryText(a), CanonicalQueryText(b));
+
+  ServiceRequest c;
+  c.query = MakeQuery("third", "SELECT * WHERE { ?s <p> ?o . }");
+  EXPECT_NE(CanonicalQueryText(a), CanonicalQueryText(c));
+
+  // An aggregate changes the canonical text even over the same BGP.
+  ServiceRequest d = a;
+  AggregateSpec spec;
+  spec.group_vars = {"s"};
+  spec.counted_var = "q";
+  d.aggregate = spec;
+  EXPECT_NE(CanonicalQueryText(a), CanonicalQueryText(d));
+}
+
+// ---- Service equivalence ---------------------------------------------------
+
+// Compares every deterministic field of two ExecStats (the *_seconds wall
+// times are the documented exception).
+void ExpectSameStats(const ExecStats& a, const ExecStats& b) {
+  EXPECT_EQ(a.engine, b.engine);
+  EXPECT_EQ(a.query, b.query);
+  EXPECT_EQ(a.status.code(), b.status.code());
+  EXPECT_EQ(a.failed_job_index, b.failed_job_index);
+  EXPECT_EQ(a.mr_cycles, b.mr_cycles);
+  EXPECT_EQ(a.planned_cycles, b.planned_cycles);
+  EXPECT_EQ(a.full_scans, b.full_scans);
+  EXPECT_EQ(a.hdfs_read_bytes, b.hdfs_read_bytes);
+  EXPECT_EQ(a.hdfs_write_bytes, b.hdfs_write_bytes);
+  EXPECT_EQ(a.hdfs_write_bytes_replicated, b.hdfs_write_bytes_replicated);
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+  EXPECT_EQ(a.star_phase_write_bytes, b.star_phase_write_bytes);
+  EXPECT_EQ(a.intermediate_write_bytes, b.intermediate_write_bytes);
+  EXPECT_EQ(a.final_output_bytes, b.final_output_bytes);
+  EXPECT_EQ(a.peak_dfs_used_bytes, b.peak_dfs_used_bytes);
+  EXPECT_DOUBLE_EQ(a.redundancy_factor, b.redundancy_factor);
+  EXPECT_DOUBLE_EQ(a.final_redundancy_factor, b.final_redundancy_factor);
+  EXPECT_DOUBLE_EQ(a.modeled_seconds, b.modeled_seconds);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.jobs.size(), b.jobs.size());
+}
+
+std::unique_ptr<QueryService> MakeService(uint32_t max_concurrent = 2) {
+  ServiceConfig config;
+  config.cluster = RoomyCluster();
+  config.max_concurrent = max_concurrent;
+  return std::make_unique<QueryService>(config);
+}
+
+TEST(ServiceEquivalenceTest, SingleQueryMatchesDirectRun) {
+  std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+
+  for (EngineKind kind : {EngineKind::kNtgaLazy, EngineKind::kHive}) {
+    for (uint32_t threads : {1u, 4u}) {
+      auto service = MakeService();
+      ASSERT_TRUE(service->LoadDataset("bsbm", triples).ok());
+
+      ServiceRequest request;
+      request.dataset = "bsbm";
+      request.query = *query;
+      request.options.kind = kind;
+      request.options.num_threads = threads;
+      ServiceResponse response = service->Query(request);
+      ASSERT_TRUE(response.ok()) << response.status.ToString();
+      ASSERT_TRUE(response.stats.ok()) << response.stats.status.ToString();
+      EXPECT_FALSE(response.plan_cache_hit);
+      EXPECT_FALSE(response.result_cache_hit);
+      EXPECT_GT(response.epoch, 0u);
+
+      auto dfs = MakeDfsWithBase(triples);
+      ASSERT_NE(dfs, nullptr);
+      auto direct = RunQuery(dfs.get(), "base", *query, request.options);
+      ASSERT_TRUE(direct.ok());
+      EXPECT_EQ(response.answers, direct->answers)
+          << EngineKindToString(kind) << " @" << threads << " threads";
+      ExpectSameStats(response.stats, direct->stats);
+    }
+  }
+}
+
+TEST(ServiceEquivalenceTest, AggregateMatchesDirectRun) {
+  std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  auto query = MakeQuery("degree", "SELECT * WHERE { ?s ?p ?o . }");
+  AggregateSpec spec;
+  spec.group_vars = {"s"};
+  spec.counted_var = "p";
+  spec.count_var = "n";
+  spec.min_count = 2;
+
+  auto service = MakeService();
+  ASSERT_TRUE(service->LoadDataset("bsbm", triples).ok());
+  ServiceRequest request;
+  request.dataset = "bsbm";
+  request.query = query;
+  request.aggregate = spec;
+  request.options.kind = EngineKind::kNtgaLazy;
+  ServiceResponse response = service->Query(request);
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  ASSERT_TRUE(response.stats.ok());
+
+  auto dfs = MakeDfsWithBase(triples);
+  ASSERT_NE(dfs, nullptr);
+  auto direct =
+      RunAggregateQuery(dfs.get(), "base", query, spec, request.options);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(response.answers, direct->answers);
+  ExpectSameStats(response.stats, direct->stats);
+  EXPECT_EQ(response.answers,
+            EvaluateAggregateInMemory(*query, spec, triples));
+}
+
+TEST(ServiceEquivalenceTest, BatchAndUnionMatchDirectRuns) {
+  std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  std::vector<std::shared_ptr<const GraphPatternQuery>> queries;
+  for (const char* id : {"B0", "B1", "B4"}) {
+    auto q = GetTestbedQuery(id);
+    ASSERT_TRUE(q.ok());
+    queries.push_back(*q);
+  }
+
+  for (uint32_t threads : {1u, 4u}) {
+    auto service = MakeService();
+    ASSERT_TRUE(service->LoadDataset("bsbm", triples).ok());
+
+    ServiceRequest request;
+    request.dataset = "bsbm";
+    request.batch = queries;
+    request.options.kind = EngineKind::kNtgaLazy;
+    request.options.num_threads = threads;
+    ServiceResponse batched = service->Query(request);
+    ASSERT_TRUE(batched.ok()) << batched.status.ToString();
+    ASSERT_TRUE(batched.stats.ok());
+
+    auto dfs = MakeDfsWithBase(triples);
+    ASSERT_NE(dfs, nullptr);
+    auto direct = RunQueryBatch(dfs.get(), "base", queries, request.options);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_EQ(batched.batch_answers.size(), queries.size());
+    EXPECT_EQ(batched.batch_answers, direct->answers);
+    ExpectSameStats(batched.stats, direct->stats);
+
+    request.batch_mode = BatchMode::kUnion;
+    ServiceResponse unioned = service->Query(request);
+    ASSERT_TRUE(unioned.ok()) << unioned.status.ToString();
+    ASSERT_TRUE(unioned.stats.ok());
+    auto direct_union =
+        RunUnionQuery(dfs.get(), "base", queries, request.options);
+    ASSERT_TRUE(direct_union.ok());
+    EXPECT_EQ(unioned.answers, direct_union->answers);
+    ExpectSameStats(unioned.stats, direct_union->stats);
+  }
+}
+
+// ---- Cache behavior --------------------------------------------------------
+
+TEST(ServiceCacheTest, PlanAndResultCacheHitsObservable) {
+  std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  auto service = MakeService();
+  ASSERT_TRUE(service->LoadDataset("bsbm", triples).ok());
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+
+  ServiceRequest request;
+  request.dataset = "bsbm";
+  request.query = *query;
+  request.options.kind = EngineKind::kNtgaLazy;
+
+  ServiceResponse cold = service->Query(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.plan_cache_hit);
+  EXPECT_FALSE(cold.result_cache_hit);
+
+  // A result-cache hit short-circuits plan lookup, so observe the plan
+  // cache by bypassing the result cache.
+  ServiceRequest no_results = request;
+  no_results.use_result_cache = false;
+  ServiceResponse replan = service->Query(no_results);
+  ASSERT_TRUE(replan.ok());
+  EXPECT_TRUE(replan.plan_cache_hit);
+  EXPECT_FALSE(replan.result_cache_hit);
+  EXPECT_EQ(replan.answers, cold.answers);
+  ExpectSameStats(replan.stats, cold.stats);
+
+  ServiceResponse warm = service->Query(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.result_cache_hit);
+  EXPECT_EQ(warm.answers, cold.answers);
+  ExpectSameStats(warm.stats, cold.stats);
+
+  // A renamed but structurally identical query shares both caches; its
+  // stats still carry the request's own name.
+  auto renamed = std::make_shared<GraphPatternQuery>(
+      *GraphPatternQuery::Create("other-name", (*query)->patterns()));
+  ServiceRequest alias = request;
+  alias.query = renamed;
+  ServiceResponse aliased = service->Query(alias);
+  ASSERT_TRUE(aliased.ok());
+  EXPECT_TRUE(aliased.result_cache_hit);
+  EXPECT_EQ(aliased.answers, cold.answers);
+  EXPECT_EQ(aliased.stats.query, "other-name");
+
+  ServiceStatsSnapshot stats = service->Stats();
+  EXPECT_GT(stats.plan_cache_hits, 0u);
+  EXPECT_GT(stats.result_cache_hits, 0u);
+  EXPECT_GT(stats.plan_cache_entries, 0u);
+  EXPECT_GT(stats.result_cache_entries, 0u);
+  EXPECT_GT(stats.result_cache_bytes, 0u);
+  EXPECT_EQ(stats.served, 4u);
+  EXPECT_EQ(stats.submitted, 4u);
+}
+
+TEST(ServiceCacheTest, ReloadBumpsEpochAndInvalidates) {
+  auto service = MakeService();
+  ASSERT_TRUE(service->LoadDataset("d", TinyTriples()).ok());
+  auto query = MakeQuery("q", "SELECT * WHERE { ?s ?p ?o . }");
+
+  ServiceRequest request;
+  request.dataset = "d";
+  request.query = query;
+  request.options.kind = EngineKind::kNtgaLazy;
+  ServiceResponse first = service->Query(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.answers.size(), 3u);
+
+  // Reload with one extra triple: the epoch bumps, the old cached result
+  // is unreachable, and the fresh answers see the new triple.
+  std::vector<Triple> more = TinyTriples();
+  more.emplace_back("c", "r", "d");
+  ASSERT_TRUE(service->LoadDataset("d", more).ok());
+  ServiceResponse second = service->Query(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second.epoch, first.epoch);
+  EXPECT_FALSE(second.result_cache_hit);
+  EXPECT_FALSE(second.plan_cache_hit);
+  EXPECT_EQ(second.answers.size(), 4u);
+
+  // Dropping purges eagerly; the dataset is gone for new requests.
+  ASSERT_TRUE(service->DropDataset("d").ok());
+  ServiceResponse gone = service->Query(request);
+  EXPECT_EQ(gone.status.code(), StatusCode::kNotFound);
+}
+
+// ---- Admission control -----------------------------------------------------
+
+// A dataset loader the test can hold closed, pinning the single worker
+// inside an executing request while more submissions arrive.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+
+  TripleLoader Loader(std::vector<Triple> triples) {
+    return [this, triples]() -> Result<std::vector<Triple>> {
+      std::unique_lock<std::mutex> lock(mu);
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [this] { return release; });
+      return triples;
+    };
+  }
+  void WaitEntered() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return entered; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+};
+
+TEST(ServiceAdmissionTest, RejectsCancelsAndExpires) {
+  // Gates outlive the service: its destructor drains queued requests,
+  // whose loaders reference them.
+  Gate gate;
+  Gate gate2;
+  ServiceConfig config;
+  config.cluster = RoomyCluster();
+  config.max_concurrent = 1;
+  config.queue_bound = 1;
+  QueryService service(config);
+
+  ASSERT_TRUE(
+      service.RegisterDataset("slow", gate.Loader(TinyTriples())).ok());
+  auto query = MakeQuery("q", "SELECT * WHERE { ?s ?p ?o . }");
+  ServiceRequest request;
+  request.dataset = "slow";
+  request.query = query;
+  request.options.kind = EngineKind::kNtgaLazy;
+
+  // First request occupies the only worker (blocked inside the loader).
+  std::promise<ServiceResponse> blocked_promise;
+  uint64_t blocked = service.Submit(request, [&](ServiceResponse r) {
+    blocked_promise.set_value(std::move(r));
+  });
+  EXPECT_NE(blocked, 0u);
+  gate.WaitEntered();
+
+  // Second request fills the queue (bound 1).
+  std::promise<ServiceResponse> queued_promise;
+  uint64_t queued = service.Submit(request, [&](ServiceResponse r) {
+    queued_promise.set_value(std::move(r));
+  });
+  EXPECT_NE(queued, 0u);
+
+  // Third request exceeds the bound: rejected inline, ticket 0.
+  std::promise<ServiceResponse> rejected_promise;
+  uint64_t rejected = service.Submit(request, [&](ServiceResponse r) {
+    rejected_promise.set_value(std::move(r));
+  });
+  EXPECT_EQ(rejected, 0u);
+  ServiceResponse rejection = rejected_promise.get_future().get();
+  EXPECT_EQ(rejection.status.code(), StatusCode::kUnavailable);
+
+  // Cancel the queued request; its callback reports kCancelled.
+  EXPECT_TRUE(service.Cancel(queued));
+  EXPECT_FALSE(service.Cancel(queued));
+
+  gate.Release();
+  ServiceResponse first = blocked_promise.get_future().get();
+  EXPECT_TRUE(first.ok()) << first.status.ToString();
+  EXPECT_EQ(first.answers.size(), 3u);
+  ServiceResponse cancelled = queued_promise.get_future().get();
+  EXPECT_EQ(cancelled.status.code(), StatusCode::kCancelled);
+  // The executing request was past the point of cancellation.
+  EXPECT_FALSE(service.Cancel(blocked));
+
+  // Deadline expiry: pin the worker again via a second gated dataset, and
+  // let a 1ms-deadline request expire while it waits in the queue.
+  ASSERT_TRUE(
+      service.RegisterDataset("slow2", gate2.Loader(TinyTriples())).ok());
+  ServiceRequest pin = request;
+  pin.dataset = "slow2";
+  std::promise<ServiceResponse> pin_promise;
+  ASSERT_NE(service.Submit(pin,
+                           [&](ServiceResponse r) {
+                             pin_promise.set_value(std::move(r));
+                           }),
+            0u);
+  gate2.WaitEntered();
+
+  ServiceRequest hurried = request;  // "slow" is already loaded by now
+  hurried.deadline_ms = 1;
+  std::promise<ServiceResponse> late_promise;
+  ASSERT_NE(service.Submit(hurried,
+                           [&](ServiceResponse r) {
+                             late_promise.set_value(std::move(r));
+                           }),
+            0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate2.Release();
+  ServiceResponse pinned = pin_promise.get_future().get();
+  EXPECT_TRUE(pinned.ok()) << pinned.status.ToString();
+  ServiceResponse late = late_promise.get_future().get();
+  EXPECT_EQ(late.status.code(), StatusCode::kDeadlineExceeded);
+
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_GE(stats.rejected, 1u);
+  EXPECT_GE(stats.cancelled, 1u);
+  EXPECT_GE(stats.deadline_expired, 1u);
+  EXPECT_GE(stats.served, 2u);
+  EXPECT_EQ(stats.submitted, 5u);
+}
+
+// ---- Request validation ----------------------------------------------------
+
+TEST(ServiceValidationTest, RejectsMalformedRequests) {
+  auto service = MakeService();
+  ASSERT_TRUE(service->LoadDataset("d", TinyTriples()).ok());
+  auto query = MakeQuery("q", "SELECT * WHERE { ?s ?p ?o . }");
+
+  ServiceRequest none;
+  none.dataset = "d";
+  EXPECT_EQ(service->Query(none).status.code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceRequest both;
+  both.dataset = "d";
+  both.query = query;
+  both.batch = {query};
+  EXPECT_EQ(service->Query(both).status.code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceRequest aggregate_batch;
+  aggregate_batch.dataset = "d";
+  aggregate_batch.batch = {query};
+  AggregateSpec spec;
+  spec.group_vars = {"s"};
+  spec.counted_var = "p";
+  aggregate_batch.aggregate = spec;
+  EXPECT_EQ(service->Query(aggregate_batch).status.code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceRequest unknown;
+  unknown.dataset = "nope";
+  unknown.query = query;
+  EXPECT_EQ(service->Query(unknown).status.code(), StatusCode::kNotFound);
+}
+
+// ---- Stats JSON ------------------------------------------------------------
+
+TEST(ServiceStatsTest, SnapshotJsonParses) {
+  auto service = MakeService();
+  ASSERT_TRUE(service->LoadDataset("d", TinyTriples()).ok());
+  ServiceRequest request;
+  request.dataset = "d";
+  request.query = MakeQuery("q", "SELECT * WHERE { ?s ?p ?o . }");
+  request.options.kind = EngineKind::kNtgaLazy;
+  ASSERT_TRUE(service->Query(request).ok());
+  ASSERT_TRUE(service->Query(request).ok());
+
+  ServiceStatsSnapshot snapshot = service->Stats();
+  auto json = ParseJson(snapshot.ToJson());
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(json->GetUint("submitted"), 2u);
+  EXPECT_EQ(json->GetUint("served"), 2u);
+  EXPECT_EQ(json->GetUint("datasets"), 1u);
+  EXPECT_EQ(json->Get("result_cache").GetUint("hits"), 1u);
+  EXPECT_EQ(json->Get("exec_micros").GetUint("count"), 2u);
+  EXPECT_TRUE(json->Has("queue_wait_micros"));
+  EXPECT_TRUE(json->Has("queue_depth"));
+}
+
+// ---- Protocol dispatch (no socket) -----------------------------------------
+
+TEST(ProtocolTest, MalformedLinesYieldErrorResponses) {
+  auto service = MakeService();
+
+  HandleResult bad_json = HandleRequestLine(service.get(), "not json");
+  EXPECT_FALSE(bad_json.response.GetBool("ok"));
+  EXPECT_FALSE(bad_json.shutdown);
+
+  HandleResult bad_verb =
+      HandleRequestLine(service.get(), R"({"verb":"frobnicate"})");
+  EXPECT_FALSE(bad_verb.response.GetBool("ok"));
+  EXPECT_EQ(bad_verb.response.GetString("code"), "InvalidArgument");
+
+  HandleResult ping = HandleRequestLine(service.get(),
+                                        R"({"verb":"ping","id":"7"})");
+  EXPECT_TRUE(ping.response.GetBool("ok"));
+  EXPECT_EQ(ping.response.GetString("id"), "7");
+
+  HandleResult shutdown =
+      HandleRequestLine(service.get(), R"({"verb":"shutdown"})");
+  EXPECT_TRUE(shutdown.response.GetBool("ok"));
+  EXPECT_TRUE(shutdown.shutdown);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace rdfmr

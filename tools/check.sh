@@ -65,6 +65,12 @@ run_one() {
   # injected-bug drill always run under the sanitizer.
   ctest --test-dir "$build_dir" --output-on-failure
   ctest --test-dir "$build_dir" -L fuzz_smoke --output-on-failure
+  # The serving layer is the most concurrency-dense subsystem (socket
+  # threads, worker pool, shared caches, one SimDfs base per dataset), so
+  # its label additionally runs as an explicit TSan gate.
+  if [[ "$san" == "thread" ]]; then
+    ctest --test-dir "$build_dir" -L service --output-on-failure
+  fi
 }
 
 for san in "${sans[@]}"; do

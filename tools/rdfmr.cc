@@ -22,18 +22,26 @@
 //       Execute the query on the simulated cluster and print metrics.
 //       --threads runs the simulator's map/reduce phases on T host
 //       threads (byte-identical results, faster wall clock).
+//   rdfmr serve --socket PATH [--nodes N] [--disk-mb M] [--repl R]
+//               [--threads T] [--max-concurrent C] [--queue-bound Q]
+//               [--result-cache-mb M] [--plan-cache-entries P]
+//               [--deadline-ms D] [--dataset NAME --data FILE]
+//       Run the long-lived query service on a local socket, speaking
+//       newline-delimited JSON (see src/service/protocol.h for the
+//       verbs). --dataset/--data preloads one dataset at startup.
+//   rdfmr client --socket PATH [--request JSON]
+//       Send one JSON request (or each line of stdin) to a running
+//       server and print the response line(s).
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 
+#include "common/json.h"
 #include "common/strings.h"
-#include "datagen/bio2rdf.h"
-#include "datagen/bsbm.h"
-#include "datagen/btc.h"
-#include "datagen/dbpedia.h"
 #include "datagen/testbed.h"
 #include "engine/advisor.h"
 #include "engine/engine.h"
@@ -43,12 +51,13 @@
 #include "relational/rel_compiler.h"
 #include "query/sparql_parser.h"
 #include "rdf/graph_stats.h"
-#include "rdf/ntriples.h"
+#include "service/client.h"
+#include "service/dataset_io.h"
+#include "service/query_service.h"
+#include "service/server.h"
 
 namespace rdfmr {
 namespace {
-
-constexpr const char* kIriPrefix = "http://rdfmr.example/";
 
 // ---- tiny flag parser -------------------------------------------------------
 
@@ -95,85 +104,10 @@ class Flags {
 };
 
 // ---- dataset I/O --------------------------------------------------------------
-
-Result<std::vector<Triple>> GenerateFamily(const std::string& family,
-                                           uint64_t scale, uint64_t seed) {
-  if (family == "bsbm") {
-    BsbmConfig config;
-    config.num_products = scale;
-    config.seed = seed;
-    return GenerateBsbm(config);
-  }
-  if (family == "bio2rdf") {
-    Bio2RdfConfig config;
-    config.num_genes = scale;
-    config.seed = seed;
-    return GenerateBio2Rdf(config);
-  }
-  if (family == "dbpedia") {
-    DbpediaConfig config;
-    config.num_entities = scale;
-    config.seed = seed;
-    return GenerateDbpedia(config);
-  }
-  if (family == "btc") {
-    BtcConfig config;
-    config.num_dbpedia_entities = scale;
-    config.num_genes = scale / 4 + 1;
-    config.seed = seed;
-    return GenerateBtc(config);
-  }
-  return Status::InvalidArgument("unknown family: " + family +
-                                 " (want bsbm|bio2rdf|dbpedia|btc)");
-}
-
-Status WriteDataset(const std::string& path,
-                    const std::vector<Triple>& triples) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  if (EndsWith(path, ".nt")) {
-    for (const Triple& t : triples) {
-      // Objects that look like identifiers become IRIs, the rest literals.
-      bool iri_object = t.object.find(' ') == std::string::npos;
-      out << "<" << kIriPrefix << t.subject << "> <" << kIriPrefix
-          << t.property << "> ";
-      if (iri_object) {
-        out << "<" << kIriPrefix << t.object << ">";
-      } else {
-        out << Term::Literal(t.object).ToNTriples();
-      }
-      out << " .\n";
-    }
-  } else {
-    for (const Triple& t : triples) out << t.Serialize() << "\n";
-  }
-  return out.good() ? Status::OK()
-                    : Status::IoError("write failed: " + path);
-}
+// (shared with the query service's "load" verb; see service/dataset_io.h)
 
 Result<std::vector<Triple>> ReadDataset(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open: " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  std::string text = buffer.str();
-  if (EndsWith(path, ".nt")) {
-    IriCompactor compactor(
-        std::vector<std::pair<std::string, std::string>>{{kIriPrefix, ""}});
-    return LoadNTriples(text, compactor);
-  }
-  std::vector<Triple> triples;
-  size_t start = 0;
-  while (start < text.size()) {
-    size_t end = text.find('\n', start);
-    if (end == std::string::npos) end = text.size();
-    std::string line = text.substr(start, end - start);
-    start = end + 1;
-    if (line.empty()) continue;
-    RDFMR_ASSIGN_OR_RETURN(Triple t, Triple::Deserialize(line));
-    triples.push_back(std::move(t));
-  }
-  return triples;
+  return service::ReadDatasetFile(path);
 }
 
 struct LoadedQuery {
@@ -221,14 +155,14 @@ int CmdGenerate(const Flags& flags) {
     std::fprintf(stderr, "generate: need --out FILE\n");
     return 2;
   }
-  auto triples = GenerateFamily(flags.Get("family", "bsbm"),
-                                flags.GetInt("scale", 500),
-                                flags.GetInt("seed", 42));
+  auto triples = service::GenerateFamilyDataset(flags.Get("family", "bsbm"),
+                                                flags.GetInt("scale", 500),
+                                                flags.GetInt("seed", 42));
   if (!triples.ok()) {
     std::fprintf(stderr, "%s\n", triples.status().ToString().c_str());
     return 1;
   }
-  Status st = WriteDataset(flags.Get("out"), *triples);
+  Status st = service::WriteDatasetFile(flags.Get("out"), *triples);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -313,15 +247,7 @@ int CmdExplain(const Flags& flags) {
 }
 
 Result<EngineKind> ParseEngine(const std::string& name) {
-  if (name == "pig") return EngineKind::kPig;
-  if (name == "hive") return EngineKind::kHive;
-  if (name == "eager") return EngineKind::kNtgaEager;
-  if (name == "lazyfull") return EngineKind::kNtgaLazyFull;
-  if (name == "lazypartial") return EngineKind::kNtgaLazyPartial;
-  if (name == "lazy") return EngineKind::kNtgaLazy;
-  return Status::InvalidArgument(
-      "unknown engine: " + name +
-      " (want pig|hive|eager|lazyfull|lazypartial|lazy)");
+  return EngineKindFromString(name);
 }
 
 int CmdRun(const Flags& flags) {
@@ -485,12 +411,114 @@ int CmdBatch(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  if (!flags.Has("socket")) {
+    std::fprintf(stderr, "serve: need --socket PATH\n");
+    return 2;
+  }
+  service::ServiceConfig config;
+  config.cluster.num_nodes =
+      static_cast<uint32_t>(flags.GetInt("nodes", 8));
+  config.cluster.disk_per_node = flags.GetInt("disk-mb", 256) << 20;
+  config.cluster.replication =
+      static_cast<uint32_t>(flags.GetInt("repl", 1));
+  config.cluster.block_size = config.cluster.disk_per_node / 64 + 1;
+  config.cluster.num_threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 1));
+  config.max_concurrent =
+      static_cast<uint32_t>(flags.GetInt("max-concurrent", 0));
+  config.queue_bound =
+      static_cast<uint32_t>(flags.GetInt("queue-bound", 64));
+  config.result_cache_bytes = flags.GetInt("result-cache-mb", 16) << 20;
+  config.plan_cache_entries = flags.GetInt("plan-cache-entries", 128);
+  config.default_deadline_ms = flags.GetInt("deadline-ms", 0);
+
+  service::QueryService query_service(config);
+  if (flags.Has("data")) {
+    std::string name = flags.Get("dataset", "default");
+    std::string path = flags.Get("data");
+    auto info = query_service.RegisterDataset(
+        name, [path] { return service::ReadDatasetFile(path); });
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("registered dataset %s (epoch %llu) from %s\n",
+                name.c_str(),
+                static_cast<unsigned long long>(info->epoch), path.c_str());
+  }
+  service::ServiceServer server(&query_service, flags.Get("socket"));
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("rdfmr service listening on %s (%u worker(s), queue bound "
+              "%u)\n",
+              server.socket_path().c_str(), query_service.max_concurrent(),
+              config.queue_bound);
+  std::fflush(stdout);
+  server.Wait();
+  server.Stop();
+  std::printf("rdfmr service stopped\n");
+  return 0;
+}
+
+int CmdClient(const Flags& flags) {
+  if (!flags.Has("socket")) {
+    std::fprintf(stderr, "client: need --socket PATH\n");
+    return 2;
+  }
+  auto client = service::ServiceClient::Connect(flags.Get("socket"));
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  int failures = 0;
+  auto roundtrip = [&client, &failures](const std::string& line) {
+    auto response = client->CallLine(line);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      ++failures;
+      return;
+    }
+    std::printf("%s\n", response->c_str());
+  };
+  if (flags.Has("request")) {
+    roundtrip(flags.Get("request"));
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      roundtrip(line);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+constexpr const char* kSubcommands[] = {
+    "catalog", "generate", "stats", "explain", "advise",
+    "run",     "batch",    "serve", "client",
+};
+
 int Usage() {
   std::fprintf(stderr,
                "usage: rdfmr "
-               "<catalog|generate|stats|explain|advise|run|batch> "
-               "[flags]\n(see the header of tools/rdfmr.cc)\n");
+               "<catalog|generate|stats|explain|advise|run|batch|serve|"
+               "client> [flags]\n(see the header of tools/rdfmr.cc)\n");
   return 2;
+}
+
+/// Distinct exit code for an unrecognized subcommand (sysexits' EX_USAGE),
+/// so scripts can tell "bad subcommand" from "bad flags" (2).
+constexpr int kUnknownSubcommandExit = 64;
+
+int UnknownSubcommand(const std::string& command) {
+  std::fprintf(stderr, "rdfmr: unknown subcommand '%s'\n", command.c_str());
+  std::fprintf(stderr, "valid subcommands:");
+  for (const char* name : kSubcommands) std::fprintf(stderr, " %s", name);
+  std::fprintf(stderr, "\n");
+  return kUnknownSubcommandExit;
 }
 
 int Main(int argc, char** argv) {
@@ -505,7 +533,9 @@ int Main(int argc, char** argv) {
   if (command == "advise") return CmdAdvise(flags);
   if (command == "run") return CmdRun(flags);
   if (command == "batch") return CmdBatch(flags);
-  return Usage();
+  if (command == "serve") return CmdServe(flags);
+  if (command == "client") return CmdClient(flags);
+  return UnknownSubcommand(command);
 }
 
 }  // namespace

@@ -19,15 +19,32 @@
 //                       verdict (a seeded NTGA defect) and require the
 //                       harness to catch it AND shrink it to <= 10 triples;
 //                       exit 0 iff it does.
+//     --service         replay every case through a live `rdfmr serve`
+//                       socket (spun up in-process) instead of the direct
+//                       engine calls, comparing the served answers against
+//                       the in-memory oracle and requiring an immediate
+//                       byte-identical result-cache replay. Exercises the
+//                       whole protocol stack: load (epoch bump per case),
+//                       query with inline patterns, caches, shutdown.
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
 #include "ntga/operators.h"
+#include "query/matcher.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/query_service.h"
+#include "service/server.h"
 #include "testing/differential.h"
 
 namespace rdfmr {
@@ -71,6 +88,159 @@ class Flags {
   bool ok_ = true;
 };
 
+/// Serializes a solution set into the sorted line vector the protocol
+/// emits for "answers".
+std::vector<std::string> AnswerLines(const SolutionSet& answers) {
+  std::vector<std::string> lines;
+  lines.reserve(answers.size());
+  for (const Solution& solution : answers) {
+    lines.push_back(solution.Serialize());
+  }
+  return lines;
+}
+
+std::vector<std::string> AnswerLines(const JsonValue& array) {
+  std::vector<std::string> lines;
+  if (!array.is_array()) return lines;
+  lines.reserve(array.AsArray().size());
+  for (const JsonValue& line : array.AsArray()) {
+    lines.push_back(line.AsString());
+  }
+  return lines;
+}
+
+/// Replays `cases` through a live socket server against the oracle.
+/// Every case loads a fresh epoch of the "fuzz" dataset, queries it with
+/// a couple of engine kinds, and immediately re-queries expecting a
+/// byte-identical result-cache replay.
+int RunServiceMode(const fuzz::FuzzOptions& options, std::ostream* log) {
+  service::ServiceConfig config;
+  config.cluster = options.diff.cluster;
+  config.max_concurrent = 2;
+  service::QueryService query_service(config);
+  const std::string socket_path =
+      StringFormat("/tmp/rdfmr-fuzz-%d.sock", static_cast<int>(::getpid()));
+  service::ServiceServer server(&query_service, socket_path);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  auto client = service::ServiceClient::Connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::pair<std::string, EngineKind>> engines = {
+      {"lazy", EngineKind::kNtgaLazy}, {"hive", EngineKind::kHive}};
+  uint64_t failures = 0;
+  auto fail = [&failures, log](uint64_t index, const std::string& what) {
+    ++failures;
+    if (log != nullptr) {
+      *log << "case " << index << " FAILED: " << what << "\n";
+    } else {
+      std::fprintf(stderr, "case %llu FAILED: %s\n",
+                   (unsigned long long)index, what.c_str());
+    }
+  };
+
+  uint64_t index = 0;
+  for (; index < options.cases; ++index) {
+    fuzz::FuzzCase fuzz_case = fuzz::MakeCase(options, index);
+    auto query = GraphPatternQuery::Create(fuzz_case.name,
+                                           fuzz_case.patterns);
+    if (!query.ok()) continue;  // generator produced a degenerate case
+
+    JsonValue load = JsonValue::MakeObject();
+    load.Set("verb", "load");
+    load.Set("dataset", "fuzz");
+    JsonValue rows = JsonValue::MakeArray();
+    for (const Triple& t : fuzz_case.triples) {
+      JsonValue row = JsonValue::MakeArray();
+      row.Append(t.subject);
+      row.Append(t.property);
+      row.Append(t.object);
+      rows.Append(std::move(row));
+    }
+    load.Set("triples", std::move(rows));
+    auto loaded = client->Call(load);
+    if (!loaded.ok() || !loaded->GetBool("ok")) {
+      fail(index, "load verb rejected: " +
+                      (loaded.ok() ? loaded->Dump()
+                                   : loaded.status().ToString()));
+      break;
+    }
+
+    SolutionSet oracle =
+        fuzz_case.aggregate.has_value()
+            ? EvaluateAggregateInMemory(*query, *fuzz_case.aggregate,
+                                        fuzz_case.triples)
+            : EvaluateQueryInMemory(*query, fuzz_case.triples);
+    const std::vector<std::string> expected = AnswerLines(oracle);
+
+    for (const auto& [engine_name, kind] : engines) {
+      (void)kind;
+      JsonValue request = JsonValue::MakeObject();
+      request.Set("verb", "query");
+      request.Set("dataset", "fuzz");
+      request.Set("name", fuzz_case.name);
+      JsonValue patterns = JsonValue::MakeArray();
+      for (const TriplePattern& tp : fuzz_case.patterns) {
+        patterns.Append(service::PatternToJson(tp));
+      }
+      request.Set("patterns", std::move(patterns));
+      if (fuzz_case.aggregate.has_value()) {
+        request.Set("aggregate",
+                    service::AggregateToJson(*fuzz_case.aggregate));
+      }
+      request.Set("engine", engine_name);
+      request.Set("phi",
+                  static_cast<uint64_t>(options.diff.phi_partitions));
+      auto response = client->Call(request);
+      if (!response.ok()) {
+        fail(index, engine_name + ": " + response.status().ToString());
+        break;
+      }
+      if (!response->GetBool("ok") || !response->Get("stats").GetBool("ok")) {
+        fail(index, engine_name + ": served run failed: " +
+                        response->Dump());
+        break;
+      }
+      if (AnswerLines(response->Get("answers")) != expected) {
+        fail(index,
+             engine_name + ": served answers diverge from the oracle (" +
+                 std::to_string(response->GetUint("num_answers")) + " vs " +
+                 std::to_string(expected.size()) + ")");
+        break;
+      }
+      // Replay: must be a result-cache hit with byte-identical answers.
+      auto replay = client->Call(request);
+      if (!replay.ok() || !replay->GetBool("ok") ||
+          !replay->GetBool("result_cache_hit") ||
+          AnswerLines(replay->Get("answers")) != expected) {
+        fail(index, engine_name + ": result-cache replay diverged");
+        break;
+      }
+    }
+    if (options.max_failures > 0 && failures >= options.max_failures) break;
+    if (log != nullptr && (index + 1) % 10 == 0) {
+      *log << "service: " << (index + 1) << "/" << options.cases
+           << " cases clean\n";
+    }
+  }
+
+  JsonValue shutdown = JsonValue::MakeObject();
+  shutdown.Set("verb", "shutdown");
+  (void)client->Call(shutdown);
+  server.Wait();
+  server.Stop();
+  std::printf("service mode: %llu case(s), %llu failure(s)\n",
+              (unsigned long long)std::min(index + 1, options.cases),
+              (unsigned long long)failures);
+  return failures == 0 ? 0 : 1;
+}
+
 int FuzzMain(int argc, char** argv) {
   Flags flags(argc, argv);
   if (!flags.ok()) return 2;
@@ -83,6 +253,14 @@ int FuzzMain(int argc, char** argv) {
   options.shrink = !flags.Has("no-shrink");
   const bool inject_bug = flags.Has("inject-bug");
   std::ostream* log = flags.Has("quiet") ? nullptr : &std::cout;
+
+  if (flags.Has("service")) {
+    if (inject_bug) {
+      std::fprintf(stderr, "--service and --inject-bug are exclusive\n");
+      return 2;
+    }
+    return RunServiceMode(options, log);
+  }
 
   if (inject_bug) {
     // Every case must route through the β group-filter's unbound branch
