@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kUnavailable = 9,        // admission control rejected the request
   kCancelled = 10,         // caller cancelled a queued request
   kDeadlineExceeded = 11,  // request deadline expired before completion
+  kResourceExhausted = 12,  // projected footprint exceeds cluster capacity
 };
 
 /// \brief Human-readable name of a StatusCode ("OutOfSpace", ...).
@@ -80,6 +81,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsOutOfSpace() const { return code() == StatusCode::kOutOfSpace; }
@@ -95,6 +99,10 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
 
   StatusCode code() const {
     return state_ == nullptr ? StatusCode::kOk : state_->code;

@@ -35,6 +35,20 @@ struct ClusterConfig {
   /// and metrics byte-identical to `num_threads = 1`.
   uint32_t num_threads = 1;
 
+  /// Maximum attempts per DFS task operation before the job fails, in the
+  /// spirit of Hadoop's mapreduce.map.maxattempts (default 4 there too).
+  /// Only transient failures (kIoError, kUnavailable) are re-attempted;
+  /// kOutOfSpace and semantic errors fail the job on the first attempt,
+  /// preserving the paper's failed-execution behavior. 1 disables retry.
+  uint32_t max_task_attempts = 4;
+
+  /// Modeled base for exponential retry backoff: a task's n-th failed
+  /// attempt accounts base * 2^(n-1) seconds in
+  /// JobMetrics::retry_backoff_seconds. Accounting only — the simulator
+  /// never sleeps, and the backoff does not enter the cost model (so a
+  /// recovered run keeps the fault-free modeled time).
+  double retry_backoff_seconds = 1.0;
+
   uint64_t TotalCapacity() const {
     return static_cast<uint64_t>(num_nodes) * disk_per_node;
   }

@@ -1,0 +1,161 @@
+#include "dfs/fault_plan.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace rdfmr {
+
+namespace {
+
+Result<uint64_t> ParseU64(std::string_view text, const std::string& clause) {
+  if (text.empty()) {
+    return Status::InvalidArgument("fault plan: empty number in '" + clause +
+                                   "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::string buf(text);
+  const unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("fault plan: bad number '" + buf +
+                                   "' in '" + clause + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<double> ParseProb(std::string_view text, const std::string& clause) {
+  errno = 0;
+  char* end = nullptr;
+  const std::string buf(text);
+  const double value = std::strtod(buf.c_str(), &end);
+  if (buf.empty() || errno != 0 || end != buf.c_str() + buf.size() ||
+      value < 0.0 || value > 1.0) {
+    return Status::InvalidArgument("fault plan: probability '" + buf +
+                                   "' in '" + clause +
+                                   "' must be a number in [0, 1]");
+  }
+  return value;
+}
+
+/// Parses "K:NODE" (both decimal) for node-fault clauses.
+Result<FaultPlan::NodeFault> ParseNodeFault(std::string_view body,
+                                            FaultPlan::NodeFaultKind kind,
+                                            const std::string& clause) {
+  const size_t colon = body.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("fault plan: '" + clause +
+                                   "' needs the form ...@OPS:NODE");
+  }
+  FaultPlan::NodeFault fault;
+  fault.kind = kind;
+  RDFMR_ASSIGN_OR_RETURN(fault.after_ops,
+                         ParseU64(body.substr(0, colon), clause));
+  RDFMR_ASSIGN_OR_RETURN(uint64_t node,
+                         ParseU64(body.substr(colon + 1), clause));
+  fault.node = static_cast<uint32_t>(node);
+  return fault;
+}
+
+}  // namespace
+
+std::string FaultPlan::ToString() const {
+  std::vector<std::string> clauses;
+  clauses.push_back(StringFormat("seed=%llu",
+                                 static_cast<unsigned long long>(seed)));
+  if (read_failure_prob > 0.0) {
+    clauses.push_back(StringFormat("pread=%g", read_failure_prob));
+  }
+  if (write_failure_prob > 0.0) {
+    clauses.push_back(StringFormat("pwrite=%g", write_failure_prob));
+  }
+  for (uint64_t ordinal : fail_reads) {
+    clauses.push_back(
+        StringFormat("read@%llu", static_cast<unsigned long long>(ordinal)));
+  }
+  for (uint64_t ordinal : fail_writes) {
+    clauses.push_back(
+        StringFormat("write@%llu", static_cast<unsigned long long>(ordinal)));
+  }
+  for (const NodeFault& fault : node_faults) {
+    clauses.push_back(StringFormat(
+        "%s@%llu:%u",
+        fault.kind == NodeFaultKind::kLoss ? "lose-node" : "fill-node",
+        static_cast<unsigned long long>(fault.after_ops), fault.node));
+  }
+  return Join(clauses, ',');
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : Split(spec, ',')) {
+    const std::string clause(Trim(raw));
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    const size_t at = clause.find('@');
+    if (eq != std::string::npos && (at == std::string::npos || eq < at)) {
+      const std::string key = clause.substr(0, eq);
+      const std::string_view value = std::string_view(clause).substr(eq + 1);
+      if (key == "seed") {
+        RDFMR_ASSIGN_OR_RETURN(plan.seed, ParseU64(value, clause));
+      } else if (key == "pread") {
+        RDFMR_ASSIGN_OR_RETURN(plan.read_failure_prob,
+                               ParseProb(value, clause));
+      } else if (key == "pwrite") {
+        RDFMR_ASSIGN_OR_RETURN(plan.write_failure_prob,
+                               ParseProb(value, clause));
+      } else {
+        return Status::InvalidArgument(
+            "fault plan: unknown key '" + key +
+            "' (expected seed, pread, or pwrite)");
+      }
+      continue;
+    }
+    if (at == std::string::npos) {
+      return Status::InvalidArgument(
+          "fault plan: unrecognized clause '" + clause +
+          "' (expected key=value or kind@ordinal)");
+    }
+    const std::string kind = clause.substr(0, at);
+    const std::string_view body = std::string_view(clause).substr(at + 1);
+    if (kind == "read") {
+      RDFMR_ASSIGN_OR_RETURN(uint64_t ordinal, ParseU64(body, clause));
+      if (ordinal == 0) {
+        return Status::InvalidArgument(
+            "fault plan: read ordinals are 1-based in '" + clause + "'");
+      }
+      plan.fail_reads.push_back(ordinal);
+    } else if (kind == "write") {
+      RDFMR_ASSIGN_OR_RETURN(uint64_t ordinal, ParseU64(body, clause));
+      if (ordinal == 0) {
+        return Status::InvalidArgument(
+            "fault plan: write ordinals are 1-based in '" + clause + "'");
+      }
+      plan.fail_writes.push_back(ordinal);
+    } else if (kind == "lose-node") {
+      RDFMR_ASSIGN_OR_RETURN(
+          NodeFault fault, ParseNodeFault(body, NodeFaultKind::kLoss, clause));
+      plan.node_faults.push_back(fault);
+    } else if (kind == "fill-node") {
+      RDFMR_ASSIGN_OR_RETURN(
+          NodeFault fault,
+          ParseNodeFault(body, NodeFaultKind::kDiskFull, clause));
+      plan.node_faults.push_back(fault);
+    } else {
+      return Status::InvalidArgument(
+          "fault plan: unknown fault kind '" + kind +
+          "' (expected read, write, lose-node, or fill-node)");
+    }
+  }
+  std::sort(plan.fail_reads.begin(), plan.fail_reads.end());
+  std::sort(plan.fail_writes.begin(), plan.fail_writes.end());
+  std::sort(plan.node_faults.begin(), plan.node_faults.end(),
+            [](const NodeFault& a, const NodeFault& b) {
+              return a.after_ops < b.after_ops;
+            });
+  return plan;
+}
+
+}  // namespace rdfmr

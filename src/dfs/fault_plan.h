@@ -1,0 +1,80 @@
+// Seeded, policy-driven fault injection for the simulated DFS.
+//
+// A FaultPlan describes *when* the simulated cluster misbehaves:
+// probabilistic or scheduled read/write failures (transient, as a flaky
+// datanode or network partition would produce), per-node disk exhaustion,
+// and whole-node loss. Node loss interacts with block placement: a block
+// whose replicas all lived on lost nodes becomes permanently unavailable
+// (kUnavailable), while replication >= 2 lets reads survive a single node
+// loss — the behaviour behind the paper's dfs.replication=2 experiments.
+//
+// Determinism: all probabilistic draws come from a splitmix64 stream
+// seeded by the plan, and all DFS I/O of a workflow happens on the
+// workflow's driver thread in a fixed order, so a given plan injects the
+// exact same fault sequence at any host thread count. That is what makes
+// the fault-tolerance contract testable: a recovered run must be
+// byte-identical to a fault-free run.
+
+#ifndef RDFMR_DFS_FAULT_PLAN_H_
+#define RDFMR_DFS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rdfmr {
+
+struct FaultPlan {
+  /// \brief Kinds of node-scoped faults.
+  enum class NodeFaultKind {
+    kLoss,      ///< node crashes: replicas gone, no further placements
+    kDiskFull,  ///< node accepts no further blocks (existing data readable)
+  };
+
+  /// \brief One node-scoped fault, triggered once the DFS has served
+  /// `after_ops` read+write operations (0 = before any operation).
+  struct NodeFault {
+    uint64_t after_ops = 0;
+    uint32_t node = 0;
+    NodeFaultKind kind = NodeFaultKind::kLoss;
+  };
+
+  /// Seed of the probabilistic failure stream.
+  uint64_t seed = 1;
+  /// Per-ReadFile probability of a transient kIoError (before any bytes
+  /// are served; a retry re-draws).
+  double read_failure_prob = 0.0;
+  /// Per-WriteFile probability of a transient kIoError (before placement).
+  double write_failure_prob = 0.0;
+  /// 1-based read-operation ordinals that fail once with kIoError. A
+  /// retried read is a new operation with the next ordinal.
+  std::vector<uint64_t> fail_reads;
+  /// 1-based write-operation ordinals that fail once with kIoError.
+  std::vector<uint64_t> fail_writes;
+  /// Node-scoped faults, applied when the total op count crosses the
+  /// threshold.
+  std::vector<NodeFault> node_faults;
+
+  /// \brief True when the plan injects nothing.
+  bool empty() const {
+    return read_failure_prob == 0.0 && write_failure_prob == 0.0 &&
+           fail_reads.empty() && fail_writes.empty() && node_faults.empty();
+  }
+
+  /// \brief Canonical spec-string rendering (parseable by Parse).
+  std::string ToString() const;
+
+  /// \brief Parses the CLI spec grammar: comma-separated clauses
+  ///   seed=N | pread=P | pwrite=P | read@K | write@K |
+  ///   lose-node@K:NODE | fill-node@K:NODE
+  /// where K is an op ordinal (reads/writes) or total-op threshold (node
+  /// faults) and P a probability in [0, 1]. Example:
+  ///   "seed=7,pread=0.05,write@3,lose-node@12:2"
+  static Result<FaultPlan> Parse(const std::string& spec);
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_DFS_FAULT_PLAN_H_

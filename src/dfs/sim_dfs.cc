@@ -25,11 +25,91 @@ SimDfs::SimDfs(ClusterConfig config) : config_(config) {
       << "replication cannot exceed node count";
   RDFMR_CHECK(config_.block_size > 0) << "block size must be positive";
   node_used_.assign(config_.num_nodes, 0);
+  node_alive_.assign(config_.num_nodes, true);
+  node_full_.assign(config_.num_nodes, false);
+}
+
+Status SimDfs::SetFaultPlan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const FaultPlan::NodeFault& fault : plan.node_faults) {
+    if (fault.node >= config_.num_nodes) {
+      return Status::InvalidArgument(StringFormat(
+          "fault plan names node %u but the cluster has %u nodes",
+          fault.node, config_.num_nodes));
+    }
+  }
+  fault_plan_ = std::move(plan);
+  have_fault_plan_ = !fault_plan_.empty();
+  fault_rng_ = Rng(fault_plan_.seed);
+  fault_read_ops_ = 0;
+  fault_write_ops_ = 0;
+  fault_total_ops_ = 0;
+  next_node_fault_ = 0;
+  node_alive_.assign(config_.num_nodes, true);
+  node_full_.assign(config_.num_nodes, false);
+  return Status::OK();
+}
+
+void SimDfs::ClearFaultPlan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_plan_ = FaultPlan{};
+  have_fault_plan_ = false;
+  fault_read_ops_ = 0;
+  fault_write_ops_ = 0;
+  fault_total_ops_ = 0;
+  next_node_fault_ = 0;
+  node_alive_.assign(config_.num_nodes, true);
+  node_full_.assign(config_.num_nodes, false);
+}
+
+void SimDfs::ApplyNodeFaultsLocked() const {
+  while (next_node_fault_ < fault_plan_.node_faults.size() &&
+         fault_plan_.node_faults[next_node_fault_].after_ops <=
+             fault_total_ops_) {
+    const FaultPlan::NodeFault& fault =
+        fault_plan_.node_faults[next_node_fault_++];
+    if (fault.kind == FaultPlan::NodeFaultKind::kLoss) {
+      node_alive_[fault.node] = false;
+    } else {
+      node_full_[fault.node] = true;
+    }
+  }
+}
+
+Status SimDfs::MaybeInjectFaultLocked(bool is_read,
+                                      const std::string& path) const {
+  // Node faults trigger once the total op count reaches their threshold,
+  // i.e. before the (after_ops+1)-th operation starts.
+  ApplyNodeFaultsLocked();
+  ++fault_total_ops_;
+  uint64_t& ordinal = is_read ? fault_read_ops_ : fault_write_ops_;
+  ++ordinal;
+  const std::vector<uint64_t>& scheduled =
+      is_read ? fault_plan_.fail_reads : fault_plan_.fail_writes;
+  const double prob = is_read ? fault_plan_.read_failure_prob
+                              : fault_plan_.write_failure_prob;
+  bool fail =
+      std::binary_search(scheduled.begin(), scheduled.end(), ordinal);
+  // Draw only when the probability is armed so scheduled-only plans do not
+  // depend on the RNG stream at all.
+  if (prob > 0.0 && fault_rng_.Chance(prob)) fail = true;
+  if (!fail) return Status::OK();
+  if (is_read) {
+    ++metrics_.injected_read_failures;
+    return Status::IoError(StringFormat(
+        "injected transient read failure (read op %llu): %s",
+        static_cast<unsigned long long>(ordinal), path.c_str()));
+  }
+  ++metrics_.injected_write_failures;
+  return Status::IoError(StringFormat(
+      "injected transient write failure (write op %llu): %s",
+      static_cast<unsigned long long>(ordinal), path.c_str()));
 }
 
 Result<std::vector<uint32_t>> SimDfs::PlaceBlock(uint64_t size) {
   // Choose the `replication` least-loaded nodes that can still hold the
-  // block (standard balanced placement).
+  // block (standard balanced placement). Dead and disk-full nodes are
+  // never candidates.
   std::vector<uint32_t> order(config_.num_nodes);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
@@ -38,6 +118,7 @@ Result<std::vector<uint32_t>> SimDfs::PlaceBlock(uint64_t size) {
   });
   std::vector<uint32_t> chosen;
   for (uint32_t node : order) {
+    if (!node_alive_[node] || node_full_[node]) continue;
     if (node_used_[node] + size <= config_.disk_per_node) {
       chosen.push_back(node);
       if (chosen.size() == config_.replication) break;
@@ -59,6 +140,9 @@ Status SimDfs::WriteFile(const std::string& path,
   std::lock_guard<std::mutex> lock(mu_);
   if (write_failure_countdown_ > 0 && --write_failure_countdown_ == 0) {
     return Status::IoError("injected write failure: " + path);
+  }
+  if (FaultsActiveLocked()) {
+    RDFMR_RETURN_NOT_OK(MaybeInjectFaultLocked(/*is_read=*/false, path));
   }
   if (files_.count(path) > 0) {
     return Status::AlreadyExists("file exists: " + path);
@@ -101,11 +185,32 @@ Status SimDfs::WriteFile(const std::string& path,
 Result<std::vector<std::string>> SimDfs::ReadFile(
     const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (FaultsActiveLocked()) {
+    RDFMR_RETURN_NOT_OK(MaybeInjectFaultLocked(/*is_read=*/true, path));
+  }
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
-  metrics_.bytes_read += it->second.bytes;
+  // Replica-aware availability: a block is readable while at least one of
+  // its replicas sits on a live node. This is cluster state rather than an
+  // injected draw, so it holds even while faults are suspended.
+  const FileEntry& entry = it->second;
+  for (uint32_t b = 0; b < entry.placements.size(); ++b) {
+    bool available = false;
+    for (uint32_t node : entry.placements[b]) {
+      if (node_alive_[node]) {
+        available = true;
+        break;
+      }
+    }
+    if (!available) {
+      return Status::Unavailable(StringFormat(
+          "block %u of %s lost: every replica was on a dead node", b,
+          path.c_str()));
+    }
+  }
+  metrics_.bytes_read += entry.bytes;
   metrics_.read_ops += 1;
-  return it->second.lines;
+  return entry.lines;
 }
 
 Result<uint64_t> SimDfs::FileSize(const std::string& path) const {

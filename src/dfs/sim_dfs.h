@@ -6,6 +6,13 @@
 // reproducing the paper's failed executions ("marked with 'X'") when
 // relational plans materialize more intermediate data than the cluster
 // holds. All reads and writes are metered.
+//
+// Fault injection: a seeded FaultPlan can make reads/writes fail
+// transiently (kIoError, retryable), mark nodes disk-full, or lose nodes
+// outright. Losing a node removes its replicas from service: a block whose
+// replicas all lived on lost nodes reads as kUnavailable until the file is
+// rewritten, while replication >= 2 keeps data readable through a single
+// node loss. Placement skips dead and full nodes.
 
 #ifndef RDFMR_DFS_SIM_DFS_H_
 #define RDFMR_DFS_SIM_DFS_H_
@@ -16,9 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "dfs/cluster_config.h"
+#include "dfs/fault_plan.h"
 
 namespace rdfmr {
 
@@ -32,12 +41,14 @@ struct DfsMetrics {
   uint64_t files_deleted = 0;
   uint64_t read_ops = 0;
   uint64_t write_ops = 0;
+  uint64_t injected_read_failures = 0;   ///< transient faults served to reads
+  uint64_t injected_write_failures = 0;  ///< transient faults served to writes
 };
 
 /// \brief One simulated HDFS namespace over a set of nodes.
 ///
-/// Thread-safe: all file, placement, and metric state is guarded by an
-/// internal mutex, so concurrent map/reduce tasks of the multi-threaded
+/// Thread-safe: all file, placement, metric, and fault state is guarded by
+/// an internal mutex, so concurrent map/reduce tasks of the multi-threaded
 /// job runner (and concurrent engines sharing one namespace) may call any
 /// method. Metric accessors return snapshots by value.
 class SimDfs {
@@ -87,7 +98,7 @@ class SimDfs {
   /// \brief Immutable after construction; safe to read without locking.
   const ClusterConfig& config() const { return config_; }
 
-  /// \brief Zeroes the cumulative metrics (files stay).
+  /// \brief Zeroes the cumulative metrics (files and fault state stay).
   void ResetMetrics() {
     std::lock_guard<std::mutex> lock(mu_);
     metrics_ = DfsMetrics{};
@@ -102,6 +113,65 @@ class SimDfs {
     write_failure_countdown_ = countdown;
   }
 
+  /// \brief Installs a seeded fault plan and resets fault state: op
+  /// ordinals restart at 1, the probabilistic stream is reseeded from
+  /// `plan.seed`, and every node is revived / marked not-full. Fails with
+  /// kInvalidArgument if the plan names a node >= num_nodes.
+  Status SetFaultPlan(FaultPlan plan);
+
+  /// \brief Removes any fault plan and revives all nodes. Blocks already
+  /// unreadable stay lost only while their nodes are dead, so this also
+  /// restores availability (the namespace never forgets file contents).
+  void ClearFaultPlan();
+
+  /// \brief True iff a non-empty fault plan is installed.
+  bool HasFaultPlan() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return have_fault_plan_;
+  }
+
+  /// \brief Snapshot of the installed plan (empty plan if none).
+  FaultPlan fault_plan() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fault_plan_;
+  }
+
+  /// \brief Per-node liveness snapshot (false = lost).
+  std::vector<bool> NodeAlive() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return node_alive_;
+  }
+
+  /// \brief Suspends fault injection (reentrant). While suspended, ops are
+  /// not counted against the plan and no probabilistic draws happen — used
+  /// by the engine's post-success observation reads so measurement does
+  /// not perturb the deterministic fault sequence. Node loss still makes
+  /// lost blocks unavailable: that is cluster state, not injection.
+  void SuspendFaults() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++fault_suspend_depth_;
+  }
+
+  /// \brief Undoes one SuspendFaults.
+  void ResumeFaults() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fault_suspend_depth_ > 0) --fault_suspend_depth_;
+  }
+
+  /// \brief RAII SuspendFaults/ResumeFaults.
+  class ScopedFaultSuspension {
+   public:
+    explicit ScopedFaultSuspension(SimDfs* dfs) : dfs_(dfs) {
+      dfs_->SuspendFaults();
+    }
+    ~ScopedFaultSuspension() { dfs_->ResumeFaults(); }
+    ScopedFaultSuspension(const ScopedFaultSuspension&) = delete;
+    ScopedFaultSuspension& operator=(const ScopedFaultSuspension&) = delete;
+
+   private:
+    SimDfs* dfs_;
+  };
+
  private:
   struct FileEntry {
     std::vector<std::string> lines;
@@ -112,18 +182,45 @@ class SimDfs {
   };
 
   /// Places one block of `size` bytes on `replication` distinct least-loaded
-  /// nodes; returns the chosen node ids or kOutOfSpace. Requires mu_ held.
+  /// alive, not-full nodes; returns the chosen node ids or kOutOfSpace.
+  /// Requires mu_ held.
   Result<std::vector<uint32_t>> PlaceBlock(uint64_t size);
 
   uint64_t UsedBytesLocked() const;
 
+  /// True while a plan is installed and not suspended. Requires mu_ held.
+  bool FaultsActiveLocked() const {
+    return have_fault_plan_ && fault_suspend_depth_ == 0;
+  }
+
+  /// Applies node faults whose after_ops threshold has been reached.
+  /// Requires mu_ held.
+  void ApplyNodeFaultsLocked() const;
+
+  /// Counts one read/write op against the plan and returns a non-OK status
+  /// if this op is scheduled or drawn to fail. Requires mu_ held.
+  Status MaybeInjectFaultLocked(bool is_read, const std::string& path) const;
+
   ClusterConfig config_;
-  /// Guards files_, node_used_, metrics_, and write_failure_countdown_.
+  /// Guards everything below.
   mutable std::mutex mu_;
   std::map<std::string, FileEntry> files_;
   std::vector<uint64_t> node_used_;
   mutable DfsMetrics metrics_;
   uint32_t write_failure_countdown_ = 0;
+
+  // Fault-plan state. Counters/rng are mutable: ReadFile is const but
+  // consumes plan ordinals and probabilistic draws.
+  bool have_fault_plan_ = false;
+  FaultPlan fault_plan_;
+  uint32_t fault_suspend_depth_ = 0;
+  mutable Rng fault_rng_{1};
+  mutable uint64_t fault_read_ops_ = 0;
+  mutable uint64_t fault_write_ops_ = 0;
+  mutable uint64_t fault_total_ops_ = 0;
+  mutable size_t next_node_fault_ = 0;
+  mutable std::vector<bool> node_alive_;
+  mutable std::vector<bool> node_full_;
 };
 
 }  // namespace rdfmr

@@ -170,4 +170,27 @@ StrategyAdvice AdviseStrategy(const GraphPatternQuery& query,
   return advice;
 }
 
+FootprintProjection ProjectFootprint(const StrategyAdvice& advice,
+                                     const std::string& family,
+                                     uint64_t used_bytes,
+                                     const ClusterConfig& cluster) {
+  double star = advice.lazy_star_bytes;
+  if (family == "relational") {
+    star = advice.relational_star_bytes;
+  } else if (family == "eager") {
+    star = advice.eager_star_bytes;
+  }
+  FootprintProjection projection;
+  projection.star_bytes = static_cast<uint64_t>(std::max(0.0, star));
+  // Intermediates are replicated like any other HDFS file and accumulate
+  // until the workflow finishes (fault-tolerance materialization).
+  double peak =
+      static_cast<double>(used_bytes) +
+      star * kPeakGrowthFactor * static_cast<double>(cluster.replication);
+  projection.peak_bytes = static_cast<uint64_t>(std::max(0.0, peak));
+  projection.capacity_bytes = cluster.TotalCapacity();
+  projection.fits = projection.peak_bytes <= projection.capacity_bytes;
+  return projection;
+}
+
 }  // namespace rdfmr

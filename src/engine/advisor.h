@@ -53,6 +53,29 @@ StrategyAdvice AdviseStrategy(const GraphPatternQuery& query,
                               const GraphStats& stats,
                               const ClusterConfig& cluster);
 
+/// \brief Projected peak DFS footprint of executing one strategy family.
+struct FootprintProjection {
+  uint64_t star_bytes = 0;      ///< predicted star-join output, logical
+  uint64_t peak_bytes = 0;      ///< projected physical peak incl. base
+  uint64_t capacity_bytes = 0;  ///< cluster total capacity
+  bool fits = false;            ///< peak_bytes <= capacity_bytes
+};
+
+/// \brief Intermediate accumulation factor over the star-join output: the
+/// star phase materializes its output AND the subsequent join cycle's
+/// output of comparable size before any cleanup runs (fault-tolerance
+/// materialization), so the projected peak charges the star bytes twice.
+inline constexpr double kPeakGrowthFactor = 2.0;
+
+/// \brief Selects which of `advice`'s per-strategy star predictions to
+/// project: "relational" (Pig/Hive flat tuples), "eager", or anything
+/// else = lazy. `used_bytes` is the DFS usage before the run (the base
+/// relation and any neighbors).
+FootprintProjection ProjectFootprint(const StrategyAdvice& advice,
+                                     const std::string& family,
+                                     uint64_t used_bytes,
+                                     const ClusterConfig& cluster);
+
 }  // namespace rdfmr
 
 #endif  // RDFMR_ENGINE_ADVISOR_H_

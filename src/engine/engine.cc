@@ -5,7 +5,10 @@
 #include <set>
 
 #include "common/strings.h"
+#include "engine/advisor.h"
 #include "ntga/ntga_compiler.h"
+#include "rdf/graph_stats.h"
+#include "rdf/triple.h"
 
 namespace rdfmr {
 
@@ -187,8 +190,15 @@ Result<Execution> ExecutePlan(SimDfs* dfs, CompiledPlan plan,
   // tmp_prefix is scrubbed at the end of this function anyway.
   workflow.cleanup_demuxed_on_failure = false;
 
-  WorkflowResult result =
-      RunWorkflow(dfs, workflow, options.cost, options.num_threads);
+  WorkflowResult result = RunWorkflow(dfs, workflow, options.cost,
+                                      options.num_threads,
+                                      options.max_attempts);
+
+  // Everything below is observation (stat sampling, answer decoding,
+  // cleanup), not engine work: it must not consume the fault plan's op
+  // ordinals or probabilistic draws, or the injected fault sequence — and
+  // with it the retry accounting — would depend on how much we measure.
+  SimDfs::ScopedFaultSuspension suspend_faults(dfs);
 
   Execution exec;
   ExecStats& stats = exec.stats;
@@ -208,6 +218,10 @@ Result<Execution> ExecutePlan(SimDfs* dfs, CompiledPlan plan,
   stats.map_seconds = result.totals.map_seconds;
   stats.shuffle_sort_seconds = result.totals.shuffle_sort_seconds;
   stats.reduce_seconds = result.totals.reduce_seconds;
+  stats.task_attempts = result.totals.task_attempts;
+  stats.tasks_retried = result.totals.tasks_retried;
+  stats.wasted_bytes = result.totals.wasted_bytes;
+  stats.retry_backoff_seconds = result.totals.retry_backoff_seconds;
   stats.counters = result.totals.counters;
   stats.jobs = result.job_metrics;
 
@@ -328,6 +342,108 @@ Status CheckBasePath(const std::string& base_path) {
   return Status::OK();
 }
 
+// ---- disk-pressure preflight ---------------------------------------------
+
+/// Which of the advisor's per-strategy footprint predictions applies.
+const char* FootprintFamily(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kPig:
+    case EngineKind::kHive:
+      return "relational";
+    case EngineKind::kNtgaEager:
+      return "eager";
+    default:
+      return "lazy";
+  }
+}
+
+struct PreflightOutcome {
+  EngineOptions options;      ///< possibly degraded engine options
+  std::string degraded_from;  ///< original engine name when degraded
+  std::string note;           ///< decision rationale for ExecStats
+  Status refusal;             ///< non-OK => fail fast without running
+};
+
+// Projects the query's intermediate footprint from graph statistics and
+// decides: proceed, degrade Eager→Lazy, or refuse with ResourceExhausted.
+// Runs with faults suspended — planning reads must not consume the fault
+// plan's deterministic op sequence.
+Result<PreflightOutcome> DiskPressurePreflight(
+    SimDfs* dfs, const std::string& base_path,
+    const GraphPatternQuery& query, const EngineOptions& options) {
+  PreflightOutcome out;
+  out.options = options;
+  SimDfs::ScopedFaultSuspension suspend_faults(dfs);
+  RDFMR_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                         dfs->ReadFile(base_path));
+  RDFMR_ASSIGN_OR_RETURN(std::vector<Triple> triples,
+                         DeserializeTriples(lines));
+  const GraphStats graph_stats = GraphStats::Compute(triples);
+  const StrategyAdvice advice =
+      AdviseStrategy(query, graph_stats, dfs->config());
+  const uint64_t used = dfs->UsedBytes();
+  FootprintProjection projection = ProjectFootprint(
+      advice, FootprintFamily(options.kind), used, dfs->config());
+  if (projection.fits) {
+    out.note = StringFormat(
+        "preflight: projected peak %s fits capacity %s",
+        HumanBytes(projection.peak_bytes).c_str(),
+        HumanBytes(projection.capacity_bytes).c_str());
+    return out;
+  }
+  // Eager is the only strategy with a cheaper sibling that answers the
+  // same query with the same engine family: partial/lazy β-unnest. The
+  // relational engines have no such fallback (switching them to NTGA would
+  // change the system under test), and an over-capacity lazy projection
+  // has nowhere left to go.
+  if (options.disk_pressure == DiskPressurePolicy::kDegrade &&
+      options.kind == EngineKind::kNtgaEager) {
+    FootprintProjection lazy =
+        ProjectFootprint(advice, "lazy", used, dfs->config());
+    if (lazy.fits) {
+      out.degraded_from = EngineKindToString(options.kind);
+      out.options.kind = EngineKind::kNtgaLazy;
+      out.note = StringFormat(
+          "preflight: eager projection %s exceeds capacity %s; degraded "
+          "to LazyUnnest (projected peak %s)",
+          HumanBytes(projection.peak_bytes).c_str(),
+          HumanBytes(projection.capacity_bytes).c_str(),
+          HumanBytes(lazy.peak_bytes).c_str());
+      return out;
+    }
+  }
+  out.note = StringFormat(
+      "preflight: projected peak %s exceeds capacity %s; refusing to "
+      "launch",
+      HumanBytes(projection.peak_bytes).c_str(),
+      HumanBytes(projection.capacity_bytes).c_str());
+  out.refusal = Status::ResourceExhausted(
+      StringFormat("%s: projected intermediate footprint %s exceeds "
+                   "cluster capacity %s for engine %s",
+                   query.name().c_str(),
+                   HumanBytes(projection.peak_bytes).c_str(),
+                   HumanBytes(projection.capacity_bytes).c_str(),
+                   EngineKindToString(options.kind)));
+  return out;
+}
+
+// Builds the measured failure recorded for a preflight refusal: the run
+// never launched, so it burned zero MR cycles — unlike the paper's
+// mid-workflow deaths, which waste hours before the 'X'.
+ExecStats RefusedStats(const PreflightOutcome& outcome,
+                       const EngineOptions& options,
+                       const std::string& query_name,
+                       size_t planned_cycles) {
+  ExecStats stats;
+  stats.engine = EngineKindToString(options.kind);
+  stats.query = query_name;
+  stats.status = outcome.refusal;
+  stats.failed_job_index = 0;
+  stats.planned_cycles = planned_cycles;
+  stats.preflight = outcome.note;
+  return stats;
+}
+
 }  // namespace
 
 double ComputeRedundancyFactor(const std::vector<std::string>& lines) {
@@ -401,10 +517,28 @@ Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
   if (!dfs->Exists(base_path)) {
     return Status::NotFound("base triple relation missing: " + base_path);
   }
+  EngineOptions effective = options;
+  PreflightOutcome preflight;
+  if (options.disk_pressure != DiskPressurePolicy::kNone) {
+    RDFMR_ASSIGN_OR_RETURN(
+        preflight, DiskPressurePreflight(dfs, base_path, *query, options));
+    effective = preflight.options;
+  }
   RDFMR_ASSIGN_OR_RETURN(
       CompiledPlan plan,
-      CompileQueryPlanTemplate(query, base_path, std::nullopt, options));
-  return RunCompiledQuery(dfs, plan, query->name(), options);
+      CompileQueryPlanTemplate(query, base_path, std::nullopt, effective));
+  if (!preflight.refusal.ok()) {
+    Execution exec;
+    exec.stats = RefusedStats(preflight, options, query->name(),
+                              plan.workflow.jobs.size());
+    return exec;
+  }
+  RDFMR_ASSIGN_OR_RETURN(
+      Execution exec,
+      RunCompiledQuery(dfs, plan, query->name(), effective));
+  exec.stats.degraded_from = preflight.degraded_from;
+  exec.stats.preflight = preflight.note;
+  return exec;
 }
 
 Result<NtgaBatchPlan> CompileBatchPlanTemplate(
@@ -450,8 +584,12 @@ Result<BatchExecution> RunCompiledBatch(SimDfs* dfs,
   workflow.intermediate_paths.clear();
   workflow.final_output_path.clear();
   workflow.cleanup_demuxed_on_failure = false;  // tmp_prefix scrub below
-  WorkflowResult result =
-      RunWorkflow(dfs, workflow, options.cost, options.num_threads);
+  WorkflowResult result = RunWorkflow(dfs, workflow, options.cost,
+                                      options.num_threads,
+                                      options.max_attempts);
+
+  // Observation below must not consume fault-plan draws (see ExecutePlan).
+  SimDfs::ScopedFaultSuspension suspend_faults(dfs);
 
   BatchExecution exec;
   ExecStats& stats = exec.stats;
@@ -471,6 +609,10 @@ Result<BatchExecution> RunCompiledBatch(SimDfs* dfs,
   stats.map_seconds = result.totals.map_seconds;
   stats.shuffle_sort_seconds = result.totals.shuffle_sort_seconds;
   stats.reduce_seconds = result.totals.reduce_seconds;
+  stats.task_attempts = result.totals.task_attempts;
+  stats.tasks_retried = result.totals.tasks_retried;
+  stats.wasted_bytes = result.totals.wasted_bytes;
+  stats.retry_backoff_seconds = result.totals.retry_backoff_seconds;
   stats.counters = result.totals.counters;
   stats.jobs = result.job_metrics;
   for (const std::string& path : plan.star_phase_paths) {
@@ -545,10 +687,28 @@ Result<Execution> RunAggregateQuery(
   if (!dfs->Exists(base_path)) {
     return Status::NotFound("base triple relation missing: " + base_path);
   }
+  EngineOptions effective = options;
+  PreflightOutcome preflight;
+  if (options.disk_pressure != DiskPressurePolicy::kNone) {
+    RDFMR_ASSIGN_OR_RETURN(
+        preflight, DiskPressurePreflight(dfs, base_path, *query, options));
+    effective = preflight.options;
+  }
   RDFMR_ASSIGN_OR_RETURN(
       CompiledPlan plan,
-      CompileQueryPlanTemplate(query, base_path, spec, options));
-  return RunCompiledQuery(dfs, plan, query->name() + "+count", options);
+      CompileQueryPlanTemplate(query, base_path, spec, effective));
+  if (!preflight.refusal.ok()) {
+    Execution exec;
+    exec.stats = RefusedStats(preflight, options, query->name() + "+count",
+                              plan.workflow.jobs.size());
+    return exec;
+  }
+  RDFMR_ASSIGN_OR_RETURN(
+      Execution exec,
+      RunCompiledQuery(dfs, plan, query->name() + "+count", effective));
+  exec.stats.degraded_from = preflight.degraded_from;
+  exec.stats.preflight = preflight.note;
+  return exec;
 }
 
 }  // namespace rdfmr

@@ -40,6 +40,20 @@ const char* EngineKindToString(EngineKind kind);
 /// (pig|hive|eager|lazyfull|lazypartial|lazy).
 Result<EngineKind> EngineKindFromString(const std::string& name);
 
+/// \brief What the engine does when the advisor projects that a query's
+/// intermediate footprint will not fit the cluster.
+enum class DiskPressurePolicy {
+  /// No preflight: run and let the workflow die mid-flight with
+  /// kOutOfSpace, exactly the paper's Fig 9(a) failed executions.
+  kNone,
+  /// Pre-emptively switch an Eager plan to Lazy (partial β-unnest) when
+  /// the lazy projection fits; otherwise fail fast like kFailFast.
+  kDegrade,
+  /// Refuse to launch: return a measured kResourceExhausted failure
+  /// without burning any MR cycle.
+  kFailFast,
+};
+
 struct EngineOptions {
   EngineKind kind = EngineKind::kNtgaLazy;
   /// φ_m partition count for TG_OptUnbJoin.
@@ -58,6 +72,15 @@ struct EngineOptions {
   /// Outputs and all byte/record metrics are byte-identical for any
   /// value — only real wall time changes.
   uint32_t num_threads = 0;
+  /// Maximum attempts per DFS task operation for transient (injected)
+  /// failures; 0 defers to ClusterConfig::max_task_attempts, 1 disables
+  /// retry. Recovered runs stay byte-identical to fault-free runs on
+  /// every deterministic metric except the retry accounting itself.
+  uint32_t max_attempts = 0;
+  /// Disk-pressure preflight policy (see DiskPressurePolicy). Applies to
+  /// RunQuery/RunAggregateQuery, where the advisor's projection is
+  /// available before any job launches.
+  DiskPressurePolicy disk_pressure = DiskPressurePolicy::kNone;
   /// Cost model for the modeled execution time.
   CostModelConfig cost;
 };
@@ -97,6 +120,21 @@ struct ExecStats {
   double map_seconds = 0.0;
   double shuffle_sort_seconds = 0.0;
   double reduce_seconds = 0.0;
+  /// Fault-tolerance accounting over all jobs (see JobMetrics): zero on a
+  /// fault-free run, deterministic given a FaultPlan, and excluded from
+  /// the byte-identical-stats contract so a recovered run still matches
+  /// the fault-free stats everywhere else.
+  uint64_t task_attempts = 0;
+  uint64_t tasks_retried = 0;
+  uint64_t wasted_bytes = 0;
+  double retry_backoff_seconds = 0.0;
+  /// Engine the run was degraded away from by the disk-pressure preflight
+  /// ("EagerUnnest" after an Eager→Lazy switch); empty when no
+  /// degradation happened.
+  std::string degraded_from;
+  /// Human-readable outcome of the disk-pressure preflight; empty when
+  /// the policy is kNone.
+  std::string preflight;
   Counters counters;
   std::vector<JobMetrics> jobs;
 

@@ -106,6 +106,17 @@ struct JobMetrics {
   double map_seconds = 0.0;
   double shuffle_sort_seconds = 0.0;
   double reduce_seconds = 0.0;
+  /// Fault-tolerance accounting, all zero on a fault-free run. These are
+  /// deterministic given a FaultPlan, but they are intentionally excluded
+  /// from the byte-identical-stats contract: a recovered run matches the
+  /// fault-free run on every *other* deterministic metric while these
+  /// record what the recovery cost.
+  uint64_t task_attempts = 0;   ///< attempts (incl. final) of retried ops
+  uint64_t tasks_retried = 0;   ///< DFS ops that needed more than 1 attempt
+  uint64_t wasted_bytes = 0;    ///< logical bytes re-processed by retries
+  /// Modeled exponential backoff accrued before retries (base * 2^(n-1)
+  /// for the n-th failed attempt); never slept, never in modeled_seconds.
+  double retry_backoff_seconds = 0.0;
   Counters counters;
 
   /// \brief Accumulates `other` into this (for workflow totals).

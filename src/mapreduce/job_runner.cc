@@ -50,6 +50,78 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Transient failures are re-attempted; everything else (kOutOfSpace in
+// particular, the paper's failure mode) kills the job immediately.
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+// Shared retry bookkeeping: `failed_attempts` transient failures happened
+// before this op's final attempt, which may itself have failed on
+// exhaustion — either way the op made failed_attempts + 1 attempts.
+void AccountRetries(JobMetrics* metrics, uint32_t failed_attempts,
+                    uint64_t op_bytes, double backoff_base) {
+  if (failed_attempts == 0) return;
+  metrics->tasks_retried += 1;
+  metrics->task_attempts += failed_attempts + 1;
+  metrics->wasted_bytes += op_bytes * failed_attempts;
+  for (uint32_t n = 1; n <= failed_attempts; ++n) {
+    metrics->retry_backoff_seconds +=
+        backoff_base * static_cast<double>(1ULL << (n - 1));
+  }
+}
+
+// Reads `path`, re-attempting transient failures up to `max_attempts`
+// total attempts (Hadoop re-runs the whole map attempt, so each retry
+// re-reads — and wastes — the full input).
+Result<std::vector<std::string>> ReadWithRetry(SimDfs* dfs,
+                                               const std::string& path,
+                                               uint32_t max_attempts,
+                                               double backoff_base,
+                                               JobMetrics* metrics) {
+  uint32_t failed = 0;
+  for (;;) {
+    auto lines = dfs->ReadFile(path);
+    if (lines.ok()) {
+      uint64_t bytes = 0;
+      for (const std::string& line : *lines) bytes += line.size() + 1;
+      AccountRetries(metrics, failed, bytes, backoff_base);
+      return lines;
+    }
+    if (!IsTransient(lines.status()) || failed + 1 >= max_attempts) {
+      AccountRetries(metrics, failed, 0, backoff_base);
+      return lines.status();
+    }
+    ++failed;
+  }
+}
+
+// Writes `path`, re-attempting transient failures. Retry needs the lines
+// kept alive across attempts; that copy is only paid when a fault plan is
+// installed (the legacy one-shot write-failure hook models an
+// unrecoverable crash and is never retried).
+Status WriteWithRetry(SimDfs* dfs, const std::string& path,
+                      std::vector<std::string> lines, uint64_t op_bytes,
+                      uint32_t max_attempts, double backoff_base,
+                      JobMetrics* metrics) {
+  const bool may_retry = max_attempts > 1 && dfs->HasFaultPlan();
+  uint32_t failed = 0;
+  for (;;) {
+    const bool last = !may_retry || failed + 1 >= max_attempts;
+    Status st = dfs->WriteFile(path, last ? std::move(lines) : lines);
+    if (st.ok()) {
+      AccountRetries(metrics, failed, op_bytes, backoff_base);
+      return st;
+    }
+    if (last || !IsTransient(st)) {
+      AccountRetries(metrics, failed, op_bytes, backoff_base);
+      return st;
+    }
+    ++failed;
+  }
+}
+
 // Runs fn(i) for i in [0, n) — concurrently when a pool is supplied,
 // inline otherwise.
 void ForEachTask(ThreadPool* pool, size_t n,
@@ -102,7 +174,8 @@ void RunMapTask(const JobSpec& spec, const MapTask& task,
 }  // namespace
 
 Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
-                          ThreadPool* pool) {
+                          ThreadPool* pool, uint32_t max_attempts,
+                          JobMetrics* failed_job_metrics) {
   RDFMR_CHECK(dfs != nullptr);
   if (spec.inputs.empty()) {
     return Status::InvalidArgument("job '" + spec.name + "' has no inputs");
@@ -110,6 +183,9 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
   if (spec.output_path.empty()) {
     return Status::InvalidArgument("job '" + spec.name + "' has no output");
   }
+  if (max_attempts == 0) max_attempts = dfs->config().max_task_attempts;
+  if (max_attempts == 0) max_attempts = 1;
+  const double backoff_base = dfs->config().retry_backoff_seconds;
 
   JobMetrics metrics;
   metrics.job_name = spec.name;
@@ -131,8 +207,10 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
   std::vector<MapTask> tasks;
   for (size_t in = 0; in < spec.inputs.size(); ++in) {
     const MapInput& input = spec.inputs[in];
-    auto lines = dfs->ReadFile(input.path);
+    auto lines = ReadWithRetry(dfs, input.path, max_attempts, backoff_base,
+                               &metrics);
     if (!lines.ok()) {
+      if (failed_job_metrics != nullptr) *failed_job_metrics = metrics;
       return lines.status().WithContext("job '" + spec.name + "' input");
     }
     metrics.input_records += lines->size();
@@ -256,8 +334,11 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
       metrics.output_bytes * dfs->config().replication;
 
   if (spec.demux == nullptr) {
-    Status st = dfs->WriteFile(spec.output_path, std::move(output));
+    Status st = WriteWithRetry(dfs, spec.output_path, std::move(output),
+                               metrics.output_bytes, max_attempts,
+                               backoff_base, &metrics);
     if (!st.ok()) {
+      if (failed_job_metrics != nullptr) *failed_job_metrics = metrics;
       return st.WithContext("job '" + spec.name + "' output");
     }
   } else {
@@ -267,15 +348,22 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
       demuxed[spec.demux(line)].push_back(std::move(line));
     }
     for (auto& [suffix, lines] : demuxed) {
-      Status st = dfs->WriteFile(spec.output_path + suffix, std::move(lines));
+      uint64_t suffix_bytes = 0;
+      for (const std::string& line : lines) suffix_bytes += line.size() + 1;
+      Status st = WriteWithRetry(dfs, spec.output_path + suffix,
+                                 std::move(lines), suffix_bytes,
+                                 max_attempts, backoff_base, &metrics);
       if (!st.ok()) {
+        if (failed_job_metrics != nullptr) *failed_job_metrics = metrics;
         return st.WithContext("job '" + spec.name + "' output");
       }
     }
     for (const std::string& path : spec.ensure_outputs) {
       if (!dfs->Exists(path)) {
-        Status st = dfs->WriteFile(path, {});
+        Status st = WriteWithRetry(dfs, path, {}, 0, max_attempts,
+                                   backoff_base, &metrics);
         if (!st.ok()) {
+          if (failed_job_metrics != nullptr) *failed_job_metrics = metrics;
           return st.WithContext("job '" + spec.name + "' output");
         }
       }
@@ -299,6 +387,10 @@ void JobMetrics::Accumulate(const JobMetrics& other) {
   map_seconds += other.map_seconds;
   shuffle_sort_seconds += other.shuffle_sort_seconds;
   reduce_seconds += other.reduce_seconds;
+  task_attempts += other.task_attempts;
+  tasks_retried += other.tasks_retried;
+  wasted_bytes += other.wasted_bytes;
+  retry_backoff_seconds += other.retry_backoff_seconds;
   for (const auto& [name, value] : other.counters) {
     counters[name] += value;
   }

@@ -26,8 +26,25 @@ namespace rdfmr {
 /// partition order. Output and every metric except the wall-clock
 /// *_seconds fields are therefore byte-identical to the sequential run
 /// (`pool == nullptr` or a 1-thread pool).
+///
+/// Fault tolerance: transient DFS failures (kIoError, kUnavailable — the
+/// kinds a FaultPlan injects) are re-attempted up to `max_attempts` total
+/// attempts per read/write, Hadoop-attempt style; 0 defers to
+/// `ClusterConfig::max_task_attempts`. Retries are accounted in the
+/// metrics' task_attempts / tasks_retried / wasted_bytes /
+/// retry_backoff_seconds and never perturb any other metric, so a
+/// recovered run is byte-identical to a fault-free run everywhere else.
+/// kOutOfSpace and semantic errors are never retried. Output writes are
+/// only re-attempted while a FaultPlan is installed (the legacy one-shot
+/// InjectWriteFailureAfter hook models an unrecoverable crash).
+///
+/// On failure the job's partial metrics — in particular the retry
+/// accounting of the exhausted op — are copied into `failed_job_metrics`
+/// when non-null, so retry exhaustion stays observable in workflow totals.
 Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
-                          ThreadPool* pool = nullptr);
+                          ThreadPool* pool = nullptr,
+                          uint32_t max_attempts = 0,
+                          JobMetrics* failed_job_metrics = nullptr);
 
 }  // namespace rdfmr
 

@@ -38,7 +38,7 @@ std::string DescribeWorkflow(const WorkflowSpec& spec) {
 
 WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
                            const CostModelConfig& cost,
-                           uint32_t num_threads) {
+                           uint32_t num_threads, uint32_t max_attempts) {
   WorkflowResult result;
   result.peak_dfs_used_bytes = dfs->UsedBytes();
 
@@ -53,11 +53,21 @@ WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
     RDFMR_LOG(Info) << "workflow '" << spec.name << "': running job "
                     << (i + 1) << "/" << spec.jobs.size() << " '" << job.name
                     << "'";
-    Result<JobMetrics> metrics = RunJob(dfs, job, pool.get());
+    JobMetrics failed_metrics;
+    Result<JobMetrics> metrics =
+        RunJob(dfs, job, pool.get(), max_attempts, &failed_metrics);
     if (!metrics.ok()) {
       result.status =
           metrics.status().WithContext("workflow '" + spec.name + "'");
       result.failed_job_index = static_cast<int>(i);
+      // The failed job's retry accounting (attempts burned before
+      // exhaustion) must stay visible in the totals; its other metrics are
+      // partial and are deliberately dropped.
+      result.totals.task_attempts += failed_metrics.task_attempts;
+      result.totals.tasks_retried += failed_metrics.tasks_retried;
+      result.totals.wasted_bytes += failed_metrics.wasted_bytes;
+      result.totals.retry_backoff_seconds +=
+          failed_metrics.retry_backoff_seconds;
       break;
     }
     result.job_metrics.push_back(metrics.MoveValueUnsafe());

@@ -67,9 +67,16 @@ std::string DescribeWorkflow(const WorkflowSpec& spec);
 /// job's map and reduce phases; 0 defers to the cluster's
 /// `ClusterConfig::num_threads`. Any value yields byte-identical outputs
 /// and metrics (only the *_seconds wall times differ) — see RunJob.
+///
+/// `max_attempts` bounds the per-op attempt count for transient DFS
+/// failures in every job (0 defers to `ClusterConfig::max_task_attempts`);
+/// retry accounting lands in the job metrics and totals. Whenever the
+/// workflow succeeds, its outputs and every non-retry, non-wall-time
+/// metric are byte-identical to a fault-free run.
 WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
                            const CostModelConfig& cost = CostModelConfig{},
-                           uint32_t num_threads = 0);
+                           uint32_t num_threads = 0,
+                           uint32_t max_attempts = 0);
 
 }  // namespace rdfmr
 

@@ -76,7 +76,11 @@ std::string Term::ToNTriples() const {
     case TermKind::kBlank:
       return "_:" + value_;
     case TermKind::kLiteral: {
-      std::string out = "\"" + EscapeLiteral(value_) + "\"";
+      // Built with insert-free appends: `"\"" + <rvalue string>` trips a
+      // GCC 12 -Wrestrict false positive (PR105329) at -O2 and up.
+      std::string out = "\"";
+      out += EscapeLiteral(value_);
+      out += '"';
       if (!language_.empty()) {
         out += "@" + language_;
       } else if (!datatype_.empty()) {

@@ -79,13 +79,16 @@ JsonValue HistogramJson(const Histogram& hist) {
 
 std::string EngineOptionsFingerprint(const EngineOptions& options) {
   // num_threads is excluded on purpose: it changes only host wall-clock
-  // fields, never answers or deterministic stats.
+  // fields, never answers or deterministic stats. max_attempts and the
+  // disk-pressure policy ARE included: retry accounting and preflight
+  // refusals/degradations are part of the stats a cached result replays.
   return StringFormat(
-      "kind=%s;phi=%u;grouping=%d;decode=%d;combiner=%d;"
-      "cost=%.17g,%.17g,%.17g,%.17g,%.17g",
+      "kind=%s;phi=%u;grouping=%d;decode=%d;combiner=%d;attempts=%u;"
+      "pressure=%d;cost=%.17g,%.17g,%.17g,%.17g,%.17g",
       EngineKindToString(options.kind), options.phi_partitions,
       static_cast<int>(options.grouping), options.decode_answers ? 1 : 0,
-      options.aggregation_combiner ? 1 : 0, options.cost.hdfs_read_mbps,
+      options.aggregation_combiner ? 1 : 0, options.max_attempts,
+      static_cast<int>(options.disk_pressure), options.cost.hdfs_read_mbps,
       options.cost.hdfs_write_mbps, options.cost.shuffle_mbps,
       options.cost.sort_mbps, options.cost.job_startup_seconds);
 }

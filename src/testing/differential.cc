@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "dfs/fault_plan.h"
 #include "query/matcher.h"
 #include "testing/invariants.h"
 
@@ -77,6 +78,27 @@ std::string DescribeAnswerDiff(const SolutionSet& expected,
     }
   }
   return out;
+}
+
+// FNV-1a over the cell identity: every case x engine x thread cell gets
+// its own independent fault stream, so one seed covers many distinct
+// fault schedules without coupling cells to each other.
+uint64_t FaultSeedFor(uint64_t base_seed, const std::string& case_name,
+                      EngineKind kind, uint32_t threads) {
+  uint64_t h = 14695981039346656037ULL ^ base_seed;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (char c : case_name) mix(static_cast<unsigned char>(c));
+  mix(static_cast<uint64_t>(kind) + 1);
+  mix(threads);
+  return h;
+}
+
+bool IsTransientFailure(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
 }
 
 Result<std::shared_ptr<const GraphPatternQuery>> BuildQuery(
@@ -183,6 +205,66 @@ CaseOutcome RunCase(const FuzzCase& fuzz_case,
           outcome.violations.push_back(
               tag + "answers differ across thread counts");
         }
+      }
+
+      if (!config.inject_faults) continue;
+      // Same cell again, on a fresh DFS, under a seeded probabilistic
+      // fault plan with retry enabled. Survival is optional (retry
+      // exhaustion is a legitimate outcome at these probabilities), but a
+      // survivor must match the fault-free run byte-for-byte on answers
+      // and every deterministic stat.
+      outcome.faulty_runs += 1;
+      const std::string fault_tag = tag + "[faults] ";
+      SimDfs faulty_dfs(config.cluster);
+      Status fault_load = faulty_dfs.WriteFile("base", base_lines);
+      if (!fault_load.ok()) {
+        outcome.violations.push_back(fault_tag + "loading base relation: " +
+                                     fault_load.ToString());
+        continue;
+      }
+      FaultPlan plan;
+      plan.seed = FaultSeedFor(config.fault_seed, fuzz_case.name, kind,
+                               threads);
+      plan.read_failure_prob = config.fault_read_prob;
+      plan.write_failure_prob = config.fault_write_prob;
+      Status armed = faulty_dfs.SetFaultPlan(plan);
+      if (!armed.ok()) {
+        outcome.violations.push_back(fault_tag + "installing fault plan: " +
+                                     armed.ToString());
+        continue;
+      }
+      EngineOptions faulty_options = options;
+      faulty_options.max_attempts = config.fault_max_attempts;
+      Result<Execution> faulty =
+          fuzz_case.aggregate.has_value()
+              ? RunAggregateQuery(&faulty_dfs, "base", *query,
+                                  *fuzz_case.aggregate, faulty_options)
+              : RunQuery(&faulty_dfs, "base", *query, faulty_options);
+      if (!faulty.ok()) {
+        outcome.violations.push_back(fault_tag + "infrastructure error: " +
+                                     faulty.status().ToString());
+        continue;
+      }
+      if (!faulty->stats.ok()) {
+        if (IsTransientFailure(faulty->stats.status)) {
+          outcome.faulty_exhausted += 1;  // ran out of attempts: skip
+        } else {
+          outcome.violations.push_back(
+              fault_tag + "non-transient failure under injected faults: " +
+              faulty->stats.status.ToString());
+        }
+        continue;
+      }
+      outcome.faulty_survived += 1;
+      outcome.faulty_retried_ops += faulty->stats.tasks_retried;
+      if (faulty->answers != expected) {
+        outcome.violations.push_back(
+            fault_tag + "answer mismatch vs oracle: " +
+            DescribeAnswerDiff(expected, faulty->answers));
+      }
+      for (const std::string& violation :
+           CompareStatsIgnoringWallTimes(exec->stats, faulty->stats)) {
+        outcome.violations.push_back(fault_tag + violation);
       }
     }
   }
@@ -387,7 +469,7 @@ FuzzCase MakeCase(const FuzzOptions& options, uint64_t index) {
 }
 
 std::string FuzzReport::Summary() const {
-  return StringFormat(
+  std::string summary = StringFormat(
       "%llu cases: %llu with unbound patterns, %llu with OPTIONAL, "
       "%llu with aggregates, %llu multi-star, %llu with non-empty ground "
       "truth; %zu failure(s)",
@@ -395,6 +477,15 @@ std::string FuzzReport::Summary() const {
       (unsigned long long)with_optional, (unsigned long long)with_aggregate,
       (unsigned long long)multi_star,
       (unsigned long long)nonempty_ground_truth, failures.size());
+  if (faulty_runs > 0) {
+    summary += StringFormat(
+        "; faults: %llu run(s), %llu survived, %llu exhausted retries, "
+        "%llu op(s) retried",
+        (unsigned long long)faulty_runs, (unsigned long long)faulty_survived,
+        (unsigned long long)faulty_exhausted,
+        (unsigned long long)faulty_retried_ops);
+  }
+  return summary;
 }
 
 FuzzReport RunFuzz(const FuzzOptions& options, std::ostream* log) {
@@ -417,6 +508,10 @@ FuzzReport RunFuzz(const FuzzOptions& options, std::ostream* log) {
 
     CaseOutcome outcome = RunCase(fuzz_case, options.diff);
     if (outcome.expected_answers > 0) report.nonempty_ground_truth += 1;
+    report.faulty_runs += outcome.faulty_runs;
+    report.faulty_survived += outcome.faulty_survived;
+    report.faulty_exhausted += outcome.faulty_exhausted;
+    report.faulty_retried_ops += outcome.faulty_retried_ops;
     if (outcome.ok()) {
       if (log != nullptr && (i + 1) % 50 == 0) {
         *log << "  ... " << (i + 1) << "/" << options.cases

@@ -47,6 +47,21 @@ struct DifferentialConfig {
   uint32_t phi_partitions = 16;
   /// Roomy cluster (no artificial disk pressure) used for every run.
   ClusterConfig cluster;
+  /// When true, every engine x thread cell additionally runs on a fresh
+  /// DFS with a seeded probabilistic FaultPlan installed and retry
+  /// enabled. A faulty run that survives must produce answers AND
+  /// deterministic stats byte-identical to the fault-free run of the same
+  /// cell; one that dies of retry exhaustion (a transient
+  /// kIoError/kUnavailable surfacing after max attempts) is counted and
+  /// skipped; any other failure is a violation.
+  bool inject_faults = false;
+  /// Injected per-op failure probabilities and the retry budget.
+  double fault_read_prob = 0.08;
+  double fault_write_prob = 0.04;
+  uint32_t fault_max_attempts = 8;
+  /// Base fault-plan seed; each case x engine x thread cell derives its
+  /// own independent stream from it.
+  uint64_t fault_seed = 1;
 
   DifferentialConfig();
 };
@@ -60,6 +75,16 @@ struct CaseOutcome {
   bool query_invalid = false;
   /// Ground-truth answer count (coverage signal).
   size_t expected_answers = 0;
+  /// Fault-injection coverage (only advanced when
+  /// DifferentialConfig::inject_faults is set): faulty runs launched,
+  /// survived-and-matched, and skipped for retry exhaustion.
+  size_t faulty_runs = 0;
+  size_t faulty_survived = 0;
+  size_t faulty_exhausted = 0;
+  /// Retried operations summed over surviving faulty runs — the vacuity
+  /// signal that faults were really armed (the DFS's own injection
+  /// counters are reset by the engine's per-run metric sampling).
+  size_t faulty_retried_ops = 0;
 
   bool ok() const { return violations.empty(); }
 };
@@ -111,6 +136,11 @@ struct FuzzReport {
   uint64_t with_aggregate = 0;
   uint64_t multi_star = 0;
   uint64_t nonempty_ground_truth = 0;
+  // Fault-injection coverage (all zero unless diff.inject_faults).
+  uint64_t faulty_runs = 0;
+  uint64_t faulty_survived = 0;
+  uint64_t faulty_exhausted = 0;
+  uint64_t faulty_retried_ops = 0;
   std::vector<FuzzFailure> failures;
 
   bool ok() const { return failures.empty(); }

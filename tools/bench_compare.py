@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json run against a checked-in baseline.
+
+Usage:
+  tools/bench_compare.py --baseline bench/baselines/BENCH_service.json \
+      --current BENCH_service.json --field qps --direction higher \
+      [--tolerance 0.20]
+
+Both files must follow the bench report convention: a top-level object
+with a "cells" array of flat objects. Rows are matched by every key that
+is NOT the measured field and NOT a wall-clock field ("seconds",
+"wall_seconds"): the remaining string/int fields form the row identity.
+
+--direction higher  => fail when current < baseline * (1 - tolerance)
+                       (e.g. qps: bigger is better)
+--direction lower   => fail when current > baseline * (1 + tolerance)
+                       (e.g. modeled_seconds: smaller is better)
+
+Rows present in the baseline but missing from the current run are
+failures (a silently dropped cell must not pass the gate); extra rows in
+the current run are reported but allowed (new cells need a baseline
+refresh, not a red build). Exit 0 iff every matched cell is within
+tolerance and no baseline cell is missing.
+"""
+
+import argparse
+import json
+import sys
+
+# Host wall-clock measurements are load-dependent and never gated.
+WALL_FIELDS = {"seconds", "wall_seconds"}
+
+
+def load_cells(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        sys.exit(f"error: {path}: no 'cells' array")
+    return cells
+
+
+def row_key(cell, field):
+    parts = []
+    for name in sorted(cell):
+        if name == field or name in WALL_FIELDS:
+            continue
+        value = cell[name]
+        if isinstance(value, float):
+            # Floats other than the measured field are metrics, not
+            # identity (e.g. modeled_seconds when gating on qps).
+            continue
+        parts.append(f"{name}={value}")
+    return ", ".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--field", required=True,
+                        help="measured field to gate on (e.g. qps)")
+    parser.add_argument("--direction", required=True,
+                        choices=["higher", "lower"],
+                        help="which direction is better for --field")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative regression (default 0.20)")
+    args = parser.parse_args()
+
+    baseline = {}
+    for cell in load_cells(args.baseline):
+        if args.field not in cell:
+            sys.exit(f"error: baseline cell lacks '{args.field}': {cell}")
+        baseline[row_key(cell, args.field)] = float(cell[args.field])
+
+    failures = []
+    matched = 0
+    seen = set()
+    for cell in load_cells(args.current):
+        key = row_key(cell, args.field)
+        seen.add(key)
+        if key not in baseline:
+            print(f"note: no baseline for [{key}] — skipped "
+                  f"(refresh bench/baselines/ to gate it)")
+            continue
+        if args.field not in cell:
+            failures.append(f"[{key}] current run lacks '{args.field}'")
+            continue
+        base = baseline[key]
+        cur = float(cell[args.field])
+        if args.direction == "higher":
+            limit = base * (1.0 - args.tolerance)
+            bad = cur < limit
+            verb = "dropped"
+        else:
+            limit = base * (1.0 + args.tolerance)
+            bad = cur > limit
+            verb = "rose"
+        matched += 1
+        status = "FAIL" if bad else "ok"
+        print(f"{status:4s} [{key}] {args.field}: baseline {base:g} -> "
+              f"current {cur:g} (limit {limit:g})")
+        if bad:
+            failures.append(
+                f"[{key}] {args.field} {verb} beyond {args.tolerance:.0%}: "
+                f"{base:g} -> {cur:g}")
+
+    for key in baseline:
+        if key not in seen:
+            failures.append(f"[{key}] present in baseline, missing from "
+                            f"current run")
+
+    if matched == 0 and not failures:
+        sys.exit("error: no cells matched between baseline and current run")
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {args.baseline}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nall {matched} matched cell(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 # Builds the repo with a sanitizer and runs the full test suite under it,
 # including the differential fuzz smoke (ctest label fuzz_smoke).
 #
-#   tools/check.sh [thread|address|both]     (default: thread)
+#   tools/check.sh [thread|address|both] [--quick]
 #
 # ThreadSanitizer is the gate for the multi-threaded MR runtime: the
 # determinism tests exercise every engine at 1/2/8 threads, so a clean
@@ -10,13 +10,28 @@
 # data-race free. `both` runs thread then address. Build trees live in
 # build-<san>-san/ next to build/; each is configured from scratch
 # idempotently (a stale or half-configured tree is wiped and redone).
-set -euo pipefail
+#
+# --quick skips the explicit fuzz_smoke/service label re-runs (the full
+# ctest pass still covers their registered tests once) — the CI sanitizer
+# jobs use it to keep wall time down.
+#
+# CI-friendly: fully non-interactive, and with `both` it runs every
+# requested sanitizer even after a failure, exiting with the FIRST failing
+# exit code.
+set -uo pipefail
 
-mode="${1:-thread}"
+mode="thread"
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    thread|address|both) mode="$arg" ;;
+    --quick) quick=1 ;;
+    *) echo "usage: $0 [thread|address|both] [--quick]" >&2; exit 2 ;;
+  esac
+done
 case "$mode" in
-  thread|address) sans=("$mode") ;;
   both) sans=(thread address) ;;
-  *) echo "usage: $0 [thread|address|both]" >&2; exit 2 ;;
+  *) sans=("$mode") ;;
 esac
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -48,7 +63,7 @@ run_one() {
   local san="$1"
   local build_dir="${repo_root}/build-${san}-san"
 
-  probe_sanitizer "$san"
+  probe_sanitizer "$san" || return $?
 
   # Configure from scratch idempotently: if an earlier configure was
   # interrupted or cached a different setting, retry once on a clean tree
@@ -56,24 +71,36 @@ run_one() {
   if ! cmake -B "$build_dir" -S "$repo_root" -DRDFMR_SANITIZE="$san"; then
     echo "configure failed; retrying on a clean ${build_dir}" >&2
     rm -rf "$build_dir"
-    cmake -B "$build_dir" -S "$repo_root" -DRDFMR_SANITIZE="$san"
+    cmake -B "$build_dir" -S "$repo_root" -DRDFMR_SANITIZE="$san" \
+      || return $?
   fi
 
-  cmake --build "$build_dir" -j "$(nproc)"
+  cmake --build "$build_dir" -j "$(nproc)" || return $?
   # Full suite first (includes the fuzz regression tests), then the
   # fuzz_smoke label explicitly so the 200-case differential sweep and the
   # injected-bug drill always run under the sanitizer.
-  ctest --test-dir "$build_dir" --output-on-failure
-  ctest --test-dir "$build_dir" -L fuzz_smoke --output-on-failure
+  ctest --test-dir "$build_dir" --output-on-failure || return $?
+  if [[ "$quick" == 1 ]]; then
+    return 0
+  fi
+  ctest --test-dir "$build_dir" -L fuzz_smoke --output-on-failure \
+    || return $?
   # The serving layer is the most concurrency-dense subsystem (socket
   # threads, worker pool, shared caches, one SimDfs base per dataset), so
   # its label additionally runs as an explicit TSan gate.
   if [[ "$san" == "thread" ]]; then
-    ctest --test-dir "$build_dir" -L service --output-on-failure
+    ctest --test-dir "$build_dir" -L service --output-on-failure \
+      || return $?
   fi
 }
 
+first_rc=0
 for san in "${sans[@]}"; do
   echo "== sanitizer: ${san} =="
-  run_one "$san"
+  if ! run_one "$san"; then
+    rc=$?
+    echo "== sanitizer ${san} FAILED (exit ${rc}) ==" >&2
+    if [[ "$first_rc" == 0 ]]; then first_rc=$rc; fi
+  fi
 done
+exit "$first_rc"

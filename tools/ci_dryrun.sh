@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Local replay of .github/workflows/ci.yml for machines without act or a
+# GitHub runner. Runs the same steps as each CI job, in the same order,
+# and reports a per-job PASS/FAIL/SKIP summary; exits with the first
+# failing job's code.
+#
+#   tools/ci_dryrun.sh [job ...]
+#
+# Jobs: build-debug build-release asan tsan fuzz format bench
+# (default: all of them). Tools CI installs but this host may lack are
+# degraded gracefully: no ccache => plain compile, no clang-format =>
+# the format job is SKIPped (CI itself still enforces it).
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+jobs=("$@")
+if [[ ${#jobs[@]} -eq 0 ]]; then
+  jobs=(build-debug build-release asan tsan fuzz format bench)
+fi
+
+launcher_args=()
+if command -v ccache > /dev/null 2>&1; then
+  launcher_args=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+build_and_test() {
+  local build_type="$1"
+  local build_dir="build-ci-$(echo "$build_type" | tr '[:upper:]' '[:lower:]')"
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE="$build_type" \
+    -DRDFMR_WERROR=ON "${launcher_args[@]}" || return $?
+  cmake --build "$build_dir" -j "$(nproc)" || return $?
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+run_fuzz() {
+  local build_dir="build-ci-release"
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+    "${launcher_args[@]}" || return $?
+  cmake --build "$build_dir" -j "$(nproc)" --target rdfmr_fuzz || return $?
+  "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 200 --quiet || return $?
+  "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 200 --faults --quiet \
+    || return $?
+  "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 50 --inject-bug --quiet
+}
+
+run_format() {
+  if ! command -v clang-format > /dev/null 2>&1; then
+    echo "clang-format not installed; CI will still enforce formatting"
+    return 77  # SKIP
+  fi
+  git ls-files 'src/**/*.cc' 'src/**/*.h' 'tests/*.cc' 'bench/*.cc' \
+    'bench/*.h' 'tools/*.cc' 'examples/*.cc' \
+    | xargs clang-format --dry-run -Werror
+}
+
+run_bench() {
+  local build_dir="build-ci-release"
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+    "${launcher_args[@]}" || return $?
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_service \
+    fig12_bsbm1m || return $?
+  # The benches write BENCH_*.json into the working directory, exactly as
+  # the CI job does before uploading them as artifacts.
+  "./$build_dir/bench/bench_service" || return $?
+  "./$build_dir/bench/fig12_bsbm1m" --small || return $?
+  python3 tools/bench_compare.py \
+    --baseline bench/baselines/BENCH_service.json \
+    --current BENCH_service.json \
+    --field qps --direction higher --tolerance 0.20 || return $?
+  python3 tools/bench_compare.py \
+    --baseline bench/baselines/BENCH_fig12.json \
+    --current BENCH_fig12.json \
+    --field modeled_seconds --direction lower --tolerance 0.20
+}
+
+run_job() {
+  case "$1" in
+    build-debug) build_and_test Debug ;;
+    build-release) build_and_test Release ;;
+    asan) tools/check.sh address --quick ;;
+    tsan) tools/check.sh thread --quick ;;
+    fuzz) run_fuzz ;;
+    format) run_format ;;
+    bench) run_bench ;;
+    *) echo "unknown job: $1" >&2; return 2 ;;
+  esac
+}
+
+declare -A results
+first_rc=0
+for job in "${jobs[@]}"; do
+  echo
+  echo "===== ci job: ${job} ====="
+  if run_job "$job"; then
+    results[$job]=PASS
+  else
+    rc=$?
+    if [[ $rc -eq 77 ]]; then
+      results[$job]=SKIP
+    else
+      results[$job]="FAIL($rc)"
+      if [[ "$first_rc" == 0 ]]; then first_rc=$rc; fi
+    fi
+  fi
+done
+
+echo
+echo "===== ci dry-run summary ====="
+for job in "${jobs[@]}"; do
+  printf '%-14s %s\n' "$job" "${results[$job]}"
+done
+exit "$first_rc"

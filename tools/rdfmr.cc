@@ -18,10 +18,16 @@
 //   rdfmr run (--query ID | --sparql FILE) --data FILE
 //              [--engine pig|hive|eager|lazyfull|lazypartial|lazy]
 //              [--nodes N] [--disk-mb M] [--repl R] [--phi M]
-//              [--threads T] [--show-answers K]
+//              [--threads T] [--show-answers K] [--max-attempts A]
+//              [--fault-plan SPEC] [--disk-check none|degrade|fail-fast]
 //       Execute the query on the simulated cluster and print metrics.
 //       --threads runs the simulator's map/reduce phases on T host
 //       threads (byte-identical results, faster wall clock).
+//       --fault-plan injects seeded DFS faults, e.g.
+//       "seed=7,pread=0.05,write@3,lose-node@40:2" (see
+//       src/dfs/fault_plan.h); --max-attempts bounds per-op retries
+//       (default: cluster max_task_attempts = 4); --disk-check runs the
+//       advisor's footprint preflight before launching.
 //   rdfmr serve --socket PATH [--nodes N] [--disk-mb M] [--repl R]
 //               [--threads T] [--max-concurrent C] [--queue-bound Q]
 //               [--result-cache-mb M] [--plan-cache-entries P]
@@ -43,6 +49,7 @@
 #include "common/json.h"
 #include "common/strings.h"
 #include "datagen/testbed.h"
+#include "dfs/fault_plan.h"
 #include "engine/advisor.h"
 #include "engine/engine.h"
 #include "mapreduce/workflow.h"
@@ -274,6 +281,20 @@ int CmdRun(const Flags& flags) {
                  st.ToString().c_str());
     return 1;
   }
+  // Installed after the base load so op ordinal 1 is the query's first op.
+  if (flags.Has("fault-plan")) {
+    auto plan = FaultPlan::Parse(flags.Get("fault-plan"));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+      return 2;
+    }
+    Status installed = dfs.SetFaultPlan(*plan);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "%s\n", installed.ToString().c_str());
+      return 2;
+    }
+    std::printf("fault plan        : %s\n", plan->ToString().c_str());
+  }
 
   auto kind = ParseEngine(flags.Get("engine", "lazy"));
   if (!kind.ok()) {
@@ -284,6 +305,19 @@ int CmdRun(const Flags& flags) {
   options.kind = *kind;
   options.phi_partitions =
       static_cast<uint32_t>(flags.GetInt("phi", 1024));
+  options.max_attempts =
+      static_cast<uint32_t>(flags.GetInt("max-attempts", 0));
+  const std::string disk_check = flags.Get("disk-check", "none");
+  if (disk_check == "degrade") {
+    options.disk_pressure = DiskPressurePolicy::kDegrade;
+  } else if (disk_check == "fail-fast") {
+    options.disk_pressure = DiskPressurePolicy::kFailFast;
+  } else if (disk_check != "none" && !disk_check.empty()) {
+    std::fprintf(stderr,
+                 "bad --disk-check: %s (want none|degrade|fail-fast)\n",
+                 disk_check.c_str());
+    return 2;
+  }
   auto exec = query->aggregate.has_value()
                   ? RunAggregateQuery(&dfs, "base", query->query,
                                       *query->aggregate, options)
@@ -293,6 +327,12 @@ int CmdRun(const Flags& flags) {
     return 1;
   }
   const ExecStats& s = exec->stats;
+  if (!s.preflight.empty()) {
+    std::printf("preflight         : %s\n", s.preflight.c_str());
+  }
+  if (!s.degraded_from.empty()) {
+    std::printf("degraded from     : %s\n", s.degraded_from.c_str());
+  }
   if (!s.ok()) {
     std::printf("execution FAILED at job %d of %zu: %s\n",
                 s.failed_job_index, s.planned_cycles,
@@ -320,6 +360,14 @@ int CmdRun(const Flags& flags) {
               "(host wall, %u thread(s))\n",
               s.map_seconds, s.shuffle_sort_seconds, s.reduce_seconds,
               cluster.num_threads);
+  if (s.tasks_retried > 0) {
+    std::printf("fault recovery    : %llu op(s) retried over %llu attempts, "
+                "%s wasted, %.1f s modeled backoff\n",
+                (unsigned long long)s.tasks_retried,
+                (unsigned long long)s.task_attempts,
+                HumanBytes(s.wasted_bytes).c_str(),
+                s.retry_backoff_seconds);
+  }
   std::printf("answers           : %zu\n", exec->answers.size());
   uint64_t show = flags.GetInt("show-answers", 0);
   for (const Solution& sol : exec->answers) {

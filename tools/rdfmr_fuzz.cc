@@ -15,6 +15,11 @@
 //     --max-failures K  stop after K failures (default 1; 0 = run all)
 //     --no-shrink       report failures raw, without minimization
 //     --quiet           suppress per-case progress lines
+//     --faults          re-run every engine x thread cell under a seeded
+//                       probabilistic FaultPlan with task retry enabled:
+//                       a faulty run that survives must match the
+//                       fault-free run byte-for-byte on answers and
+//                       deterministic stats; retry exhaustion is skipped.
 //     --inject-bug      self-test: flip the β group-filter's unbound-pattern
 //                       verdict (a seeded NTGA defect) and require the
 //                       harness to catch it AND shrink it to <= 10 triples;
@@ -251,6 +256,10 @@ int FuzzMain(int argc, char** argv) {
   options.query.min_unbound = flags.GetInt("min-unbound", 0);
   options.max_failures = flags.GetInt("max-failures", 1);
   options.shrink = !flags.Has("no-shrink");
+  if (flags.Has("faults")) {
+    options.diff.inject_faults = true;
+    options.diff.fault_seed = options.seed;
+  }
   const bool inject_bug = flags.Has("inject-bug");
   std::ostream* log = flags.Has("quiet") ? nullptr : &std::cout;
 
@@ -296,6 +305,17 @@ int FuzzMain(int argc, char** argv) {
   }
 
   if (log == nullptr) std::printf("%s\n", report.Summary().c_str());
+  // Vacuity gate for --faults: at these probabilities, thousands of DFS
+  // ops with zero retried operations means injection is not actually
+  // armed — fail loudly instead of green-lighting a no-op sweep.
+  if (options.diff.inject_faults && report.faulty_runs > 0 &&
+      report.faulty_retried_ops == 0) {
+    std::fprintf(stderr,
+                 "FAIL: --faults ran %llu faulty run(s) without a single "
+                 "retried operation — fault injection looks disarmed\n",
+                 (unsigned long long)report.faulty_runs);
+    return 1;
+  }
   return report.ok() ? 0 : 1;
 }
 
