@@ -1,0 +1,41 @@
+#include "common/runtime_options.h"
+
+#include <cstdlib>
+
+namespace rdfmr {
+namespace {
+
+uint32_t Resolve(uint32_t value, bool cli_pinned, const char* env_name,
+                 uint32_t config_default) {
+  if (cli_pinned && value > 0) return value;
+  uint32_t env = EnvRuntimeValue(env_name);
+  if (env > 0) return env;
+  if (value > 0) return value;
+  return config_default;
+}
+
+}  // namespace
+
+uint32_t EnvRuntimeValue(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  unsigned long parsed = std::strtoul(raw, &end, 10);  // NOLINT(runtime/int)
+  if (end == raw || *end != '\0') return 0;
+  if (parsed == 0 || parsed > 0xffffffffUL) return 0;
+  return static_cast<uint32_t>(parsed);
+}
+
+uint32_t ResolveNumThreads(const RuntimeOptions& options,
+                           uint32_t config_default) {
+  return Resolve(options.num_threads, options.cli_pinned, "RDFMR_THREADS",
+                 config_default);
+}
+
+uint32_t ResolveMaxAttempts(const RuntimeOptions& options,
+                            uint32_t config_default) {
+  return Resolve(options.max_attempts, options.cli_pinned,
+                 "RDFMR_MAX_ATTEMPTS", config_default);
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,93 @@
+#include "common/trace.h"
+
+#include "common/json.h"
+
+namespace rdfmr {
+namespace {
+
+void AppendEvent(const TraceSpan& span, bool with_times, bool* first,
+                 std::string* out) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->append("\n{\"name\":\"");
+  out->append(JsonEscape(span.name));
+  out->append("\",\"ph\":\"X\",\"pid\":1,\"tid\":1");
+  if (with_times) {
+    out->append(",\"ts\":");
+    out->append(std::to_string(span.start_micros));
+    out->append(",\"dur\":");
+    out->append(std::to_string(span.duration_micros));
+  }
+  out->append(",\"args\":{");
+  for (size_t i = 0; i < span.attrs.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->push_back('"');
+    out->append(JsonEscape(span.attrs[i].first));
+    out->append("\":\"");
+    out->append(JsonEscape(span.attrs[i].second));
+    out->push_back('"');
+  }
+  out->append("}}");
+  for (const auto& child : span.children) {
+    AppendEvent(*child, with_times, first, out);
+  }
+}
+
+std::string DumpTrace(const TraceSpan& root, bool with_times) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  AppendEvent(root, with_times, &first, &out);
+  out.append("\n]}\n");
+  return out;
+}
+
+}  // namespace
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {
+  root_.name = "trace";
+}
+
+int64_t Trace::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::string Trace::ToChromeJson() const { return DumpTrace(root_, true); }
+
+std::string Trace::ToCanonicalJson() const {
+  return DumpTrace(root_, false);
+}
+
+ScopedSpan::ScopedSpan(const RunContext& parent, std::string_view name) {
+  if (parent.span_ == nullptr) return;  // disabled: no allocation, no clock
+  trace_ = parent.trace_;
+  auto child = std::make_unique<TraceSpan>();
+  child->name = std::string(name);
+  child->start_micros = trace_->ElapsedMicros();
+  span_ = child.get();
+  parent.span_->children.push_back(std::move(child));
+}
+
+void ScopedSpan::Attr(std::string_view key, std::string_view value) {
+  if (span_ == nullptr) return;
+  span_->attrs.emplace_back(std::string(key), std::string(value));
+}
+
+void ScopedSpan::Attr(std::string_view key, uint64_t value) {
+  if (span_ == nullptr) return;
+  span_->attrs.emplace_back(std::string(key), std::to_string(value));
+}
+
+void ScopedSpan::Attr(std::string_view key, int64_t value) {
+  if (span_ == nullptr) return;
+  span_->attrs.emplace_back(std::string(key), std::to_string(value));
+}
+
+void ScopedSpan::Close() {
+  if (span_ == nullptr) return;
+  span_->duration_micros = trace_->ElapsedMicros() - span_->start_micros;
+  span_ = nullptr;
+}
+
+}  // namespace rdfmr

@@ -1,0 +1,134 @@
+// Hierarchical span tracing for the execution path (query -> mr_cycle ->
+// job -> map/shuffle/sort/reduce phase -> operator) plus Chrome
+// trace-event JSON export.
+//
+// Design contract (mirrors the ExecStats determinism discipline):
+//   * Span structure and every non-time attribute are byte-identical
+//     across thread counts. To guarantee this, spans are only ever
+//     created and annotated on the thread that coordinates the traced
+//     section (the job runner's controlling thread), never inside worker
+//     tasks. Worker-side cost surfaces through deterministic counters
+//     that the coordinator folds into span attributes at merge barriers.
+//   * Instrumentation is zero-cost when no sink is installed: a
+//     default-constructed RunContext is "disabled" (null span pointer);
+//     every tracing call starts with one branch on that pointer and no
+//     clock read happens on the disabled path.
+//
+// Wall-clock times (`start_micros`/`duration_micros`) are recorded for
+// enabled traces only and are explicitly excluded from the determinism
+// contract; exports provide a canonical form that strips them so tests
+// can byte-compare 1-thread vs N-thread trees.
+
+#ifndef RDFMR_COMMON_TRACE_H_
+#define RDFMR_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rdfmr {
+
+class Trace;
+
+/// \brief One node in the span tree. Attributes keep insertion order;
+/// instrumentation sites must therefore add them in a fixed code order
+/// (they all do — attribute order is part of the golden-trace contract).
+struct TraceSpan {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  int64_t start_micros = 0;     // relative to the owning trace's epoch
+  int64_t duration_micros = 0;  // 0 until the span is closed
+  std::vector<std::unique_ptr<TraceSpan>> children;
+};
+
+/// \brief Owner of one span tree. Not thread-safe: all spans of a trace
+/// are opened/closed from the coordinating thread (see header comment).
+class Trace {
+ public:
+  Trace();
+
+  TraceSpan* root() { return &root_; }
+  const TraceSpan& root() const { return root_; }
+
+  /// \brief Microseconds since the trace was constructed (steady clock).
+  int64_t ElapsedMicros() const;
+
+  /// \brief Full Chrome trace-event JSON ("X" complete events, depth-first
+  /// pre-order, pid/tid pinned to 1). Loadable in chrome://tracing and
+  /// Perfetto. Ends with a newline.
+  std::string ToChromeJson() const;
+
+  /// \brief Same document with every `ts`/`dur` field removed — the
+  /// canonical byte-comparable form used by the golden span-tree tests.
+  std::string ToCanonicalJson() const;
+
+ private:
+  TraceSpan root_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// \brief Handle threaded through the execution path: engine -> workflow
+/// -> job runner -> service. Cheap to copy (two pointers). The default
+/// instance is disabled and makes every downstream tracing call a no-op.
+class RunContext {
+ public:
+  /// \brief Disabled context (null sink): all spans below it vanish.
+  RunContext() = default;
+
+  /// \brief Context whose spans attach to `trace`'s root. `trace` must
+  /// outlive every span opened beneath the returned context.
+  static RunContext ForTrace(Trace* trace) {
+    return RunContext(trace, trace == nullptr ? nullptr : trace->root());
+  }
+
+  bool enabled() const { return span_ != nullptr; }
+
+ private:
+  friend class ScopedSpan;
+  RunContext(Trace* trace, TraceSpan* span) : trace_(trace), span_(span) {}
+
+  Trace* trace_ = nullptr;
+  TraceSpan* span_ = nullptr;
+};
+
+/// \brief RAII span: opens a child of `parent`'s span on construction,
+/// stamps the duration on destruction (or Close()). When `parent` is
+/// disabled, construction is a pointer copy and everything else no-ops.
+class ScopedSpan {
+ public:
+  ScopedSpan(const RunContext& parent, std::string_view name);
+  ~ScopedSpan() { Close(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool enabled() const { return span_ != nullptr; }
+
+  /// \brief Context for opening children beneath this span.
+  RunContext context() const { return RunContext(trace_, span_); }
+
+  /// \brief Adds a deterministic attribute (insertion-ordered). Must be
+  /// called before any child span is closed out of order with it only in
+  /// the sense of code order — attrs and children serialize separately.
+  void Attr(std::string_view key, std::string_view value);
+  void Attr(std::string_view key, uint64_t value);
+  void Attr(std::string_view key, int64_t value);
+  void Attr(std::string_view key, int value) {
+    Attr(key, static_cast<int64_t>(value));
+  }
+
+  /// \brief Stamps duration_micros now instead of at destruction.
+  void Close();
+
+ private:
+  Trace* trace_ = nullptr;
+  TraceSpan* span_ = nullptr;
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_COMMON_TRACE_H_

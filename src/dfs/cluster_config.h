@@ -32,7 +32,10 @@ struct ClusterConfig {
   /// map tasks / reducer partitions run concurrently on the machine
   /// executing the simulation. Purely a wall-clock knob — it affects no
   /// simulated metric, no modeled time, and the runtime guarantees output
-  /// and metrics byte-identical to `num_threads = 1`.
+  /// and metrics byte-identical to `num_threads = 1`. This is the
+  /// *config-default* layer of the RuntimeOptions precedence rule
+  /// (common/runtime_options.h): CLI flag > RDFMR_THREADS env >
+  /// programmatic RuntimeOptions > this field.
   uint32_t num_threads = 1;
 
   /// Maximum attempts per DFS task operation before the job fails, in the
@@ -40,6 +43,8 @@ struct ClusterConfig {
   /// Only transient failures (kIoError, kUnavailable) are re-attempted;
   /// kOutOfSpace and semantic errors fail the job on the first attempt,
   /// preserving the paper's failed-execution behavior. 1 disables retry.
+  /// Config-default layer of the same precedence rule as num_threads
+  /// (overridden by --max-attempts / RDFMR_MAX_ATTEMPTS / RuntimeOptions).
   uint32_t max_task_attempts = 4;
 
   /// Modeled base for exponential retry backoff: a task's n-th failed

@@ -42,6 +42,13 @@ Result<EngineKind> EngineKindFromString(const std::string& name) {
       " (want pig|hive|eager|lazyfull|lazypartial|lazy)");
 }
 
+RuntimeOptions EffectiveRuntime(const EngineOptions& options) {
+  RuntimeOptions runtime = options.runtime;
+  if (runtime.num_threads == 0) runtime.num_threads = options.num_threads;
+  if (runtime.max_attempts == 0) runtime.max_attempts = options.max_attempts;
+  return runtime;
+}
+
 namespace {
 
 Result<CompiledPlan> Compile(std::shared_ptr<const GraphPatternQuery> query,
@@ -180,7 +187,8 @@ void AppendAggregationCycle(CompiledPlan* plan, const AggregateSpec& spec,
 Result<Execution> ExecutePlan(SimDfs* dfs, CompiledPlan plan,
                               const std::string& tmp_prefix,
                               const std::string& query_name,
-                              const EngineOptions& options) {
+                              const EngineOptions& options,
+                              RunContext ctx) {
   WorkflowSpec workflow = plan.workflow;
   size_t planned_cycles = workflow.jobs.size();
   workflow.intermediate_paths.clear();
@@ -190,9 +198,21 @@ Result<Execution> ExecutePlan(SimDfs* dfs, CompiledPlan plan,
   // tmp_prefix is scrubbed at the end of this function anyway.
   workflow.cleanup_demuxed_on_failure = false;
 
-  WorkflowResult result = RunWorkflow(dfs, workflow, options.cost,
-                                      options.num_threads,
-                                      options.max_attempts);
+  ScopedSpan query_span(ctx, "query");
+  query_span.Attr("engine", EngineKindToString(options.kind));
+  query_span.Attr("query", query_name);
+  query_span.Attr("planned_cycles", static_cast<uint64_t>(planned_cycles));
+  WorkflowRunOptions wf_options;
+  wf_options.cost = options.cost;
+  wf_options.runtime = EffectiveRuntime(options);
+  wf_options.ctx = query_span.context();
+  WorkflowResult result = RunWorkflow(dfs, workflow, wf_options);
+  query_span.Attr("mr_cycles",
+                  static_cast<uint64_t>(result.num_mr_cycles()));
+  query_span.Attr("status", result.status.ok()
+                                ? std::string("ok")
+                                : result.status.ToString());
+  query_span.Close();
 
   // Everything below is observation (stat sampling, answer decoding,
   // cleanup), not engine work: it must not consume the fault plan's op
@@ -499,18 +519,19 @@ Result<CompiledPlan> CompileQueryPlanTemplate(
 
 Result<Execution> RunCompiledQuery(SimDfs* dfs, const CompiledPlan& plan,
                                    const std::string& query_name,
-                                   const EngineOptions& options) {
+                                   const EngineOptions& options,
+                                   RunContext ctx) {
   if (dfs == nullptr) {
     return Status::InvalidArgument("RunCompiledQuery needs a dfs");
   }
   const std::string tmp_prefix = NextTmpPrefix();
   return ExecutePlan(dfs, RetargetPlan(plan, tmp_prefix), tmp_prefix,
-                     query_name, options);
+                     query_name, options, ctx);
 }
 
 Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
                            std::shared_ptr<const GraphPatternQuery> query,
-                           const EngineOptions& options) {
+                           const EngineOptions& options, RunContext ctx) {
   if (dfs == nullptr || query == nullptr) {
     return Status::InvalidArgument("RunQuery needs a dfs and a query");
   }
@@ -535,7 +556,7 @@ Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
   }
   RDFMR_ASSIGN_OR_RETURN(
       Execution exec,
-      RunCompiledQuery(dfs, plan, query->name(), effective));
+      RunCompiledQuery(dfs, plan, query->name(), effective, ctx));
   exec.stats.degraded_from = preflight.degraded_from;
   exec.stats.preflight = preflight.note;
   return exec;
@@ -571,7 +592,8 @@ Result<NtgaBatchPlan> CompileBatchPlanTemplate(
 
 Result<BatchExecution> RunCompiledBatch(SimDfs* dfs,
                                         const NtgaBatchPlan& plan_template,
-                                        const EngineOptions& options) {
+                                        const EngineOptions& options,
+                                        RunContext ctx) {
   if (dfs == nullptr) {
     return Status::InvalidArgument("RunCompiledBatch needs a dfs");
   }
@@ -584,9 +606,21 @@ Result<BatchExecution> RunCompiledBatch(SimDfs* dfs,
   workflow.intermediate_paths.clear();
   workflow.final_output_path.clear();
   workflow.cleanup_demuxed_on_failure = false;  // tmp_prefix scrub below
-  WorkflowResult result = RunWorkflow(dfs, workflow, options.cost,
-                                      options.num_threads,
-                                      options.max_attempts);
+  ScopedSpan query_span(ctx, "query");
+  query_span.Attr("engine", EngineKindToString(options.kind));
+  query_span.Attr("query", StringFormat("batch-of-%zu", num_queries));
+  query_span.Attr("planned_cycles", static_cast<uint64_t>(planned_cycles));
+  WorkflowRunOptions wf_options;
+  wf_options.cost = options.cost;
+  wf_options.runtime = EffectiveRuntime(options);
+  wf_options.ctx = query_span.context();
+  WorkflowResult result = RunWorkflow(dfs, workflow, wf_options);
+  query_span.Attr("mr_cycles",
+                  static_cast<uint64_t>(result.num_mr_cycles()));
+  query_span.Attr("status", result.status.ok()
+                                ? std::string("ok")
+                                : result.status.ToString());
+  query_span.Close();
 
   // Observation below must not consume fault-plan draws (see ExecutePlan).
   SimDfs::ScopedFaultSuspension suspend_faults(dfs);
@@ -648,7 +682,7 @@ Result<BatchExecution> RunCompiledBatch(SimDfs* dfs,
 Result<BatchExecution> RunQueryBatch(
     SimDfs* dfs, const std::string& base_path,
     const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
-    const EngineOptions& options) {
+    const EngineOptions& options, RunContext ctx) {
   if (dfs == nullptr) {
     return Status::InvalidArgument("RunQueryBatch needs a dfs");
   }
@@ -658,15 +692,16 @@ Result<BatchExecution> RunQueryBatch(
   RDFMR_ASSIGN_OR_RETURN(
       NtgaBatchPlan plan,
       CompileBatchPlanTemplate(queries, base_path, options));
-  return RunCompiledBatch(dfs, plan, options);
+  return RunCompiledBatch(dfs, plan, options, ctx);
 }
 
 Result<Execution> RunUnionQuery(
     SimDfs* dfs, const std::string& base_path,
     const std::vector<std::shared_ptr<const GraphPatternQuery>>& branches,
-    const EngineOptions& options) {
-  RDFMR_ASSIGN_OR_RETURN(BatchExecution batch,
-                         RunQueryBatch(dfs, base_path, branches, options));
+    const EngineOptions& options, RunContext ctx) {
+  RDFMR_ASSIGN_OR_RETURN(
+      BatchExecution batch,
+      RunQueryBatch(dfs, base_path, branches, options, ctx));
   Execution exec;
   exec.stats = std::move(batch.stats);
   exec.stats.query = StringFormat("union-of-%zu", branches.size());
@@ -679,7 +714,8 @@ Result<Execution> RunUnionQuery(
 Result<Execution> RunAggregateQuery(
     SimDfs* dfs, const std::string& base_path,
     std::shared_ptr<const GraphPatternQuery> query,
-    const AggregateSpec& spec, const EngineOptions& options) {
+    const AggregateSpec& spec, const EngineOptions& options,
+    RunContext ctx) {
   if (dfs == nullptr || query == nullptr) {
     return Status::InvalidArgument(
         "RunAggregateQuery needs a dfs and a query");
@@ -705,7 +741,8 @@ Result<Execution> RunAggregateQuery(
   }
   RDFMR_ASSIGN_OR_RETURN(
       Execution exec,
-      RunCompiledQuery(dfs, plan, query->name() + "+count", effective));
+      RunCompiledQuery(dfs, plan, query->name() + "+count", effective,
+                       ctx));
   exec.stats.degraded_from = preflight.degraded_from;
   exec.stats.preflight = preflight.note;
   return exec;

@@ -67,15 +67,19 @@ struct EngineOptions {
   /// cycle of RunAggregateQuery; off exposes the raw shuffle volume for
   /// ablation.
   bool aggregation_combiner = true;
-  /// Host-side execution parallelism of the MR runtime (concurrent map
-  /// tasks / reducer partitions); 0 defers to ClusterConfig::num_threads.
+  /// Host-side runtime knobs (thread count, retry budget), resolved via
+  /// the RuntimeOptions precedence rule: CLI flag > RDFMR_THREADS /
+  /// RDFMR_MAX_ATTEMPTS env > this struct > ClusterConfig default.
   /// Outputs and all byte/record metrics are byte-identical for any
-  /// value — only real wall time changes.
+  /// thread count — only real wall time changes; max_attempts affects
+  /// retry accounting only (recovered runs stay byte-identical to
+  /// fault-free runs everywhere else).
+  RuntimeOptions runtime;
+  /// Deprecated alias for runtime.num_threads (used only when the
+  /// runtime field is unset); kept so pre-RuntimeOptions callers compile.
   uint32_t num_threads = 0;
-  /// Maximum attempts per DFS task operation for transient (injected)
-  /// failures; 0 defers to ClusterConfig::max_task_attempts, 1 disables
-  /// retry. Recovered runs stay byte-identical to fault-free runs on
-  /// every deterministic metric except the retry accounting itself.
+  /// Deprecated alias for runtime.max_attempts (used only when the
+  /// runtime field is unset).
   uint32_t max_attempts = 0;
   /// Disk-pressure preflight policy (see DiskPressurePolicy). Applies to
   /// RunQuery/RunAggregateQuery, where the advisor's projection is
@@ -84,6 +88,12 @@ struct EngineOptions {
   /// Cost model for the modeled execution time.
   CostModelConfig cost;
 };
+
+/// \brief Folds the deprecated EngineOptions aliases into the runtime
+/// field: a nonzero legacy `num_threads` / `max_attempts` fills the
+/// corresponding unset RuntimeOptions field. Shared by the engine, the
+/// service's cache fingerprinting, and the CLI.
+RuntimeOptions EffectiveRuntime(const EngineOptions& options);
 
 /// \brief Everything the paper's figures report about one execution.
 struct ExecStats {
@@ -158,7 +168,8 @@ struct Execution {
 /// engine failures the paper plots.
 Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
                            std::shared_ptr<const GraphPatternQuery> query,
-                           const EngineOptions& options);
+                           const EngineOptions& options,
+                           RunContext ctx = RunContext());
 
 /// \brief Runs `query` with a COUNT/GROUP BY/HAVING constraint appended as
 /// one extra MR cycle (the paper's "unbound-property queries with
@@ -173,7 +184,8 @@ Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
 Result<Execution> RunAggregateQuery(
     SimDfs* dfs, const std::string& base_path,
     std::shared_ptr<const GraphPatternQuery> query,
-    const AggregateSpec& spec, const EngineOptions& options);
+    const AggregateSpec& spec, const EngineOptions& options,
+    RunContext ctx = RunContext());
 
 /// \brief A multi-query batch execution: one set of shared-workflow stats
 /// plus each query's answers.
@@ -190,7 +202,7 @@ struct BatchExecution {
 Result<BatchExecution> RunQueryBatch(
     SimDfs* dfs, const std::string& base_path,
     const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
-    const EngineOptions& options);
+    const EngineOptions& options, RunContext ctx = RunContext());
 
 /// \brief Evaluates a UNION of conjunctive queries — the shape produced by
 /// rewriting ontological queries (Section 1: such rewritings are a major
@@ -199,7 +211,7 @@ Result<BatchExecution> RunQueryBatch(
 Result<Execution> RunUnionQuery(
     SimDfs* dfs, const std::string& base_path,
     const std::vector<std::shared_ptr<const GraphPatternQuery>>& branches,
-    const EngineOptions& options);
+    const EngineOptions& options, RunContext ctx = RunContext());
 
 /// \brief Computes the redundancy factor of serialized flat tuples: bytes
 /// in excess of one copy of each distinct triple per subject, divided by
@@ -242,7 +254,8 @@ Result<CompiledPlan> CompileQueryPlanTemplate(
 /// base surfaces as a measured in-workflow failure, not an error Result.
 Result<Execution> RunCompiledQuery(SimDfs* dfs, const CompiledPlan& plan,
                                    const std::string& query_name,
-                                   const EngineOptions& options);
+                                   const EngineOptions& options,
+                                   RunContext ctx = RunContext());
 
 /// \brief Batch analogue of CompileQueryPlanTemplate (NTGA engines only —
 /// see RunQueryBatch for why relational engines are rejected).
@@ -253,7 +266,8 @@ Result<NtgaBatchPlan> CompileBatchPlanTemplate(
 /// \brief Batch analogue of RunCompiledQuery.
 Result<BatchExecution> RunCompiledBatch(SimDfs* dfs,
                                         const NtgaBatchPlan& plan,
-                                        const EngineOptions& options);
+                                        const EngineOptions& options,
+                                        RunContext ctx = RunContext());
 
 }  // namespace rdfmr
 

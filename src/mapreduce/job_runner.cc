@@ -171,23 +171,53 @@ void RunMapTask(const JobSpec& spec, const MapTask& task,
   }
 }
 
+// Synthesizes operator spans beneath a phase span from `op.`-prefixed
+// counters (key convention `op.<operator>.<field>`). Counters merge
+// deterministically at phase barriers, so the resulting span structure is
+// byte-identical across thread counts; Counters is a sorted map, so the
+// operator order is fixed too.
+void AddOperatorSpans(const RunContext& phase_ctx, const Counters& counters) {
+  std::map<std::string, std::vector<std::pair<std::string, uint64_t>>> ops;
+  for (const auto& [key, value] : counters) {
+    if (key.rfind("op.", 0) != 0) continue;
+    size_t dot = key.find('.', 3);
+    if (dot == std::string::npos) continue;
+    ops[key.substr(3, dot - 3)].emplace_back(key.substr(dot + 1), value);
+  }
+  for (const auto& [op, fields] : ops) {
+    ScopedSpan span(phase_ctx, op);
+    for (const auto& [field, value] : fields) span.Attr(field, value);
+  }
+}
+
 }  // namespace
 
-Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
-                          ThreadPool* pool, uint32_t max_attempts,
-                          JobMetrics* failed_job_metrics) {
+JobRunResult RunJob(SimDfs* dfs, const JobSpec& spec,
+                    const JobRunOptions& options) {
   RDFMR_CHECK(dfs != nullptr);
+  JobRunResult run;
+  JobMetrics& metrics = run.metrics;
   if (spec.inputs.empty()) {
-    return Status::InvalidArgument("job '" + spec.name + "' has no inputs");
+    run.status =
+        Status::InvalidArgument("job '" + spec.name + "' has no inputs");
+    return run;
   }
   if (spec.output_path.empty()) {
-    return Status::InvalidArgument("job '" + spec.name + "' has no output");
+    run.status =
+        Status::InvalidArgument("job '" + spec.name + "' has no output");
+    return run;
   }
+  ThreadPool* pool = options.pool;
+  uint32_t max_attempts = options.max_attempts;
   if (max_attempts == 0) max_attempts = dfs->config().max_task_attempts;
   if (max_attempts == 0) max_attempts = 1;
   const double backoff_base = dfs->config().retry_backoff_seconds;
 
-  JobMetrics metrics;
+  ScopedSpan job_span(options.ctx, "job");
+  job_span.Attr("job", spec.name);
+  const RunContext job_ctx = job_span.context();
+  const bool tracing = job_span.enabled();
+
   metrics.job_name = spec.name;
   metrics.full_scans_of_base = spec.full_scans_of_base;
 
@@ -202,6 +232,7 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
   // per-block map tasks; a line belongs to the block holding its first
   // byte, as a Hadoop input split would.
   auto map_start = std::chrono::steady_clock::now();
+  ScopedSpan map_span(job_ctx, "map");
   const uint64_t block_size = dfs->config().block_size;
   std::vector<std::vector<std::string>> input_lines(spec.inputs.size());
   std::vector<MapTask> tasks;
@@ -210,12 +241,17 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
     auto lines = ReadWithRetry(dfs, input.path, max_attempts, backoff_base,
                                &metrics);
     if (!lines.ok()) {
-      if (failed_job_metrics != nullptr) *failed_job_metrics = metrics;
-      return lines.status().WithContext("job '" + spec.name + "' input");
+      run.status =
+          lines.status().WithContext("job '" + spec.name + "' input");
+      return run;
     }
     metrics.input_records += lines->size();
-    RDFMR_ASSIGN_OR_RETURN(uint64_t in_bytes, dfs->FileSize(input.path));
-    metrics.input_bytes += in_bytes;
+    auto in_bytes = dfs->FileSize(input.path);
+    if (!in_bytes.ok()) {
+      run.status = in_bytes.status();
+      return run;
+    }
+    metrics.input_bytes += *in_bytes;
     input_lines[in] = lines.MoveValueUnsafe();
 
     uint64_t offset = 0;
@@ -241,11 +277,26 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
                &task_outputs[t]);
   });
 
+  if (tracing) {
+    map_span.Attr("tasks", static_cast<uint64_t>(tasks.size()));
+    map_span.Attr("input_records", metrics.input_records);
+    map_span.Attr("input_bytes", metrics.input_bytes);
+    // Operator spans from the map tasks' deterministic counters (extra
+    // tracing-only pass; job counters merge unchanged below).
+    Counters map_phase_counters;
+    for (const MapTaskOutput& out : task_outputs) {
+      MergeCounters(&map_phase_counters, out.counters);
+    }
+    AddOperatorSpans(map_span.context(), map_phase_counters);
+  }
+  map_span.Close();
+
   // Barrier reached: merge the per-task buffers in (input, block) order —
   // the exact emission order of a sequential run — assigning shuffle
   // sequence numbers and metering the shuffle volume. Map-only emissions
   // go straight to the output buffer and are metered separately (they
   // never cross a shuffle).
+  ScopedSpan shuffle_span(job_ctx, "shuffle");
   std::vector<std::vector<ShuffleRecord>> partitions(
       map_only ? 1 : static_cast<size_t>(num_reducers));
   std::vector<std::string> map_only_output;
@@ -270,6 +321,17 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
   input_lines.clear();
   task_outputs.clear();
   metrics.map_seconds = SecondsSince(map_start);
+  if (tracing) {
+    if (map_only) {
+      shuffle_span.Attr("direct_records", metrics.map_direct_output_records);
+      shuffle_span.Attr("direct_bytes", metrics.map_direct_output_bytes);
+    } else {
+      shuffle_span.Attr("partitions", static_cast<uint64_t>(num_reducers));
+      shuffle_span.Attr("shuffle_records", metrics.map_output_records);
+      shuffle_span.Attr("shuffle_bytes", metrics.map_output_bytes);
+    }
+  }
+  shuffle_span.Close();
 
   // ---- Shuffle + reduce phase -------------------------------------------
   std::vector<std::string> output;
@@ -278,6 +340,8 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
   } else {
     // Per-partition stable sort, all partitions concurrently.
     auto sort_start = std::chrono::steady_clock::now();
+    ScopedSpan sort_span(job_ctx, "sort");
+    sort_span.Attr("partitions", static_cast<uint64_t>(num_reducers));
     ForEachTask(pool, partitions.size(), [&](size_t p) {
       std::vector<ShuffleRecord>& part = partitions[p];
       // Secondary sort: by key, ties broken by emission order (stable).
@@ -287,12 +351,14 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
                   return a.seq < b.seq;
                 });
     });
+    sort_span.Close();
     metrics.shuffle_sort_seconds = SecondsSince(sort_start);
 
     // Per-partition reduce with private output buffers and counters,
     // merged in partition order behind the barrier — the sequential
     // partition-loop order.
     auto reduce_start = std::chrono::steady_clock::now();
+    ScopedSpan reduce_span(job_ctx, "reduce");
     std::vector<ReduceTaskOutput> reduce_outputs(partitions.size());
     ForEachTask(pool, partitions.size(), [&](size_t p) {
       std::vector<ShuffleRecord>& part = partitions[p];
@@ -315,31 +381,44 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
       part.clear();
       part.shrink_to_fit();
     });
+    Counters reduce_phase_counters;
     for (ReduceTaskOutput& out : reduce_outputs) {
       metrics.reduce_input_groups += out.groups;
       for (std::string& record : out.records) {
         output.push_back(std::move(record));
       }
       MergeCounters(&metrics.counters, out.counters);
+      if (tracing) MergeCounters(&reduce_phase_counters, out.counters);
     }
+    if (tracing) {
+      reduce_span.Attr("groups", metrics.reduce_input_groups);
+      AddOperatorSpans(reduce_span.context(), reduce_phase_counters);
+    }
+    reduce_span.Close();
     metrics.reduce_seconds = SecondsSince(reduce_start);
   }
 
   // ---- Output materialization --------------------------------------------
+  ScopedSpan write_span(job_ctx, "write");
   metrics.output_records = output.size();
   for (const std::string& line : output) {
     metrics.output_bytes += line.size() + 1;
   }
   metrics.output_bytes_replicated =
       metrics.output_bytes * dfs->config().replication;
+  if (tracing) {
+    write_span.Attr("output_records", metrics.output_records);
+    write_span.Attr("output_bytes", metrics.output_bytes);
+    write_span.Attr("replicated_bytes", metrics.output_bytes_replicated);
+  }
 
   if (spec.demux == nullptr) {
     Status st = WriteWithRetry(dfs, spec.output_path, std::move(output),
                                metrics.output_bytes, max_attempts,
                                backoff_base, &metrics);
     if (!st.ok()) {
-      if (failed_job_metrics != nullptr) *failed_job_metrics = metrics;
-      return st.WithContext("job '" + spec.name + "' output");
+      run.status = st.WithContext("job '" + spec.name + "' output");
+      return run;
     }
   } else {
     // MultipleOutputs: route records to per-suffix files (stable order).
@@ -347,6 +426,7 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
     for (std::string& line : output) {
       demuxed[spec.demux(line)].push_back(std::move(line));
     }
+    write_span.Attr("demuxed_files", static_cast<uint64_t>(demuxed.size()));
     for (auto& [suffix, lines] : demuxed) {
       uint64_t suffix_bytes = 0;
       for (const std::string& line : lines) suffix_bytes += line.size() + 1;
@@ -354,8 +434,8 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
                                  std::move(lines), suffix_bytes,
                                  max_attempts, backoff_base, &metrics);
       if (!st.ok()) {
-        if (failed_job_metrics != nullptr) *failed_job_metrics = metrics;
-        return st.WithContext("job '" + spec.name + "' output");
+        run.status = st.WithContext("job '" + spec.name + "' output");
+        return run;
       }
     }
     for (const std::string& path : spec.ensure_outputs) {
@@ -363,13 +443,27 @@ Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
         Status st = WriteWithRetry(dfs, path, {}, 0, max_attempts,
                                    backoff_base, &metrics);
         if (!st.ok()) {
-          if (failed_job_metrics != nullptr) *failed_job_metrics = metrics;
-          return st.WithContext("job '" + spec.name + "' output");
+          run.status = st.WithContext("job '" + spec.name + "' output");
+          return run;
         }
       }
     }
   }
-  return metrics;
+  return run;
+}
+
+Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
+                          ThreadPool* pool, uint32_t max_attempts,
+                          JobMetrics* failed_job_metrics) {
+  JobRunOptions options;
+  options.pool = pool;
+  options.max_attempts = max_attempts;
+  JobRunResult run = RunJob(dfs, spec, options);
+  if (!run.ok()) {
+    if (failed_job_metrics != nullptr) *failed_job_metrics = run.metrics;
+    return std::move(run.status);
+  }
+  return std::move(run.metrics);
 }
 
 void JobMetrics::Accumulate(const JobMetrics& other) {

@@ -5,42 +5,75 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "dfs/sim_dfs.h"
 #include "mapreduce/job.h"
 
 namespace rdfmr {
+
+/// \brief Execution knobs + observability sink for one job run.
+struct JobRunOptions {
+  /// Runs map tasks / reducer partitions concurrently when non-null (the
+  /// runtime guarantees byte-identical output and metrics either way).
+  ThreadPool* pool = nullptr;
+
+  /// Total attempts per DFS task operation for transient failures; 0
+  /// defers to ClusterConfig::max_task_attempts, 1 disables retry.
+  uint32_t max_attempts = 0;
+
+  /// Span sink: when enabled, the runner opens a "job" span with
+  /// map/shuffle/sort/reduce/write phase children (operator spans are
+  /// synthesized beneath map/reduce from `op.`-prefixed counters). The
+  /// default disabled context costs one pointer compare per phase.
+  RunContext ctx;
+};
+
+/// \brief Outcome of RunJob: status plus metrics that are *always*
+/// populated — complete on success, partial on failure (in particular the
+/// retry accounting of an exhausted op, which workflow totals must keep).
+/// This replaces the former `failed_job_metrics` out-param.
+struct JobRunResult {
+  Status status;
+  JobMetrics metrics;
+
+  bool ok() const { return status.ok(); }
+};
 
 /// \brief Runs `spec` to completion on `dfs`.
 ///
 /// Phases: scan inputs (metered reads) -> map -> hash-partition by
 /// Fnv1a64(key) % R -> per-partition stable sort by key -> reduce ->
 /// write output (can fail with kOutOfSpace, which is how the paper's
-/// failed executions arise). On success returns the job's metrics.
+/// failed executions arise).
 ///
-/// When `pool` is non-null, the map phase is decomposed into one task per
-/// HDFS block of each input (the same granularity SimDfs::BlockCount
-/// reports) and tasks run concurrently, each with a private emit buffer
-/// and counter map; buffers are merged in (input, block) order behind a
-/// barrier. The shuffle's per-partition sort and the per-partition reduce
-/// likewise run concurrently across reducer partitions and merge in
-/// partition order. Output and every metric except the wall-clock
-/// *_seconds fields are therefore byte-identical to the sequential run
-/// (`pool == nullptr` or a 1-thread pool).
+/// When `options.pool` is non-null, the map phase is decomposed into one
+/// task per HDFS block of each input (the same granularity
+/// SimDfs::BlockCount reports) and tasks run concurrently, each with a
+/// private emit buffer and counter map; buffers are merged in (input,
+/// block) order behind a barrier. The shuffle's per-partition sort and the
+/// per-partition reduce likewise run concurrently across reducer
+/// partitions and merge in partition order. Output and every metric
+/// except the wall-clock *_seconds fields are therefore byte-identical to
+/// the sequential run. The same discipline covers spans: they are opened
+/// only on the calling thread, so span structure and non-time attributes
+/// are byte-identical across thread counts.
 ///
 /// Fault tolerance: transient DFS failures (kIoError, kUnavailable — the
-/// kinds a FaultPlan injects) are re-attempted up to `max_attempts` total
-/// attempts per read/write, Hadoop-attempt style; 0 defers to
-/// `ClusterConfig::max_task_attempts`. Retries are accounted in the
-/// metrics' task_attempts / tasks_retried / wasted_bytes /
-/// retry_backoff_seconds and never perturb any other metric, so a
-/// recovered run is byte-identical to a fault-free run everywhere else.
-/// kOutOfSpace and semantic errors are never retried. Output writes are
-/// only re-attempted while a FaultPlan is installed (the legacy one-shot
-/// InjectWriteFailureAfter hook models an unrecoverable crash).
-///
-/// On failure the job's partial metrics — in particular the retry
-/// accounting of the exhausted op — are copied into `failed_job_metrics`
-/// when non-null, so retry exhaustion stays observable in workflow totals.
+/// kinds a FaultPlan injects) are re-attempted up to
+/// `options.max_attempts` total attempts per read/write, Hadoop-attempt
+/// style. Retries are accounted in the metrics' task_attempts /
+/// tasks_retried / wasted_bytes / retry_backoff_seconds and never perturb
+/// any other metric, so a recovered run is byte-identical to a fault-free
+/// run everywhere else. kOutOfSpace and semantic errors are never
+/// retried. Output writes are only re-attempted while a FaultPlan is
+/// installed (the legacy one-shot InjectWriteFailureAfter hook models an
+/// unrecoverable crash).
+JobRunResult RunJob(SimDfs* dfs, const JobSpec& spec,
+                    const JobRunOptions& options);
+
+/// \brief Deprecated alias for the pre-RunContext signature; forwards to
+/// the JobRunOptions overload and copies partial metrics into
+/// `failed_job_metrics` on failure. Prefer the overload above.
 Result<JobMetrics> RunJob(SimDfs* dfs, const JobSpec& spec,
                           ThreadPool* pool = nullptr,
                           uint32_t max_attempts = 0,

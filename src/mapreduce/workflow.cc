@@ -37,14 +37,16 @@ std::string DescribeWorkflow(const WorkflowSpec& spec) {
 }
 
 WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
-                           const CostModelConfig& cost,
-                           uint32_t num_threads, uint32_t max_attempts) {
+                           const WorkflowRunOptions& options) {
   WorkflowResult result;
   result.peak_dfs_used_bytes = dfs->UsedBytes();
 
   // One pool for the whole workflow; with <= 1 thread no workers are
   // spawned and every job runs inline on this thread.
-  if (num_threads == 0) num_threads = dfs->config().num_threads;
+  uint32_t num_threads =
+      ResolveNumThreads(options.runtime, dfs->config().num_threads);
+  uint32_t max_attempts =
+      ResolveMaxAttempts(options.runtime, dfs->config().max_task_attempts);
   std::unique_ptr<ThreadPool> pool;
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
 
@@ -53,31 +55,36 @@ WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
     RDFMR_LOG(Info) << "workflow '" << spec.name << "': running job "
                     << (i + 1) << "/" << spec.jobs.size() << " '" << job.name
                     << "'";
-    JobMetrics failed_metrics;
-    Result<JobMetrics> metrics =
-        RunJob(dfs, job, pool.get(), max_attempts, &failed_metrics);
-    if (!metrics.ok()) {
+    ScopedSpan cycle_span(options.ctx, "mr_cycle");
+    cycle_span.Attr("cycle", static_cast<uint64_t>(i + 1));
+    cycle_span.Attr("job", job.name);
+    JobRunOptions job_options;
+    job_options.pool = pool.get();
+    job_options.max_attempts = max_attempts;
+    job_options.ctx = cycle_span.context();
+    JobRunResult run = RunJob(dfs, job, job_options);
+    if (!run.ok()) {
       result.status =
-          metrics.status().WithContext("workflow '" + spec.name + "'");
+          run.status.WithContext("workflow '" + spec.name + "'");
       result.failed_job_index = static_cast<int>(i);
       // The failed job's retry accounting (attempts burned before
       // exhaustion) must stay visible in the totals; its other metrics are
       // partial and are deliberately dropped.
-      result.totals.task_attempts += failed_metrics.task_attempts;
-      result.totals.tasks_retried += failed_metrics.tasks_retried;
-      result.totals.wasted_bytes += failed_metrics.wasted_bytes;
+      result.totals.task_attempts += run.metrics.task_attempts;
+      result.totals.tasks_retried += run.metrics.tasks_retried;
+      result.totals.wasted_bytes += run.metrics.wasted_bytes;
       result.totals.retry_backoff_seconds +=
-          failed_metrics.retry_backoff_seconds;
+          run.metrics.retry_backoff_seconds;
       break;
     }
-    result.job_metrics.push_back(metrics.MoveValueUnsafe());
+    result.job_metrics.push_back(std::move(run.metrics));
     result.totals.Accumulate(result.job_metrics.back());
     result.peak_dfs_used_bytes =
         std::max(result.peak_dfs_used_bytes, dfs->UsedBytes());
   }
 
   result.modeled_seconds =
-      ModelWorkflowSeconds(result.job_metrics, dfs->config(), cost);
+      ModelWorkflowSeconds(result.job_metrics, dfs->config(), options.cost);
 
   // Clean up intermediates (and any partial final output on failure) so the
   // DFS can be reused by the next engine under test.
@@ -116,6 +123,16 @@ WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
     }
   }
   return result;
+}
+
+WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
+                           const CostModelConfig& cost,
+                           uint32_t num_threads, uint32_t max_attempts) {
+  WorkflowRunOptions options;
+  options.cost = cost;
+  options.runtime.num_threads = num_threads;
+  options.runtime.max_attempts = max_attempts;
+  return RunWorkflow(dfs, spec, options);
 }
 
 }  // namespace rdfmr

@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/runtime_options.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "dfs/sim_dfs.h"
 #include "mapreduce/cost_model.h"
 #include "mapreduce/job.h"
@@ -56,6 +58,21 @@ struct WorkflowResult {
 /// --plan` and plan tests).
 std::string DescribeWorkflow(const WorkflowSpec& spec);
 
+/// \brief Execution knobs + observability sink for one workflow run.
+struct WorkflowRunOptions {
+  CostModelConfig cost;
+
+  /// Host-side parallelism and retry budget, resolved against the
+  /// cluster config via the RuntimeOptions precedence rule (CLI flag >
+  /// RDFMR_THREADS / RDFMR_MAX_ATTEMPTS env > option > config default).
+  RuntimeOptions runtime;
+
+  /// Span sink: when enabled, every job runs under an "mr_cycle" span
+  /// (attrs: cycle ordinal, job name) whose child is the runner's "job"
+  /// span tree. Disabled (default) costs one branch per job.
+  RunContext ctx;
+};
+
 /// \brief Runs every job in order; stops at the first failure.
 ///
 /// Intermediate paths are removed afterwards in both the success and the
@@ -63,16 +80,21 @@ std::string DescribeWorkflow(const WorkflowSpec& spec);
 /// next engine in a benchmark), but the recorded peak usage reflects the
 /// accumulation while the workflow ran.
 ///
-/// `num_threads` selects the host-side execution parallelism of every
-/// job's map and reduce phases; 0 defers to the cluster's
-/// `ClusterConfig::num_threads`. Any value yields byte-identical outputs
-/// and metrics (only the *_seconds wall times differ) — see RunJob.
+/// `options.runtime.num_threads` selects the host-side execution
+/// parallelism of every job's map and reduce phases. Any value yields
+/// byte-identical outputs, metrics, and span structure (only wall times
+/// differ) — see RunJob.
 ///
-/// `max_attempts` bounds the per-op attempt count for transient DFS
-/// failures in every job (0 defers to `ClusterConfig::max_task_attempts`);
-/// retry accounting lands in the job metrics and totals. Whenever the
-/// workflow succeeds, its outputs and every non-retry, non-wall-time
-/// metric are byte-identical to a fault-free run.
+/// `options.runtime.max_attempts` bounds the per-op attempt count for
+/// transient DFS failures in every job; retry accounting lands in the job
+/// metrics and totals (a failed job's retry accounting is folded into the
+/// totals too). Whenever the workflow succeeds, its outputs and every
+/// non-retry, non-wall-time metric are byte-identical to a fault-free run.
+WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
+                           const WorkflowRunOptions& options);
+
+/// \brief Deprecated alias for the pre-RunContext signature; forwards to
+/// the WorkflowRunOptions overload. Prefer the overload above.
 WorkflowResult RunWorkflow(SimDfs* dfs, const WorkflowSpec& spec,
                            const CostModelConfig& cost = CostModelConfig{},
                            uint32_t num_threads = 0,

@@ -69,13 +69,20 @@ ReduceFn MakeGroupReducer(QueryPtr query, NtgaLogicalPlan plan) {
     bool matched_any = false;
     for (size_t s = 0; s < query->stars().size(); ++s) {
       const StarPattern& star = query->stars()[s];
+      const bool unbound = star.HasUnbound();
+      (*counters)[unbound ? "op.sigma_beta_gamma.input_groups"
+                          : "op.sigma_gamma.input_groups"] += 1;
       std::optional<AnnTg> tg =
           BuildAnnTg(star, static_cast<uint32_t>(s), key, pairs);
       if (!tg.has_value()) continue;
+      (*counters)[unbound ? "op.sigma_beta_gamma.output_groups"
+                          : "op.sigma_gamma.output_groups"] += 1;
       matched_any = true;
       if (plan.eager_unnest[s]) {
         std::vector<AnnTg> unnested = BetaUnnest(star, *tg);
         (*counters)["eager_unnest_tgs"] += unnested.size();
+        (*counters)["op.mu_beta.calls"] += 1;
+        (*counters)["op.mu_beta.output_groups"] += unnested.size();
         for (const AnnTg& out : unnested) emit(out.Serialize());
       } else {
         tg->Compact(star);
@@ -148,6 +155,8 @@ MapFn MakeJoinSideMapper(StarPattern star, JoinSidePlan side,
       auto partitions = PartialBetaUnnest(
           star, *comp, static_cast<size_t>(side.site_tp), m);
       (*counters)["partial_unnest_tgs"] += partitions.size();
+      (*counters)["op.mu_beta_phi.calls"] += 1;
+      (*counters)["op.mu_beta_phi.output_groups"] += partitions.size();
       for (auto& [partition, restricted] : partitions) {
         JoinedTg out =
             ReplaceComponent(*jtg, side.site_star, std::move(restricted));
@@ -162,6 +171,8 @@ MapFn MakeJoinSideMapper(StarPattern star, JoinSidePlan side,
         JoinValueExpansions(star, side, *jtg);
     if (side.site_unbound) {
       (*counters)["map_beta_unnest_tgs"] += expansions.size();
+      (*counters)["op.mu_beta.calls"] += 1;
+      (*counters)["op.mu_beta.output_groups"] += expansions.size();
     }
     if (!partial) {
       for (auto& [value, out] : expansions) {
@@ -209,12 +220,14 @@ ReduceFn MakePlainJoinReducer() {
       }
       (parts[0] == "L" ? lefts : rights).push_back(jtg.MoveValueUnsafe());
     }
+    (*counters)["op.tg_join.input_groups"] += lefts.size() + rights.size();
     for (const JoinedTg& l : lefts) {
       for (const JoinedTg& r : rights) {
         JoinedTg joined = l;
         joined.components.insert(joined.components.end(),
                                  r.components.begin(), r.components.end());
         (*counters)["joined_tgs"] += 1;
+        (*counters)["op.tg_join.output_groups"] += 1;
         emit(joined.Serialize());
       }
     }
@@ -257,6 +270,7 @@ ReduceFn MakePartialJoinReducer(StarPattern left_star, JoinSidePlan left,
           joined.components.insert(joined.components.end(),
                                    r.components.begin(), r.components.end());
           (*counters)["joined_tgs"] += 1;
+          (*counters)["op.tg_join.output_groups"] += 1;
           emit(joined.Serialize());
         }
       }
@@ -395,12 +409,20 @@ Result<NtgaBatchPlan> CompileSharedNtgaPlan(
     for (size_t q = 0; q < queries.size(); ++q) {
       for (size_t s = 0; s < queries[q]->stars().size(); ++s) {
         const StarPattern& star = queries[q]->stars()[s];
+        const bool unbound = star.HasUnbound();
+        (*counters)[unbound ? "op.sigma_beta_gamma.input_groups"
+                            : "op.sigma_gamma.input_groups"] += 1;
         std::optional<AnnTg> tg = BuildAnnTg(
             star, offsets[q] + static_cast<uint32_t>(s), key, pairs);
         if (!tg.has_value()) continue;
+        (*counters)[unbound ? "op.sigma_beta_gamma.output_groups"
+                            : "op.sigma_gamma.output_groups"] += 1;
         if (plans[q].eager_unnest[s]) {
-          for (const AnnTg& unnested : BetaUnnest(star, *tg)) {
-            emit(unnested.Serialize());
+          std::vector<AnnTg> unnested = BetaUnnest(star, *tg);
+          (*counters)["op.mu_beta.calls"] += 1;
+          (*counters)["op.mu_beta.output_groups"] += unnested.size();
+          for (const AnnTg& out : unnested) {
+            emit(out.Serialize());
           }
         } else {
           tg->Compact(star);

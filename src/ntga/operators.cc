@@ -5,11 +5,37 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace rdfmr {
 
 namespace {
 std::atomic<bool> g_flip_beta_group_filter{false};
+
+// Per-operator instrumentation, resolved from the global registry only
+// when a sink enabled operator metrics: the disabled path is one relaxed
+// atomic load and no clock read. Wall times are observation-only and
+// never feed deterministic outputs or counters.
+struct OperatorProbe {
+  explicit OperatorProbe(const char* op) {
+    if (!OperatorMetricsEnabled()) return;
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    std::string base = std::string("rdfmr_ntga_") + op;
+    registry.GetCounter(base + "_calls", "operator invocations")
+        ->Increment();
+    outputs_ = registry.GetCounter(base + "_output_groups",
+                                   "triplegroups / solutions produced");
+    timer_.emplace(registry.GetHistogram(base + "_micros",
+                                         "operator wall time per call"));
+  }
+  void Outputs(uint64_t n) {
+    if (outputs_ != nullptr) outputs_->Increment(n);
+  }
+
+ private:
+  Counter* outputs_ = nullptr;
+  std::optional<ScopedTimerMicros> timer_;
+};
 }  // namespace
 
 void SetBetaGroupFilterFlipForTesting(bool enabled) {
@@ -28,6 +54,7 @@ uint32_t PhiPartition(const std::string& value, uint32_t m) {
 std::optional<AnnTg> BuildAnnTg(const StarPattern& star, uint32_t star_id,
                                 const std::string& subject,
                                 const std::vector<PropObj>& subject_pairs) {
+  OperatorProbe probe("build_anntg");
   AnnTg tg;
   tg.subject = subject;
   tg.star_id = star_id;
@@ -88,6 +115,7 @@ std::optional<AnnTg> BuildAnnTg(const StarPattern& star, uint32_t star_id,
     }
     if (!satisfied) return std::nullopt;
   }
+  probe.Outputs(1);
   return tg;
 }
 
@@ -110,6 +138,7 @@ std::vector<PropObj> UnboundCandidates(const StarPattern& star,
 
 std::vector<AnnTg> BetaUnnest(const StarPattern& star, const AnnTg& tg,
                               std::vector<size_t> tp_indexes) {
+  OperatorProbe probe("beta_unnest");
   if (tp_indexes.empty()) {
     for (size_t idx : star.UnboundIndexes()) {
       // Optional patterns stay implicit: pinning one would wrongly force a
@@ -134,11 +163,13 @@ std::vector<AnnTg> BetaUnnest(const StarPattern& star, const AnnTg& tg,
     current = std::move(next);
   }
   for (AnnTg& out : current) out.Compact(star);
+  probe.Outputs(current.size());
   return current;
 }
 
 std::vector<std::pair<uint32_t, AnnTg>> PartialBetaUnnest(
     const StarPattern& star, const AnnTg& tg, size_t tp_index, uint32_t m) {
+  OperatorProbe probe("partial_beta_unnest");
   std::map<uint32_t, std::vector<PropObj>> partitions;
   for (const PropObj& cand : UnboundCandidates(star, tg, tp_index)) {
     partitions[PhiPartition(cand.object, m)].push_back(cand);
@@ -151,6 +182,7 @@ std::vector<std::pair<uint32_t, AnnTg>> PartialBetaUnnest(
     restricted.Compact(star);
     out.emplace_back(partition, std::move(restricted));
   }
+  probe.Outputs(out.size());
   return out;
 }
 
@@ -231,6 +263,7 @@ std::vector<Solution> ExpandAnnTg(const StarPattern& star, const AnnTg& tg) {
 
 std::vector<Solution> ExpandJoinedTg(const std::vector<StarPattern>& stars,
                                      const JoinedTg& jtg) {
+  OperatorProbe probe("expand_joined_tg");
   std::vector<Solution> acc = {Solution{}};
   for (const AnnTg& component : jtg.components) {
     RDFMR_CHECK(component.star_id < stars.size())
@@ -247,6 +280,7 @@ std::vector<Solution> ExpandJoinedTg(const std::vector<StarPattern>& stars,
     acc = std::move(next);
     if (acc.empty()) break;
   }
+  probe.Outputs(acc.size());
   return acc;
 }
 

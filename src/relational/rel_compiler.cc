@@ -37,6 +37,7 @@ MapFn MakeSinglePatternMapper(QueryPtr query, size_t star, size_t tp_index) {
     const TriplePattern& tp = query->stars()[star].patterns[tp_index];
     if (MatchTriplePattern(tp, *t).has_value()) {
       (*counters)["vp_matches"] += 1;
+      (*counters)["op.vp_scan.output_records"] += 1;
       emit(t->subject, record);
     }
   };
@@ -56,6 +57,7 @@ MapFn MakeStarMapper(QueryPtr query, size_t star) {
     for (const TriplePattern& tp : query->stars()[star].patterns) {
       if (MatchTriplePattern(tp, *t).has_value()) {
         (*counters)["vp_matches"] += 1;
+        (*counters)["op.vp_scan.output_records"] += 1;
         emit(t->subject, record);
       }
     }
@@ -77,6 +79,8 @@ ReduceFn MakeStarReducer(QueryPtr query, size_t star) {
     std::vector<StarMatch> matches =
         MatchStarDetailed(query->stars()[star], triples);
     (*counters)["star_tuples"] += matches.size();
+    (*counters)["op.star_join.input_groups"] += 1;
+    (*counters)["op.star_join.output_records"] += matches.size();
     for (StarMatch& m : matches) {
       emit(RelTuple{std::move(m.matched)}.Serialize());
     }
@@ -130,6 +134,7 @@ ReduceFn MakeJoinReducer(RelSchema left_schema, RelSchema right_schema) {
       auto& side = parts[0] == "L" ? lefts : rights;
       side.emplace_back(tuple.MoveValueUnsafe(), sol.MoveValueUnsafe());
     }
+    (*counters)["op.rel_join.input_records"] += lefts.size() + rights.size();
     for (const auto& [lt, ls] : lefts) {
       for (const auto& [rt, rs] : rights) {
         Result<Solution> merged = ls.Merge(rs);
@@ -139,6 +144,7 @@ ReduceFn MakeJoinReducer(RelSchema left_schema, RelSchema right_schema) {
         joined.triples.insert(joined.triples.end(), rt.triples.begin(),
                               rt.triples.end());
         (*counters)["join_tuples"] += 1;
+        (*counters)["op.rel_join.output_records"] += 1;
         emit(joined.Serialize());
       }
     }

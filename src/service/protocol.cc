@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "datagen/testbed.h"
 #include "query/solution.h"
@@ -134,7 +135,7 @@ Result<EngineOptions> OptionsFromJson(const JsonValue& request) {
   }
   options.phi_partitions = static_cast<uint32_t>(
       request.GetUint("phi", options.phi_partitions));
-  options.num_threads =
+  options.runtime.num_threads =
       static_cast<uint32_t>(request.GetUint("threads", 0));
   return options;
 }
@@ -312,6 +313,46 @@ JsonValue HandleBatch(QueryService* query_service, const JsonValue& request) {
                            request);
 }
 
+JsonValue HandleStats(QueryService* query_service, const JsonValue& request) {
+  const std::string format = request.GetString("format", "json");
+  ServiceStatsSnapshot snapshot = query_service->Stats();
+  if (format == "prometheus") {
+    JsonValue o = OkResponse();
+    o.Set("prometheus", snapshot.ToPrometheus());
+    return o;
+  }
+  if (format != "json") {
+    return ErrorResponse(Status::InvalidArgument(
+        "stats: \"format\" must be \"json\" or \"prometheus\""));
+  }
+  auto stats = ParseJson(snapshot.ToJson());
+  JsonValue o = OkResponse();
+  o.Set("stats", stats.ok() ? *stats : JsonValue());
+  return o;
+}
+
+JsonValue HandleMetrics(QueryService* query_service,
+                        const JsonValue& request) {
+  const std::string format = request.GetString("format", "prometheus");
+  ServiceStatsSnapshot snapshot = query_service->Stats();
+  if (format == "prometheus") {
+    JsonValue o = OkResponse();
+    o.Set("prometheus", MetricsRegistry::Global().ToPrometheusText() +
+                            snapshot.ToPrometheus());
+    return o;
+  }
+  if (format != "json") {
+    return ErrorResponse(Status::InvalidArgument(
+        "metrics: \"format\" must be \"prometheus\" or \"json\""));
+  }
+  auto metrics = ParseJson(MetricsRegistry::Global().ToJson());
+  auto stats = ParseJson(snapshot.ToJson());
+  JsonValue o = OkResponse();
+  o.Set("metrics", metrics.ok() ? *metrics : JsonValue());
+  o.Set("stats", stats.ok() ? *stats : JsonValue());
+  return o;
+}
+
 }  // namespace
 
 Result<TriplePattern> PatternFromJson(const JsonValue& value) {
@@ -421,7 +462,20 @@ HandleResult HandleRequest(QueryService* query_service,
   if (!request.is_object()) {
     result.response = ErrorResponse(
         Status::InvalidArgument("request must be a JSON object"));
+    result.response.Set("v", kProtocolVersion);
     return result;
+  }
+  if (request.Has("v")) {
+    const JsonValue& version = request.Get("v");
+    if (!version.is_number() ||
+        version.AsUint() != kProtocolVersion) {
+      result.response = ErrorResponse(Status::InvalidArgument(
+          "unsupported protocol version (supported: " +
+          std::to_string(kProtocolVersion) + ")"));
+      result.response.Set("v", kProtocolVersion);
+      if (request.Has("id")) result.response.Set("id", request.Get("id"));
+      return result;
+    }
   }
   const std::string verb = request.GetString("verb");
   if (verb == "ping") {
@@ -443,17 +497,19 @@ HandleResult HandleRequest(QueryService* query_service,
   } else if (verb == "batch") {
     result.response = HandleBatch(query_service, request);
   } else if (verb == "stats") {
-    auto stats = ParseJson(query_service->Stats().ToJson());
-    result.response = OkResponse();
-    result.response.Set("stats", stats.ok() ? *stats : JsonValue());
+    result.response = HandleStats(query_service, request);
+  } else if (verb == "metrics") {
+    result.response = HandleMetrics(query_service, request);
   } else if (verb == "shutdown") {
     result.response = OkResponse();
     result.shutdown = true;
   } else {
     result.response = ErrorResponse(Status::InvalidArgument(
         "unknown verb: \"" + verb +
-        "\" (want ping|load|drop|list|query|batch|stats|shutdown)"));
+        "\" (want ping|load|drop|list|query|batch|stats|metrics|"
+        "shutdown)"));
   }
+  result.response.Set("v", kProtocolVersion);
   if (request.Has("id")) result.response.Set("id", request.Get("id"));
   return result;
 }
@@ -464,6 +520,7 @@ HandleResult HandleRequestLine(QueryService* query_service,
   if (!request.ok()) {
     HandleResult result;
     result.response = ErrorResponse(request.status());
+    result.response.Set("v", kProtocolVersion);
     return result;
   }
   return HandleRequest(query_service, *request);

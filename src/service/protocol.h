@@ -1,8 +1,12 @@
 // Newline-delimited JSON protocol of the query service.
 //
 // One request per line, one response per line. Every response is an
-// object with "ok": true|false; errors carry "error" (message) and "code"
-// (status code name); a request's "id" member, when present, is echoed.
+// object with "ok": true|false and "v" (the protocol version it speaks);
+// errors carry "error" (message) and "code" (status code name); a
+// request's "id" member, when present, is echoed. Requests may carry
+// "v": a request whose "v" is not kProtocolVersion is rejected with a
+// structured kInvalidArgument error; an absent "v" means version 1.
+// docs/PROTOCOL.md documents the full wire contract.
 //
 // Verbs (the "verb" member):
 //   ping      -> {"ok":true}
@@ -18,7 +22,13 @@
 //             "no_result_cache", "max_answers".
 //   batch     dataset + "query_ids" or "queries" (array of query objects),
 //             "mode":"batch"|"union". Same options as query.
-//   stats     -> {"ok":true,"stats":{...ServiceStats...}}
+//   stats     -> {"ok":true,"stats":{...ServiceStats...}}; with
+//             "format":"prometheus" the snapshot is returned instead as
+//             text exposition format in a "prometheus" string member.
+//   metrics   -> {"ok":true,"prometheus":...} — the process-wide
+//             MetricsRegistry plus the service snapshot, as Prometheus
+//             text; "format":"json" returns the registry as a "metrics"
+//             JSON object (plus "stats") instead.
 //   shutdown  -> {"ok":true}; the server stops after responding.
 //
 // The dispatch is a pure function of (service, request line) so tests can
@@ -27,6 +37,7 @@
 #ifndef RDFMR_SERVICE_PROTOCOL_H_
 #define RDFMR_SERVICE_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/json.h"
@@ -38,6 +49,11 @@
 
 namespace rdfmr {
 namespace service {
+
+/// \brief Version of the NDJSON wire protocol this build speaks. Stamped
+/// as "v" on every response; requests carrying a different "v" are
+/// rejected before dispatch.
+inline constexpr uint64_t kProtocolVersion = 1;
 
 /// \brief Outcome of one protocol line.
 struct HandleResult {

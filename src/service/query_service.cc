@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/json.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace rdfmr {
@@ -78,16 +79,20 @@ JsonValue HistogramJson(const Histogram& hist) {
 // ---- cache keys -------------------------------------------------------------
 
 std::string EngineOptionsFingerprint(const EngineOptions& options) {
-  // num_threads is excluded on purpose: it changes only host wall-clock
-  // fields, never answers or deterministic stats. max_attempts and the
-  // disk-pressure policy ARE included: retry accounting and preflight
-  // refusals/degradations are part of the stats a cached result replays.
+  // The thread count is excluded on purpose: it changes only host
+  // wall-clock fields, never answers or deterministic stats. The retry
+  // budget and the disk-pressure policy ARE included: retry accounting
+  // and preflight refusals/degradations are part of the stats a cached
+  // result replays. The budget is fingerprinted fully resolved (runtime
+  // field, deprecated alias, and RDFMR_MAX_ATTEMPTS env) so two requests
+  // that execute differently never share an entry.
   return StringFormat(
       "kind=%s;phi=%u;grouping=%d;decode=%d;combiner=%d;attempts=%u;"
       "pressure=%d;cost=%.17g,%.17g,%.17g,%.17g,%.17g",
       EngineKindToString(options.kind), options.phi_partitions,
       static_cast<int>(options.grouping), options.decode_answers ? 1 : 0,
-      options.aggregation_combiner ? 1 : 0, options.max_attempts,
+      options.aggregation_combiner ? 1 : 0,
+      ResolveMaxAttempts(EffectiveRuntime(options), 0),
       static_cast<int>(options.disk_pressure), options.cost.hdfs_read_mbps,
       options.cost.hdfs_write_mbps, options.cost.shuffle_mbps,
       options.cost.sort_mbps, options.cost.job_startup_seconds);
@@ -166,6 +171,87 @@ std::string ServiceStatsSnapshot::ToJson() const {
   o.Set("queue_wait_micros", HistogramJson(queue_wait_micros));
   o.Set("exec_micros", HistogramJson(exec_micros));
   return o.Dump();
+}
+
+std::string ServiceStatsSnapshot::ToPrometheus() const {
+  std::string out;
+  auto counter = [&out](const char* name, const char* help,
+                        uint64_t value) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += " counter\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  auto gauge = [&out](const char* name, const char* help, uint64_t value) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += " gauge\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  auto histogram = [&out](const char* name, const char* help,
+                          const Histogram& h) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += " histogram\n";
+    AppendPrometheusHistogram(name, h, &out);
+  };
+  counter("rdfmr_service_submitted_total", "Requests admitted or rejected.",
+          submitted);
+  counter("rdfmr_service_served_total", "Requests answered with OK status.",
+          served);
+  counter("rdfmr_service_failed_total",
+          "Infrastructure or bad-request errors.", failed);
+  counter("rdfmr_service_rejected_total", "Queue-bound rejections.",
+          rejected);
+  counter("rdfmr_service_cancelled_total", "Cancelled queued requests.",
+          cancelled);
+  counter("rdfmr_service_deadline_expired_total",
+          "Requests past their deadline.", deadline_expired);
+  counter("rdfmr_service_plan_cache_hits_total", "Plan cache hits.",
+          plan_cache_hits);
+  counter("rdfmr_service_plan_cache_misses_total", "Plan cache misses.",
+          plan_cache_misses);
+  counter("rdfmr_service_result_cache_hits_total", "Result cache hits.",
+          result_cache_hits);
+  counter("rdfmr_service_result_cache_misses_total", "Result cache misses.",
+          result_cache_misses);
+  gauge("rdfmr_service_plan_cache_entries_count",
+        "Plan templates currently cached.", plan_cache_entries);
+  gauge("rdfmr_service_result_cache_entries_count",
+        "Result sets currently cached.", result_cache_entries);
+  gauge("rdfmr_service_result_cache_bytes",
+        "Approximate bytes held by the result cache.", result_cache_bytes);
+  gauge("rdfmr_service_datasets_count", "Datasets currently registered.",
+        datasets);
+  gauge("rdfmr_service_queued_count", "Requests admitted but not running.",
+        queued);
+  gauge("rdfmr_service_running_count", "Requests currently executing.",
+        running);
+  histogram("rdfmr_service_queue_depth_count",
+            "Queue depth sampled at each admission.", queue_depth);
+  histogram("rdfmr_service_queue_wait_micros",
+            "Queue wait per executed request.", queue_wait_micros);
+  histogram("rdfmr_service_exec_micros",
+            "Execution time per executed request.", exec_micros);
+  return out;
 }
 
 // ---- service ---------------------------------------------------------------

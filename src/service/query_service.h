@@ -131,6 +131,11 @@ struct ServiceStatsSnapshot {
 
   /// \brief Canonical JSON object (sorted keys; histograms nested).
   std::string ToJson() const;
+
+  /// \brief Prometheus text exposition of the same snapshot under
+  /// `rdfmr_service_*` metric names (convention
+  /// `rdfmr_<area>_<name>_<unit>`; histograms as cumulative buckets).
+  std::string ToPrometheus() const;
 };
 
 /// \brief The service. Thread-safe; one instance serves any number of

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <fstream>
 #include <set>
 #include <sstream>
 
 #include "common/strings.h"
+#include "common/trace.h"
 #include "dfs/fault_plan.h"
 #include "query/matcher.h"
 #include "testing/invariants.h"
@@ -167,11 +169,27 @@ CaseOutcome RunCase(const FuzzCase& fuzz_case,
       options.kind = kind;
       options.phi_partitions = config.phi_partitions;
       options.num_threads = threads;
+      Trace trace;
+      RunContext run_ctx;
+      if (!config.trace_dir.empty()) run_ctx = RunContext::ForTrace(&trace);
       Result<Execution> exec =
           fuzz_case.aggregate.has_value()
               ? RunAggregateQuery(&dfs, "base", *query,
-                                  *fuzz_case.aggregate, options)
-              : RunQuery(&dfs, "base", *query, options);
+                                  *fuzz_case.aggregate, options, run_ctx)
+              : RunQuery(&dfs, "base", *query, options, run_ctx);
+      if (!config.trace_dir.empty()) {
+        const std::string path = StringFormat(
+            "%s/%s-%s-t%u.json", config.trace_dir.c_str(),
+            fuzz_case.name.c_str(), EngineKindToString(kind),
+            (unsigned)threads);
+        std::ofstream out(path);
+        if (out) {
+          out << trace.ToChromeJson();
+        } else {
+          outcome.violations.push_back(tag + "cannot write trace file: " +
+                                       path);
+        }
+      }
       if (!exec.ok()) {
         outcome.violations.push_back(tag + "infrastructure error: " +
                                      exec.status().ToString());

@@ -62,6 +62,10 @@ struct DifferentialConfig {
   /// Base fault-plan seed; each case x engine x thread cell derives its
   /// own independent stream from it.
   uint64_t fault_seed = 1;
+  /// When non-empty, every fault-free engine x thread run writes a Chrome
+  /// trace-event JSON file `<dir>/<case>-<engine>-t<threads>.json` into
+  /// this (existing) directory.
+  std::string trace_dir;
 
   DifferentialConfig();
 };

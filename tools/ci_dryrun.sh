@@ -42,10 +42,21 @@ run_fuzz() {
   "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 200 --quiet || return $?
   "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 200 --faults --quiet \
     || return $?
-  "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 50 --inject-bug --quiet
+  "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 50 --inject-bug --quiet \
+    || return $?
+  cmake --build "$build_dir" -j "$(nproc)" --target rdfmr || return $?
+  mkdir -p traces
+  "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 5 --quiet \
+    --trace-dir traces || return $?
+  "./$build_dir/tools/rdfmr" generate --family bsbm --scale 200 \
+    --out bsbm-ci.nt || return $?
+  "./$build_dir/tools/rdfmr" run --query B1 --data bsbm-ci.nt \
+    --engine lazy --trace traces/run-b1-lazy.json
 }
 
 run_format() {
+  python3 tools/metrics_lint.py src bench tools tests \
+    --prom docs/metrics-scrape.prom || return $?
   if ! command -v clang-format > /dev/null 2>&1; then
     echo "clang-format not installed; CI will still enforce formatting"
     return 77  # SKIP

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Lints rdfmr metric names against the naming convention.
+
+Convention (same rules as MetricsRegistry::IsValidMetricName in
+src/common/metrics.h):
+
+    rdfmr_<area>_<name>_<unit>
+
+where every token is lowercase [a-z0-9]+, there are at least four tokens
+(rdfmr + area + one name word + unit), and <unit> is one of the known
+unit suffixes.
+
+Two modes, combinable:
+
+    metrics_lint.py [SRC_DIR ...]
+        Scan C++ sources for "rdfmr_..." string literals and validate
+        each as a metric name. Literals ending in '_' are treated as
+        name prefixes (completed at runtime) and skipped.
+
+    metrics_lint.py --prom FILE [--prom FILE ...]
+        Validate every series name in a Prometheus text-exposition file
+        (captured scrape). Histogram series may carry a _bucket/_sum/
+        _count suffix on a valid base name.
+
+Exit 0 iff no violations. Used by CI next to clang-format.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Keep in sync with kMetricUnits in src/common/metrics.cc.
+UNITS = {
+    "total", "bytes", "seconds", "micros", "records",
+    "groups", "calls", "ratio", "count",
+}
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+TOKEN_RE = re.compile(r"^[a-z0-9]+$")
+LITERAL_RE = re.compile(r'"(rdfmr_[A-Za-z0-9_]*)"')
+SOURCE_SUFFIXES = {".cc", ".h"}
+
+
+def is_valid_metric_name(name: str) -> bool:
+    tokens = name.split("_")
+    if len(tokens) < 4 or tokens[0] != "rdfmr":
+        return False
+    if not all(TOKEN_RE.match(token) for token in tokens):
+        return False
+    return tokens[-1] in UNITS
+
+
+def is_valid_series_name(name: str) -> bool:
+    """A scrape series is a metric name, possibly a histogram sub-series."""
+    if is_valid_metric_name(name):
+        return True
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and is_valid_metric_name(
+                name[:-len(suffix)]):
+            return True
+    return False
+
+
+def lint_source_file(path: pathlib.Path) -> list:
+    violations = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [f"{path}: unreadable: {err}"]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LITERAL_RE.finditer(line):
+            literal = match.group(1)
+            if literal.endswith("_"):  # runtime-completed prefix
+                continue
+            if not is_valid_metric_name(literal):
+                violations.append(
+                    f"{path}:{lineno}: bad metric name '{literal}' "
+                    f"(want rdfmr_<area>_<name>_<unit>, unit in "
+                    f"{sorted(UNITS)})")
+    return violations
+
+
+def lint_prom_file(path: pathlib.Path) -> list:
+    violations = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        return [f"{path}: unreadable: {err}"]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series = line.split("{")[0].split()[0]
+        if not is_valid_series_name(series):
+            violations.append(
+                f"{path}:{lineno}: bad series name '{series}'")
+    return violations
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dirs", nargs="*", type=pathlib.Path,
+                        help="source directories to scan recursively")
+    parser.add_argument("--prom", action="append", default=[],
+                        type=pathlib.Path, metavar="FILE",
+                        help="Prometheus text-exposition file to validate")
+    args = parser.parse_args(argv)
+
+    violations = []
+    checked = 0
+    for root in args.dirs:
+        for path in sorted(root.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                checked += 1
+                violations.extend(lint_source_file(path))
+    for path in args.prom:
+        checked += 1
+        violations.extend(lint_prom_file(path))
+
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    print(f"metrics_lint: {checked} file(s) checked, "
+          f"{len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

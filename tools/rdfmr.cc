@@ -45,9 +45,13 @@
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "common/json.h"
+#include "common/metrics.h"
+#include "common/runtime_options.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "datagen/testbed.h"
 #include "dfs/fault_plan.h"
 #include "engine/advisor.h"
@@ -89,6 +93,11 @@ class Flags {
 
   bool ok() const { return ok_; }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::vector<std::string> Keys() const {
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : values_) keys.push_back(key);
+    return keys;
+  }
   std::string Get(const std::string& key, std::string fallback = "") const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
@@ -305,8 +314,18 @@ int CmdRun(const Flags& flags) {
   options.kind = *kind;
   options.phi_partitions =
       static_cast<uint32_t>(flags.GetInt("phi", 1024));
-  options.max_attempts =
-      static_cast<uint32_t>(flags.GetInt("max-attempts", 0));
+  // Flags passed explicitly on the command line pin the runtime values
+  // against RDFMR_THREADS / RDFMR_MAX_ATTEMPTS overrides.
+  if (flags.Has("threads")) {
+    options.runtime.num_threads =
+        static_cast<uint32_t>(flags.GetInt("threads", 1));
+    options.runtime.cli_pinned = true;
+  }
+  if (flags.Has("max-attempts")) {
+    options.runtime.max_attempts =
+        static_cast<uint32_t>(flags.GetInt("max-attempts", 0));
+    options.runtime.cli_pinned = true;
+  }
   const std::string disk_check = flags.Get("disk-check", "none");
   if (disk_check == "degrade") {
     options.disk_pressure = DiskPressurePolicy::kDegrade;
@@ -318,10 +337,28 @@ int CmdRun(const Flags& flags) {
                  disk_check.c_str());
     return 2;
   }
+  Trace trace;
+  const bool tracing = flags.Has("trace");
+  RunContext ctx;
+  if (tracing) {
+    ctx = RunContext::ForTrace(&trace);
+    EnableOperatorMetrics(true);
+  }
   auto exec = query->aggregate.has_value()
                   ? RunAggregateQuery(&dfs, "base", query->query,
-                                      *query->aggregate, options)
-                  : RunQuery(&dfs, "base", query->query, options);
+                                      *query->aggregate, options, ctx)
+                  : RunQuery(&dfs, "base", query->query, options, ctx);
+  if (tracing) {
+    const std::string path = flags.Get("trace");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace file: %s\n", path.c_str());
+      return 1;
+    }
+    out << trace.ToChromeJson();
+    std::printf("trace             : wrote %s (load in chrome://tracing)\n",
+                path.c_str());
+  }
   if (!exec.ok()) {
     std::fprintf(stderr, "%s\n", exec.status().ToString().c_str());
     return 1;
@@ -549,6 +586,32 @@ constexpr const char* kSubcommands[] = {
     "run",     "batch",    "serve", "client",
 };
 
+/// Valid flags per subcommand, for the unknown-flag diagnostic (a typo
+/// like `--thread` must not be silently ignored).
+const std::map<std::string, std::vector<const char*>>& SubcommandFlags() {
+  static const auto* flags =
+      new std::map<std::string, std::vector<const char*>>{
+          {"catalog", {}},
+          {"generate", {"family", "scale", "seed", "out"}},
+          {"stats", {"data"}},
+          {"explain", {"query", "sparql"}},
+          {"advise", {"query", "sparql", "data", "nodes"}},
+          {"run",
+           {"query", "sparql", "data", "engine", "nodes", "disk-mb", "repl",
+            "phi", "threads", "show-answers", "max-attempts", "fault-plan",
+            "disk-check", "trace"}},
+          {"batch",
+           {"queries", "data", "engine", "nodes", "disk-mb", "repl",
+            "threads"}},
+          {"serve",
+           {"socket", "nodes", "disk-mb", "repl", "threads",
+            "max-concurrent", "queue-bound", "result-cache-mb",
+            "plan-cache-entries", "deadline-ms", "dataset", "data"}},
+          {"client", {"socket", "request"}},
+      };
+  return *flags;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: rdfmr "
@@ -569,11 +632,40 @@ int UnknownSubcommand(const std::string& command) {
   return kUnknownSubcommandExit;
 }
 
+/// Mirrors UnknownSubcommand for flags: names the offending token, lists
+/// every flag the subcommand accepts, exits with the same distinct code.
+int UnknownFlag(const std::string& command, const std::string& flag,
+                const std::vector<const char*>& valid) {
+  std::fprintf(stderr, "rdfmr %s: unknown flag '--%s'\n", command.c_str(),
+               flag.c_str());
+  if (valid.empty()) {
+    std::fprintf(stderr, "%s takes no flags\n", command.c_str());
+  } else {
+    std::fprintf(stderr, "valid flags:");
+    for (const char* name : valid) std::fprintf(stderr, " --%s", name);
+    std::fprintf(stderr, "\n");
+  }
+  return kUnknownSubcommandExit;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   Flags flags(argc, argv, 2);
   if (!flags.ok()) return 2;
+  auto valid = SubcommandFlags().find(command);
+  if (valid != SubcommandFlags().end()) {
+    for (const std::string& key : flags.Keys()) {
+      bool known = false;
+      for (const char* name : valid->second) {
+        if (key == name) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) return UnknownFlag(command, key, valid->second);
+    }
+  }
   if (command == "catalog") return CmdCatalog();
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);

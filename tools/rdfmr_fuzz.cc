@@ -31,6 +31,9 @@
 //                       byte-identical result-cache replay. Exercises the
 //                       whole protocol stack: load (epoch bump per case),
 //                       query with inline patterns, caches, shutdown.
+//     --trace-dir DIR   write one Chrome trace-event JSON file per
+//                       fault-free engine x thread run into DIR
+//                       (<case>-<engine>-t<threads>.json); DIR must exist.
 
 #include <unistd.h>
 
@@ -76,6 +79,10 @@ class Flags {
 
   bool ok() const { return ok_; }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, std::string fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
   uint64_t GetInt(const std::string& key, uint64_t fallback) const {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
@@ -259,6 +266,13 @@ int FuzzMain(int argc, char** argv) {
   if (flags.Has("faults")) {
     options.diff.inject_faults = true;
     options.diff.fault_seed = options.seed;
+  }
+  if (flags.Has("trace-dir")) {
+    options.diff.trace_dir = flags.Get("trace-dir");
+    if (options.diff.trace_dir.empty()) {
+      std::fprintf(stderr, "--trace-dir needs a directory path\n");
+      return 2;
+    }
   }
   const bool inject_bug = flags.Has("inject-bug");
   std::ostream* log = flags.Has("quiet") ? nullptr : &std::cout;
