@@ -55,6 +55,41 @@ uint64_t Histogram::Percentile(double p) const {
   return max_;
 }
 
+void AtomicHistogram::Add(uint64_t value) {
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  // The bucket update comes last so a snapshot that counts this sample
+  // (count derives from the buckets) has usually seen its sum/min/max too.
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram AtomicHistogram::Snapshot() const {
+  Histogram folded;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    folded.buckets_[i] = n;
+    folded.count_ += n;
+  }
+  folded.sum_ = sum_.load(std::memory_order_relaxed);
+  folded.min_ = min_.load(std::memory_order_relaxed);
+  folded.max_ = max_.load(std::memory_order_relaxed);
+  if (folded.count_ > 0 && folded.min_ == ~0ULL) {
+    // A racing Add bumped its bucket before publishing min_: report the
+    // smallest defensible value instead of the empty-sentinel.
+    folded.min_ = 0;
+  }
+  return folded;
+}
+
 std::string Histogram::ToJson() const {
   return StringFormat(
       "{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"

@@ -9,6 +9,7 @@
 #define RDFMR_COMMON_HISTOGRAM_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -48,11 +49,42 @@ class Histogram {
   std::string ToJson() const;
 
  private:
+  friend class AtomicHistogram;  // Snapshot() fills these fields directly
+
   std::array<uint64_t, kNumBuckets> buckets_{};
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t min_ = ~0ULL;
   uint64_t max_ = 0;
+};
+
+/// \brief Lock-free histogram over the same power-of-two buckets: Add is
+/// a handful of relaxed atomic RMWs (the same discipline as the
+/// operator-metrics gate and Counter in common/metrics.h), so concurrent
+/// writers never serialize. Readers fold a point-in-time Histogram with
+/// Snapshot(); the fold derives `count` from the bucket array so count
+/// and buckets always agree, while `sum`/`min`/`max` are independently
+/// relaxed loads — each monotone on its own, but a snapshot taken during
+/// an Add may momentarily lag one sample on those fields (the documented
+/// price of the lock-free hot path).
+class AtomicHistogram {
+ public:
+  AtomicHistogram() = default;
+  AtomicHistogram(const AtomicHistogram&) = delete;
+  AtomicHistogram& operator=(const AtomicHistogram&) = delete;
+
+  /// \brief Records `value`. Safe to call from any thread concurrently
+  /// with other Add and Snapshot calls; never blocks.
+  void Add(uint64_t value);
+
+  /// \brief Folds the current state into a plain Histogram.
+  Histogram Snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, Histogram::kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ULL};
+  std::atomic<uint64_t> max_{0};
 };
 
 }  // namespace rdfmr

@@ -52,6 +52,17 @@ class LruCache {
     return true;
   }
 
+  /// \brief Evicts the least-recently-used entry, returning its charge (0
+  /// when empty). ShardedLruCache drives its global-budget eviction with
+  /// this, one entry at a time across shards.
+  uint64_t EvictOne() {
+    if (entries_.empty()) return 0;
+    auto it = std::prev(entries_.end());
+    const uint64_t charge = it->charge;
+    EraseEntry(it);
+    return charge;
+  }
+
   /// \brief Removes `key` if present; returns whether it was present.
   bool Erase(const std::string& key) {
     auto it = index_.find(key);

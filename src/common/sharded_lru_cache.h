@@ -1,0 +1,244 @@
+// Lock-striped LRU cache: N independent LruCache shards, each behind its
+// own mutex, selected by a stable hash of the key. Concurrent Get/Put on
+// different shards never contend, so the query service's warm hot path
+// scales with its worker count instead of serializing on one cache lock
+// (the inverse-scaling bug BENCH_service.json used to show).
+//
+// The charge budget is GLOBAL, not sliced per shard: every shard's
+// LruCache is given the full capacity (so admission matches the single
+// LruCache it replaced — only an entry larger than the whole cache is
+// refused), and a relaxed atomic tracks the total charge. When an insert
+// pushes the total past the capacity, eviction walks the shards via a
+// round-robin cursor, popping one LRU entry per visited shard until the
+// budget holds again (the inserting key's own shard is skipped on the
+// first pass so a fresh entry is not its own first victim). Eviction
+// order across shards is therefore approximate LRU — within a shard it is
+// exact — and concurrent inserts may briefly over-evict; both are the
+// price of never holding two locks. A naive per-shard capacity slice was
+// tried first and rejected: slices shrink as shards scale with workers,
+// silently refusing large entries the unsharded cache accepted
+// (bench_service's biggest answer set became uncacheable at 16 workers,
+// which re-created the very inverse scaling the striping exists to fix).
+//
+// Semantics otherwise match LruCache: overwrite releases the old charge
+// before adding the new one, and EraseByPrefix visits every shard (prefix
+// keys hash anywhere), which is what keeps dataset-epoch invalidation
+// exact.
+//
+// Lock discipline: shard mutexes are leaf locks. No ShardedLruCache call
+// acquires more than one shard at a time — the whole-cache sweeps
+// (EraseByPrefix / EraseIf / Clear / size) and the eviction walk take
+// shards one by one and never hold two at once.
+
+#ifndef RDFMR_COMMON_SHARDED_LRU_CACHE_H_
+#define RDFMR_COMMON_SHARDED_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/lru_cache.h"
+
+namespace rdfmr {
+
+/// \brief Rounds `n` up to the next power of two (minimum 1).
+inline size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// \brief String-keyed, charge-bounded LRU cache striped over power-of-two
+/// shards with one global charge budget. Thread-safe; values are returned
+/// by copy (hand it a shared_ptr), since a reference into a shard would
+/// dangle once the shard's lock is released.
+template <typename V>
+class ShardedLruCache {
+ public:
+  /// \brief `capacity` is the total charge budget shared by all
+  /// `num_shards` stripes (rounded up to a power of two). An entry is
+  /// refused only when its charge alone exceeds the whole budget —
+  /// exactly LruCache's admission rule, regardless of shard count.
+  ShardedLruCache(uint64_t capacity, size_t num_shards)
+      : num_shards_(NextPowerOfTwo(num_shards == 0 ? 1 : num_shards)),
+        capacity_(capacity) {
+    shards_.reserve(num_shards_);
+    for (size_t i = 0; i < num_shards_; ++i) {
+      shards_.push_back(std::make_unique<Shard>(capacity_));
+    }
+  }
+
+  /// \brief Copies the value for `key` into `*out` and refreshes its
+  /// recency; returns false on miss (`*out` untouched).
+  bool Get(const std::string& key, V* out) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const V* hit = shard.cache.Get(key);
+    if (hit == nullptr) return false;
+    *out = *hit;
+    return true;
+  }
+
+  /// \brief Inserts or replaces `key` in its shard, then evicts across
+  /// shards until the global budget holds. Returns false when `charge`
+  /// alone exceeds the capacity (any previous entry under the key is
+  /// still removed, exactly like LruCache::Put).
+  bool Put(std::string key, V value, uint64_t charge) {
+    const size_t home = ShardOf(key);
+    Shard& shard = *shards_[home];
+    uint64_t before = 0;
+    uint64_t after = 0;
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      before = shard.cache.used();
+      admitted = shard.cache.Put(std::move(key), std::move(value), charge);
+      after = shard.cache.used();
+    }
+    AddUsedDelta(before, after);
+    if (admitted) EvictToBudget(home);
+    return admitted;
+  }
+
+  /// \brief Removes `key` if present; returns whether it was present.
+  bool Erase(const std::string& key) {
+    Shard& shard = ShardFor(key);
+    uint64_t before = 0;
+    uint64_t after = 0;
+    bool present = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      before = shard.cache.used();
+      present = shard.cache.Erase(key);
+      after = shard.cache.used();
+    }
+    AddUsedDelta(before, after);
+    return present;
+  }
+
+  /// \brief Removes every entry whose key starts with `prefix`, across
+  /// ALL shards (epoch/dataset invalidation). Returns the number removed.
+  size_t EraseByPrefix(const std::string& prefix) {
+    return EraseIf([&prefix](const std::string& key) {
+      return key.compare(0, prefix.size(), prefix) == 0;
+    });
+  }
+
+  /// \brief Removes every entry satisfying `pred`, across all shards.
+  size_t EraseIf(const std::function<bool(const std::string&)>& pred) {
+    size_t removed = 0;
+    for (auto& shard : shards_) {
+      uint64_t before = 0;
+      uint64_t after = 0;
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        before = shard->cache.used();
+        removed += shard->cache.EraseIf(pred);
+        after = shard->cache.used();
+      }
+      AddUsedDelta(before, after);
+    }
+    return removed;
+  }
+
+  void Clear() {
+    for (auto& shard : shards_) {
+      uint64_t freed = 0;
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        freed = shard->cache.used();
+        shard->cache.Clear();
+      }
+      used_.fetch_sub(freed, std::memory_order_relaxed);
+    }
+  }
+
+  /// \brief Total entries across shards. Each shard is read under its own
+  /// lock; the sum is a consistent-per-shard (not globally atomic) view.
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->cache.size();
+    }
+    return total;
+  }
+
+  /// \brief Total charge held (one relaxed load of the global-budget
+  /// accumulator; exact whenever no mutation is in flight).
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  uint64_t capacity() const { return capacity_; }
+  size_t num_shards() const { return num_shards_; }
+
+  /// \brief Shard index `key` maps to (exposed so tests can construct
+  /// same-shard / cross-shard key sets deterministically).
+  size_t ShardOf(const std::string& key) const {
+    return static_cast<size_t>(Fnv1a64(key)) & (num_shards_ - 1);
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(uint64_t budget) : cache(budget) {}
+    mutable std::mutex mu;
+    LruCache<V> cache;  // guarded by mu
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[ShardOf(key)];
+  }
+
+  void AddUsedDelta(uint64_t before, uint64_t after) {
+    if (after >= before) {
+      used_.fetch_add(after - before, std::memory_order_relaxed);
+    } else {
+      used_.fetch_sub(before - after, std::memory_order_relaxed);
+    }
+  }
+
+  /// \brief Pops LRU entries shard-by-shard (round-robin cursor, one lock
+  /// at a time) until the global budget holds. Skips `home` on the first
+  /// rotation so the entry just inserted there is not its own first
+  /// victim; a rotation that frees nothing ends the walk (cache drained
+  /// concurrently).
+  void EvictToBudget(size_t home) {
+    bool skip_home = true;
+    while (used_.load(std::memory_order_relaxed) > capacity_) {
+      bool any_freed = false;
+      for (size_t i = 0; i < num_shards_; ++i) {
+        if (used_.load(std::memory_order_relaxed) <= capacity_) return;
+        const size_t victim =
+            cursor_.fetch_add(1, std::memory_order_relaxed) &
+            (num_shards_ - 1);
+        if (skip_home && victim == home) continue;
+        uint64_t freed = 0;
+        {
+          std::lock_guard<std::mutex> lock(shards_[victim]->mu);
+          freed = shards_[victim]->cache.EvictOne();
+        }
+        if (freed > 0) {
+          used_.fetch_sub(freed, std::memory_order_relaxed);
+          any_freed = true;
+        }
+      }
+      if (!any_freed && !skip_home) return;
+      skip_home = false;
+    }
+  }
+
+  const size_t num_shards_;
+  const uint64_t capacity_;
+  std::atomic<uint64_t> used_{0};    ///< global charge accumulator
+  std::atomic<size_t> cursor_{0};    ///< eviction round-robin position
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_COMMON_SHARDED_LRU_CACHE_H_

@@ -1,5 +1,6 @@
 #include "service/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <utility>
@@ -25,6 +26,20 @@ uint64_t MicrosSince(Clock::time_point start) {
 uint32_t DeriveMaxConcurrent(const ServiceConfig& config) {
   if (config.max_concurrent > 0) return config.max_concurrent;
   return config.cluster.num_threads > 0 ? config.cluster.num_threads : 1;
+}
+
+uint32_t DeriveCacheShards(const ServiceConfig& config,
+                           uint32_t max_concurrent) {
+  if (config.cache_shards > 0) {
+    return static_cast<uint32_t>(NextPowerOfTwo(config.cache_shards));
+  }
+  // Auto: ~2 stripes per worker so concurrent warm lookups rarely share a
+  // shard mutex, clamped so tiny services still stripe and huge worker
+  // counts don't shred the LRU working set.
+  const size_t derived =
+      NextPowerOfTwo(2 * static_cast<size_t>(max_concurrent));
+  return static_cast<uint32_t>(
+      std::min<size_t>(64, std::max<size_t>(8, derived)));
 }
 
 /// The name RunQuery / RunAggregateQuery would stamp on the stats.
@@ -156,14 +171,17 @@ std::string ServiceStatsSnapshot::ToJson() const {
   o.Set("datasets", datasets);
   o.Set("queued", queued);
   o.Set("running", running);
+  o.Set("cache_shards", cache_shards);
   JsonValue plan = JsonValue::MakeObject();
   plan.Set("hits", plan_cache_hits);
   plan.Set("misses", plan_cache_misses);
+  plan.Set("lookups", plan_cache_lookups);
   plan.Set("entries", plan_cache_entries);
   o.Set("plan_cache", std::move(plan));
   JsonValue result = JsonValue::MakeObject();
   result.Set("hits", result_cache_hits);
   result.Set("misses", result_cache_misses);
+  result.Set("lookups", result_cache_lookups);
   result.Set("entries", result_cache_entries);
   result.Set("bytes", result_cache_bytes);
   o.Set("result_cache", std::move(result));
@@ -233,6 +251,12 @@ std::string ServiceStatsSnapshot::ToPrometheus() const {
           result_cache_hits);
   counter("rdfmr_service_result_cache_misses_total", "Result cache misses.",
           result_cache_misses);
+  counter("rdfmr_service_plan_cache_lookups_total",
+          "Plan cache lookups (hits + misses).", plan_cache_lookups);
+  counter("rdfmr_service_result_cache_lookups_total",
+          "Result cache lookups (hits + misses).", result_cache_lookups);
+  gauge("rdfmr_service_cache_shards_count",
+        "Lock stripes per service cache.", cache_shards);
   gauge("rdfmr_service_plan_cache_entries_count",
         "Plan templates currently cached.", plan_cache_entries);
   gauge("rdfmr_service_result_cache_entries_count",
@@ -268,9 +292,10 @@ struct QueryService::Pending {
 QueryService::QueryService(ServiceConfig config)
     : config_(std::move(config)),
       max_concurrent_(DeriveMaxConcurrent(config_)),
+      cache_shards_(DeriveCacheShards(config_, max_concurrent_)),
       registry_(config_.cluster),
-      plan_cache_(config_.plan_cache_entries),
-      result_cache_(config_.result_cache_bytes),
+      plan_cache_(config_.plan_cache_entries, cache_shards_),
+      result_cache_(config_.result_cache_bytes, cache_shards_),
       // One extra slot because ThreadPool reserves the final slot for a
       // ParallelFor caller: max_concurrent_ + 1 spawns exactly
       // max_concurrent_ asynchronous workers for Submit tasks.
@@ -286,15 +311,13 @@ Result<DatasetInfo> QueryService::LoadDataset(const std::string& name,
                                               std::vector<Triple> triples) {
   RDFMR_ASSIGN_OR_RETURN(DatasetInfo info,
                          registry_.Load(name, std::move(triples)));
-  std::lock_guard<std::mutex> lock(mu_);
-  const std::string prefix = name + '\x1f';
   // Epoch-keyed entries of the replaced generation are already
-  // unreachable; purge them eagerly so they stop occupying capacity.
-  auto stale = [&prefix](const std::string& key) {
-    return StartsWith(key, prefix);
-  };
-  plan_cache_.EraseIf(stale);
-  result_cache_.EraseIf(stale);
+  // unreachable; purge them eagerly so they stop occupying capacity. The
+  // sharded purge sweeps every stripe (keys hash across all of them), one
+  // shard lock at a time — no service-wide lock involved.
+  const std::string prefix = name + '\x1f';
+  plan_cache_.EraseByPrefix(prefix);
+  result_cache_.EraseByPrefix(prefix);
   return info;
 }
 
@@ -305,13 +328,9 @@ Result<DatasetInfo> QueryService::RegisterDataset(const std::string& name,
 
 Status QueryService::DropDataset(const std::string& name) {
   RDFMR_RETURN_NOT_OK(registry_.Drop(name));
-  std::lock_guard<std::mutex> lock(mu_);
   const std::string prefix = name + '\x1f';
-  auto stale = [&prefix](const std::string& key) {
-    return StartsWith(key, prefix);
-  };
-  plan_cache_.EraseIf(stale);
-  result_cache_.EraseIf(stale);
+  plan_cache_.EraseByPrefix(prefix);
+  result_cache_.EraseByPrefix(prefix);
   return Status::OK();
 }
 
@@ -328,21 +347,14 @@ uint64_t QueryService::Submit(ServiceRequest request,
   pending->deadline_ms = pending->request.deadline_ms > 0
                              ? pending->request.deadline_ms
                              : config_.default_deadline_ms;
-  bool rejected = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.submitted;
-    if (stats_.queued >= config_.queue_bound) {
-      ++stats_.rejected;
-      rejected = true;
-    } else {
-      pending->ticket = next_ticket_++;
-      pending_[pending->ticket] = pending;
-      ++stats_.queued;
-      stats_.queue_depth.Add(stats_.queued);
-    }
-  }
-  if (rejected) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  // Reserve a queue slot first, then publish: the fetch_add makes the
+  // bound check exact under concurrent submitters without any lock.
+  const uint64_t depth =
+      stats_.queued.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (depth > config_.queue_bound) {
+    stats_.queued.fetch_sub(1, std::memory_order_relaxed);
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
     ServiceResponse response;
     response.status = Status::Unavailable(
         "admission queue full (bound " +
@@ -350,6 +362,12 @@ uint64_t QueryService::Submit(ServiceRequest request,
     pending->done(std::move(response));
     return 0;
   }
+  pending->ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_[pending->ticket] = pending;
+  }
+  stats_.queue_depth.Add(depth);
   pool_->Submit([this, pending] { RunPending(pending); });
   return pending->ticket;
 }
@@ -377,26 +395,30 @@ void QueryService::RunPending(const std::shared_ptr<Pending>& pending) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           start - pending->submit_time)
           .count());
-  ServiceResponse early;
-  bool has_early = false;
+  bool cancelled = false;
   {
+    // mu_ covers only the pending-map removal and the cancelled flag; the
+    // stats updates below are lock-free.
     std::lock_guard<std::mutex> lock(mu_);
     pending_.erase(pending->ticket);
-    --stats_.queued;
-    if (pending->cancelled) {
-      ++stats_.cancelled;
-      early.status = Status::Cancelled("request cancelled while queued");
-      has_early = true;
-    } else if (pending->deadline_ms > 0 &&
-               queue_micros >= pending->deadline_ms * 1000) {
-      ++stats_.deadline_expired;
-      early.status =
-          Status::DeadlineExceeded("deadline expired while queued");
-      has_early = true;
-    } else {
-      ++stats_.running;
-      stats_.queue_wait_micros.Add(queue_micros);
-    }
+    cancelled = pending->cancelled;
+  }
+  stats_.queued.fetch_sub(1, std::memory_order_relaxed);
+  ServiceResponse early;
+  bool has_early = false;
+  if (cancelled) {
+    stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    early.status = Status::Cancelled("request cancelled while queued");
+    has_early = true;
+  } else if (pending->deadline_ms > 0 &&
+             queue_micros >= pending->deadline_ms * 1000) {
+    stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    early.status =
+        Status::DeadlineExceeded("deadline expired while queued");
+    has_early = true;
+  } else {
+    stats_.running.fetch_add(1, std::memory_order_relaxed);
+    stats_.queue_wait_micros.Add(queue_micros);
   }
   if (has_early) {
     early.queue_micros = queue_micros;
@@ -419,17 +441,14 @@ void QueryService::RunPending(const std::shared_ptr<Pending>& pending) {
     response.answers.clear();
     response.batch_answers.clear();
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --stats_.running;
-    stats_.exec_micros.Add(exec_micros);
-    if (response.ok()) {
-      ++stats_.served;
-    } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
-      ++stats_.deadline_expired;
-    } else {
-      ++stats_.failed;
-    }
+  stats_.running.fetch_sub(1, std::memory_order_relaxed);
+  stats_.exec_micros.Add(exec_micros);
+  if (response.ok()) {
+    stats_.served.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.failed.fetch_add(1, std::memory_order_relaxed);
   }
   pending->done(std::move(response));
 }
@@ -476,21 +495,16 @@ ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
   };
 
   if (request.use_result_cache) {
+    // The warm hot path: one shard mutex inside Get, one relaxed
+    // fetch_add — no service-wide lock.
     std::shared_ptr<const CachedAnswers> cached;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (const auto* hit = result_cache_.Get(key)) {
-        ++stats_.result_cache_hits;
-        cached = *hit;
-      } else {
-        ++stats_.result_cache_misses;
-      }
-    }
-    if (cached != nullptr) {
+    if (result_cache_.Get(key, &cached)) {
+      stats_.result_cache_hits.fetch_add(1, std::memory_order_relaxed);
       response.result_cache_hit = true;
       shape(cached->stats, cached->answers);
       return response;
     }
+    stats_.result_cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
 
   auto plan = GetOrCompilePlan(request, key, &response.plan_cache_hit);
@@ -529,7 +543,6 @@ ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
     value->stats = stats;
     value->answers = answers;
     value->charge = EstimateAnswerCharge(answers);
-    std::lock_guard<std::mutex> lock(mu_);
     result_cache_.Put(key, value, value->charge);
   }
   shape(stats, answers);
@@ -541,15 +554,15 @@ Result<QueryService::CachedPlan> QueryService::GetOrCompilePlan(
     bool* plan_cache_hit) {
   *plan_cache_hit = false;
   if (request.use_plan_cache) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (const auto* hit = plan_cache_.Get(key)) {
-      ++stats_.plan_cache_hits;
+    std::shared_ptr<const CachedPlan> hit;
+    if (plan_cache_.Get(key, &hit)) {
+      stats_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
       *plan_cache_hit = true;
-      return **hit;
+      return *hit;
     }
-    ++stats_.plan_cache_misses;
+    stats_.plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
-  // Compile outside the lock: two racing compilations of the same key are
+  // Compile outside any lock: two racing compilations of the same key are
   // both correct; the later Put simply replaces the earlier.
   CachedPlan plan;
   if (request.query != nullptr) {
@@ -566,21 +579,43 @@ Result<QueryService::CachedPlan> QueryService::GetOrCompilePlan(
     plan.batch = std::make_shared<const NtgaBatchPlan>(std::move(compiled));
   }
   if (request.use_plan_cache) {
-    std::lock_guard<std::mutex> lock(mu_);
     plan_cache_.Put(key, std::make_shared<const CachedPlan>(plan), 1);
   }
   return plan;
 }
 
-ServiceStatsSnapshot QueryService::Stats() const {
+ServiceStatsSnapshot QueryService::SnapshotNow() const {
+  // One coherent relaxed load per counter: loads of a single atomic are
+  // totally ordered, so successive snapshots are monotone per field, and
+  // the derived lookup totals equal hits + misses exactly (lookups is
+  // never stored, so it cannot tear against its addends).
+  const auto load = [](const std::atomic<uint64_t>& cell) {
+    return cell.load(std::memory_order_relaxed);
+  };
   ServiceStatsSnapshot snapshot;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    snapshot = stats_;
-    snapshot.plan_cache_entries = plan_cache_.size();
-    snapshot.result_cache_entries = result_cache_.size();
-    snapshot.result_cache_bytes = result_cache_.used();
-  }
+  snapshot.submitted = load(stats_.submitted);
+  snapshot.served = load(stats_.served);
+  snapshot.failed = load(stats_.failed);
+  snapshot.rejected = load(stats_.rejected);
+  snapshot.cancelled = load(stats_.cancelled);
+  snapshot.deadline_expired = load(stats_.deadline_expired);
+  snapshot.plan_cache_hits = load(stats_.plan_cache_hits);
+  snapshot.plan_cache_misses = load(stats_.plan_cache_misses);
+  snapshot.plan_cache_lookups =
+      snapshot.plan_cache_hits + snapshot.plan_cache_misses;
+  snapshot.result_cache_hits = load(stats_.result_cache_hits);
+  snapshot.result_cache_misses = load(stats_.result_cache_misses);
+  snapshot.result_cache_lookups =
+      snapshot.result_cache_hits + snapshot.result_cache_misses;
+  snapshot.queued = load(stats_.queued);
+  snapshot.running = load(stats_.running);
+  snapshot.queue_depth = stats_.queue_depth.Snapshot();
+  snapshot.queue_wait_micros = stats_.queue_wait_micros.Snapshot();
+  snapshot.exec_micros = stats_.exec_micros.Snapshot();
+  snapshot.cache_shards = cache_shards_;
+  snapshot.plan_cache_entries = plan_cache_.size();
+  snapshot.result_cache_entries = result_cache_.size();
+  snapshot.result_cache_bytes = result_cache_.used();
   snapshot.datasets = registry_.size();
   return snapshot;
 }

@@ -14,6 +14,27 @@
 //     completion, and explicit cancellation of queued requests;
 //   * ServiceStats counters and histograms, exported as JSON.
 //
+// Concurrency design (the warm path must get cheaper per query as workers
+// are added, not dearer):
+//   * Both caches are ShardedLruCache — power-of-two lock stripes selected
+//     by key hash, so concurrent warm lookups only contend when they land
+//     on the same shard. Prefix purges visit every shard, keeping
+//     epoch/drop invalidation exact.
+//   * Every stats counter/gauge is a relaxed std::atomic, and the latency
+//     histograms are AtomicHistograms (the same relaxed-atomic discipline
+//     as the operator-metrics gate): the execute path never takes a stats
+//     lock. SnapshotNow() folds them into one consistent
+//     ServiceStatsSnapshot only when the stats/metrics verbs ask.
+//   * mu_ guards exactly the cancellation state: the pending-request map
+//     and each Pending's cancelled flag. It is held only for O(1) map
+//     operations — never across execution, cache access, or stats.
+//   * Lock hierarchy: cache-shard mutexes < mu_; in fact no path ever
+//     holds two of these locks at once (every critical section is a
+//     leaf), so the ordering is vacuous by construction. The registry's
+//     internal mutex is likewise independent.
+// Net effect: a warm-result Query takes one cache-shard mutex plus two
+// O(1) pending-map operations under mu_, and no other lock.
+//
 // Determinism contract (what the equivalence tests check): a served query's
 // answers and all deterministic ExecStats fields are byte-identical to a
 // direct RunQuery/RunQueryBatch/RunUnionQuery call with the same options,
@@ -25,6 +46,7 @@
 #ifndef RDFMR_SERVICE_QUERY_SERVICE_H_
 #define RDFMR_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -36,7 +58,7 @@
 #include <vector>
 
 #include "common/histogram.h"
-#include "common/lru_cache.h"
+#include "common/sharded_lru_cache.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
@@ -60,6 +82,13 @@ struct ServiceConfig {
   uint64_t plan_cache_entries = 128;
   /// Result cache capacity in (approximate answer) bytes.
   uint64_t result_cache_bytes = 16ULL << 20;
+  /// Lock stripes per cache (rounded up to a power of two). 0 derives it
+  /// from the worker count: the smallest power of two >= 2x
+  /// max_concurrent, clamped to [8, 64] — enough stripes that 16 warm
+  /// workers rarely collide. The charge budget stays global (an entry is
+  /// refused only when it exceeds the whole capacity), so the shard count
+  /// never changes what is cacheable.
+  uint32_t cache_shards = 0;
   /// Deadline applied to requests that do not carry one; 0 = none.
   uint64_t default_deadline_ms = 0;
 };
@@ -108,6 +137,11 @@ struct ServiceResponse {
 
 /// \brief Point-in-time service counters (all monotonically increasing
 /// except the gauges) plus latency/queue-depth distributions.
+///
+/// Produced only by QueryService::Stats() (the SnapshotNow fold): each
+/// counter is one coherent atomic load, so any counter observed in one
+/// snapshot is >= its value in every earlier snapshot, and the derived
+/// `*_lookups` fields satisfy `hits + misses == lookups` exactly.
 struct ServiceStatsSnapshot {
   uint64_t submitted = 0;
   uint64_t served = 0;            ///< responded with OK status
@@ -117,11 +151,14 @@ struct ServiceStatsSnapshot {
   uint64_t deadline_expired = 0;
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_lookups = 0;    ///< derived: hits + misses
   uint64_t result_cache_hits = 0;
   uint64_t result_cache_misses = 0;
+  uint64_t result_cache_lookups = 0;  ///< derived: hits + misses
   uint64_t plan_cache_entries = 0;
   uint64_t result_cache_entries = 0;
   uint64_t result_cache_bytes = 0;
+  uint64_t cache_shards = 0;  ///< lock stripes per cache (configuration)
   uint64_t datasets = 0;     ///< gauge
   uint64_t queued = 0;       ///< gauge
   uint64_t running = 0;      ///< gauge
@@ -179,7 +216,12 @@ class QueryService {
   /// started (or finished). A cancelled request responds kCancelled.
   bool Cancel(uint64_t ticket);
 
-  ServiceStatsSnapshot Stats() const;
+  /// \brief Folds the lock-free counters, gauges, and atomic histograms
+  /// into one ServiceStatsSnapshot (see the struct's consistency notes).
+  /// Identical to Stats(); the explicit name marks it as the ONLY place
+  /// the relaxed cells are read back.
+  ServiceStatsSnapshot SnapshotNow() const;
+  ServiceStatsSnapshot Stats() const { return SnapshotNow(); }
 
  private:
   struct Pending;
@@ -193,6 +235,29 @@ class QueryService {
     uint64_t charge = 0;
   };
 
+  /// \brief Lock-free mirror of the snapshot's counters/gauges: relaxed
+  /// atomics updated on the execute path, folded by SnapshotNow(). The
+  /// cache lookup counters are the invariant-bearing pair — hits and
+  /// misses are each a single fetch_add, lookups is derived at fold time,
+  /// so `hits + misses == lookups` can never tear.
+  struct StatsCells {
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> cancelled{0};
+    std::atomic<uint64_t> deadline_expired{0};
+    std::atomic<uint64_t> plan_cache_hits{0};
+    std::atomic<uint64_t> plan_cache_misses{0};
+    std::atomic<uint64_t> result_cache_hits{0};
+    std::atomic<uint64_t> result_cache_misses{0};
+    std::atomic<uint64_t> queued{0};   // gauge; also the admission bound
+    std::atomic<uint64_t> running{0};  // gauge
+    AtomicHistogram queue_depth;
+    AtomicHistogram queue_wait_micros;
+    AtomicHistogram exec_micros;
+  };
+
   void RunPending(const std::shared_ptr<Pending>& pending);
   ServiceResponse Execute(const ServiceRequest& request);
   ServiceResponse ExecuteOnDataset(const ServiceRequest& request,
@@ -203,14 +268,21 @@ class QueryService {
 
   const ServiceConfig config_;
   const uint32_t max_concurrent_;
+  const uint32_t cache_shards_;
   DatasetRegistry registry_;
 
-  mutable std::mutex mu_;  ///< guards everything below
-  uint64_t next_ticket_ = 1;
+  StatsCells stats_;  ///< lock-free; read back only by SnapshotNow()
+  std::atomic<uint64_t> next_ticket_{1};
+
+  /// Striped caches: internally synchronized, one mutex per shard.
+  ShardedLruCache<std::shared_ptr<const CachedPlan>> plan_cache_;
+  ShardedLruCache<std::shared_ptr<const CachedAnswers>> result_cache_;
+
+  /// Guards pending_ and each Pending's `cancelled` flag — nothing else.
+  /// Held only for O(1) map operations; never while holding (or taking) a
+  /// cache-shard mutex, executing, or updating stats.
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
-  ServiceStatsSnapshot stats_;
-  LruCache<std::shared_ptr<const CachedPlan>> plan_cache_;
-  LruCache<std::shared_ptr<const CachedAnswers>> result_cache_;
 
   /// Declared last so it is destroyed first: the destructor drains queued
   /// request tasks, which touch the members above.

@@ -21,6 +21,7 @@
 #include "common/histogram.h"
 #include "common/json.h"
 #include "common/lru_cache.h"
+#include "common/sharded_lru_cache.h"
 #include "query/matcher.h"
 #include "query/sparql_parser.h"
 #include "service/protocol.h"
@@ -92,6 +93,176 @@ TEST(LruCacheTest, EraseAndEraseIf) {
   EXPECT_EQ(cache.used(), 0u);
 }
 
+// Charge accounting across overwrite: the old entry's charge must be
+// released BEFORE the new charge lands, so eviction decisions never see a
+// stale total. With capacity 10 and {a:4, b:4} resident, overwriting a
+// with charge 6 totals 4+6=10 — nothing may be evicted. A stale total
+// (4+4+6=14) would wrongly evict b.
+TEST(LruCacheTest, OverwriteReleasesOldChargeBeforeEviction) {
+  LruCache<int> cache(10);
+  EXPECT_TRUE(cache.Put("a", 1, 4));
+  EXPECT_TRUE(cache.Put("b", 2, 4));
+  EXPECT_EQ(cache.used(), 8u);
+  EXPECT_TRUE(cache.Put("a", 3, 6));
+  EXPECT_EQ(cache.used(), 10u);
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.Get("b"), nullptr) << "eviction ran on a stale total";
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(*cache.Get("a"), 3);
+
+  // Growing past capacity evicts exactly the LRU entry, with the
+  // post-release total: overwriting b (LRU after the Gets above refreshed
+  // a... order: b then a, so b is MRU) — refresh a last, then overwrite
+  // it to charge 8: total 8+4 > 10 evicts b alone.
+  EXPECT_TRUE(cache.Put("a", 4, 8));
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_EQ(cache.used(), 8u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---- Sharded LRU cache -----------------------------------------------------
+
+// Builds `count` keys that all land in `want_shard` (or, with
+// `want_shard < 0`, one key per distinct shard).
+std::vector<std::string> KeysInShard(
+    const ShardedLruCache<int>& cache, size_t want_shard, size_t count) {
+  std::vector<std::string> keys;
+  for (int i = 0; keys.size() < count; ++i) {
+    std::string key = "k" + std::to_string(i);
+    if (cache.ShardOf(key) == want_shard) keys.push_back(key);
+  }
+  return keys;
+}
+
+TEST(ShardedLruCacheTest, RoundsShardsToPowerOfTwo) {
+  ShardedLruCache<int> cache(64, 3);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  EXPECT_EQ(cache.capacity(), 64u);
+  ShardedLruCache<int> one(64, 0);
+  EXPECT_EQ(one.num_shards(), 1u);
+}
+
+TEST(ShardedLruCacheTest, GetPutEraseAcrossShards) {
+  ShardedLruCache<int> cache(1024, 8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(cache.Put("key" + std::to_string(i), i, 1));
+  }
+  EXPECT_EQ(cache.size(), 50u);
+  EXPECT_EQ(cache.used(), 50u);
+  int value = -1;
+  ASSERT_TRUE(cache.Get("key7", &value));
+  EXPECT_EQ(value, 7);
+  EXPECT_FALSE(cache.Get("absent", &value));
+  EXPECT_EQ(value, 7) << "miss must leave *out untouched";
+  EXPECT_TRUE(cache.Erase("key7"));
+  EXPECT_FALSE(cache.Erase("key7"));
+  EXPECT_EQ(cache.size(), 49u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used(), 0u);
+}
+
+// The charge budget is global across shards: inserts past the capacity
+// evict (approximately-LRU, round-robin over shards) until the total
+// fits again, never skipping it, and the freshly inserted entry's shard
+// is not the first victim.
+TEST(ShardedLruCacheTest, GlobalBudgetEvictionAcrossShards) {
+  ShardedLruCache<int> cache(32, 4);
+  const std::vector<std::string> in_shard0 = KeysInShard(cache, 0, 5);
+  const std::vector<std::string> in_shard1 = KeysInShard(cache, 1, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(cache.Put(in_shard0[i], 1, 4));
+    EXPECT_TRUE(cache.Put(in_shard1[i], 1, 4));
+  }
+  EXPECT_EQ(cache.used(), 32u);  // exactly at budget, nothing evicted
+  EXPECT_EQ(cache.size(), 8u);
+
+  // One more 4-charge insert into shard 0: the budget forces exactly one
+  // eviction, taken from another shard — every shard-0 entry (including
+  // the new one) survives.
+  EXPECT_TRUE(cache.Put(in_shard0[4], 1, 4));
+  EXPECT_EQ(cache.used(), 32u);
+  EXPECT_EQ(cache.size(), 8u);
+  int value = 0;
+  for (const std::string& key : in_shard0) {
+    EXPECT_TRUE(cache.Get(key, &value)) << key;
+  }
+}
+
+// Admission matches the unsharded LruCache regardless of shard count: an
+// entry is refused only when it exceeds the WHOLE budget (a refused Put
+// still drops the previous entry under that key). A per-shard capacity
+// slice would shrink as shards scale with workers and silently refuse
+// large entries — the bug that made bench_service's biggest answer set
+// uncacheable at 16 workers.
+TEST(ShardedLruCacheTest, LargeEntriesAdmittedUpToWholeBudget) {
+  ShardedLruCache<int> cache(32, 4);
+  EXPECT_TRUE(cache.Put("big", 1, 30));  // far beyond a 32/4 slice
+  int value = 0;
+  ASSERT_TRUE(cache.Get("big", &value));
+  EXPECT_EQ(value, 1);
+  EXPECT_EQ(cache.used(), 30u);
+
+  // A second large entry in some other shard displaces the first.
+  std::string other = KeysInShard(cache, cache.ShardOf("big") ^ 1, 1)[0];
+  EXPECT_TRUE(cache.Put(other, 2, 30));
+  EXPECT_TRUE(cache.Get(other, &value));
+  EXPECT_FALSE(cache.Get("big", &value));
+  EXPECT_EQ(cache.used(), 30u);
+
+  // Larger than the whole budget: refused, previous entry dropped.
+  EXPECT_FALSE(cache.Put(other, 3, 33));
+  EXPECT_FALSE(cache.Get(other, &value));
+  EXPECT_EQ(cache.used(), 0u);
+}
+
+// Satellite regression: total used() is pinned across overwrite and
+// prefix purge — the overwrite releases the old charge first, the purge
+// releases exactly the purged keys' charges, shard by shard.
+TEST(ShardedLruCacheTest, OverwriteAndPrefixPurgeChargeAccounting) {
+  ShardedLruCache<int> cache(1 << 20, 8);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(cache.Put("d\x1f" + std::to_string(i), i, 100));
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(cache.Put("e\x1f" + std::to_string(i), i, 10));
+  }
+  EXPECT_EQ(cache.used(), 16u * 100 + 16u * 10);
+  // Overwrite every d-entry with a smaller charge: totals shrink by
+  // exactly the delta, entry count unchanged.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(cache.Put("d\x1f" + std::to_string(i), i, 40));
+  }
+  EXPECT_EQ(cache.used(), 16u * 40 + 16u * 10);
+  EXPECT_EQ(cache.size(), 32u);
+  // Purge one dataset's prefix across all shards; the other dataset's
+  // charges are untouched.
+  EXPECT_EQ(cache.EraseByPrefix("d\x1f"), 16u);
+  EXPECT_EQ(cache.used(), 16u * 10);
+  EXPECT_EQ(cache.size(), 16u);
+  EXPECT_EQ(cache.EraseByPrefix("d\x1f"), 0u);
+}
+
+TEST(ShardedLruCacheTest, EraseByPrefixSweepsEveryShard) {
+  ShardedLruCache<int> cache(1 << 20, 16);
+  // One entry per shard under the same dataset prefix: the purge must
+  // visit all 16 shards to find them.
+  std::vector<bool> covered(cache.num_shards(), false);
+  size_t distinct = 0;
+  for (int i = 0; distinct < cache.num_shards(); ++i) {
+    std::string key = "ds\x1f" + std::to_string(i);
+    if (!covered[cache.ShardOf(key)]) {
+      covered[cache.ShardOf(key)] = true;
+      ++distinct;
+      EXPECT_TRUE(cache.Put(std::move(key), i, 1));
+    }
+  }
+  EXPECT_EQ(cache.size(), cache.num_shards());
+  EXPECT_EQ(cache.EraseByPrefix("ds\x1f"), cache.num_shards());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used(), 0u);
+}
+
 // ---- Histogram -------------------------------------------------------------
 
 TEST(HistogramTest, CountsAndPercentiles) {
@@ -118,6 +289,33 @@ TEST(HistogramTest, CountsAndPercentiles) {
   ASSERT_TRUE(json.ok());
   EXPECT_EQ(json->GetUint("count"), 6u);
   EXPECT_EQ(json->GetUint("sum"), 113u);
+}
+
+TEST(AtomicHistogramTest, LosslessUnderConcurrentAdds) {
+  AtomicHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        hist.Add(static_cast<uint64_t>(t) * 1000 + (i % 7));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  Histogram folded = hist.Snapshot();
+  EXPECT_EQ(folded.count(), kThreads * kPerThread);
+  EXPECT_EQ(folded.min(), 0u);
+  EXPECT_EQ(folded.max(), 7006u);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      expected_sum += static_cast<uint64_t>(t) * 1000 + (i % 7);
+    }
+  }
+  EXPECT_EQ(folded.sum(), expected_sum);
 }
 
 // ---- Dataset registry ------------------------------------------------------
@@ -647,6 +845,12 @@ TEST(ServiceStatsTest, SnapshotJsonParses) {
   EXPECT_EQ(json->GetUint("served"), 2u);
   EXPECT_EQ(json->GetUint("datasets"), 1u);
   EXPECT_EQ(json->Get("result_cache").GetUint("hits"), 1u);
+  EXPECT_EQ(json->Get("result_cache").GetUint("misses"), 1u);
+  EXPECT_EQ(json->Get("result_cache").GetUint("lookups"), 2u);
+  EXPECT_EQ(json->Get("plan_cache").GetUint("lookups"),
+            json->Get("plan_cache").GetUint("hits") +
+                json->Get("plan_cache").GetUint("misses"));
+  EXPECT_GE(json->GetUint("cache_shards"), 8u);
   EXPECT_EQ(json->Get("exec_micros").GetUint("count"), 2u);
   EXPECT_TRUE(json->Has("queue_wait_micros"));
   EXPECT_TRUE(json->Has("queue_depth"));

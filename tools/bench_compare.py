@@ -7,7 +7,9 @@ Usage:
       [--tolerance 0.20]
 
 Both files must follow the bench report convention: a top-level object
-with a "cells" array of flat objects. Rows are matched by every key that
+with a "cells" array of flat objects (--cells-key selects a different
+top-level array, e.g. the service bench's derived "scaling" ratio rows).
+Rows are matched by every key that
 is NOT the measured field and NOT a wall-clock field ("seconds",
 "wall_seconds"): the remaining string/int fields form the row identity.
 
@@ -31,15 +33,15 @@ import sys
 WALL_FIELDS = {"seconds", "wall_seconds"}
 
 
-def load_cells(path):
+def load_cells(path, cells_key):
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, ValueError) as err:
         sys.exit(f"error: cannot read {path}: {err}")
-    cells = doc.get("cells")
+    cells = doc.get(cells_key)
     if not isinstance(cells, list):
-        sys.exit(f"error: {path}: no 'cells' array")
+        sys.exit(f"error: {path}: no '{cells_key}' array")
     return cells
 
 
@@ -68,10 +70,13 @@ def main():
                         help="which direction is better for --field")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed relative regression (default 0.20)")
+    parser.add_argument("--cells-key", default="cells",
+                        help="top-level array holding the rows "
+                             "(default 'cells')")
     args = parser.parse_args()
 
     baseline = {}
-    for cell in load_cells(args.baseline):
+    for cell in load_cells(args.baseline, args.cells_key):
         if args.field not in cell:
             sys.exit(f"error: baseline cell lacks '{args.field}': {cell}")
         baseline[row_key(cell, args.field)] = float(cell[args.field])
@@ -79,7 +84,7 @@ def main():
     failures = []
     matched = 0
     seen = set()
-    for cell in load_cells(args.current):
+    for cell in load_cells(args.current, args.cells_key):
         key = row_key(cell, args.field)
         seen.add(key)
         if key not in baseline:

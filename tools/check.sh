@@ -81,6 +81,13 @@ run_one() {
   # injected-bug drill always run under the sanitizer.
   ctest --test-dir "$build_dir" --output-on-failure || return $?
   if [[ "$quick" == 1 ]]; then
+    # Even quick TSan runs re-run the thread-dense service stress suite
+    # explicitly: it is the races-or-bust gate for the lock-free stats and
+    # sharded-cache warm path, and it is cheap (seconds, not minutes).
+    if [[ "$san" == "thread" ]]; then
+      ctest --test-dir "$build_dir" -L service_stress --output-on-failure \
+        || return $?
+    fi
     return 0
   fi
   ctest --test-dir "$build_dir" -L fuzz_smoke --output-on-failure \

@@ -80,6 +80,13 @@ run_bench() {
     --baseline bench/baselines/BENCH_service.json \
     --current BENCH_service.json \
     --field qps --direction higher --tolerance 0.20 || return $?
+  # Separate gate over the derived warm-result scaling ratios: qps(N)/qps(1)
+  # must not fall back toward the pre-sharding inverse scaling.
+  python3 tools/bench_compare.py \
+    --baseline bench/baselines/BENCH_service.json \
+    --current BENCH_service.json \
+    --cells-key scaling \
+    --field ratio --direction higher --tolerance 0.20 || return $?
   python3 tools/bench_compare.py \
     --baseline bench/baselines/BENCH_fig12.json \
     --current BENCH_fig12.json \
