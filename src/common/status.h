@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kCancelled = 10,         // caller cancelled a queued request
   kDeadlineExceeded = 11,  // request deadline expired before completion
   kResourceExhausted = 12,  // projected footprint exceeds cluster capacity
+  kDataLoss = 13,  // persistent data failed validation (checksum, truncation)
 };
 
 /// \brief Human-readable name of a StatusCode ("OutOfSpace", ...).
@@ -84,6 +85,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsOutOfSpace() const { return code() == StatusCode::kOutOfSpace; }
@@ -103,6 +107,7 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   StatusCode code() const {
     return state_ == nullptr ? StatusCode::kOk : state_->code;

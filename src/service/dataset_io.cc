@@ -10,11 +10,17 @@
 #include "datagen/btc.h"
 #include "datagen/dbpedia.h"
 #include "rdf/ntriples.h"
+#include "storage/rdx_reader.h"
 
 namespace rdfmr {
 namespace service {
 
 Result<std::vector<Triple>> ReadDatasetFile(const std::string& path) {
+  if (storage::IsRdxPath(path)) {
+    RDFMR_ASSIGN_OR_RETURN(std::shared_ptr<const storage::RdxReader> reader,
+                           storage::RdxReader::Open(path));
+    return reader->Triples();
+  }
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open: " + path);
   std::stringstream buffer;

@@ -49,14 +49,22 @@ DatasetInfo DatasetHandle::Info() const {
   info.loaded = dfs_ != nullptr;
   info.num_triples = num_triples_;
   info.base_bytes = base_bytes_;
+  if (mapped_ != nullptr) {
+    info.mapped = true;
+    info.mapped_bytes = mapped_->file_bytes();
+    // The mapping knows the relation size before materialization.
+    if (!info.loaded) info.num_triples = mapped_->triple_count();
+  }
   return info;
 }
 
 std::shared_ptr<DatasetHandle> DatasetRegistry::Replace(
-    const std::string& name, TripleLoader loader) {
+    const std::string& name, TripleLoader loader,
+    std::shared_ptr<const storage::RdxReader> mapped) {
   std::lock_guard<std::mutex> lock(mu_);
   auto handle = std::shared_ptr<DatasetHandle>(
-      new DatasetHandle(name, next_epoch_++, cluster_, std::move(loader)));
+      new DatasetHandle(name, next_epoch_++, cluster_, std::move(loader),
+                        std::move(mapped)));
   datasets_[name] = handle;
   return handle;
 }
@@ -82,6 +90,20 @@ Result<DatasetInfo> DatasetRegistry::Load(const std::string& name,
     return *shared;
   });
   RDFMR_RETURN_NOT_OK(handle->EnsureLoaded());
+  return handle->Info();
+}
+
+Result<DatasetInfo> DatasetRegistry::RegisterMapped(const std::string& name,
+                                                    const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  RDFMR_ASSIGN_OR_RETURN(std::shared_ptr<const storage::RdxReader> reader,
+                         storage::RdxReader::Open(path));
+  auto handle = Replace(
+      name,
+      [reader]() -> Result<std::vector<Triple>> { return reader->Triples(); },
+      reader);
   return handle->Info();
 }
 

@@ -25,6 +25,7 @@
 #include "common/result.h"
 #include "dfs/sim_dfs.h"
 #include "rdf/triple.h"
+#include "storage/rdx_reader.h"
 
 namespace rdfmr {
 namespace service {
@@ -34,8 +35,10 @@ struct DatasetInfo {
   std::string name;
   uint64_t epoch = 0;
   bool loaded = false;       ///< base relation materialized?
-  size_t num_triples = 0;    ///< 0 until loaded
+  size_t num_triples = 0;    ///< 0 until loaded (mapped: known at once)
   uint64_t base_bytes = 0;   ///< logical bytes of the base relation
+  bool mapped = false;       ///< backed by a memory-mapped rdx file?
+  uint64_t mapped_bytes = 0; ///< on-disk bytes of the mapping, if mapped
 };
 
 /// \brief Deferred triple source (file read, generator, in-memory copy).
@@ -63,18 +66,29 @@ class DatasetHandle {
 
   DatasetInfo Info() const;
 
+  /// \brief The rdx mapping backing this dataset, or null when the
+  /// dataset was loaded from memory / a deferred loader.
+  const std::shared_ptr<const storage::RdxReader>& mapped_reader() const {
+    return mapped_;
+  }
+
  private:
   friend class DatasetRegistry;
   DatasetHandle(std::string name, uint64_t epoch, ClusterConfig cluster,
-                TripleLoader loader)
+                TripleLoader loader,
+                std::shared_ptr<const storage::RdxReader> mapped)
       : name_(std::move(name)),
         epoch_(epoch),
         cluster_(cluster),
+        mapped_(std::move(mapped)),
         loader_(std::move(loader)) {}
 
   const std::string name_;
   const uint64_t epoch_;
   const ClusterConfig cluster_;
+  /// Validated mapping kept alive for the handle's lifetime (null unless
+  /// registered via RegisterMapped). Immutable after construction.
+  const std::shared_ptr<const storage::RdxReader> mapped_;
 
   /// Guards the one-time load and the fields below.
   mutable std::mutex mu_;
@@ -100,6 +114,14 @@ class DatasetRegistry {
   Result<DatasetInfo> Load(const std::string& name,
                            std::vector<Triple> triples);
 
+  /// \brief Registers `name` backed by the memory-mapped rdx file at
+  /// `path`. The file is mapped and fully validated now — milliseconds,
+  /// independent of triple count, so corruption surfaces at registration
+  /// — but the SimDfs base is only materialized from the mapping on the
+  /// first query (same lazy path as Register).
+  Result<DatasetInfo> RegisterMapped(const std::string& name,
+                                     const std::string& path);
+
   /// \brief Removes `name`; NotFound if absent. In-flight queries keep
   /// their handles.
   Status Drop(const std::string& name);
@@ -119,8 +141,9 @@ class DatasetRegistry {
   const ClusterConfig& cluster() const { return cluster_; }
 
  private:
-  std::shared_ptr<DatasetHandle> Replace(const std::string& name,
-                                         TripleLoader loader);
+  std::shared_ptr<DatasetHandle> Replace(
+      const std::string& name, TripleLoader loader,
+      std::shared_ptr<const storage::RdxReader> mapped = nullptr);
 
   const ClusterConfig cluster_;
   mutable std::mutex mu_;

@@ -10,6 +10,7 @@
 #include "query/solution.h"
 #include "query/sparql_parser.h"
 #include "service/dataset_io.h"
+#include "storage/rdx_reader.h"
 
 namespace rdfmr {
 namespace service {
@@ -37,6 +38,8 @@ JsonValue DatasetInfoJson(const DatasetInfo& info) {
   o.Set("loaded", info.loaded);
   o.Set("triples", static_cast<uint64_t>(info.num_triples));
   o.Set("bytes", info.base_bytes);
+  o.Set("mapped", info.mapped);
+  if (info.mapped) o.Set("mapped_bytes", info.mapped_bytes);
   return o;
 }
 
@@ -171,15 +174,16 @@ JsonValue RunServiceRequest(QueryService* query_service,
   if (per_query) {
     JsonValue answers = JsonValue::MakeArray();
     JsonValue counts = JsonValue::MakeArray();
-    for (const SolutionSet& set : response.batch_answers) {
+    for (const SolutionSet& set : response.batch_answer_sets()) {
       answers.Append(AnswersJson(set, max_answers));
       counts.Append(static_cast<uint64_t>(set.size()));
     }
     o.Set("answers", std::move(answers));
     o.Set("num_answers", std::move(counts));
   } else {
-    o.Set("answers", AnswersJson(response.answers, max_answers));
-    o.Set("num_answers", static_cast<uint64_t>(response.answers.size()));
+    o.Set("answers", AnswersJson(response.answer_set(), max_answers));
+    o.Set("num_answers",
+          static_cast<uint64_t>(response.answer_set().size()));
   }
   return o;
 }
@@ -220,6 +224,15 @@ JsonValue HandleLoad(QueryService* query_service, const JsonValue& request) {
     TripleLoader loader;
     if (has_path) {
       const std::string path = request.GetString("path");
+      if (storage::IsRdxPath(path) && !request.GetBool("eager")) {
+        // rdx files map zero-copy: validated now, materialized on first
+        // query. "eager" still forces an immediate decode below.
+        info = query_service->RegisterMappedDataset(dataset, path);
+        if (!info.ok()) return ErrorResponse(info.status());
+        JsonValue mapped_ok = OkResponse();
+        mapped_ok.Set("dataset", DatasetInfoJson(*info));
+        return mapped_ok;
+      }
       loader = [path] { return ReadDatasetFile(path); };
     } else {
       const std::string family = request.GetString("family");

@@ -49,14 +49,11 @@ std::string SingleQueryName(const ServiceRequest& request) {
   return name;
 }
 
-uint64_t EstimateAnswerCharge(const std::vector<SolutionSet>& answers) {
-  uint64_t bytes = 128;  // fixed overhead for the ExecStats copy
-  for (const SolutionSet& set : answers) {
-    bytes += 32;
-    for (const Solution& solution : set) {
-      for (const auto& [var, value] : solution.bindings()) {
-        bytes += var.size() + value.size() + 16;
-      }
+uint64_t EstimateSetCharge(const SolutionSet& set) {
+  uint64_t bytes = 32;
+  for (const Solution& solution : set) {
+    for (const auto& [var, value] : solution.bindings()) {
+      bytes += var.size() + value.size() + 16;
     }
   }
   return bytes;
@@ -326,6 +323,16 @@ Result<DatasetInfo> QueryService::RegisterDataset(const std::string& name,
   return registry_.Register(name, std::move(loader));
 }
 
+Result<DatasetInfo> QueryService::RegisterMappedDataset(
+    const std::string& name, const std::string& path) {
+  RDFMR_ASSIGN_OR_RETURN(DatasetInfo info,
+                         registry_.RegisterMapped(name, path));
+  const std::string prefix = name + '\x1f';
+  plan_cache_.EraseByPrefix(prefix);
+  result_cache_.EraseByPrefix(prefix);
+  return info;
+}
+
 Status QueryService::DropDataset(const std::string& name) {
   RDFMR_RETURN_NOT_OK(registry_.Drop(name));
   const std::string prefix = name + '\x1f';
@@ -438,8 +445,8 @@ void QueryService::RunPending(const std::shared_ptr<Pending>& pending) {
     // passed: report expiry, withhold the payload.
     response.status =
         Status::DeadlineExceeded("request completed past its deadline");
-    response.answers.clear();
-    response.batch_answers.clear();
+    response.answers.reset();
+    response.batch_answers.reset();
   }
   stats_.running.fetch_sub(1, std::memory_order_relaxed);
   stats_.exec_micros.Add(exec_micros);
@@ -474,22 +481,21 @@ ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
   response.epoch = dataset.epoch();
   const std::string key = RequestCacheKey(request, dataset.epoch());
 
-  // Shapes the final response from an execution's stats + per-query
-  // answers (fresh or cached).
-  auto shape = [&request, &response](const ExecStats& stats,
-                                     const std::vector<SolutionSet>& answers) {
-    response.stats = stats;
+  // Shapes the final response from a pre-shaped answer snapshot (fresh
+  // or cached). No deep copy anywhere: the response aliases the
+  // snapshot's shared sets, so a warm hit costs two refcount bumps and
+  // an ExecStats copy regardless of answer size.
+  auto shape = [&request, &response](const CachedAnswers& value) {
+    response.stats = value.stats;
     if (request.query != nullptr) {
       response.stats.query = SingleQueryName(request);
-      if (!answers.empty()) response.answers = answers.front();
+      response.answers = value.merged;
     } else if (request.batch_mode == BatchMode::kUnion) {
       response.stats.query =
           StringFormat("union-of-%zu", request.batch.size());
-      for (const SolutionSet& set : answers) {
-        response.answers.insert(set.begin(), set.end());
-      }
+      response.answers = value.merged;
     } else {
-      response.batch_answers = answers;
+      response.batch_answers = value.per_query;
     }
     response.status = Status::OK();
   };
@@ -501,7 +507,7 @@ ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
     if (result_cache_.Get(key, &cached)) {
       stats_.result_cache_hits.fetch_add(1, std::memory_order_relaxed);
       response.result_cache_hit = true;
-      shape(cached->stats, cached->answers);
+      shape(*cached);
       return response;
     }
     stats_.result_cache_misses.fetch_add(1, std::memory_order_relaxed);
@@ -535,17 +541,38 @@ ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
     answers = std::move(exec->answers);
   }
 
+  // Shape once into an immutable snapshot. Batch runs precompute BOTH
+  // shapes (per-query and the union fold) so a later hit in either mode
+  // aliases ready-made sets.
+  auto value = std::make_shared<CachedAnswers>();
+  value->stats = std::move(stats);
+  if (request.query != nullptr) {
+    value->merged = std::make_shared<SolutionSet>(
+        answers.empty() ? SolutionSet() : std::move(answers.front()));
+  } else {
+    SolutionSet merged;
+    for (const SolutionSet& set : answers) {
+      merged.insert(set.begin(), set.end());
+    }
+    value->merged = std::make_shared<SolutionSet>(std::move(merged));
+    value->per_query =
+        std::make_shared<std::vector<SolutionSet>>(std::move(answers));
+  }
+  value->charge = 128;  // fixed overhead for the ExecStats copy
+  value->charge += EstimateSetCharge(*value->merged);
+  if (value->per_query != nullptr) {
+    for (const SolutionSet& set : *value->per_query) {
+      value->charge += EstimateSetCharge(set);
+    }
+  }
+
   // Cache only complete, decoded, successful runs: failed runs are cheap
   // to re-measure and undecoded runs carry no reusable payload.
-  if (request.use_result_cache && stats.ok() &&
+  if (request.use_result_cache && value->stats.ok() &&
       request.options.decode_answers) {
-    auto value = std::make_shared<CachedAnswers>();
-    value->stats = stats;
-    value->answers = answers;
-    value->charge = EstimateAnswerCharge(answers);
     result_cache_.Put(key, value, value->charge);
   }
-  shape(stats, answers);
+  shape(*value);
   return response;
 }
 

@@ -122,10 +122,14 @@ struct ServiceResponse {
   /// dataset.
   Status status;
   ExecStats stats;
-  /// Single-query / union answers.
-  SolutionSet answers;
+  /// Single-query / union answers. Shared, immutable ownership: warm
+  /// result-cache hits alias the cached snapshot (an O(1) refcount bump,
+  /// no deep copy), so concurrent warm responses point at the SAME set.
+  /// Null when the response carries no answers.
+  std::shared_ptr<const SolutionSet> answers;
   /// Batch answers (kPerQuery mode), aligned with the request's queries.
-  std::vector<SolutionSet> batch_answers;
+  /// Shared exactly like `answers`.
+  std::shared_ptr<const std::vector<SolutionSet>> batch_answers;
   uint64_t epoch = 0;
   bool plan_cache_hit = false;
   bool result_cache_hit = false;
@@ -133,6 +137,17 @@ struct ServiceResponse {
   uint64_t exec_micros = 0;
 
   bool ok() const { return status.ok(); }
+
+  /// \brief The single/union answer set (empty set when absent).
+  const SolutionSet& answer_set() const {
+    static const SolutionSet kEmpty;
+    return answers ? *answers : kEmpty;
+  }
+  /// \brief The per-query batch answers (empty vector when absent).
+  const std::vector<SolutionSet>& batch_answer_sets() const {
+    static const std::vector<SolutionSet> kEmpty;
+    return batch_answers ? *batch_answers : kEmpty;
+  }
 };
 
 /// \brief Point-in-time service counters (all monotonically increasing
@@ -197,6 +212,10 @@ class QueryService {
                                   std::vector<Triple> triples);
   Result<DatasetInfo> RegisterDataset(const std::string& name,
                                       TripleLoader loader);
+  /// \brief Registers `name` backed by a memory-mapped rdx file: the file
+  /// is validated now (milliseconds), triples materialize on first query.
+  Result<DatasetInfo> RegisterMappedDataset(const std::string& name,
+                                            const std::string& path);
   Status DropDataset(const std::string& name);
   std::vector<DatasetInfo> ListDatasets() const;
 
@@ -229,9 +248,16 @@ class QueryService {
     std::shared_ptr<const CompiledPlan> single;
     std::shared_ptr<const NtgaBatchPlan> batch;
   };
+  /// Pre-shaped, immutable result snapshot. Warm hits hand out the
+  /// shared_ptrs as-is — shaping (and the union fold) happens once, at
+  /// insertion, not per hit. `merged` serves single-query and kUnion
+  /// responses; `per_query` (null for single queries) serves kPerQuery —
+  /// both shapes are kept because the cache key deliberately ignores the
+  /// batch mode.
   struct CachedAnswers {
     ExecStats stats;
-    std::vector<SolutionSet> answers;
+    std::shared_ptr<const SolutionSet> merged;
+    std::shared_ptr<const std::vector<SolutionSet>> per_query;
     uint64_t charge = 0;
   };
 

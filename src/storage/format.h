@@ -1,0 +1,74 @@
+// On-disk layout constants of the rdx persistent dataset format (v1).
+//
+// An .rdx file is a write-once, memory-mapped snapshot of one triple
+// relation: a fixed little-endian header, a section table, and three
+// sections — a dictionary of distinct terms, dictionary-encoded triple
+// records in file order, and a per-property postings index for vertical-
+// partition scans. Every section (and the header + table themselves) is
+// covered by an FNV-1a 64 checksum, so any single flipped byte anywhere
+// in the file is detected at open. The full wire layout is documented in
+// docs/FORMAT.md; this header is the single source of truth for the
+// constants.
+
+#ifndef RDFMR_STORAGE_FORMAT_H_
+#define RDFMR_STORAGE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rdfmr {
+namespace storage {
+
+/// \brief First 8 bytes of every rdx file ("RDFMRDX" + newline — the
+/// newline catches ASCII-mode transfer mangling, zip/db-style).
+inline constexpr unsigned char kRdxMagic[8] = {'R', 'D', 'F', 'M',
+                                               'R', 'D', 'X', '\n'};
+
+/// \brief Current (and only) format version.
+inline constexpr uint32_t kRdxVersion = 1;
+
+/// \brief v1 has exactly these sections, in this order.
+enum class SectionId : uint32_t {
+  kDictionary = 1,    ///< term offsets + concatenated term bytes
+  kTriples = 2,       ///< triple_count x 3 u32 term ids, file order
+  kPropertyIndex = 3  ///< per-property sorted triple-index postings
+};
+
+inline constexpr uint32_t kRdxSectionCount = 3;
+
+/// \brief Fixed header size in bytes (magic .. header_checksum).
+inline constexpr size_t kRdxHeaderBytes = 48;
+
+/// \brief One section-table entry: id, reserved, offset, size, checksum.
+inline constexpr size_t kRdxSectionEntryBytes = 32;
+
+/// \brief Byte offset of the section table (immediately after the header).
+inline constexpr size_t kRdxTableOffset = kRdxHeaderBytes;
+
+/// \brief Byte offset of the first section in a v1 file.
+inline constexpr size_t kRdxFirstSectionOffset =
+    kRdxHeaderBytes + kRdxSectionCount * kRdxSectionEntryBytes;
+
+// Field offsets within the header (see docs/FORMAT.md for the diagram).
+inline constexpr size_t kRdxOffMagic = 0;
+inline constexpr size_t kRdxOffVersion = 8;
+inline constexpr size_t kRdxOffSectionCount = 12;
+inline constexpr size_t kRdxOffTripleCount = 16;
+inline constexpr size_t kRdxOffTermCount = 24;
+inline constexpr size_t kRdxOffFileSize = 32;
+inline constexpr size_t kRdxOffHeaderChecksum = 40;
+
+/// \brief Bytes per encoded triple record (3 x u32 term ids).
+inline constexpr size_t kRdxTripleRecordBytes = 12;
+
+/// \brief Bytes per property-index entry (property id, reserved,
+/// postings start, postings count).
+inline constexpr size_t kRdxPropertyEntryBytes = 24;
+
+/// \brief Canonical file extension.
+inline constexpr const char kRdxExtension[] = ".rdx";
+
+}  // namespace storage
+}  // namespace rdfmr
+
+#endif  // RDFMR_STORAGE_FORMAT_H_

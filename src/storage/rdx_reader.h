@@ -1,0 +1,104 @@
+// Read-only, memory-mapped access to rdx v1 dataset files.
+//
+// Open() maps the file and validates it completely before returning:
+// magic, version, header checksum, section-table bounds, per-section
+// checksums, and the structural invariants of each section (monotone
+// dictionary offsets, in-range term ids, a postings index that is a
+// permutation of the triple indices grouped by property). Every byte of
+// the file is covered by at least one of those checks, so a corrupted
+// file yields a structured kInvalidArgument (malformed layout) or
+// kDataLoss (failed checksum / truncation) error naming the file path
+// and byte offset — never a crash, and never a silently wrong answer.
+//
+// After Open succeeds all accessors are non-fallible and lock-free: the
+// reader is immutable, safe to share across threads, and decoding reads
+// straight from the mapping (string_views alias the mapped dictionary
+// blob and stay valid while the reader lives).
+
+#ifndef RDFMR_STORAGE_RDX_READER_H_
+#define RDFMR_STORAGE_RDX_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple.h"
+#include "storage/memmap.h"
+
+namespace rdfmr {
+namespace storage {
+
+/// \brief True iff `path` names an rdx file by extension (".rdx").
+bool IsRdxPath(std::string_view path);
+
+class RdxReader {
+ public:
+  /// \brief Maps and fully validates `path` (see file comment). The
+  /// returned reader is immutable and thread-safe.
+  static Result<std::shared_ptr<const RdxReader>> Open(
+      const std::string& path);
+
+  const std::string& path() const { return map_.path(); }
+  uint64_t file_bytes() const { return map_.size(); }
+  size_t triple_count() const { return triple_count_; }
+  size_t term_count() const { return term_count_; }
+  size_t property_count() const { return property_count_; }
+
+  /// \brief The term behind a dictionary id; requires id < term_count().
+  /// The view aliases the mapping (valid while the reader lives).
+  std::string_view term(uint32_t id) const;
+
+  /// \brief Dictionary-encoded triple `index`; requires
+  /// index < triple_count().
+  struct EncodedTriple {
+    uint32_t subject;
+    uint32_t property;
+    uint32_t object;
+  };
+  EncodedTriple encoded(size_t index) const;
+
+  /// \brief Decoded triple `index` (copies the three term strings).
+  Triple TripleAt(size_t index) const;
+
+  /// \brief Materializes the whole relation in file order —
+  /// byte-identical to the vector the file was indexed from.
+  std::vector<Triple> Triples() const;
+
+  /// \brief Dictionary id of `term`, if present (linear scan; callers
+  /// that probe repeatedly should build their own map).
+  std::optional<uint32_t> FindTermId(std::string_view term) const;
+
+  /// \brief Distinct property terms, in dictionary-id order (the order
+  /// of the on-disk index entries).
+  std::vector<std::string_view> Properties() const;
+
+  /// \brief Ascending triple indices whose property equals `property`
+  /// (the vertical-partition scan); empty when the property is absent.
+  std::vector<uint32_t> PropertyPostings(std::string_view property) const;
+
+ private:
+  explicit RdxReader(MemMap map) : map_(std::move(map)) {}
+
+  /// Validates the whole file and caches the section pointers.
+  Status Validate();
+
+  MemMap map_;
+  size_t triple_count_ = 0;
+  size_t term_count_ = 0;
+  size_t property_count_ = 0;
+  // Cached raw pointers into the validated mapping.
+  const uint8_t* dict_offsets_ = nullptr;  // (term_count_+1) x u64
+  const uint8_t* dict_blob_ = nullptr;
+  const uint8_t* triples_ = nullptr;        // triple_count_ x 12 bytes
+  const uint8_t* index_entries_ = nullptr;  // property_count_ x 24 bytes
+  const uint8_t* index_postings_ = nullptr;  // triple_count_ x u32
+};
+
+}  // namespace storage
+}  // namespace rdfmr
+
+#endif  // RDFMR_STORAGE_RDX_READER_H_

@@ -1,0 +1,156 @@
+#include "storage/rdx_writer.h"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "storage/format.h"
+
+namespace rdfmr {
+namespace storage {
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFULL));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutU64At(std::string* out, size_t offset, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*out)[offset + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+}  // namespace
+
+Result<std::string> BuildRdxImage(const std::vector<Triple>& triples) {
+  constexpr uint64_t kMaxIds = std::numeric_limits<uint32_t>::max();
+  if (triples.size() > kMaxIds) {
+    return Status::InvalidArgument(
+        "rdx v1 holds at most 2^32-1 triples, got " +
+        std::to_string(triples.size()));
+  }
+
+  // Dictionary in first-occurrence order: ids are dense, and decoding
+  // reproduces the exact input strings.
+  std::unordered_map<std::string, uint32_t> ids;
+  std::vector<const std::string*> terms;
+  auto intern = [&ids, &terms](const std::string& term) -> uint32_t {
+    auto [it, inserted] =
+        ids.emplace(term, static_cast<uint32_t>(terms.size()));
+    if (inserted) terms.push_back(&it->first);
+    return it->second;
+  };
+
+  std::vector<uint32_t> encoded;
+  encoded.reserve(triples.size() * 3);
+  // Postings per property term id, std::map so the index section lists
+  // properties in ascending-id order deterministically.
+  std::map<uint32_t, std::vector<uint32_t>> postings;
+  for (size_t i = 0; i < triples.size(); ++i) {
+    const Triple& t = triples[i];
+    const uint32_t s = intern(t.subject);
+    const uint32_t p = intern(t.property);
+    const uint32_t o = intern(t.object);
+    encoded.push_back(s);
+    encoded.push_back(p);
+    encoded.push_back(o);
+    postings[p].push_back(static_cast<uint32_t>(i));
+  }
+  if (terms.size() > kMaxIds) {
+    return Status::InvalidArgument(
+        "rdx v1 holds at most 2^32-1 distinct terms, got " +
+        std::to_string(terms.size()));
+  }
+
+  // Section payloads.
+  std::string dictionary;
+  {
+    uint64_t blob_offset = 0;
+    for (const std::string* term : terms) {
+      AppendU64(&dictionary, blob_offset);
+      blob_offset += term->size();
+    }
+    AppendU64(&dictionary, blob_offset);  // offsets[term_count] == blob size
+    for (const std::string* term : terms) dictionary.append(*term);
+  }
+
+  std::string triple_section;
+  triple_section.reserve(encoded.size() * 4);
+  for (uint32_t id : encoded) AppendU32(&triple_section, id);
+
+  std::string index;
+  AppendU64(&index, postings.size());
+  uint64_t postings_start = 0;
+  for (const auto& [property, rows] : postings) {
+    AppendU32(&index, property);
+    AppendU32(&index, 0);  // reserved
+    AppendU64(&index, postings_start);
+    AppendU64(&index, rows.size());
+    postings_start += rows.size();
+  }
+  for (const auto& entry : postings) {
+    for (uint32_t row : entry.second) AppendU32(&index, row);
+  }
+
+  // Header + section table, checksums patched in after layout.
+  std::string image;
+  image.append(reinterpret_cast<const char*>(kRdxMagic), sizeof(kRdxMagic));
+  AppendU32(&image, kRdxVersion);
+  AppendU32(&image, kRdxSectionCount);
+  AppendU64(&image, triples.size());
+  AppendU64(&image, terms.size());
+  const size_t file_size_at = image.size();
+  AppendU64(&image, 0);  // file_size, patched below
+  const size_t header_checksum_at = image.size();
+  AppendU64(&image, 0);  // header_checksum, patched below
+
+  const std::string* payloads[kRdxSectionCount] = {&dictionary,
+                                                   &triple_section, &index};
+  uint64_t offset = kRdxFirstSectionOffset;
+  for (uint32_t i = 0; i < kRdxSectionCount; ++i) {
+    AppendU32(&image, i + 1);  // SectionId values are 1-based in order
+    AppendU32(&image, 0);      // reserved
+    AppendU64(&image, offset);
+    AppendU64(&image, payloads[i]->size());
+    AppendU64(&image, Fnv1a64(*payloads[i]));
+    offset += payloads[i]->size();
+  }
+  PutU64At(&image, file_size_at, offset);
+  // The header checksum covers the fixed header (minus itself) plus the
+  // whole section table, so any flipped byte before the sections is
+  // caught even when the section checksums still match.
+  const uint64_t header_hash = HashCombine(
+      Fnv1a64(std::string_view(image.data(), kRdxOffHeaderChecksum)),
+      Fnv1a64(std::string_view(image.data() + kRdxTableOffset,
+                               kRdxSectionCount * kRdxSectionEntryBytes)));
+  PutU64At(&image, header_checksum_at, header_hash);
+
+  for (const std::string* payload : payloads) image.append(*payload);
+  return image;
+}
+
+Status WriteRdxFile(const std::string& path,
+                    const std::vector<Triple>& triples) {
+  RDFMR_ASSIGN_OR_RETURN(std::string image, BuildRdxImage(triples));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError(path + ": cannot open for writing");
+  out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  out.flush();
+  if (!out.good()) return Status::IoError(path + ": write failed");
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace rdfmr

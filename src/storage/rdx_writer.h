@@ -1,0 +1,36 @@
+// Writes rdx v1 dataset files (see storage/format.h and docs/FORMAT.md).
+//
+// Indexing is write-once: the builder dictionary-encodes the triples in
+// first-occurrence order (so the decoded relation is byte-identical to
+// the input, field strings and ordering included), derives the
+// per-property postings index, checksums every section, and emits the
+// whole image. The output is deterministic: the same triple vector
+// always produces the same bytes, which is what lets the golden-file
+// test pin the v1 layout.
+
+#ifndef RDFMR_STORAGE_RDX_WRITER_H_
+#define RDFMR_STORAGE_RDX_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple.h"
+
+namespace rdfmr {
+namespace storage {
+
+/// \brief Serializes `triples` into a complete rdx v1 file image.
+/// Fails with kInvalidArgument if the relation exceeds the format's
+/// limits (2^32-1 distinct terms or triples).
+Result<std::string> BuildRdxImage(const std::vector<Triple>& triples);
+
+/// \brief Builds and writes the image to `path` (kIoError on write
+/// failure). Overwrites an existing file.
+Status WriteRdxFile(const std::string& path,
+                    const std::vector<Triple>& triples);
+
+}  // namespace storage
+}  // namespace rdfmr
+
+#endif  // RDFMR_STORAGE_RDX_WRITER_H_

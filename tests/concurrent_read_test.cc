@@ -104,7 +104,7 @@ TEST(ConcurrentReadTest, TwoThreadsQueryOneLoadedDataset) {
         service::ServiceResponse response = query_service.Query(request);
         ASSERT_TRUE(response.ok()) << response.status.ToString();
         ASSERT_TRUE(response.stats.ok());
-        EXPECT_EQ(response.answers, expected[t])
+        EXPECT_EQ(response.answer_set(), expected[t])
             << "thread " << t << " iteration " << i;
       }
     });

@@ -158,8 +158,8 @@ TEST(ServiceStressTest, SixteenWarmClientsNoRacesIdenticalAnswers) {
     prime.options.kind = EngineKind::kNtgaLazy;
     ServiceResponse primed = service->Query(prime);
     ASSERT_TRUE(primed.ok()) << primed.status.ToString();
-    EXPECT_EQ(primed.answers.size(), 2u);
-    expected.push_back(primed.answers);
+    EXPECT_EQ(primed.answer_set().size(), 2u);
+    expected.push_back(primed.answer_set());
   }
 
   constexpr int kThreads = 16;
@@ -179,7 +179,7 @@ TEST(ServiceStressTest, SixteenWarmClientsNoRacesIdenticalAnswers) {
         if (!response.ok() || !response.result_cache_hit) {
           misses.fetch_add(1, std::memory_order_relaxed);
         }
-        if (response.answers != expected[qi]) {
+        if (response.answer_set() != expected[qi]) {
           mismatches.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -193,6 +193,61 @@ TEST(ServiceStressTest, SixteenWarmClientsNoRacesIdenticalAnswers) {
   EXPECT_EQ(stats.result_cache_hits, uint64_t{kThreads * kPerThread});
   EXPECT_EQ(stats.served, uint64_t{kQueries + kThreads * kPerThread});
   EXPECT_GE(stats.cache_shards, 16u);
+}
+
+// Warm hits must SHARE the cached answer snapshot, not deep-copy it into
+// each response: 16 warm clients all receive a pointer to the SAME
+// immutable SolutionSet (one O(1) refcount bump per hit), and each
+// response serializes to byte-identical text. Before the shared_ptr
+// snapshot, every warm hit copied the full answer set — O(answers) per
+// client under the cache shard's lock.
+TEST(ServiceStressTest, SixteenWarmClientsShareOneAnswerSnapshot) {
+  auto service = std::make_unique<QueryService>(StressConfig(16));
+  ASSERT_TRUE(service->LoadDataset("d", FanoutTriples(4)).ok());
+  auto query = MakeQuery("q0", "SELECT * WHERE { ?s <p0> ?o . }");
+
+  ServiceRequest request;
+  request.dataset = "d";
+  request.query = query;
+  request.options.kind = EngineKind::kNtgaLazy;
+  ServiceResponse primed = service->Query(request);
+  ASSERT_TRUE(primed.ok()) << primed.status.ToString();
+  ASSERT_NE(primed.answers, nullptr);
+  ASSERT_EQ(primed.answer_set().size(), 2u);
+
+  auto serialize = [](const SolutionSet& answers) {
+    std::string out;
+    for (const Solution& solution : answers) {
+      out += solution.Serialize();
+      out += '\n';
+    }
+    return out;
+  };
+  const std::string expected_bytes = serialize(primed.answer_set());
+
+  constexpr int kThreads = 16;
+  std::vector<std::shared_ptr<const SolutionSet>> seen(kThreads);
+  std::vector<std::string> seen_bytes(kThreads);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      ServiceResponse response = service->Query(request);
+      if (response.ok() && response.result_cache_hit) {
+        seen[t] = response.answers;
+        seen_bytes[t] = serialize(response.answer_set());
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(seen[t], nullptr) << "client " << t << " missed the cache";
+    // Pointer equality IS the zero-copy claim: all 16 responses alias
+    // the one cached set the priming run produced.
+    EXPECT_EQ(seen[t].get(), primed.answers.get())
+        << "client " << t << " received a deep copy";
+    EXPECT_EQ(seen_bytes[t], expected_bytes) << "client " << t;
+  }
 }
 
 // Epoch-bump invalidation must reach every shard: populate both caches

@@ -499,7 +499,7 @@ TEST(ServiceEquivalenceTest, SingleQueryMatchesDirectRun) {
       ASSERT_NE(dfs, nullptr);
       auto direct = RunQuery(dfs.get(), "base", *query, request.options);
       ASSERT_TRUE(direct.ok());
-      EXPECT_EQ(response.answers, direct->answers)
+      EXPECT_EQ(response.answer_set(), direct->answers)
           << EngineKindToString(kind) << " @" << threads << " threads";
       ExpectSameStats(response.stats, direct->stats);
     }
@@ -531,9 +531,9 @@ TEST(ServiceEquivalenceTest, AggregateMatchesDirectRun) {
   auto direct =
       RunAggregateQuery(dfs.get(), "base", query, spec, request.options);
   ASSERT_TRUE(direct.ok());
-  EXPECT_EQ(response.answers, direct->answers);
+  EXPECT_EQ(response.answer_set(), direct->answers);
   ExpectSameStats(response.stats, direct->stats);
-  EXPECT_EQ(response.answers,
+  EXPECT_EQ(response.answer_set(),
             EvaluateAggregateInMemory(*query, spec, triples));
 }
 
@@ -563,8 +563,8 @@ TEST(ServiceEquivalenceTest, BatchAndUnionMatchDirectRuns) {
     ASSERT_NE(dfs, nullptr);
     auto direct = RunQueryBatch(dfs.get(), "base", queries, request.options);
     ASSERT_TRUE(direct.ok());
-    ASSERT_EQ(batched.batch_answers.size(), queries.size());
-    EXPECT_EQ(batched.batch_answers, direct->answers);
+    ASSERT_EQ(batched.batch_answer_sets().size(), queries.size());
+    EXPECT_EQ(batched.batch_answer_sets(), direct->answers);
     ExpectSameStats(batched.stats, direct->stats);
 
     request.batch_mode = BatchMode::kUnion;
@@ -574,7 +574,7 @@ TEST(ServiceEquivalenceTest, BatchAndUnionMatchDirectRuns) {
     auto direct_union =
         RunUnionQuery(dfs.get(), "base", queries, request.options);
     ASSERT_TRUE(direct_union.ok());
-    EXPECT_EQ(unioned.answers, direct_union->answers);
+    EXPECT_EQ(unioned.answer_set(), direct_union->answers);
     ExpectSameStats(unioned.stats, direct_union->stats);
   }
 }
@@ -606,13 +606,13 @@ TEST(ServiceCacheTest, PlanAndResultCacheHitsObservable) {
   ASSERT_TRUE(replan.ok());
   EXPECT_TRUE(replan.plan_cache_hit);
   EXPECT_FALSE(replan.result_cache_hit);
-  EXPECT_EQ(replan.answers, cold.answers);
+  EXPECT_EQ(replan.answer_set(), cold.answer_set());
   ExpectSameStats(replan.stats, cold.stats);
 
   ServiceResponse warm = service->Query(request);
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm.result_cache_hit);
-  EXPECT_EQ(warm.answers, cold.answers);
+  EXPECT_EQ(warm.answer_set(), cold.answer_set());
   ExpectSameStats(warm.stats, cold.stats);
 
   // A renamed but structurally identical query shares both caches; its
@@ -624,7 +624,7 @@ TEST(ServiceCacheTest, PlanAndResultCacheHitsObservable) {
   ServiceResponse aliased = service->Query(alias);
   ASSERT_TRUE(aliased.ok());
   EXPECT_TRUE(aliased.result_cache_hit);
-  EXPECT_EQ(aliased.answers, cold.answers);
+  EXPECT_EQ(aliased.answer_set(), cold.answer_set());
   EXPECT_EQ(aliased.stats.query, "other-name");
 
   ServiceStatsSnapshot stats = service->Stats();
@@ -648,7 +648,7 @@ TEST(ServiceCacheTest, ReloadBumpsEpochAndInvalidates) {
   request.options.kind = EngineKind::kNtgaLazy;
   ServiceResponse first = service->Query(request);
   ASSERT_TRUE(first.ok());
-  EXPECT_EQ(first.answers.size(), 3u);
+  EXPECT_EQ(first.answer_set().size(), 3u);
 
   // Reload with one extra triple: the epoch bumps, the old cached result
   // is unreachable, and the fresh answers see the new triple.
@@ -660,7 +660,7 @@ TEST(ServiceCacheTest, ReloadBumpsEpochAndInvalidates) {
   EXPECT_GT(second.epoch, first.epoch);
   EXPECT_FALSE(second.result_cache_hit);
   EXPECT_FALSE(second.plan_cache_hit);
-  EXPECT_EQ(second.answers.size(), 4u);
+  EXPECT_EQ(second.answer_set().size(), 4u);
 
   // Dropping purges eagerly; the dataset is gone for new requests.
   ASSERT_TRUE(service->DropDataset("d").ok());
@@ -748,7 +748,7 @@ TEST(ServiceAdmissionTest, RejectsCancelsAndExpires) {
   gate.Release();
   ServiceResponse first = blocked_promise.get_future().get();
   EXPECT_TRUE(first.ok()) << first.status.ToString();
-  EXPECT_EQ(first.answers.size(), 3u);
+  EXPECT_EQ(first.answer_set().size(), 3u);
   ServiceResponse cancelled = queued_promise.get_future().get();
   EXPECT_EQ(cancelled.status.code(), StatusCode::kCancelled);
   // The executing request was past the point of cancellation.

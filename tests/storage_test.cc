@@ -1,0 +1,447 @@
+// Storage-layer battery for the rdx v1 dataset format.
+//
+//   * Round-trip: index -> mmap-load reproduces the exact input relation
+//     (order and bytes), deterministically.
+//   * Golden file: the v1 header + section-table layout is pinned byte
+//     for byte — any accidental format change fails here first.
+//   * Differential: every engine kind at 1 and 4 threads produces
+//     byte-identical answers and deterministic stats whether the dataset
+//     was parsed from .nt or memory-mapped from .rdx.
+//   * Corruption: truncation, bad magic, unsupported version, flipped
+//     bytes, and out-of-bounds section offsets all yield structured
+//     errors naming the file and byte offset — never a crash. A sweep
+//     flips EVERY byte of a fixture and requires Open to reject each one.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "gtest/gtest.h"
+#include "rdf/triple.h"
+#include "service/dataset_io.h"
+#include "service/query_service.h"
+#include "storage/format.h"
+#include "storage/memmap.h"
+#include "storage/rdx_reader.h"
+#include "storage/rdx_writer.h"
+#include "tests/test_util.h"
+#include "testing/invariants.h"
+
+namespace rdfmr {
+namespace {
+
+using storage::BuildRdxImage;
+using storage::MemMap;
+using storage::RdxReader;
+using storage::WriteRdxFile;
+using testing_util::AllEngineKinds;
+using testing_util::SmallDataset;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "rdfmr_storage_" + name;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+uint64_t ReadU64(const std::string& image, size_t at) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(image[at + i]);
+  }
+  return v;
+}
+
+uint32_t ReadU32(const std::string& image, size_t at) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(image[at + i]);
+  }
+  return v;
+}
+
+void PutU64(std::string* image, size_t at, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*image)[at + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Re-stamps the header checksum after a deliberate header/table patch,
+/// so a test can reach the validation step BEHIND the checksum.
+void RestampHeaderChecksum(std::string* image) {
+  const uint64_t hash = HashCombine(
+      Fnv1a64(std::string_view(image->data(), storage::kRdxOffHeaderChecksum)),
+      Fnv1a64(std::string_view(
+          image->data() + storage::kRdxTableOffset,
+          storage::kRdxSectionCount * storage::kRdxSectionEntryBytes)));
+  PutU64(image, storage::kRdxOffHeaderChecksum, hash);
+}
+
+std::vector<Triple> TinyTriples() {
+  return {Triple("s1", "p1", "o1"), Triple("s2", "p1", "s1"),
+          Triple("s1", "p2", "label one")};
+}
+
+Result<std::shared_ptr<const RdxReader>> OpenImage(const std::string& name,
+                                                   const std::string& image) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  out.close();
+  return RdxReader::Open(path);
+}
+
+// ---- round trip -------------------------------------------------------------
+
+TEST(RdxRoundTripTest, EveryFamilyReproducesTheExactRelation) {
+  for (DatasetFamily family :
+       {DatasetFamily::kBsbm, DatasetFamily::kBio2Rdf, DatasetFamily::kDbpedia,
+        DatasetFamily::kBtc}) {
+    const std::vector<Triple> triples = SmallDataset(family);
+    const std::string path =
+        TempPath("family_" + std::to_string(static_cast<int>(family)) +
+                 ".rdx");
+    ASSERT_TRUE(WriteRdxFile(path, triples).ok());
+
+    auto reader = RdxReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ((*reader)->triple_count(), triples.size());
+    // File order is preserved, so the decode is the identical vector —
+    // the property that makes parsed-load and mmap-load byte-identical
+    // downstream (same SimDfs blocks, same stats, same answers).
+    EXPECT_EQ((*reader)->Triples(), triples);
+  }
+}
+
+TEST(RdxRoundTripTest, DictionaryAndIndexAccessorsAgreeWithTheRelation) {
+  const std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  const std::string path = TempPath("accessors.rdx");
+  ASSERT_TRUE(WriteRdxFile(path, triples).ok());
+  auto opened = RdxReader::Open(path);
+  ASSERT_TRUE(opened.ok());
+  const RdxReader& reader = **opened;
+
+  // Every decoded id maps back to the original term text.
+  for (size_t i = 0; i < reader.triple_count(); ++i) {
+    const RdxReader::EncodedTriple ids = reader.encoded(i);
+    EXPECT_EQ(reader.term(ids.subject), triples[i].subject);
+    EXPECT_EQ(reader.term(ids.property), triples[i].property);
+    EXPECT_EQ(reader.term(ids.object), triples[i].object);
+  }
+  EXPECT_EQ(reader.FindTermId(triples[0].subject).has_value(), true);
+  EXPECT_FALSE(reader.FindTermId("no-such-term-anywhere").has_value());
+
+  // The property index is exactly the vertical partition: for each
+  // distinct property, the ascending file positions of its triples.
+  size_t indexed_rows = 0;
+  for (std::string_view property : reader.Properties()) {
+    std::vector<uint32_t> expected;
+    for (size_t i = 0; i < triples.size(); ++i) {
+      if (triples[i].property == property) {
+        expected.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(reader.PropertyPostings(property), expected)
+        << "property " << property;
+    indexed_rows += expected.size();
+  }
+  EXPECT_EQ(indexed_rows, triples.size());
+  EXPECT_TRUE(reader.PropertyPostings("absent-property").empty());
+}
+
+TEST(RdxRoundTripTest, ImageIsDeterministic) {
+  const std::vector<Triple> triples = SmallDataset(DatasetFamily::kDbpedia);
+  auto a = BuildRdxImage(triples);
+  auto b = BuildRdxImage(triples);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(RdxRoundTripTest, EmptyRelationRoundTrips) {
+  const std::string path = TempPath("empty.rdx");
+  ASSERT_TRUE(WriteRdxFile(path, {}).ok());
+  auto reader = RdxReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->triple_count(), 0u);
+  EXPECT_EQ((*reader)->term_count(), 0u);
+  EXPECT_EQ((*reader)->property_count(), 0u);
+  EXPECT_TRUE((*reader)->Triples().empty());
+}
+
+// ---- golden v1 layout -------------------------------------------------------
+
+// Pins the v1 wire layout of the fixed TinyTriples() relation. If any of
+// these assertions move, the change is a FORMAT change: bump kRdxVersion
+// and update docs/FORMAT.md instead of editing the expectations.
+TEST(RdxGoldenTest, V1HeaderAndTableLayoutIsPinned) {
+  auto image_or = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(image_or.ok());
+  const std::string& image = *image_or;
+
+  // Fixed geometry.
+  EXPECT_EQ(storage::kRdxHeaderBytes, 48u);
+  EXPECT_EQ(storage::kRdxSectionEntryBytes, 32u);
+  EXPECT_EQ(storage::kRdxFirstSectionOffset, 144u);
+
+  // Header fields.
+  ASSERT_GE(image.size(), storage::kRdxFirstSectionOffset);
+  EXPECT_EQ(image.substr(0, 8), std::string("RDFMRDX\n"));
+  EXPECT_EQ(ReadU32(image, storage::kRdxOffVersion), 1u);
+  EXPECT_EQ(ReadU32(image, storage::kRdxOffSectionCount), 3u);
+  EXPECT_EQ(ReadU64(image, storage::kRdxOffTripleCount), 3u);
+  // 7 distinct terms in first-occurrence order:
+  // s1 p1 o1 s2 p2 "label one" — s1 reused; terms: s1,p1,o1,s2,p2,label.
+  EXPECT_EQ(ReadU64(image, storage::kRdxOffTermCount), 6u);
+  EXPECT_EQ(ReadU64(image, storage::kRdxOffFileSize), image.size());
+
+  // Section table: ids 1..3, reserved zero, contiguous from offset 144.
+  // dictionary = 7 u64 offsets + 19 blob bytes = 75; triples = 3 * 12;
+  // index = 8 + 2 * 24 + 3 * 4 = 68.
+  const uint64_t expected_sizes[3] = {75, 36, 68};
+  uint64_t offset = storage::kRdxFirstSectionOffset;
+  for (uint32_t i = 0; i < 3; ++i) {
+    const size_t entry = storage::kRdxTableOffset +
+                         i * storage::kRdxSectionEntryBytes;
+    EXPECT_EQ(ReadU32(image, entry), i + 1) << "section id " << i;
+    EXPECT_EQ(ReadU32(image, entry + 4), 0u) << "reserved " << i;
+    EXPECT_EQ(ReadU64(image, entry + 8), offset) << "offset " << i;
+    EXPECT_EQ(ReadU64(image, entry + 16), expected_sizes[i]) << "size " << i;
+    EXPECT_EQ(ReadU64(image, entry + 24),
+              Fnv1a64(std::string_view(image).substr(offset,
+                                                     expected_sizes[i])))
+        << "checksum " << i;
+    offset += expected_sizes[i];
+  }
+  EXPECT_EQ(offset, image.size());
+
+  // Dictionary: first-occurrence interning order, ids 0..5.
+  const size_t dict = storage::kRdxFirstSectionOffset;
+  const char* expected_terms[6] = {"s1", "p1", "o1", "s2", "p2", "label one"};
+  uint64_t blob_at = 0;
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_EQ(ReadU64(image, dict + 8 * t), blob_at) << "term offset " << t;
+    blob_at += std::string(expected_terms[t]).size();
+  }
+  EXPECT_EQ(ReadU64(image, dict + 8 * 6), blob_at);
+  EXPECT_EQ(image.substr(dict + 56, 19), std::string("s1p1o1s2p2label one"));
+
+  // Triple records: (0,1,2) (3,1,0) (0,4,5).
+  const size_t triples_at = dict + 75;
+  const uint32_t expected_ids[9] = {0, 1, 2, 3, 1, 0, 0, 4, 5};
+  for (int f = 0; f < 9; ++f) {
+    EXPECT_EQ(ReadU32(image, triples_at + 4 * f), expected_ids[f])
+        << "triple field " << f;
+  }
+
+  // Property index: p1 (id 1) -> rows 0,1; p2 (id 4) -> row 2.
+  const size_t index_at = triples_at + 36;
+  EXPECT_EQ(ReadU64(image, index_at), 2u);  // num_properties
+  EXPECT_EQ(ReadU32(image, index_at + 8), 1u);        // p1
+  EXPECT_EQ(ReadU64(image, index_at + 16), 0u);       // postings start
+  EXPECT_EQ(ReadU64(image, index_at + 24), 2u);       // postings count
+  EXPECT_EQ(ReadU32(image, index_at + 32), 4u);       // p2
+  EXPECT_EQ(ReadU64(image, index_at + 40), 2u);       // postings start
+  EXPECT_EQ(ReadU64(image, index_at + 48), 1u);       // postings count
+  EXPECT_EQ(ReadU32(image, index_at + 56), 0u);       // p1 row 0
+  EXPECT_EQ(ReadU32(image, index_at + 60), 1u);       // p1 row 1
+  EXPECT_EQ(ReadU32(image, index_at + 64), 2u);       // p2 row 2
+}
+
+// ---- differential: parsed vs mapped -----------------------------------------
+
+TEST(RdxDifferentialTest, MappedAndParsedLoadsAreByteIdenticalAcrossEngines) {
+  const std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  const std::string nt_path = TempPath("diff.nt");
+  const std::string rdx_path = TempPath("diff.rdx");
+  ASSERT_TRUE(service::WriteDatasetFile(nt_path, triples).ok());
+  // Index from the PARSED .nt so both loads see the same relation even
+  // where .nt rendering is lossy about the in-memory original.
+  auto parsed = service::ReadDatasetFile(nt_path);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(WriteRdxFile(rdx_path, *parsed).ok());
+
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+
+  service::ServiceConfig config;
+  config.cluster = testing_util::RoomyCluster();
+  service::QueryService parsed_service(config);
+  service::QueryService mapped_service(config);
+  ASSERT_TRUE(parsed_service
+                  .RegisterDataset(
+                      "d", [nt_path] {
+                        return service::ReadDatasetFile(nt_path);
+                      })
+                  .ok());
+  auto mapped_info = mapped_service.RegisterMappedDataset("d", rdx_path);
+  ASSERT_TRUE(mapped_info.ok()) << mapped_info.status().ToString();
+  EXPECT_TRUE(mapped_info->mapped);
+  EXPECT_GT(mapped_info->mapped_bytes, 0u);
+  EXPECT_FALSE(mapped_info->loaded);  // nothing materialized yet
+  EXPECT_EQ(mapped_info->num_triples, parsed->size());
+
+  for (EngineKind kind : AllEngineKinds()) {
+    SCOPED_TRACE(EngineKindToString(kind));
+    for (uint32_t threads : {1u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      service::ServiceRequest request;
+      request.dataset = "d";
+      request.query = *query;
+      request.options.kind = kind;
+      request.options.num_threads = threads;
+      request.use_result_cache = false;
+
+      service::ServiceResponse from_parsed = parsed_service.Query(request);
+      service::ServiceResponse from_mapped = mapped_service.Query(request);
+      ASSERT_TRUE(from_parsed.ok()) << from_parsed.status.ToString();
+      ASSERT_TRUE(from_mapped.ok()) << from_mapped.status.ToString();
+      EXPECT_EQ(from_mapped.answer_set(), from_parsed.answer_set());
+      const std::vector<std::string> diff = fuzz::CompareStatsIgnoringWallTimes(
+          from_mapped.stats, from_parsed.stats);
+      EXPECT_TRUE(diff.empty()) << diff.front();
+    }
+  }
+}
+
+TEST(RdxDifferentialTest, ReadDatasetFileDetectsRdxTransparently) {
+  const std::vector<Triple> triples = TinyTriples();
+  const std::string path = TempPath("detect.rdx");
+  ASSERT_TRUE(WriteRdxFile(path, triples).ok());
+  auto loaded = service::ReadDatasetFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, triples);
+}
+
+// ---- corruption -------------------------------------------------------------
+
+TEST(RdxCorruptionTest, TruncationAtEveryLengthIsRejected) {
+  auto image_or = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(image_or.ok());
+  const std::string& image = *image_or;
+  // Every proper prefix must fail (and never crash): short prefixes as
+  // truncation (kDataLoss), longer ones as size/checksum mismatches.
+  for (size_t len = 0; len < image.size(); ++len) {
+    auto reader = OpenImage("trunc.rdx", image.substr(0, len));
+    ASSERT_FALSE(reader.ok()) << "prefix of " << len << " bytes opened";
+    EXPECT_TRUE(reader.status().code() == StatusCode::kDataLoss ||
+                reader.status().code() == StatusCode::kInvalidArgument)
+        << reader.status().ToString();
+  }
+}
+
+TEST(RdxCorruptionTest, WrongMagicNamesFileAndOffset) {
+  auto image = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(image.ok());
+  (*image)[0] = 'X';
+  auto reader = OpenImage("magic.rdx", *image);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reader.status().message().find("magic"), std::string::npos);
+  EXPECT_NE(reader.status().message().find("magic.rdx"), std::string::npos);
+  EXPECT_NE(reader.status().message().find("byte offset 0"),
+            std::string::npos);
+}
+
+TEST(RdxCorruptionTest, UnsupportedVersionIsExplicit) {
+  auto image = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(image.ok());
+  (*image)[storage::kRdxOffVersion] = 9;
+  auto reader = OpenImage("version.rdx", *image);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reader.status().message().find("unsupported format version 9"),
+            std::string::npos);
+}
+
+TEST(RdxCorruptionTest, FlippedPayloadByteFailsTheSectionChecksum) {
+  auto image = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(image.ok());
+  // Flip one dictionary blob byte.
+  (*image)[storage::kRdxFirstSectionOffset + 60] ^= 0x01;
+  auto reader = OpenImage("flip.rdx", *image);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(reader.status().message().find("checksum mismatch"),
+            std::string::npos);
+  EXPECT_NE(reader.status().message().find("dictionary"), std::string::npos);
+}
+
+TEST(RdxCorruptionTest, OutOfBoundsSectionOffsetIsStructured) {
+  auto image = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(image.ok());
+  // Point the triples section far past EOF; restamp the header checksum
+  // so validation reaches the bounds check itself.
+  PutU64(&*image,
+         storage::kRdxTableOffset + storage::kRdxSectionEntryBytes + 8,
+         1ULL << 60);
+  RestampHeaderChecksum(&*image);
+  auto reader = OpenImage("oob.rdx", *image);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reader.status().message().find("out of bounds"),
+            std::string::npos);
+  EXPECT_NE(reader.status().message().find("triples"), std::string::npos);
+}
+
+TEST(RdxCorruptionTest, HeaderCountCorruptionIsCaughtByTheChecksum) {
+  auto image = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(image.ok());
+  (*image)[storage::kRdxOffTripleCount] = 99;
+  auto reader = OpenImage("count.rdx", *image);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(RdxCorruptionTest, NotAFileAndMissingFileAreIoErrors) {
+  auto missing = RdxReader::Open(TempPath("does_not_exist.rdx"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+  auto dir = RdxReader::Open(::testing::TempDir());
+  ASSERT_FALSE(dir.ok());
+  EXPECT_EQ(dir.status().code(), StatusCode::kIoError);
+}
+
+TEST(RdxCorruptionTest, EveryByteFlipIsDetected) {
+  auto image_or = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(image_or.ok());
+  const std::string& good = *image_or;
+  ASSERT_TRUE(OpenImage("sweep.rdx", good).ok());
+  // Every byte of the file is covered by magic/version/count checks, the
+  // header checksum, or a section checksum — so EVERY single-byte
+  // corruption must be rejected at Open, at every position.
+  for (size_t at = 0; at < good.size(); ++at) {
+    std::string bad = good;
+    bad[at] = static_cast<char>(bad[at] ^ 0xFF);
+    auto reader = OpenImage("sweep.rdx", bad);
+    EXPECT_FALSE(reader.ok()) << "flip at byte " << at << " was accepted";
+  }
+}
+
+TEST(RdxCorruptionTest, MappedRegistrationSurfacesCorruptionNotCrash) {
+  auto image = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(image.ok());
+  (*image)[image->size() - 1] ^= 0xFF;
+  const std::string path = TempPath("bad_register.rdx");
+  WriteBytes(path, *image);
+
+  service::ServiceConfig config;
+  config.cluster = testing_util::RoomyCluster();
+  service::QueryService service(config);
+  auto info = service.RegisterMappedDataset("bad", path);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(info.status().message().find(path), std::string::npos);
+  EXPECT_TRUE(service.ListDatasets().empty());
+}
+
+}  // namespace
+}  // namespace rdfmr

@@ -84,8 +84,13 @@ run_one() {
     # Even quick TSan runs re-run the thread-dense service stress suite
     # explicitly: it is the races-or-bust gate for the lock-free stats and
     # sharded-cache warm path, and it is cheap (seconds, not minutes).
+    # The storage label rides along: mmap-backed datasets materialize
+    # lazily under concurrent readers, so the rdx battery (and the format
+    # fuzz smoke) must also be race-clean.
     if [[ "$san" == "thread" ]]; then
       ctest --test-dir "$build_dir" -L service_stress --output-on-failure \
+        || return $?
+      ctest --test-dir "$build_dir" -L storage --output-on-failure \
         || return $?
     fi
     return 0

@@ -71,11 +71,14 @@ run_bench() {
   cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
     "${launcher_args[@]}" || return $?
   cmake --build "$build_dir" -j "$(nproc)" --target bench_service \
-    fig12_bsbm1m || return $?
+    fig12_bsbm1m bench_index || return $?
   # The benches write BENCH_*.json into the working directory, exactly as
   # the CI job does before uploading them as artifacts.
   "./$build_dir/bench/bench_service" || return $?
   "./$build_dir/bench/fig12_bsbm1m" --small || return $?
+  # bench_index hard-fails on its own when mmap-open is not >= 10x faster
+  # than parse-open, independent of the baseline-relative gate below.
+  "./$build_dir/bench/bench_index" || return $?
   python3 tools/bench_compare.py \
     --baseline bench/baselines/BENCH_service.json \
     --current BENCH_service.json \
@@ -90,7 +93,14 @@ run_bench() {
   python3 tools/bench_compare.py \
     --baseline bench/baselines/BENCH_fig12.json \
     --current BENCH_fig12.json \
-    --field modeled_seconds --direction lower --tolerance 0.20
+    --field modeled_seconds --direction lower --tolerance 0.20 || return $?
+  # The storage bench's gateable number is the parse-open/mmap-open ratio
+  # (same host, same process => machine speed cancels out).
+  python3 tools/bench_compare.py \
+    --baseline bench/baselines/BENCH_index.json \
+    --current BENCH_index.json \
+    --cells-key gates \
+    --field speedup --direction higher --tolerance 0.50
 }
 
 run_job() {
