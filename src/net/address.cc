@@ -1,0 +1,228 @@
+#include "net/address.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace rdfmr {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// Resolves a numeric-or-well-known TCP host. A resolver library is
+/// deliberately out of scope: the serving layer binds loopback or
+/// wildcard in every deployment this simulator targets, and clients dial
+/// numeric addresses.
+Result<in_addr> ResolveHost(const std::string& host, bool for_listen) {
+  in_addr out{};
+  if (host.empty() || host == "*") {
+    if (!for_listen) {
+      return Status::InvalidArgument(
+          "tcp connect address needs an explicit host");
+    }
+    out.s_addr = htonl(INADDR_ANY);
+    return out;
+  }
+  if (host == "localhost") {
+    out.s_addr = htonl(INADDR_LOOPBACK);
+    return out;
+  }
+  if (::inet_pton(AF_INET, host.c_str(), &out) == 1) return out;
+  return Status::InvalidArgument("cannot resolve tcp host: " + host +
+                                 " (want a numeric IPv4 address, "
+                                 "\"localhost\", or \"*\")");
+}
+
+Result<sockaddr_un> UnixSockaddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty()) {
+    return Status::InvalidArgument("unix address needs a socket path");
+  }
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Address Address::Unix(std::string socket_path) {
+  Address a;
+  a.kind = AddressKind::kUnix;
+  a.path = std::move(socket_path);
+  return a;
+}
+
+Address Address::Tcp(std::string tcp_host, uint16_t tcp_port) {
+  Address a;
+  a.kind = AddressKind::kTcp;
+  a.host = std::move(tcp_host);
+  a.port = tcp_port;
+  return a;
+}
+
+Result<Address> Address::Parse(const std::string& spec) {
+  if (StartsWith(spec, "unix:")) {
+    std::string path = spec.substr(5);
+    if (path.empty()) {
+      return Status::InvalidArgument("unix address needs a path: " + spec);
+    }
+    return Unix(std::move(path));
+  }
+  if (StartsWith(spec, "tcp:")) {
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "tcp address needs HOST:PORT (got \"" + spec + "\")");
+    }
+    const std::string host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    if (port_text.empty() ||
+        port_text.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("bad tcp port in \"" + spec + "\"");
+    }
+    unsigned long port = std::stoul(port_text);
+    if (port > 65535) {
+      return Status::InvalidArgument("tcp port out of range in \"" + spec +
+                                     "\"");
+    }
+    return Tcp(host, static_cast<uint16_t>(port));
+  }
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty listen/connect address");
+  }
+  // Bare path: the pre-net `--socket PATH` spelling.
+  return Unix(spec);
+}
+
+std::string Address::ToString() const {
+  if (kind == AddressKind::kUnix) return "unix:" + path;
+  return "tcp:" + (host.empty() ? std::string("*") : host) + ":" +
+         std::to_string(port);
+}
+
+Result<Listener> Listen(const Address& address, int backlog) {
+  Listener listener;
+  listener.bound = address;
+  if (address.kind == AddressKind::kUnix) {
+    RDFMR_ASSIGN_OR_RETURN(sockaddr_un addr, UnixSockaddr(address.path));
+    listener.fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listener.fd < 0) return Errno("socket");
+    ::unlink(address.path.c_str());  // replace a stale socket file
+    if (::bind(listener.fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      Status st = Errno("bind " + address.ToString());
+      ::close(listener.fd);
+      return st;
+    }
+  } else {
+    RDFMR_ASSIGN_OR_RETURN(in_addr host, ResolveHost(address.host, true));
+    listener.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listener.fd < 0) return Errno("socket");
+    int one = 1;
+    ::setsockopt(listener.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr = host;
+    addr.sin_port = htons(address.port);
+    if (::bind(listener.fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      Status st = Errno("bind " + address.ToString());
+      ::close(listener.fd);
+      return st;
+    }
+    if (address.port == 0) {
+      // Report the kernel-assigned ephemeral port back to the caller
+      // (tests and scripts need it to connect).
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(listener.fd, reinterpret_cast<sockaddr*>(&bound),
+                        &len) == 0) {
+        listener.bound.port = ntohs(bound.sin_port);
+      }
+    }
+  }
+  if (::listen(listener.fd, backlog) != 0) {
+    Status st = Errno("listen " + address.ToString());
+    ::close(listener.fd);
+    if (address.kind == AddressKind::kUnix) ::unlink(address.path.c_str());
+    return st;
+  }
+  Status st = SetNonBlocking(listener.fd);
+  if (!st.ok()) {
+    ::close(listener.fd);
+    if (address.kind == AddressKind::kUnix) ::unlink(address.path.c_str());
+    return st;
+  }
+  return listener;
+}
+
+Result<int> Dial(const Address& address, int* out_errno) {
+  if (out_errno != nullptr) *out_errno = 0;
+  int fd = -1;
+  if (address.kind == AddressKind::kUnix) {
+    auto addr = UnixSockaddr(address.path);
+    if (!addr.ok()) return addr.status();
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      if (out_errno != nullptr) *out_errno = errno;
+      return Errno("socket");
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                  sizeof(*addr)) != 0) {
+      if (out_errno != nullptr) *out_errno = errno;
+      Status st = Errno("connect " + address.ToString());
+      ::close(fd);
+      return st;
+    }
+  } else {
+    auto host = ResolveHost(address.host, false);
+    if (!host.ok()) return host.status();
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      if (out_errno != nullptr) *out_errno = errno;
+      return Errno("socket");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr = *host;
+    addr.sin_port = htons(address.port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      if (out_errno != nullptr) *out_errno = errno;
+      Status st = Errno("connect " + address.ToString());
+      ::close(fd);
+      return st;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+}  // namespace net
+}  // namespace rdfmr

@@ -1,0 +1,68 @@
+// Transport addresses for the serving layer: a parsed `unix:PATH` or
+// `tcp:HOST:PORT` endpoint plus the socket plumbing both sides share
+// (listener creation for the event loop, Dial for clients).
+//
+// Accepted spectra:
+//   unix:/tmp/rdfmr.sock   AF_UNIX stream socket at that path
+//   tcp:127.0.0.1:7687     TCP endpoint; HOST may be a numeric IPv4
+//                          address, "localhost", or empty/"*" meaning
+//                          INADDR_ANY (listeners only); PORT 0 asks the
+//                          kernel for an ephemeral port (the bound
+//                          address is reported back via Listen)
+//   /tmp/rdfmr.sock        bare paths keep working as AF_UNIX for
+//                          backward compatibility with --socket
+//
+// All sockets are SOCK_STREAM; TCP sockets get TCP_NODELAY (the NDJSON
+// protocol writes whole frames, so Nagle only adds latency to pipelined
+// round trips).
+
+#ifndef RDFMR_NET_ADDRESS_H_
+#define RDFMR_NET_ADDRESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace rdfmr {
+namespace net {
+
+enum class AddressKind { kUnix, kTcp };
+
+struct Address {
+  AddressKind kind = AddressKind::kUnix;
+  std::string path;  ///< AF_UNIX socket path
+  std::string host;  ///< TCP host (empty / "*" = INADDR_ANY for listeners)
+  uint16_t port = 0; ///< TCP port (0 = kernel-assigned, listeners only)
+
+  static Address Unix(std::string socket_path);
+  static Address Tcp(std::string tcp_host, uint16_t tcp_port);
+
+  /// \brief Parses "unix:PATH", "tcp:HOST:PORT", or a bare AF_UNIX path.
+  static Result<Address> Parse(const std::string& spec);
+
+  /// \brief Canonical "unix:..." / "tcp:..." rendering (round-trips
+  /// through Parse).
+  std::string ToString() const;
+};
+
+/// \brief A bound, listening, non-blocking socket plus the address it
+/// actually bound (TCP port 0 is resolved to the kernel-assigned port).
+struct Listener {
+  int fd = -1;
+  Address bound;
+};
+
+/// \brief Binds and listens on `address` (unlinking a stale AF_UNIX
+/// socket file first). The returned fd is non-blocking and close-on-exec.
+Result<Listener> Listen(const Address& address, int backlog = 128);
+
+/// \brief Connects a blocking stream socket to `address`. On failure
+/// `*out_errno` (when non-null) receives the connect/socket errno so
+/// callers can classify transient failures (ECONNREFUSED, ENOENT, ...).
+Result<int> Dial(const Address& address, int* out_errno = nullptr);
+
+}  // namespace net
+}  // namespace rdfmr
+
+#endif  // RDFMR_NET_ADDRESS_H_

@@ -1,0 +1,41 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace rdfmr {
+namespace net {
+
+bool LineDecoder::Feed(const char* data, size_t size,
+                       std::vector<std::string>* lines) {
+  if (overflowed_) return false;
+  size_t offset = 0;
+  while (offset < size) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(data + offset, '\n', size - offset));
+    const size_t take =
+        nl == nullptr ? size - offset : static_cast<size_t>(nl - (data + offset));
+    // The cap covers the whole logical line, whether it arrives torn
+    // across reads or complete in one chunk.
+    if (max_line_bytes_ > 0 && buffer_.size() + take > max_line_bytes_) {
+      overflowed_ = true;
+      buffer_.clear();
+      return false;
+    }
+    if (nl == nullptr) {
+      buffer_.append(data + offset, take);
+      break;
+    }
+    if (buffer_.empty()) {
+      if (take > 0) lines->emplace_back(data + offset, take);
+    } else {
+      buffer_.append(data + offset, take);
+      lines->push_back(std::move(buffer_));
+      buffer_.clear();
+    }
+    offset += take + 1;  // skip the newline
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace rdfmr

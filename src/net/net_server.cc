@@ -1,0 +1,577 @@
+#include "net/net_server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace rdfmr {
+namespace net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+constexpr int kPollMillis = 200;
+/// Compact the outbound buffer once the consumed prefix passes this.
+constexpr size_t kCompactThreshold = 1ULL << 20;
+}  // namespace
+
+struct NetServer::Conn {
+  explicit Conn(uint64_t max_line_bytes) : decoder(max_line_bytes) {}
+
+  uint64_t id = 0;
+  int fd = -1;
+  LineDecoder decoder;
+
+  std::string outbound;
+  size_t out_offset = 0;
+
+  bool stalled = false;           ///< POLLIN off until outbound halves
+  bool ordered = false;           ///< emit responses in request order
+  bool peer_closed = false;       ///< read side hit EOF
+  bool close_after_drain = false; ///< oversize frame: flush, then close
+  bool broken = false;            ///< write error; close at next sweep
+
+  uint64_t next_seq = 0;   ///< sequence assigned to the next inbound line
+  uint64_t next_emit = 0;  ///< ordered mode: next sequence to write
+  std::map<uint64_t, std::string> held;  ///< ordered-mode early completions
+  uint64_t inflight = 0;
+
+  Clock::time_point last_activity;
+
+  size_t outbound_bytes() const { return outbound.size() - out_offset; }
+};
+
+/// Instance counters (relaxed atomics, read by stats()) paired with the
+/// process-wide rdfmr_net_* registry series updated in lockstep.
+struct NetServer::StatCells {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> closed{0};
+  std::atomic<uint64_t> idle_evicted{0};
+  std::atomic<uint64_t> oversize{0};
+  std::atomic<uint64_t> stalls{0};
+  std::atomic<uint64_t> dispatched{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> read_bytes{0};
+  std::atomic<uint64_t> write_bytes{0};
+  std::atomic<uint64_t> open{0};
+  std::atomic<uint64_t> inflight{0};
+
+  Counter* m_accepted;
+  Counter* m_rejected;
+  Counter* m_closed;
+  Counter* m_idle_evicted;
+  Counter* m_oversize;
+  Counter* m_stalls;
+  Counter* m_requests;
+  Counter* m_responses;
+  Counter* m_read_bytes;
+  Counter* m_write_bytes;
+  Gauge* m_open;
+  Gauge* m_inflight;
+
+  StatCells() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    m_accepted = reg.GetCounter("rdfmr_net_accepted_total",
+                                "connections accepted");
+    m_rejected = reg.GetCounter("rdfmr_net_rejected_total",
+                                "accepts rejected over the connection limit");
+    m_closed = reg.GetCounter("rdfmr_net_closed_total",
+                              "connections closed (any reason)");
+    m_idle_evicted = reg.GetCounter("rdfmr_net_idle_evicted_total",
+                                    "connections evicted by idle timeout");
+    m_oversize = reg.GetCounter("rdfmr_net_oversize_frames_total",
+                                "inbound frames over the line cap");
+    m_stalls = reg.GetCounter(
+        "rdfmr_net_backpressure_stalls_total",
+        "times a connection's reads were paused on outbound pressure");
+    m_requests = reg.GetCounter("rdfmr_net_requests_total",
+                                "inbound lines dispatched to the handler");
+    m_responses = reg.GetCounter("rdfmr_net_responses_total",
+                                 "responses completed back to connections");
+    m_read_bytes =
+        reg.GetCounter("rdfmr_net_read_bytes", "bytes read from peers");
+    m_write_bytes =
+        reg.GetCounter("rdfmr_net_write_bytes", "bytes written to peers");
+    m_open = reg.GetGauge("rdfmr_net_open_count", "open connections");
+    m_inflight = reg.GetGauge("rdfmr_net_inflight_count",
+                              "dispatched requests not yet completed");
+  }
+};
+
+NetServer::NetServer(NetServerOptions options, LineHandler handler)
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      stats_(std::make_unique<StatCells>()) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (options_.listeners.empty()) {
+    return Status::InvalidArgument("net server needs at least one listener");
+  }
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return Status::IoError(std::string("pipe2: ") + std::strerror(errno));
+  }
+  wakeup_read_ = pipe_fds[0];
+  wakeup_write_ = pipe_fds[1];
+
+  auto abort_start = [this](Status st) {
+    for (Listener& listener : listeners_) {
+      ::close(listener.fd);
+      if (listener.bound.kind == AddressKind::kUnix) {
+        ::unlink(listener.bound.path.c_str());
+      }
+    }
+    listeners_.clear();
+    bound_.clear();
+    ::close(wakeup_read_);
+    ::close(wakeup_write_);
+    wakeup_read_ = wakeup_write_ = -1;
+    return st;
+  };
+
+  for (const Address& address : options_.listeners) {
+    Result<Listener> listener = Listen(address);
+    if (!listener.ok()) return abort_start(listener.status());
+    listeners_.push_back(*listener);
+    bound_.push_back(listener->bound);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    started_ = true;
+  }
+  loop_thread_ = std::thread([this] { Loop(); });
+  loop_thread_id_ = loop_thread_.get_id();
+  return Status::OK();
+}
+
+void NetServer::Wait() {
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  stopped_cv_.wait(lock, [this] {
+    return stopped_.load(std::memory_order_acquire) || !started_;
+  });
+}
+
+void NetServer::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_) return;
+    started_ = false;
+    to_join = std::move(loop_thread_);
+  }
+  RequestStop();
+  if (to_join.joinable()) to_join.join();
+  if (wakeup_read_ >= 0) ::close(wakeup_read_);
+  if (wakeup_write_ >= 0) ::close(wakeup_write_);
+  wakeup_read_ = wakeup_write_ = -1;
+}
+
+void NetServer::RequestStop() {
+  bool was_empty;
+  {
+    std::lock_guard<std::mutex> lock(command_mu_);
+    was_empty = commands_.empty();
+    Command command;
+    command.stop = true;
+    commands_.push_back(std::move(command));
+  }
+  if (was_empty) Wake();
+}
+
+void NetServer::Complete(uint64_t conn_id, uint64_t seq, std::string line) {
+  if (std::this_thread::get_id() ==
+      loop_thread_id_.load(std::memory_order_acquire)) {
+    ApplyCompletion(conn_id, seq, std::move(line));
+    return;
+  }
+  // The wakeup byte only matters for the FIRST command the loop has not
+  // seen yet: the loop swaps the whole queue out under command_mu_, so a
+  // burst of completions (a drained pipeline window) costs one pipe
+  // write, not one per response.
+  bool was_empty;
+  {
+    std::lock_guard<std::mutex> lock(command_mu_);
+    was_empty = commands_.empty();
+    Command command;
+    command.conn_id = conn_id;
+    command.seq = seq;
+    command.line = std::move(line);
+    commands_.push_back(std::move(command));
+  }
+  if (was_empty) Wake();
+}
+
+void NetServer::SetOrdered(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+  // Only the connection's first request may elect ordered mode: at most
+  // that one response can already be on the wire (a fast verb completing
+  // inline during its own dispatch), so request order and emission order
+  // still coincide.
+  if (conn->next_seq <= 1 && conn->next_emit <= 1 && conn->held.empty()) {
+    conn->ordered = true;
+  }
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats out;
+  out.accepted = stats_->accepted.load(std::memory_order_relaxed);
+  out.rejected_over_limit = stats_->rejected.load(std::memory_order_relaxed);
+  out.closed = stats_->closed.load(std::memory_order_relaxed);
+  out.idle_evicted = stats_->idle_evicted.load(std::memory_order_relaxed);
+  out.oversize_frames = stats_->oversize.load(std::memory_order_relaxed);
+  out.backpressure_stalls = stats_->stalls.load(std::memory_order_relaxed);
+  out.lines_dispatched = stats_->dispatched.load(std::memory_order_relaxed);
+  out.lines_completed = stats_->completed.load(std::memory_order_relaxed);
+  out.read_bytes = stats_->read_bytes.load(std::memory_order_relaxed);
+  out.write_bytes = stats_->write_bytes.load(std::memory_order_relaxed);
+  out.open_connections = stats_->open.load(std::memory_order_relaxed);
+  out.inflight_requests = stats_->inflight.load(std::memory_order_relaxed);
+  return out;
+}
+
+void NetServer::Wake() {
+  if (wakeup_write_ < 0) return;
+  const char byte = 1;
+  // EAGAIN means the pipe already holds a wakeup; that is enough.
+  (void)!::write(wakeup_write_, &byte, 1);
+}
+
+void NetServer::DrainWakeupPipe() {
+  char sink[256];
+  while (::read(wakeup_read_, sink, sizeof(sink)) > 0) {
+  }
+}
+
+void NetServer::Loop() {
+  loop_thread_id_.store(std::this_thread::get_id(),
+                        std::memory_order_release);
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> pfd_conn_ids;
+
+  for (;;) {
+    const bool stopping = stop_requested_.load(std::memory_order_acquire);
+    if (stopping && !listeners_closed_) {
+      for (Listener& listener : listeners_) {
+        ::close(listener.fd);
+        if (listener.bound.kind == AddressKind::kUnix) {
+          ::unlink(listener.bound.path.c_str());
+        }
+      }
+      listeners_closed_ = true;
+    }
+
+    pfds.clear();
+    pfd_conn_ids.clear();
+    pfds.push_back({wakeup_read_, POLLIN, 0});
+    const size_t listener_base = pfds.size();
+    if (!listeners_closed_) {
+      for (const Listener& listener : listeners_) {
+        pfds.push_back({listener.fd, POLLIN, 0});
+      }
+    }
+    const size_t conn_base = pfds.size();
+    for (const auto& [id, conn] : conns_) {
+      short events = 0;
+      if (!stopping && !conn->stalled && !conn->peer_closed &&
+          !conn->close_after_drain && !conn->broken) {
+        events |= POLLIN;
+      }
+      if (conn->outbound_bytes() > 0) events |= POLLOUT;
+      pfds.push_back({conn->fd, events, 0});
+      pfd_conn_ids.push_back(id);
+    }
+
+    int timeout = kPollMillis;
+    if (options_.idle_timeout_ms > 0) {
+      const int granularity =
+          static_cast<int>(options_.idle_timeout_ms / 4 + 1);
+      if (granularity < timeout) timeout = granularity;
+    }
+    ::poll(pfds.data(), pfds.size(), timeout);
+
+    if ((pfds[0].revents & POLLIN) != 0) DrainWakeupPipe();
+
+    // Cross-thread commands: completions from worker threads, stop.
+    std::vector<Command> commands;
+    {
+      std::lock_guard<std::mutex> lock(command_mu_);
+      commands.swap(commands_);
+    }
+    for (Command& command : commands) {
+      if (command.stop) {
+        stop_requested_.store(true, std::memory_order_release);
+      } else {
+        ApplyCompletion(command.conn_id, command.seq,
+                        std::move(command.line));
+      }
+    }
+
+    if (!listeners_closed_) {
+      for (size_t i = 0; i < listeners_.size(); ++i) {
+        if ((pfds[listener_base + i].revents & POLLIN) != 0) {
+          AcceptFrom(listeners_[i]);
+        }
+      }
+    }
+
+    for (size_t i = 0; i < pfd_conn_ids.size(); ++i) {
+      auto it = conns_.find(pfd_conn_ids[i]);
+      if (it == conns_.end()) continue;
+      Conn* conn = it->second.get();
+      const short revents = pfds[conn_base + i].revents;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        conn->broken = true;
+        continue;
+      }
+      if ((revents & POLLHUP) != 0 && (revents & POLLIN) == 0) {
+        // Peer fully gone and nothing left to read: no point writing.
+        conn->broken = true;
+        continue;
+      }
+      if ((revents & POLLOUT) != 0) WriteConn(conn);
+      if ((revents & POLLIN) != 0 && !conn->broken) ReadConn(conn);
+    }
+
+    // Sweep: broken connections, drained close-after (oversize) and
+    // peer-closed connections with nothing pending, idle evictions.
+    const Clock::time_point now = Clock::now();
+    std::vector<uint64_t> to_close;
+    std::vector<bool> evicted;
+    for (const auto& [id, conn] : conns_) {
+      const bool drained =
+          conn->inflight == 0 && conn->outbound_bytes() == 0;
+      if (conn->broken ||
+          ((conn->peer_closed || conn->close_after_drain) && drained)) {
+        to_close.push_back(id);
+        evicted.push_back(false);
+        continue;
+      }
+      if (!stopping && options_.idle_timeout_ms > 0 && drained &&
+          now - conn->last_activity >=
+              std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        to_close.push_back(id);
+        evicted.push_back(true);
+      }
+    }
+    for (size_t i = 0; i < to_close.size(); ++i) {
+      CloseConn(to_close[i], evicted[i]);
+    }
+
+    if (stopping && outstanding_.load(std::memory_order_acquire) == 0) {
+      bool flushed = true;
+      for (const auto& [id, conn] : conns_) {
+        if (conn->outbound_bytes() > 0 && !conn->broken) {
+          flushed = false;
+          break;
+        }
+      }
+      if (flushed) break;
+    }
+  }
+
+  std::vector<uint64_t> remaining;
+  remaining.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) remaining.push_back(id);
+  for (uint64_t id : remaining) CloseConn(id, false);
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    stopped_.store(true, std::memory_order_release);
+  }
+  stopped_cv_.notify_all();
+}
+
+void NetServer::AcceptFrom(const Listener& listener) {
+  for (;;) {
+    int fd = ::accept4(listener.fd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or a transient accept error: next poll retries
+    }
+    if (conns_.size() >= options_.max_connections) {
+      stats_->rejected.fetch_add(1, std::memory_order_relaxed);
+      stats_->m_rejected->Increment();
+      if (!options_.reject_line.empty()) {
+        // Best effort: a loopback socket buffer always takes one line.
+        const std::string framed = EncodeLine(options_.reject_line);
+        (void)!::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL);
+      }
+      ::close(fd);
+      continue;
+    }
+    if (listener.bound.kind == AddressKind::kTcp) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto conn = std::make_unique<Conn>(options_.max_line_bytes);
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->last_activity = Clock::now();
+    stats_->accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_->m_accepted->Increment();
+    stats_->open.fetch_add(1, std::memory_order_relaxed);
+    stats_->m_open->Add(1);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void NetServer::ReadConn(Conn* conn) {
+  char chunk[65536];
+  std::vector<std::string> lines;
+  for (int round = 0; round < 4; ++round) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      conn->peer_closed = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) conn->broken = true;
+      break;
+    }
+    conn->last_activity = Clock::now();
+    stats_->read_bytes.fetch_add(static_cast<uint64_t>(n),
+                                 std::memory_order_relaxed);
+    stats_->m_read_bytes->Increment(static_cast<uint64_t>(n));
+
+    lines.clear();
+    const bool frame_ok =
+        conn->decoder.Feed(chunk, static_cast<size_t>(n), &lines);
+    // Lines completed before an oversize frame are valid requests.
+    for (std::string& line : lines) {
+      const uint64_t seq = conn->next_seq++;
+      conn->inflight++;
+      outstanding_.fetch_add(1, std::memory_order_acq_rel);
+      stats_->dispatched.fetch_add(1, std::memory_order_relaxed);
+      stats_->m_requests->Increment();
+      stats_->inflight.fetch_add(1, std::memory_order_relaxed);
+      stats_->m_inflight->Add(1);
+      handler_(conn->id, seq, std::move(line));
+      if (conn->broken) return;
+    }
+    if (!frame_ok) {
+      stats_->oversize.fetch_add(1, std::memory_order_relaxed);
+      stats_->m_oversize->Increment();
+      if (!options_.oversize_line.empty()) {
+        EmitLine(conn, options_.oversize_line);
+      }
+      conn->close_after_drain = true;
+      break;
+    }
+    if (conn->stalled || conn->close_after_drain) break;
+    if (static_cast<size_t>(n) < sizeof(chunk)) break;  // socket drained
+  }
+}
+
+void NetServer::WriteConn(Conn* conn) {
+  while (conn->outbound_bytes() > 0) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbound.data() + conn->out_offset,
+               conn->outbound_bytes(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) conn->broken = true;
+      break;
+    }
+    conn->out_offset += static_cast<size_t>(n);
+    conn->last_activity = Clock::now();
+    stats_->write_bytes.fetch_add(static_cast<uint64_t>(n),
+                                  std::memory_order_relaxed);
+    stats_->m_write_bytes->Increment(static_cast<uint64_t>(n));
+  }
+  if (conn->out_offset == conn->outbound.size()) {
+    conn->outbound.clear();
+    conn->out_offset = 0;
+  } else if (conn->out_offset >= kCompactThreshold) {
+    conn->outbound.erase(0, conn->out_offset);
+    conn->out_offset = 0;
+  }
+  UpdateStall(conn);
+}
+
+void NetServer::EmitLine(Conn* conn, std::string line) {
+  conn->outbound += line;
+  conn->outbound += '\n';
+  // Write eagerly: pipelined responses usually fit the socket buffer and
+  // skipping the poll round trip keeps serial callers fast too.
+  WriteConn(conn);
+}
+
+void NetServer::UpdateStall(Conn* conn) {
+  const size_t pending = conn->outbound_bytes();
+  if (!conn->stalled && pending > options_.max_outbound_bytes) {
+    conn->stalled = true;
+    stats_->stalls.fetch_add(1, std::memory_order_relaxed);
+    stats_->m_stalls->Increment();
+  } else if (conn->stalled &&
+             pending <= options_.max_outbound_bytes / 2) {
+    conn->stalled = false;
+  }
+}
+
+void NetServer::ApplyCompletion(uint64_t conn_id, uint64_t seq,
+                                std::string line) {
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  stats_->completed.fetch_add(1, std::memory_order_relaxed);
+  stats_->m_responses->Increment();
+  stats_->inflight.fetch_sub(1, std::memory_order_relaxed);
+  stats_->m_inflight->Add(-1);
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // connection gone: response dropped
+  Conn* conn = it->second.get();
+  if (conn->inflight > 0) conn->inflight--;
+  if (!conn->ordered) {
+    // Track the emission frontier anyway so a SetOrdered() that races a
+    // first request's inline completion still lines up.
+    if (seq + 1 > conn->next_emit) conn->next_emit = seq + 1;
+    EmitLine(conn, std::move(line));
+    return;
+  }
+  if (seq != conn->next_emit) {
+    conn->held.emplace(seq, std::move(line));
+    return;
+  }
+  EmitLine(conn, std::move(line));
+  conn->next_emit++;
+  while (!conn->held.empty() &&
+         conn->held.begin()->first == conn->next_emit) {
+    if (conn->broken) break;
+    EmitLine(conn, std::move(conn->held.begin()->second));
+    conn->held.erase(conn->held.begin());
+    conn->next_emit++;
+  }
+}
+
+void NetServer::CloseConn(uint64_t conn_id, bool evicted) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::close(it->second->fd);
+  conns_.erase(it);
+  stats_->closed.fetch_add(1, std::memory_order_relaxed);
+  stats_->m_closed->Increment();
+  stats_->open.fetch_sub(1, std::memory_order_relaxed);
+  stats_->m_open->Add(-1);
+  if (evicted) {
+    stats_->idle_evicted.fetch_add(1, std::memory_order_relaxed);
+    stats_->m_idle_evicted->Increment();
+  }
+}
+
+}  // namespace net
+}  // namespace rdfmr

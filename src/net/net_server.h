@@ -1,0 +1,208 @@
+// Poll(2)-driven transport server: one event-loop thread owns every
+// listener and connection (ursadb-coordinator style), speaking
+// newline-delimited frames with request pipelining.
+//
+// Division of labor:
+//   * The loop thread accepts, reads, splits frames (net/frame.h), and
+//     hands each complete line to the LineHandler together with a
+//     (connection id, sequence) pair. The handler runs ON the loop
+//     thread and must not block: slow work goes to another thread (the
+//     query service's worker pool) and finishes by calling Complete().
+//   * Complete(conn, seq, line) is thread-safe and may be called from
+//     any thread, inline from the handler or much later; the response is
+//     routed back to the loop thread (lock-free fast path when already
+//     on it) and written to the connection. Every dispatched line must
+//     be completed exactly once — Stop() drains to that contract.
+//
+// Pipelining: a client may have any number of frames in flight on one
+// connection. By default responses are written in COMPLETION order (the
+// protocol correlates them by id); a connection switched to ordered mode
+// (SetOrdered, first request only) has its responses buffered and
+// released strictly in request order.
+//
+// Backpressure: each connection has a bounded outbound buffer. When a
+// peer stops reading and the buffer passes the high watermark, the loop
+// stops reading from that connection (POLLIN off) until the buffer
+// drains below half the watermark — the kernel socket buffer then fills
+// and the peer's sends block, propagating the pressure end to end.
+//
+// Limits: over-limit accepts receive `reject_line` and are closed;
+// oversize frames receive `oversize_line` and the connection drains then
+// closes (a stream cannot resynchronize after an oversize frame); idle
+// connections (no in-flight requests, nothing buffered) are evicted
+// after `idle_timeout_ms`.
+//
+// Shutdown is cooperative and TSan-clean: RequestStop() (any thread)
+// makes the loop stop accepting and reading, finish every in-flight
+// request, flush every outbound buffer, then close and exit; Stop()
+// additionally joins. All connection state is owned by the loop thread —
+// cross-thread traffic is confined to the command queue mutex, a wakeup
+// pipe, and relaxed stat atomics.
+
+#ifndef RDFMR_NET_NET_SERVER_H_
+#define RDFMR_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/address.h"
+#include "net/frame.h"
+
+namespace rdfmr {
+class Counter;
+class Gauge;
+}  // namespace rdfmr
+
+namespace rdfmr {
+namespace net {
+
+struct NetServerOptions {
+  /// Endpoints to listen on (AF_UNIX and TCP freely mixed). TCP port 0
+  /// binds an ephemeral port, reported back via bound_addresses().
+  std::vector<Address> listeners;
+  /// Open connections beyond this are sent `reject_line` and closed.
+  uint32_t max_connections = 256;
+  /// Hard cap on one inbound line (0 = unlimited).
+  uint64_t max_line_bytes = 64ULL << 20;
+  /// Outbound high watermark per connection: past it the loop stops
+  /// reading from that connection until the buffer halves.
+  uint64_t max_outbound_bytes = 8ULL << 20;
+  /// Evict connections with no in-flight work after this long (0 = never).
+  uint64_t idle_timeout_ms = 0;
+  /// Pre-framed line (no '\n') sent to an over-limit accept before close.
+  std::string reject_line;
+  /// Pre-framed line (no '\n') sent before closing on an oversize frame.
+  std::string oversize_line;
+};
+
+/// \brief Monotonic per-instance counters (relaxed atomics; the same
+/// increments also feed the process-wide rdfmr_net_* registry metrics).
+struct NetServerStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_over_limit = 0;
+  uint64_t closed = 0;
+  uint64_t idle_evicted = 0;
+  uint64_t oversize_frames = 0;
+  uint64_t backpressure_stalls = 0;
+  uint64_t lines_dispatched = 0;
+  uint64_t lines_completed = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t open_connections = 0;   ///< gauge
+  uint64_t inflight_requests = 0;  ///< gauge
+};
+
+class NetServer {
+ public:
+  /// \brief Called on the loop thread for every complete inbound line.
+  /// `seq` counts lines per connection from 0; the pair (conn_id, seq)
+  /// must be answered with exactly one Complete() call.
+  using LineHandler =
+      std::function<void(uint64_t conn_id, uint64_t seq, std::string line)>;
+
+  NetServer(NetServerOptions options, LineHandler handler);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// \brief Binds every listener and starts the loop thread. On any bind
+  /// failure nothing is left listening.
+  Status Start();
+
+  /// \brief Blocks until the loop has fully stopped.
+  void Wait();
+
+  /// \brief RequestStop() + join. Idempotent, callable concurrently.
+  void Stop();
+
+  /// \brief Asynchronous stop from any thread (e.g. a shutdown verb's
+  /// completion): drains in-flight requests and flushes before closing.
+  void RequestStop();
+
+  /// \brief Queues `line` as the response to dispatched request
+  /// (conn_id, seq). Thread-safe; if the connection is already gone the
+  /// response is dropped (the request still counts as drained).
+  void Complete(uint64_t conn_id, uint64_t seq, std::string line);
+
+  /// \brief Switches `conn_id` to ordered response emission. Loop-thread
+  /// only (i.e. from inside the LineHandler), and honored only while the
+  /// first request of the connection is being dispatched — pipelined
+  /// streams cannot change ordering mid-flight.
+  void SetOrdered(uint64_t conn_id);
+
+  /// \brief The addresses actually bound (TCP port 0 resolved). Valid
+  /// after a successful Start().
+  const std::vector<Address>& bound_addresses() const { return bound_; }
+
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  NetServerStats stats() const;
+
+ private:
+  struct Conn;
+  struct Command {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    std::string line;
+    bool stop = false;
+  };
+
+  void Loop();
+  void AcceptFrom(const Listener& listener);
+  void ReadConn(Conn* conn);
+  void WriteConn(Conn* conn);
+  void EmitLine(Conn* conn, std::string line);
+  void ApplyCompletion(uint64_t conn_id, uint64_t seq, std::string line);
+  void UpdateStall(Conn* conn);
+  void CloseConn(uint64_t conn_id, bool evicted);
+  void DrainWakeupPipe();
+  void Wake();
+
+  const NetServerOptions options_;
+  const LineHandler handler_;
+
+  std::vector<Listener> listeners_;
+  std::vector<Address> bound_;
+  int wakeup_read_ = -1;
+  int wakeup_write_ = -1;
+
+  std::thread loop_thread_;
+  std::atomic<std::thread::id> loop_thread_id_{};
+
+  // Loop-thread-owned state.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+  bool listeners_closed_ = false;
+
+  // Cross-thread command queue (completions, stop).
+  std::mutex command_mu_;
+  std::vector<Command> commands_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> outstanding_{0};  ///< dispatched, not yet completed
+
+  std::mutex lifecycle_mu_;  ///< guards started_ and the join in Stop()
+  bool started_ = false;
+  std::condition_variable stopped_cv_;
+
+  // Instance stats (relaxed) + registry metrics (see net_server.cc).
+  struct StatCells;
+  std::unique_ptr<StatCells> stats_;
+};
+
+}  // namespace net
+}  // namespace rdfmr
+
+#endif  // RDFMR_NET_NET_SERVER_H_

@@ -1,34 +1,52 @@
 #include "service/client.h"
 
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+#include <unordered_map>
 #include <utility>
+
+#include "net/address.h"
 
 namespace rdfmr {
 namespace service {
 
-Result<ServiceClient> ServiceClient::Connect(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("socket path too long: " + socket_path);
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Status::IoError("connect " + socket_path + ": " +
-                                std::strerror(errno));
-    ::close(fd);
-    return st;
-  }
+namespace {
+
+bool TransientConnectErrno(int err) {
+  // The server may not be up yet (socket file not created / listener not
+  // bound) or may be briefly saturated.
+  return err == ECONNREFUSED || err == ENOENT || err == EAGAIN ||
+         err == ECONNRESET || err == EINTR;
+}
+
+}  // namespace
+
+Result<ServiceClient> ServiceClient::Connect(const std::string& target) {
+  RDFMR_ASSIGN_OR_RETURN(net::Address address, net::Address::Parse(target));
+  RDFMR_ASSIGN_OR_RETURN(int fd, net::Dial(address));
   return ServiceClient(fd);
+}
+
+Result<ServiceClient> ServiceClient::ConnectWithRetry(
+    const std::string& target, uint32_t attempts, uint64_t backoff_ms) {
+  RDFMR_ASSIGN_OR_RETURN(net::Address address, net::Address::Parse(target));
+  if (attempts == 0) attempts = 1;
+  uint64_t sleep_ms = backoff_ms;
+  for (uint32_t attempt = 1;; ++attempt) {
+    int dial_errno = 0;
+    Result<int> fd = net::Dial(address, &dial_errno);
+    if (fd.ok()) return ServiceClient(*fd);
+    if (attempt >= attempts || !TransientConnectErrno(dial_errno)) {
+      return fd.status();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    sleep_ms *= 2;
+  }
 }
 
 ServiceClient::ServiceClient(ServiceClient&& other) noexcept
@@ -53,9 +71,13 @@ ServiceClient::~ServiceClient() {
 Status ServiceClient::SendLine(const std::string& line) {
   std::string framed = line;
   framed += '\n';
+  return SendRaw(framed);
+}
+
+Status ServiceClient::SendRaw(const std::string& bytes) {
   size_t sent = 0;
-  while (sent < framed.size()) {
-    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -64,6 +86,10 @@ Status ServiceClient::SendLine(const std::string& line) {
     sent += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+Status ServiceClient::Send(const JsonValue& request) {
+  return SendLine(request.Dump());
 }
 
 Result<std::string> ServiceClient::ReadLine() {
@@ -87,6 +113,13 @@ Result<std::string> ServiceClient::ReadLine() {
   }
 }
 
+Result<std::string> ServiceClient::ReceiveLine() { return ReadLine(); }
+
+Result<JsonValue> ServiceClient::Receive() {
+  RDFMR_ASSIGN_OR_RETURN(std::string line, ReadLine());
+  return ParseJson(line);
+}
+
 Result<std::string> ServiceClient::CallLine(const std::string& line) {
   RDFMR_RETURN_NOT_OK(SendLine(line));
   return ReadLine();
@@ -95,6 +128,56 @@ Result<std::string> ServiceClient::CallLine(const std::string& line) {
 Result<JsonValue> ServiceClient::Call(const JsonValue& request) {
   RDFMR_ASSIGN_OR_RETURN(std::string line, CallLine(request.Dump()));
   return ParseJson(line);
+}
+
+Result<std::vector<JsonValue>> ServiceClient::CallPipelined(
+    std::vector<JsonValue> requests) {
+  // Responses come back in completion order, so every request needs a
+  // distinguishable echoed "id" to find its slot again.
+  std::unordered_map<std::string, size_t> slot_by_id;
+  slot_by_id.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!requests[i].is_object()) {
+      return Status::InvalidArgument(
+          "pipelined request must be a JSON object");
+    }
+    if (!requests[i].Has("id")) {
+      requests[i].Set("id", static_cast<uint64_t>(i));
+    }
+    if (!slot_by_id.emplace(requests[i].Get("id").Dump(), i).second) {
+      return Status::InvalidArgument(
+          "pipelined requests carry a duplicate \"id\": " +
+          requests[i].Get("id").Dump());
+    }
+  }
+  // One send for the whole window: the server reads the batch in one
+  // wakeup and its responses coalesce the same way, which is where
+  // pipelining's syscall amortization comes from.
+  std::string batch;
+  for (const JsonValue& request : requests) {
+    batch += request.Dump();
+    batch += '\n';
+  }
+  RDFMR_RETURN_NOT_OK(SendRaw(batch));
+  std::vector<JsonValue> responses(requests.size());
+  std::vector<bool> matched(requests.size(), false);
+  for (size_t received = 0; received < requests.size(); ++received) {
+    RDFMR_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    RDFMR_ASSIGN_OR_RETURN(JsonValue response, ParseJson(line));
+    if (!response.is_object() || !response.Has("id")) {
+      return Status::IoError("pipelined response carries no \"id\": " +
+                             line);
+    }
+    auto it = slot_by_id.find(response.Get("id").Dump());
+    if (it == slot_by_id.end() || matched[it->second]) {
+      return Status::IoError(
+          "pipelined response \"id\" matches no outstanding request: " +
+          line);
+    }
+    matched[it->second] = true;
+    responses[it->second] = std::move(response);
+  }
+  return responses;
 }
 
 }  // namespace service

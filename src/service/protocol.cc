@@ -154,23 +154,24 @@ JsonValue AnswersJson(const SolutionSet& answers, uint64_t max_answers) {
   return array;
 }
 
-/// Common execution + response shaping for the query/batch verbs.
-JsonValue RunServiceRequest(QueryService* query_service,
-                            ServiceRequest service_request,
-                            const JsonValue& request) {
-  const uint64_t max_answers = request.GetUint("max_answers", 0);
-  const bool per_query = service_request.query == nullptr &&
-                         service_request.batch_mode == BatchMode::kPerQuery;
-  ServiceResponse response =
-      query_service->Query(std::move(service_request));
+/// Response shaping for the query/batch verbs, shared by the synchronous
+/// dispatch and the Submit() completion path of the async dispatch. A
+/// terse response carries only the verdict and the answers: the stats
+/// envelope is ~1 KB and costs more to serialize than the whole rest of
+/// the warm path, so pipelined high-throughput clients opt out of it.
+JsonValue ShapeQueryResponse(const ServiceResponse& response,
+                             uint64_t max_answers, bool per_query,
+                             bool terse) {
   if (!response.ok()) return ErrorResponse(response.status);
   JsonValue o = OkResponse();
-  o.Set("epoch", response.epoch);
-  o.Set("plan_cache_hit", response.plan_cache_hit);
-  o.Set("result_cache_hit", response.result_cache_hit);
-  o.Set("queue_micros", response.queue_micros);
-  o.Set("exec_micros", response.exec_micros);
-  o.Set("stats", ExecStatsToJson(response.stats));
+  if (!terse) {
+    o.Set("epoch", response.epoch);
+    o.Set("plan_cache_hit", response.plan_cache_hit);
+    o.Set("result_cache_hit", response.result_cache_hit);
+    o.Set("queue_micros", response.queue_micros);
+    o.Set("exec_micros", response.exec_micros);
+    o.Set("stats", ExecStatsToJson(response.stats));
+  }
   if (per_query) {
     JsonValue answers = JsonValue::MakeArray();
     JsonValue counts = JsonValue::MakeArray();
@@ -186,6 +187,25 @@ JsonValue RunServiceRequest(QueryService* query_service,
           static_cast<uint64_t>(response.answer_set().size()));
   }
   return o;
+}
+
+/// True when the batch verb's response reports answers per input query
+/// (mode "batch") rather than as one merged set.
+bool IsPerQuery(const ServiceRequest& service_request) {
+  return service_request.query == nullptr &&
+         service_request.batch_mode == BatchMode::kPerQuery;
+}
+
+/// Runs a built query/batch request synchronously and shapes the result.
+JsonValue RunServiceRequest(QueryService* query_service,
+                            ServiceRequest service_request,
+                            const JsonValue& request) {
+  const uint64_t max_answers = request.GetUint("max_answers", 0);
+  const bool per_query = IsPerQuery(service_request);
+  const bool terse = request.GetBool("terse");
+  ServiceResponse response =
+      query_service->Query(std::move(service_request));
+  return ShapeQueryResponse(response, max_answers, per_query, terse);
 }
 
 JsonValue HandleLoad(QueryService* query_service, const JsonValue& request) {
@@ -256,56 +276,59 @@ JsonValue HandleLoad(QueryService* query_service, const JsonValue& request) {
   return o;
 }
 
-JsonValue HandleQuery(QueryService* query_service, const JsonValue& request) {
-  ServiceRequest service_request;
-  service_request.dataset = request.GetString("dataset");
-  auto spec = QuerySpecFromJson(request);
-  if (!spec.ok()) return ErrorResponse(spec.status());
-  service_request.query = spec->query;
-  service_request.aggregate = spec->aggregate;
-  auto options = OptionsFromJson(request);
-  if (!options.ok()) return ErrorResponse(options.status());
-  service_request.options = *options;
-  service_request.deadline_ms = request.GetUint("deadline_ms", 0);
-  service_request.use_plan_cache = !request.GetBool("no_plan_cache");
-  service_request.use_result_cache = !request.GetBool("no_result_cache");
-  return RunServiceRequest(query_service, std::move(service_request),
-                           request);
+/// Options shared by the query and batch verbs.
+Status FillCommonQueryFields(const JsonValue& request,
+                             ServiceRequest* service_request) {
+  RDFMR_ASSIGN_OR_RETURN(service_request->options,
+                         OptionsFromJson(request));
+  service_request->deadline_ms = request.GetUint("deadline_ms", 0);
+  service_request->use_plan_cache = !request.GetBool("no_plan_cache");
+  service_request->use_result_cache = !request.GetBool("no_result_cache");
+  return Status::OK();
 }
 
-JsonValue HandleBatch(QueryService* query_service, const JsonValue& request) {
+Result<ServiceRequest> BuildQueryRequest(const JsonValue& request) {
+  ServiceRequest service_request;
+  service_request.dataset = request.GetString("dataset");
+  RDFMR_ASSIGN_OR_RETURN(ParsedQuerySpec spec, QuerySpecFromJson(request));
+  service_request.query = spec.query;
+  service_request.aggregate = spec.aggregate;
+  RDFMR_RETURN_NOT_OK(FillCommonQueryFields(request, &service_request));
+  return service_request;
+}
+
+Result<ServiceRequest> BuildBatchRequest(const JsonValue& request) {
   ServiceRequest service_request;
   service_request.dataset = request.GetString("dataset");
   if (request.Has("query_ids")) {
     const JsonValue& ids = request.Get("query_ids");
     if (!ids.is_array()) {
-      return ErrorResponse(Status::InvalidArgument(
-          "batch: \"query_ids\" must be an array of catalog ids"));
+      return Status::InvalidArgument(
+          "batch: \"query_ids\" must be an array of catalog ids");
     }
     for (const JsonValue& id : ids.AsArray()) {
-      auto query = GetTestbedQuery(id.AsString());
-      if (!query.ok()) return ErrorResponse(query.status());
-      service_request.batch.push_back(*query);
+      RDFMR_ASSIGN_OR_RETURN(auto query, GetTestbedQuery(id.AsString()));
+      service_request.batch.push_back(std::move(query));
     }
   } else if (request.Has("queries")) {
     const JsonValue& specs = request.Get("queries");
     if (!specs.is_array()) {
-      return ErrorResponse(Status::InvalidArgument(
-          "batch: \"queries\" must be an array of query objects"));
+      return Status::InvalidArgument(
+          "batch: \"queries\" must be an array of query objects");
     }
     for (const JsonValue& spec : specs.AsArray()) {
-      auto parsed = QuerySpecFromJson(spec);
-      if (!parsed.ok()) return ErrorResponse(parsed.status());
-      if (parsed->aggregate.has_value()) {
-        return ErrorResponse(Status::InvalidArgument(
-            "batch: aggregation is not supported in batches"));
+      RDFMR_ASSIGN_OR_RETURN(ParsedQuerySpec parsed,
+                             QuerySpecFromJson(spec));
+      if (parsed.aggregate.has_value()) {
+        return Status::InvalidArgument(
+            "batch: aggregation is not supported in batches");
       }
-      service_request.batch.push_back(parsed->query);
+      service_request.batch.push_back(parsed.query);
     }
   }
   if (service_request.batch.empty()) {
-    return ErrorResponse(Status::InvalidArgument(
-        "batch: need a non-empty \"query_ids\" or \"queries\" array"));
+    return Status::InvalidArgument(
+        "batch: need a non-empty \"query_ids\" or \"queries\" array");
   }
   const std::string mode = request.GetString("mode", "batch");
   if (mode == "union") {
@@ -313,17 +336,23 @@ JsonValue HandleBatch(QueryService* query_service, const JsonValue& request) {
   } else if (mode == "batch") {
     service_request.batch_mode = BatchMode::kPerQuery;
   } else {
-    return ErrorResponse(Status::InvalidArgument(
-        "batch: \"mode\" must be \"batch\" or \"union\""));
+    return Status::InvalidArgument(
+        "batch: \"mode\" must be \"batch\" or \"union\"");
   }
-  auto options = OptionsFromJson(request);
-  if (!options.ok()) return ErrorResponse(options.status());
-  service_request.options = *options;
-  service_request.deadline_ms = request.GetUint("deadline_ms", 0);
-  service_request.use_plan_cache = !request.GetBool("no_plan_cache");
-  service_request.use_result_cache = !request.GetBool("no_result_cache");
-  return RunServiceRequest(query_service, std::move(service_request),
-                           request);
+  RDFMR_RETURN_NOT_OK(FillCommonQueryFields(request, &service_request));
+  return service_request;
+}
+
+JsonValue HandleQuery(QueryService* query_service, const JsonValue& request) {
+  Result<ServiceRequest> built = BuildQueryRequest(request);
+  if (!built.ok()) return ErrorResponse(built.status());
+  return RunServiceRequest(query_service, *std::move(built), request);
+}
+
+JsonValue HandleBatch(QueryService* query_service, const JsonValue& request) {
+  Result<ServiceRequest> built = BuildBatchRequest(request);
+  if (!built.ok()) return ErrorResponse(built.status());
+  return RunServiceRequest(query_service, *std::move(built), request);
 }
 
 JsonValue HandleStats(QueryService* query_service, const JsonValue& request) {
@@ -469,26 +498,38 @@ JsonValue ExecStatsToJson(const ExecStats& stats) {
   return o;
 }
 
+namespace {
+
+bool VersionOk(const JsonValue& request) {
+  if (!request.Has("v")) return true;
+  const JsonValue& version = request.Get("v");
+  return version.is_number() && version.AsUint() == kProtocolVersion;
+}
+
+void StampEnvelope(const JsonValue& request, JsonValue* response) {
+  response->Set("v", kProtocolVersion);
+  if (request.is_object() && request.Has("id")) {
+    response->Set("id", request.Get("id"));
+  }
+}
+
+}  // namespace
+
 HandleResult HandleRequest(QueryService* query_service,
                            const JsonValue& request) {
   HandleResult result;
   if (!request.is_object()) {
     result.response = ErrorResponse(
         Status::InvalidArgument("request must be a JSON object"));
-    result.response.Set("v", kProtocolVersion);
+    StampEnvelope(request, &result.response);
     return result;
   }
-  if (request.Has("v")) {
-    const JsonValue& version = request.Get("v");
-    if (!version.is_number() ||
-        version.AsUint() != kProtocolVersion) {
-      result.response = ErrorResponse(Status::InvalidArgument(
-          "unsupported protocol version (supported: " +
-          std::to_string(kProtocolVersion) + ")"));
-      result.response.Set("v", kProtocolVersion);
-      if (request.Has("id")) result.response.Set("id", request.Get("id"));
-      return result;
-    }
+  if (!VersionOk(request)) {
+    result.response = ErrorResponse(Status::InvalidArgument(
+        "unsupported protocol version (supported: " +
+        std::to_string(kProtocolVersion) + ")"));
+    StampEnvelope(request, &result.response);
+    return result;
   }
   const std::string verb = request.GetString("verb");
   if (verb == "ping") {
@@ -522,8 +563,7 @@ HandleResult HandleRequest(QueryService* query_service,
         "\" (want ping|load|drop|list|query|batch|stats|metrics|"
         "shutdown)"));
   }
-  result.response.Set("v", kProtocolVersion);
-  if (request.Has("id")) result.response.Set("id", request.Get("id"));
+  StampEnvelope(request, &result.response);
   return result;
 }
 
@@ -537,6 +577,58 @@ HandleResult HandleRequestLine(QueryService* query_service,
     return result;
   }
   return HandleRequest(query_service, *request);
+}
+
+AsyncDispatch HandleRequestLineAsync(QueryService* query_service,
+                                     const std::string& line,
+                                     HandleDone done) {
+  AsyncDispatch dispatch;
+  Result<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    JsonValue response = ErrorResponse(parsed.status());
+    response.Set("v", kProtocolVersion);
+    done(std::move(response), false);
+    return dispatch;
+  }
+  const JsonValue& request = *parsed;
+  if (request.is_object()) {
+    dispatch.ordered_requested = request.GetBool("ordered");
+  }
+  const std::string verb =
+      request.is_object() ? request.GetString("verb") : std::string();
+  const bool slow_verb = verb == "query" || verb == "batch";
+  if (!request.is_object() || !VersionOk(request) || !slow_verb) {
+    // Fast verbs (and every error path) are cheap enough for the caller's
+    // thread: complete inline.
+    HandleResult result = HandleRequest(query_service, request);
+    done(std::move(result.response), result.shutdown);
+    return dispatch;
+  }
+  Result<ServiceRequest> built = verb == "query"
+                                     ? BuildQueryRequest(request)
+                                     : BuildBatchRequest(request);
+  if (!built.ok()) {
+    JsonValue response = ErrorResponse(built.status());
+    StampEnvelope(request, &response);
+    done(std::move(response), false);
+    return dispatch;
+  }
+  const uint64_t max_answers = request.GetUint("max_answers", 0);
+  const bool per_query = IsPerQuery(*built);
+  const bool terse = request.GetBool("terse");
+  const bool has_id = request.Has("id");
+  JsonValue id = has_id ? request.Get("id") : JsonValue();
+  query_service->Submit(
+      *std::move(built),
+      [done = std::move(done), max_answers, per_query, terse, has_id,
+       id = std::move(id)](ServiceResponse response) {
+        JsonValue shaped =
+            ShapeQueryResponse(response, max_answers, per_query, terse);
+        shaped.Set("v", kProtocolVersion);
+        if (has_id) shaped.Set("id", id);
+        done(std::move(shaped), false);
+      });
+  return dispatch;
 }
 
 }  // namespace service

@@ -38,6 +38,7 @@
 #define RDFMR_SERVICE_PROTOCOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/json.h"
@@ -69,6 +70,29 @@ HandleResult HandleRequestLine(QueryService* query_service,
 /// \brief Same, for an already-parsed request object.
 HandleResult HandleRequest(QueryService* query_service,
                            const JsonValue& request);
+
+/// \brief Completion of one asynchronously dispatched line: the response
+/// (envelope stamped: "v", echoed "id") plus whether the request asked
+/// the server to stop.
+using HandleDone = std::function<void(JsonValue response, bool shutdown)>;
+
+/// \brief Transport-level facts the dispatcher learned from the request
+/// before execution; the event-loop server acts on them.
+struct AsyncDispatch {
+  /// The request carried "ordered":true. Only honored by the transport on
+  /// a connection's first request (see NetServer::SetOrdered).
+  bool ordered_requested = false;
+};
+
+/// \brief HandleRequestLine for the event-loop server: the slow verbs
+/// ("query"/"batch") are parsed and validated inline but executed on the
+/// query service's worker pool, so `done` may fire later from a worker
+/// thread (or inline, on admission rejection). Every other verb executes
+/// inline and `done` fires before this returns. `done` is called exactly
+/// once either way, and must be safe to call from any thread.
+AsyncDispatch HandleRequestLineAsync(QueryService* query_service,
+                                     const std::string& line,
+                                     HandleDone done);
 
 // ---- conversions (exposed for the client helper and the fuzz harness) ------
 

@@ -1,14 +1,8 @@
 #include "service/server.h"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <utility>
 
+#include "common/json.h"
 #include "service/protocol.h"
 
 namespace rdfmr {
@@ -16,159 +10,79 @@ namespace service {
 
 namespace {
 
-constexpr int kPollMillis = 50;
-/// Hard per-line cap: a local debugging protocol has no business buffering
-/// unbounded input from a runaway client.
-constexpr size_t kMaxLineBytes = 64ULL << 20;
+/// One pre-framed protocol error line (no '\n') for transport-level
+/// rejections, shaped exactly like a dispatch error so clients need one
+/// error path.
+std::string ProtocolErrorLine(const Status& status) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("ok", false);
+  o.Set("error", status.message());
+  o.Set("code", StatusCodeToString(status.code()));
+  o.Set("v", kProtocolVersion);
+  return o.Dump();
+}
 
-bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
+std::string FirstUnixPath(const std::vector<net::Address>& listeners) {
+  for (const net::Address& address : listeners) {
+    if (address.kind == net::AddressKind::kUnix) return address.path;
   }
-  return true;
+  return std::string();
 }
 
 }  // namespace
 
+net::NetServerOptions ServiceServer::NetOptions(ServerOptions options) {
+  net::NetServerOptions net;
+  net.listeners = std::move(options.listeners);
+  net.max_connections = options.max_connections;
+  net.max_line_bytes = options.max_line_bytes;
+  net.max_outbound_bytes = options.max_outbound_bytes;
+  net.idle_timeout_ms = options.idle_timeout_ms;
+  net.reject_line = ProtocolErrorLine(
+      Status::Unavailable("server connection limit reached"));
+  net.oversize_line = ProtocolErrorLine(Status::InvalidArgument(
+      "request line exceeds the server's line cap"));
+  return net;
+}
+
+ServiceServer::ServiceServer(QueryService* query_service,
+                             ServerOptions options)
+    : query_service_(query_service),
+      socket_path_(FirstUnixPath(options.listeners)),
+      net_(NetOptions(std::move(options)),
+           [this](uint64_t conn_id, uint64_t seq, std::string line) {
+             OnLine(conn_id, seq, std::move(line));
+           }) {}
+
 ServiceServer::ServiceServer(QueryService* query_service,
                              std::string socket_path)
-    : query_service_(query_service), socket_path_(std::move(socket_path)) {}
+    : ServiceServer(query_service, [&socket_path] {
+        ServerOptions options;
+        options.listeners.push_back(
+            net::Address::Unix(std::move(socket_path)));
+        return options;
+      }()) {}
 
 ServiceServer::~ServiceServer() { Stop(); }
 
-Status ServiceServer::Start() {
-  if (socket_path_.empty()) {
-    return Status::InvalidArgument("server needs a socket path");
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path_.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("socket path too long: " + socket_path_);
-  }
-  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+Status ServiceServer::Start() { return net_.Start(); }
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
-  }
-  ::unlink(socket_path_.c_str());  // replace a stale socket file
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    Status st = Status::IoError("bind " + socket_path_ + ": " +
-                                std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return st;
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    Status st = Status::IoError(std::string("listen: ") +
-                                std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(socket_path_.c_str());
-    return st;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    started_ = true;
-  }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::OK();
-}
+void ServiceServer::Wait() { net_.Wait(); }
 
-void ServiceServer::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  stop_cv_.wait(lock, [this] {
-    return stop_.load(std::memory_order_acquire) || !started_;
-  });
-}
+void ServiceServer::Stop() { net_.Stop(); }
 
-void ServiceServer::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!started_) return;
-  }
-  stop_.store(true, std::memory_order_release);
-  stop_cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> connections;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    connections.swap(connections_);
-  }
-  for (std::thread& t : connections) {
-    if (t.joinable()) t.join();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(socket_path_.c_str());
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    started_ = false;
-  }
-}
-
-void ServiceServer::AcceptLoop() {
-  while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, kPollMillis);
-    if (ready <= 0) continue;  // timeout / EINTR: re-check the stop flag
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      break;
-    }
-    connections_.emplace_back([this, fd] { HandleConnection(fd); });
-  }
-}
-
-void ServiceServer::HandleConnection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool open = true;
-  while (open && !stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{fd, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, kPollMillis);
-    if (ready <= 0) continue;
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;  // peer closed (or hard error): drop the connection
-    }
-    buffer.append(chunk, static_cast<size_t>(n));
-    if (buffer.size() > kMaxLineBytes) break;
-    size_t start = 0;
-    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
-         nl = buffer.find('\n', start)) {
-      std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (line.empty()) continue;
-      HandleResult result = HandleRequestLine(query_service_, line);
-      if (!SendAll(fd, result.response.Dump() + "\n")) {
-        open = false;
-        break;
-      }
-      if (result.shutdown) {
-        stop_.store(true, std::memory_order_release);
-        stop_cv_.notify_all();
-        open = false;
-        break;
-      }
-    }
-    buffer.erase(0, start);
-  }
-  ::close(fd);
+void ServiceServer::OnLine(uint64_t conn_id, uint64_t seq,
+                           std::string line) {
+  // The completion may fire inline (fast verbs, admission rejections) or
+  // later from a query worker thread; Complete() is safe for both, and
+  // Stop() drains every pending completion before `this` can die.
+  AsyncDispatch dispatch = HandleRequestLineAsync(
+      query_service_, line,
+      [this, conn_id, seq](JsonValue response, bool shutdown) {
+        net_.Complete(conn_id, seq, response.Dump());
+        if (shutdown) net_.RequestStop();
+      });
+  if (seq == 0 && dispatch.ordered_requested) net_.SetOrdered(conn_id);
 }
 
 }  // namespace service

@@ -1,34 +1,61 @@
-// AF_UNIX socket front end for the query service: accepts local stream
-// connections and speaks the newline-delimited JSON protocol, one thread
-// per connection (connection concurrency is bounded by the service's
-// admission controller, not by the transport).
+// Socket front end for the query service, built on the src/net event
+// loop: one poll(2) thread owns every listener (AF_UNIX and TCP may be
+// served simultaneously) and every connection, speaking the
+// newline-delimited JSON protocol with request pipelining.
 //
-// Shutdown is cooperative and TSan-clean: every blocking loop is a
-// poll(2) with a short timeout re-checking an atomic stop flag, so Stop()
-// (or a client's "shutdown" verb) quiesces accept and connection threads
-// without pthread_cancel or signals.
+// Concurrency model: the loop thread parses and dispatches each line via
+// HandleRequestLineAsync — fast verbs complete inline, query/batch verbs
+// run on the query service's worker pool and complete back through
+// NetServer::Complete(). A connection may therefore have many requests in
+// flight; responses are emitted in completion order (correlate by "id")
+// unless the connection's first request carried "ordered":true.
+//
+// The transport enforces the operational limits (connection cap, per-line
+// byte cap, outbound backpressure, idle eviction) and reports them as
+// structured protocol errors; query admission (concurrency/queue bounds)
+// stays in the service where it always was.
+//
+// Shutdown is cooperative and TSan-clean: Stop() (or a client's
+// "shutdown" verb) finishes every in-flight request and flushes every
+// connection before the loop exits — see net/net_server.h.
 
 #ifndef RDFMR_SERVICE_SERVER_H_
 #define RDFMR_SERVICE_SERVER_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "net/net_server.h"
 #include "service/query_service.h"
 
 namespace rdfmr {
 namespace service {
 
+struct ServerOptions {
+  /// Endpoints to serve (unix:PATH and tcp:HOST:PORT freely mixed; TCP
+  /// port 0 binds an ephemeral port, visible via bound_addresses()).
+  std::vector<net::Address> listeners;
+  /// Connections beyond this are told "Unavailable" and closed.
+  uint32_t max_connections = 256;
+  /// Hard per-line cap: a request protocol has no business buffering
+  /// unbounded input from a runaway client.
+  uint64_t max_line_bytes = 64ULL << 20;
+  /// Per-connection outbound high watermark; past it the server stops
+  /// reading from that connection until the peer catches up.
+  uint64_t max_outbound_bytes = 8ULL << 20;
+  /// Evict connections with nothing in flight after this long (0 = never).
+  uint64_t idle_timeout_ms = 0;
+};
+
 class ServiceServer {
  public:
-  /// \brief Serves `query_service` (not owned, must outlive the server) at
-  /// `socket_path`. Call Start() to begin listening.
+  /// \brief Serves `query_service` (not owned, must outlive the server)
+  /// at every endpoint in `options.listeners`. Call Start() to begin.
+  ServiceServer(QueryService* query_service, ServerOptions options);
+
+  /// \brief Single-AF_UNIX-socket convenience (the pre-TCP signature).
   ServiceServer(QueryService* query_service, std::string socket_path);
 
   /// \brief Stops and joins if still running.
@@ -37,35 +64,38 @@ class ServiceServer {
   ServiceServer(const ServiceServer&) = delete;
   ServiceServer& operator=(const ServiceServer&) = delete;
 
-  /// \brief Binds the socket (replacing a stale file), starts listening
-  /// and spawns the accept thread.
+  /// \brief Binds every listener (replacing stale unix socket files) and
+  /// starts the event-loop thread. On any failure nothing is listening.
   Status Start();
 
   /// \brief Blocks until Stop() is called or a client sends "shutdown".
   void Wait();
 
-  /// \brief Requests shutdown, joins every thread, unlinks the socket.
-  /// Idempotent.
+  /// \brief Requests shutdown, drains in-flight requests, joins the loop
+  /// thread, unlinks unix sockets. Idempotent.
   void Stop();
 
-  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+  bool stopped() const { return net_.stopped(); }
+
+  /// \brief The first unix listener's path (empty for TCP-only servers).
   const std::string& socket_path() const { return socket_path_; }
 
+  /// \brief Every bound endpoint, TCP port 0 already resolved. Valid
+  /// after a successful Start().
+  const std::vector<net::Address>& bound_addresses() const {
+    return net_.bound_addresses();
+  }
+
+  /// \brief Transport counters (accepts, rejections, stalls, ...).
+  net::NetServerStats transport_stats() const { return net_.stats(); }
+
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
+  static net::NetServerOptions NetOptions(ServerOptions options);
+  void OnLine(uint64_t conn_id, uint64_t seq, std::string line);
 
   QueryService* const query_service_;
-  const std::string socket_path_;
-
-  std::atomic<bool> stop_{false};
-  int listen_fd_ = -1;
-  std::thread accept_thread_;
-
-  std::mutex mu_;  ///< guards connections_ and started_
-  std::vector<std::thread> connections_;
-  bool started_ = false;
-  std::condition_variable stop_cv_;
+  std::string socket_path_;
+  net::NetServer net_;
 };
 
 }  // namespace service

@@ -92,6 +92,11 @@ run_one() {
         || return $?
       ctest --test-dir "$build_dir" -L storage --output-on-failure \
         || return $?
+      # The net label covers the poll(2) event loop: cross-thread
+      # completions, backpressure stalls, pipelined TCP clients, and the
+      # stop-drain contract are exactly the races TSan exists to catch.
+      ctest --test-dir "$build_dir" -L net --output-on-failure \
+        || return $?
     fi
     return 0
   fi

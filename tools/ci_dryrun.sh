@@ -71,7 +71,7 @@ run_bench() {
   cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
     "${launcher_args[@]}" || return $?
   cmake --build "$build_dir" -j "$(nproc)" --target bench_service \
-    fig12_bsbm1m bench_index || return $?
+    fig12_bsbm1m bench_index bench_net || return $?
   # The benches write BENCH_*.json into the working directory, exactly as
   # the CI job does before uploading them as artifacts.
   "./$build_dir/bench/bench_service" || return $?
@@ -79,6 +79,9 @@ run_bench() {
   # bench_index hard-fails on its own when mmap-open is not >= 10x faster
   # than parse-open, independent of the baseline-relative gate below.
   "./$build_dir/bench/bench_index" || return $?
+  # bench_net hard-fails on its own when pipelining loses to serial
+  # request/response on either transport.
+  "./$build_dir/bench/bench_net" || return $?
   python3 tools/bench_compare.py \
     --baseline bench/baselines/BENCH_service.json \
     --current BENCH_service.json \
@@ -100,7 +103,19 @@ run_bench() {
     --baseline bench/baselines/BENCH_index.json \
     --current BENCH_index.json \
     --cells-key gates \
-    --field speedup --direction higher --tolerance 0.50
+    --field speedup --direction higher --tolerance 0.50 || return $?
+  # Transport cells are scheduler-sensitive (client threads and the event
+  # loop share cores), so the absolute qps gate is loose; the pipelining
+  # amortization ratios divide out machine speed and get the tight gate.
+  python3 tools/bench_compare.py \
+    --baseline bench/baselines/BENCH_net.json \
+    --current BENCH_net.json \
+    --field qps --direction higher --tolerance 0.40 || return $?
+  python3 tools/bench_compare.py \
+    --baseline bench/baselines/BENCH_net.json \
+    --current BENCH_net.json \
+    --cells-key ratios \
+    --field ratio --direction higher --tolerance 0.25
 }
 
 run_job() {

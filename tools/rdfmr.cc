@@ -33,16 +33,25 @@
 //       src/dfs/fault_plan.h); --max-attempts bounds per-op retries
 //       (default: cluster max_task_attempts = 4); --disk-check runs the
 //       advisor's footprint preflight before launching.
-//   rdfmr serve --socket PATH [--nodes N] [--disk-mb M] [--repl R]
-//               [--threads T] [--max-concurrent C] [--queue-bound Q]
+//   rdfmr serve --listen unix:PATH|tcp:HOST:PORT [--listen ...]
+//               [--socket PATH] [--max-connections C] [--idle-timeout-ms I]
+//               [--nodes N] [--disk-mb M] [--repl R] [--threads T]
+//               [--max-concurrent C] [--queue-bound Q]
 //               [--result-cache-mb M] [--plan-cache-entries P]
 //               [--deadline-ms D] [--dataset NAME --data FILE]
-//       Run the long-lived query service on a local socket, speaking
-//       newline-delimited JSON (see src/service/protocol.h for the
-//       verbs). --dataset/--data preloads one dataset at startup.
-//   rdfmr client --socket PATH [--request JSON]
+//       Run the long-lived query service, speaking newline-delimited
+//       JSON with request pipelining (see src/service/protocol.h and
+//       docs/PROTOCOL.md). --listen repeats to serve AF_UNIX and TCP
+//       endpoints simultaneously; tcp:HOST:0 binds an ephemeral port,
+//       printed at startup. --socket PATH is shorthand for
+//       --listen unix:PATH. --dataset/--data preloads one dataset.
+//   rdfmr client --connect unix:PATH|tcp:HOST:PORT [--socket PATH]
+//               [--connect-retries N] [--pipeline] [--request JSON]
 //       Send one JSON request (or each line of stdin) to a running
-//       server and print the response line(s).
+//       server and print the response line(s). --connect-retries retries
+//       transient connect failures with doubling backoff; --pipeline
+//       sends every request before reading any response and prints the
+//       responses in request order.
 
 #include <cstdio>
 #include <cstring>
@@ -62,6 +71,7 @@
 #include "engine/advisor.h"
 #include "engine/engine.h"
 #include "mapreduce/workflow.h"
+#include "net/address.h"
 #include "ntga/logical_plan.h"
 #include "ntga/ntga_compiler.h"
 #include "relational/rel_compiler.h"
@@ -88,9 +98,9 @@ class Flags {
       if (StartsWith(arg, "--")) {
         std::string key = arg.substr(2);
         if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
-          values_[key] = argv[++i];
+          values_[key].push_back(argv[++i]);
         } else {
-          values_[key] = "";
+          values_[key].push_back("");
         }
       } else {
         std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
@@ -106,24 +116,31 @@ class Flags {
     for (const auto& [key, value] : values_) keys.push_back(key);
     return keys;
   }
+  /// Last occurrence wins for single-valued flags.
   std::string Get(const std::string& key, std::string fallback = "") const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
+    return it == values_.end() ? fallback : it->second.back();
+  }
+  /// Every occurrence, in command-line order (repeatable flags like
+  /// serve's --listen).
+  std::vector<std::string> GetList(const std::string& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>() : it->second;
   }
   uint64_t GetInt(const std::string& key, uint64_t fallback) const {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     try {
-      return std::stoull(it->second);
+      return std::stoull(it->second.back());
     } catch (...) {
       std::fprintf(stderr, "bad integer for --%s: %s\n", key.c_str(),
-                   it->second.c_str());
+                   it->second.back().c_str());
       return fallback;
     }
   }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
   bool ok_ = true;
 };
 
@@ -537,10 +554,29 @@ int CmdIndex(const std::string& in_path, const std::string& out_path) {
 }
 
 int CmdServe(const Flags& flags) {
-  if (!flags.Has("socket")) {
-    std::fprintf(stderr, "serve: need --socket PATH\n");
+  service::ServerOptions server_options;
+  if (flags.Has("socket")) {
+    server_options.listeners.push_back(
+        net::Address::Unix(flags.Get("socket")));
+  }
+  for (const std::string& spec : flags.GetList("listen")) {
+    Result<net::Address> address = net::Address::Parse(spec);
+    if (!address.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   address.status().ToString().c_str());
+      return 2;
+    }
+    server_options.listeners.push_back(*std::move(address));
+  }
+  if (server_options.listeners.empty()) {
+    std::fprintf(stderr,
+                 "serve: need --listen unix:PATH|tcp:HOST:PORT "
+                 "(repeatable) or --socket PATH\n");
     return 2;
   }
+  server_options.max_connections =
+      static_cast<uint32_t>(flags.GetInt("max-connections", 256));
+  server_options.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 0);
   service::ServiceConfig config;
   config.cluster.num_nodes =
       static_cast<uint32_t>(flags.GetInt("nodes", 8));
@@ -580,15 +616,20 @@ int CmdServe(const Flags& flags) {
                 static_cast<unsigned long long>(info->epoch), path.c_str(),
                 info->mapped ? " (memory-mapped)" : "");
   }
-  service::ServiceServer server(&query_service, flags.Get("socket"));
+  service::ServiceServer server(&query_service, std::move(server_options));
   Status st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
+  std::string endpoints;
+  for (const net::Address& address : server.bound_addresses()) {
+    if (!endpoints.empty()) endpoints += " ";
+    endpoints += address.ToString();  // TCP port 0 already resolved
+  }
   std::printf("rdfmr service listening on %s (%u worker(s), queue bound "
               "%u)\n",
-              server.socket_path().c_str(), query_service.max_concurrent(),
+              endpoints.c_str(), query_service.max_concurrent(),
               config.queue_bound);
   std::fflush(stdout);
   server.Wait();
@@ -598,33 +639,68 @@ int CmdServe(const Flags& flags) {
 }
 
 int CmdClient(const Flags& flags) {
-  if (!flags.Has("socket")) {
-    std::fprintf(stderr, "client: need --socket PATH\n");
+  const std::string target = flags.Has("connect")
+                                 ? flags.Get("connect")
+                                 : flags.Get("socket");
+  if (target.empty()) {
+    std::fprintf(stderr,
+                 "client: need --connect unix:PATH|tcp:HOST:PORT "
+                 "(or --socket PATH)\n");
     return 2;
   }
-  auto client = service::ServiceClient::Connect(flags.Get("socket"));
+  // Retry transient connect failures (server still starting up) with a
+  // doubling backoff; 1 attempt = the old fail-fast behavior.
+  const uint32_t attempts =
+      static_cast<uint32_t>(flags.GetInt("connect-retries", 1));
+  auto client = service::ServiceClient::ConnectWithRetry(target, attempts);
   if (!client.ok()) {
     std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
     return 1;
   }
+
+  // Collect the request lines: one --request or all of stdin.
+  std::vector<std::string> lines;
+  if (flags.Has("request")) {
+    lines.push_back(flags.Get("request"));
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+  }
+
   int failures = 0;
-  auto roundtrip = [&client, &failures](const std::string& line) {
+  if (flags.Has("pipeline")) {
+    // All requests in flight at once; responses printed back in request
+    // order (CallPipelined re-matches them by their echoed "id").
+    std::vector<JsonValue> requests;
+    requests.reserve(lines.size());
+    for (const std::string& line : lines) {
+      Result<JsonValue> request = ParseJson(line);
+      if (!request.ok()) {
+        std::fprintf(stderr, "%s\n", request.status().ToString().c_str());
+        return 1;
+      }
+      requests.push_back(*std::move(request));
+    }
+    auto responses = client->CallPipelined(std::move(requests));
+    if (!responses.ok()) {
+      std::fprintf(stderr, "%s\n", responses.status().ToString().c_str());
+      return 1;
+    }
+    for (const JsonValue& response : *responses) {
+      std::printf("%s\n", response.Dump().c_str());
+    }
+    return 0;
+  }
+  for (const std::string& line : lines) {
     auto response = client->CallLine(line);
     if (!response.ok()) {
       std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
       ++failures;
-      return;
+      continue;
     }
     std::printf("%s\n", response->c_str());
-  };
-  if (flags.Has("request")) {
-    roundtrip(flags.Get("request"));
-  } else {
-    std::string line;
-    while (std::getline(std::cin, line)) {
-      if (line.empty()) continue;
-      roundtrip(line);
-    }
   }
   return failures == 0 ? 0 : 1;
 }
@@ -652,10 +728,12 @@ const std::map<std::string, std::vector<const char*>>& SubcommandFlags() {
            {"queries", "data", "engine", "nodes", "disk-mb", "repl",
             "threads"}},
           {"serve",
-           {"socket", "nodes", "disk-mb", "repl", "threads",
-            "max-concurrent", "queue-bound", "result-cache-mb",
-            "plan-cache-entries", "deadline-ms", "dataset", "data"}},
-          {"client", {"socket", "request"}},
+           {"socket", "listen", "max-connections", "idle-timeout-ms",
+            "nodes", "disk-mb", "repl", "threads", "max-concurrent",
+            "queue-bound", "result-cache-mb", "plan-cache-entries",
+            "deadline-ms", "dataset", "data"}},
+          {"client",
+           {"socket", "connect", "connect-retries", "pipeline", "request"}},
       };
   return *flags;
 }
