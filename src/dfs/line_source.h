@@ -1,0 +1,55 @@
+// A lazily-decoded source of record lines, mountable into SimDfs.
+//
+// SimDfs files are ordered lists of record lines. A LineSource is the
+// zero-materialization counterpart: it knows how many lines it holds and
+// how long each serialized line would be, and it materializes individual
+// lines on demand. Mounting one (SimDfs::MountMapped) gives engines a
+// base relation whose bytes, block layout, and metering are identical to
+// a written file, without ever building the full line vector.
+//
+// The interface lives in src/dfs/ (which links only rdfmr_common) and is
+// deliberately storage-agnostic: properties are opaque strings, so the
+// mmap-backed implementation in src/storage/ can sit above this layer.
+
+#ifndef RDFMR_DFS_LINE_SOURCE_H_
+#define RDFMR_DFS_LINE_SOURCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdfmr {
+
+/// \brief Read-only, indexable provider of serialized record lines.
+///
+/// Implementations must be immutable after construction and safe for
+/// concurrent use from any number of threads without external locking:
+/// map tasks of the multi-threaded job runner call Line() concurrently.
+class LineSource {
+ public:
+  virtual ~LineSource() = default;
+
+  /// \brief Number of record lines.
+  virtual uint64_t line_count() const = 0;
+
+  /// \brief Total logical bytes: sum over lines of line.size() + 1 (the
+  /// trailing newline), matching how SimDfs sizes written files.
+  virtual uint64_t total_bytes() const = 0;
+
+  /// \brief Serialized length (excluding the newline) of line `index`.
+  /// Must equal Line(index).size() without materializing the line.
+  virtual uint64_t LineBytes(uint64_t index) const = 0;
+
+  /// \brief Materializes line `index` (no trailing newline).
+  virtual std::string Line(uint64_t index) const = 0;
+
+  /// \brief Ascending indices of the lines whose property term is in
+  /// `properties` (exact string match; order/duplicates in `properties`
+  /// do not matter). An empty `properties` selects nothing.
+  virtual std::vector<uint64_t> MatchingLines(
+      const std::vector<std::string>& properties) const = 0;
+};
+
+}  // namespace rdfmr
+
+#endif  // RDFMR_DFS_LINE_SOURCE_H_

@@ -138,6 +138,21 @@ Result<std::vector<uint32_t>> SimDfs::PlaceBlock(uint64_t size) {
 Status SimDfs::WriteFile(const std::string& path,
                          std::vector<std::string> lines) {
   std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t bytes = LinesBytes(lines);
+  return CreateEntryLocked(path, bytes, std::move(lines), nullptr);
+}
+
+Status SimDfs::MountMapped(const std::string& path,
+                           std::shared_ptr<const LineSource> source) {
+  RDFMR_CHECK(source != nullptr) << "MountMapped needs a source";
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t bytes = source->total_bytes();
+  return CreateEntryLocked(path, bytes, {}, std::move(source));
+}
+
+Status SimDfs::CreateEntryLocked(const std::string& path, uint64_t bytes,
+                                 std::vector<std::string> lines,
+                                 std::shared_ptr<const LineSource> source) {
   if (write_failure_countdown_ > 0 && --write_failure_countdown_ == 0) {
     return Status::IoError("injected write failure: " + path);
   }
@@ -148,7 +163,7 @@ Status SimDfs::WriteFile(const std::string& path,
     return Status::AlreadyExists("file exists: " + path);
   }
   FileEntry entry;
-  entry.bytes = LinesBytes(lines);
+  entry.bytes = bytes;
   entry.blocks = static_cast<uint32_t>(
       std::max<uint64_t>(1, (entry.bytes + config_.block_size - 1) /
                                 config_.block_size));
@@ -178,13 +193,13 @@ Status SimDfs::WriteFile(const std::string& path,
   metrics_.files_created += 1;
   metrics_.write_ops += 1;
   entry.lines = std::move(lines);
+  entry.source = std::move(source);
   files_.emplace(path, std::move(entry));
   return Status::OK();
 }
 
-Result<std::vector<std::string>> SimDfs::ReadFile(
+Result<const SimDfs::FileEntry*> SimDfs::OpenForReadLocked(
     const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
   if (FaultsActiveLocked()) {
     RDFMR_RETURN_NOT_OK(MaybeInjectFaultLocked(/*is_read=*/true, path));
   }
@@ -210,7 +225,46 @@ Result<std::vector<std::string>> SimDfs::ReadFile(
   }
   metrics_.bytes_read += entry.bytes;
   metrics_.read_ops += 1;
-  return entry.lines;
+  return &entry;
+}
+
+Result<std::vector<std::string>> SimDfs::ReadFile(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto entry = OpenForReadLocked(path);
+  RDFMR_RETURN_NOT_OK(entry.status());
+  const FileEntry& file = **entry;
+  if (file.source == nullptr) return file.lines;
+  // Mapped file: materialize every line for the caller. Scans should use
+  // OpenScan instead; this path keeps whole-file readers (preflight,
+  // registry snapshots) working against mounted datasets.
+  std::vector<std::string> lines;
+  lines.reserve(file.source->line_count());
+  for (uint64_t i = 0; i < file.source->line_count(); ++i) {
+    lines.push_back(file.source->Line(i));
+  }
+  return lines;
+}
+
+Result<SimDfs::ScanHandle> SimDfs::OpenScan(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto entry = OpenForReadLocked(path);
+  RDFMR_RETURN_NOT_OK(entry.status());
+  const FileEntry& file = **entry;
+  ScanHandle handle;
+  handle.bytes_ = file.bytes;
+  if (file.source != nullptr) {
+    handle.source_ = file.source;
+  } else {
+    handle.lines_ = file.lines;
+  }
+  return handle;
+}
+
+bool SimDfs::IsMapped(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it != files_.end() && it->second.source != nullptr;
 }
 
 Result<uint64_t> SimDfs::FileSize(const std::string& path) const {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "common/status.h"
 #include "dfs/cluster_config.h"
 #include "dfs/fault_plan.h"
+#include "dfs/line_source.h"
 
 namespace rdfmr {
 
@@ -60,8 +62,63 @@ class SimDfs {
   Status WriteFile(const std::string& path,
                    std::vector<std::string> lines);
 
+  /// \brief Creates `path` backed by a LineSource instead of stored
+  /// lines: bytes, block layout, placement, and metering are exactly what
+  /// WriteFile of the materialized lines would produce, but lines stay in
+  /// the source and are decoded on demand (ReadFile materializes them;
+  /// OpenScan iterates them lazily). Same failure modes as WriteFile.
+  Status MountMapped(const std::string& path,
+                     std::shared_ptr<const LineSource> source);
+
+  /// \brief True iff `path` exists and is backed by a mounted LineSource.
+  bool IsMapped(const std::string& path) const;
+
   /// \brief Reads all record lines of `path` (metered).
   Result<std::vector<std::string>> ReadFile(const std::string& path) const;
+
+  /// \brief One metered open of `path` for a sequential scan. Exactly the
+  /// fault-injection, availability, and metering behavior of ReadFile
+  /// (bytes_read += file bytes, read_ops += 1), but the lines are served
+  /// through the handle without materializing a mapped file.
+  class ScanHandle {
+   public:
+    uint64_t line_count() const {
+      return source_ ? source_->line_count() : lines_.size();
+    }
+    /// Logical file bytes (== FileSize of the path at open time).
+    uint64_t total_bytes() const { return bytes_; }
+    /// Serialized length of line `i` excluding the newline.
+    uint64_t LineBytes(uint64_t i) const {
+      return source_ ? source_->LineBytes(i) : lines_[i].size();
+    }
+    /// Line `i`; mapped files decode it on demand.
+    std::string Line(uint64_t i) const {
+      return source_ ? source_->Line(i) : lines_[i];
+    }
+    /// Line `i` without copying materialized lines: mapped files decode
+    /// into `*scratch` and return it, materialized files return the
+    /// stored line directly.
+    const std::string& LineRef(uint64_t i, std::string* scratch) const {
+      if (source_ == nullptr) return lines_[i];
+      *scratch = source_->Line(i);
+      return *scratch;
+    }
+    bool mapped() const { return source_ != nullptr; }
+    /// For mapped files: ascending indices of lines matching any of
+    /// `properties` (empty selects nothing). Null for materialized files
+    /// (callers scan every line).
+    std::vector<uint64_t> MatchingLines(
+        const std::vector<std::string>& properties) const {
+      return source_->MatchingLines(properties);
+    }
+
+   private:
+    friend class SimDfs;
+    std::shared_ptr<const LineSource> source_;  // mapped files
+    std::vector<std::string> lines_;            // materialized files
+    uint64_t bytes_ = 0;
+  };
+  Result<ScanHandle> OpenScan(const std::string& path) const;
 
   /// \brief Logical size in bytes of `path`.
   Result<uint64_t> FileSize(const std::string& path) const;
@@ -175,11 +232,24 @@ class SimDfs {
  private:
   struct FileEntry {
     std::vector<std::string> lines;
+    /// Non-null for mounted mapped files; `lines` stays empty for them.
+    std::shared_ptr<const LineSource> source;
     uint64_t bytes = 0;
     uint32_t blocks = 0;
     // node ids holding each replica of each block, for space reclamation
     std::vector<std::vector<uint32_t>> placements;
   };
+
+  /// Shared body of WriteFile and MountMapped: injection, existence and
+  /// placement checks, write metering, entry insertion. Requires mu_ held
+  /// via the caller's lock. `bytes` is the logical file size.
+  Status CreateEntryLocked(const std::string& path, uint64_t bytes,
+                           std::vector<std::string> lines,
+                           std::shared_ptr<const LineSource> source);
+
+  /// Shared fault/availability/metering preamble of ReadFile and
+  /// OpenScan; returns the entry. Requires mu_ held.
+  Result<const FileEntry*> OpenForReadLocked(const std::string& path) const;
 
   /// Places one block of `size` bytes on `replication` distinct least-loaded
   /// alive, not-full nodes; returns the chosen node ids or kOutOfSpace.

@@ -394,10 +394,18 @@ Result<PreflightOutcome> DiskPressurePreflight(
   PreflightOutcome out;
   out.options = options;
   SimDfs::ScopedFaultSuspension suspend_faults(dfs);
-  RDFMR_ASSIGN_OR_RETURN(std::vector<std::string> lines,
-                         dfs->ReadFile(base_path));
-  RDFMR_ASSIGN_OR_RETURN(std::vector<Triple> triples,
-                         DeserializeTriples(lines));
+  // Scan the base through the same handle the map phase uses: on a
+  // mounted (.rdx-mapped) base this decodes one record at a time into a
+  // scratch buffer instead of materializing the whole line vector.
+  RDFMR_ASSIGN_OR_RETURN(SimDfs::ScanHandle scan, dfs->OpenScan(base_path));
+  std::vector<Triple> triples;
+  triples.reserve(scan.line_count());
+  std::string scratch;
+  for (uint64_t i = 0; i < scan.line_count(); ++i) {
+    RDFMR_ASSIGN_OR_RETURN(Triple triple,
+                           Triple::Deserialize(scan.LineRef(i, &scratch)));
+    triples.push_back(std::move(triple));
+  }
   const GraphStats graph_stats = GraphStats::Compute(triples);
   const StrategyAdvice advice =
       AdviseStrategy(query, graph_stats, dfs->config());

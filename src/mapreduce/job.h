@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,15 @@ using CombineFn = std::function<std::vector<std::string>(
 struct MapInput {
   std::string path;
   MapFn map;
+  /// Optional vertical-partition scan hint for mapped (LineSource-backed)
+  /// inputs: the set of property terms whose records the mapper can act
+  /// on. The compiler may set it ONLY when the mapper provably no-ops
+  /// (zero emissions, zero counter changes) on every well-formed record
+  /// whose property is outside the set — then a mapped scan may skip
+  /// those records without changing any deterministic metric. Null means
+  /// scan everything; an empty set means no record matches (pure rescan
+  /// accounting). Ignored for materialized inputs.
+  std::shared_ptr<const std::vector<std::string>> scan_properties;
 };
 
 /// \brief Full specification of one MapReduce job.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <utility>
 
 #include "common/hash.h"
@@ -72,26 +73,24 @@ void AccountRetries(JobMetrics* metrics, uint32_t failed_attempts,
   }
 }
 
-// Reads `path`, re-attempting transient failures up to `max_attempts`
-// total attempts (Hadoop re-runs the whole map attempt, so each retry
-// re-reads — and wastes — the full input).
-Result<std::vector<std::string>> ReadWithRetry(SimDfs* dfs,
-                                               const std::string& path,
-                                               uint32_t max_attempts,
-                                               double backoff_base,
-                                               JobMetrics* metrics) {
+// Opens `path` for scanning, re-attempting transient failures up to
+// `max_attempts` total attempts (Hadoop re-runs the whole map attempt, so
+// each retry re-reads — and wastes — the full input).
+Result<SimDfs::ScanHandle> OpenScanWithRetry(SimDfs* dfs,
+                                             const std::string& path,
+                                             uint32_t max_attempts,
+                                             double backoff_base,
+                                             JobMetrics* metrics) {
   uint32_t failed = 0;
   for (;;) {
-    auto lines = dfs->ReadFile(path);
-    if (lines.ok()) {
-      uint64_t bytes = 0;
-      for (const std::string& line : *lines) bytes += line.size() + 1;
-      AccountRetries(metrics, failed, bytes, backoff_base);
-      return lines;
+    auto scan = dfs->OpenScan(path);
+    if (scan.ok()) {
+      AccountRetries(metrics, failed, scan->total_bytes(), backoff_base);
+      return scan;
     }
-    if (!IsTransient(lines.status()) || failed + 1 >= max_attempts) {
+    if (!IsTransient(scan.status()) || failed + 1 >= max_attempts) {
       AccountRetries(metrics, failed, 0, backoff_base);
-      return lines.status();
+      return scan.status();
     }
     ++failed;
   }
@@ -136,17 +135,37 @@ void ForEachTask(ThreadPool* pool, size_t n,
 // Executes one map task against its line range: either plain mapping or
 // the per-task combiner path (buffer -> combine per key -> emit), exactly
 // the Hadoop combiner scope.
+//
+// `selected` (nullable) is the input's resolved vertical-partition hint:
+// ascending indices of the lines whose property the mapper can act on.
+// When set (mapped inputs only), the task feeds the mapper just the
+// selected lines inside its range — legal because the compiler guarantees
+// the mapper no-ops on every skipped line, so emissions and counters are
+// byte-identical to the full scan.
 void RunMapTask(const JobSpec& spec, const MapTask& task,
-                const std::vector<std::string>& lines, bool map_only,
+                const SimDfs::ScanHandle& scan,
+                const std::vector<uint64_t>* selected, bool map_only,
                 MapTaskOutput* out) {
   const MapFn& map = spec.inputs[task.input_index].map;
+  std::string scratch;
+  const auto for_each_record = [&](const MapEmit& emit) {
+    if (selected == nullptr) {
+      for (size_t i = task.begin; i < task.end; ++i) {
+        map(scan.LineRef(i, &scratch), emit, &out->counters);
+      }
+      return;
+    }
+    auto it = std::lower_bound(selected->begin(), selected->end(),
+                               static_cast<uint64_t>(task.begin));
+    for (; it != selected->end() && *it < task.end; ++it) {
+      map(scan.LineRef(*it, &scratch), emit, &out->counters);
+    }
+  };
   if (spec.combine == nullptr || map_only) {
     MapEmit emit = [out](std::string key, std::string value) {
       out->emits.emplace_back(std::move(key), std::move(value));
     };
-    for (size_t i = task.begin; i < task.end; ++i) {
-      map(lines[i], emit, &out->counters);
-    }
+    for_each_record(emit);
     return;
   }
   // Combiner path: buffer this task's output, combine per key, then hand
@@ -159,9 +178,7 @@ void RunMapTask(const JobSpec& spec, const MapTask& task,
     if (inserted) key_order.push_back(it->first);
     it->second.push_back(std::move(value));
   };
-  for (size_t i = task.begin; i < task.end; ++i) {
-    map(lines[i], emit, &out->counters);
-  }
+  for_each_record(emit);
   for (const std::string& key : key_order) {
     std::vector<std::string> combined =
         spec.combine(key, task_output.at(key), &out->counters);
@@ -228,52 +245,58 @@ JobRunResult RunJob(SimDfs* dfs, const JobSpec& spec,
   RDFMR_CHECK(num_reducers > 0);
 
   // ---- Map phase -------------------------------------------------------
-  // Scan the inputs (metered, on the calling thread) and cut each into
-  // per-block map tasks; a line belongs to the block holding its first
-  // byte, as a Hadoop input split would.
+  // Open the inputs for scanning (metered, on the calling thread) and cut
+  // each into per-block map tasks; a line belongs to the block holding
+  // its first byte, as a Hadoop input split would. Task structure and
+  // input metering always cover the FULL file — a vertical-partition
+  // hint prunes which lines reach the mapper, never what the job reads.
   auto map_start = std::chrono::steady_clock::now();
   ScopedSpan map_span(job_ctx, "map");
   const uint64_t block_size = dfs->config().block_size;
-  std::vector<std::vector<std::string>> input_lines(spec.inputs.size());
+  std::vector<SimDfs::ScanHandle> scans(spec.inputs.size());
+  // Resolved per-input hints; null = feed every line to the mapper.
+  std::vector<std::unique_ptr<std::vector<uint64_t>>> selected(
+      spec.inputs.size());
   std::vector<MapTask> tasks;
   for (size_t in = 0; in < spec.inputs.size(); ++in) {
     const MapInput& input = spec.inputs[in];
-    auto lines = ReadWithRetry(dfs, input.path, max_attempts, backoff_base,
-                               &metrics);
-    if (!lines.ok()) {
+    auto scan = OpenScanWithRetry(dfs, input.path, max_attempts,
+                                  backoff_base, &metrics);
+    if (!scan.ok()) {
       run.status =
-          lines.status().WithContext("job '" + spec.name + "' input");
+          scan.status().WithContext("job '" + spec.name + "' input");
       return run;
     }
-    metrics.input_records += lines->size();
-    auto in_bytes = dfs->FileSize(input.path);
-    if (!in_bytes.ok()) {
-      run.status = in_bytes.status();
-      return run;
+    scans[in] = scan.MoveValueUnsafe();
+    metrics.input_records += scans[in].line_count();
+    metrics.input_bytes += scans[in].total_bytes();
+    if (scans[in].mapped() && input.scan_properties != nullptr) {
+      selected[in] = std::make_unique<std::vector<uint64_t>>(
+          scans[in].MatchingLines(*input.scan_properties));
     }
-    metrics.input_bytes += *in_bytes;
-    input_lines[in] = lines.MoveValueUnsafe();
 
+    const uint64_t line_count = scans[in].line_count();
     uint64_t offset = 0;
     uint64_t task_block = 0;
     size_t task_begin = 0;
-    for (size_t i = 0; i < input_lines[in].size(); ++i) {
+    for (size_t i = 0; i < line_count; ++i) {
       uint64_t block = offset / block_size;
       if (block != task_block) {
         tasks.push_back(MapTask{in, task_begin, i});
         task_block = block;
         task_begin = i;
       }
-      offset += input_lines[in][i].size() + 1;
+      offset += scans[in].LineBytes(i) + 1;
     }
-    if (task_begin < input_lines[in].size()) {
-      tasks.push_back(MapTask{in, task_begin, input_lines[in].size()});
+    if (task_begin < line_count) {
+      tasks.push_back(MapTask{in, task_begin, line_count});
     }
   }
 
   std::vector<MapTaskOutput> task_outputs(tasks.size());
   ForEachTask(pool, tasks.size(), [&](size_t t) {
-    RunMapTask(spec, tasks[t], input_lines[tasks[t].input_index], map_only,
+    RunMapTask(spec, tasks[t], scans[tasks[t].input_index],
+               selected[tasks[t].input_index].get(), map_only,
                &task_outputs[t]);
   });
 
@@ -318,7 +341,8 @@ JobRunResult RunJob(SimDfs* dfs, const JobSpec& spec,
     }
     MergeCounters(&metrics.counters, out.counters);
   }
-  input_lines.clear();
+  scans.clear();
+  selected.clear();
   task_outputs.clear();
   metrics.map_seconds = SecondsSince(map_start);
   if (tracing) {

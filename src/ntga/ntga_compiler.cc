@@ -1,6 +1,7 @@
 #include "ntga/ntga_compiler.h"
 
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/strings.h"
@@ -12,6 +13,26 @@ namespace rdfmr {
 namespace {
 
 using QueryPtr = std::shared_ptr<const GraphPatternQuery>;
+
+// Vertical-partition hint for the shared group scan over `queries`: the
+// union of every pattern's property constant when ALL patterns across all
+// queries are property-bound, null (scan everything) as soon as any
+// pattern's property is a variable. Sound: the group mappers below emit
+// nothing and touch no counter for a well-formed triple whose property
+// matches no bound pattern, so a mapped scan may skip those triples
+// without changing answers or deterministic metrics.
+std::shared_ptr<const std::vector<std::string>> GroupScanHint(
+    const std::vector<QueryPtr>& queries) {
+  std::vector<std::string> properties;
+  for (const QueryPtr& q : queries) {
+    for (const TriplePattern& tp : q->patterns()) {
+      if (!tp.property_bound) return nullptr;
+      properties.push_back(tp.property);
+    }
+  }
+  return std::make_shared<const std::vector<std::string>>(
+      std::move(properties));
+}
 
 std::string EcPath(const std::string& tmp_prefix, size_t star) {
   return StringFormat("%s/ec%zu", tmp_prefix.c_str(), star);
@@ -394,7 +415,8 @@ Result<NtgaBatchPlan> CompileSharedNtgaPlan(
             }
           }
         }
-      }});
+      },
+      GroupScanHint(queries)});
   job1.reduce = [queries, offsets, plans](
                     const std::string& key,
                     const std::vector<std::string>& values,
@@ -497,7 +519,8 @@ Result<CompiledPlan> CompileNtgaPlan(QueryPtr query,
   // --- Job 1: one grouping cycle for ALL star subpatterns.
   JobSpec job1;
   job1.name = "tg-group-filter";
-  job1.inputs.push_back(MapInput{base_path, MakeGroupMapper(query)});
+  job1.inputs.push_back(MapInput{base_path, MakeGroupMapper(query),
+                                 GroupScanHint({query})});
   job1.full_scans_of_base = 1;
   job1.reduce = MakeGroupReducer(query, plan);
   job1.output_path = tmp_prefix + "/ec";

@@ -1,6 +1,7 @@
 #include "relational/rel_compiler.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <set>
 
@@ -13,6 +14,33 @@ namespace rdfmr {
 namespace {
 
 using QueryPtr = std::shared_ptr<const GraphPatternQuery>;
+
+// ---- Vertical-partition scan hints -----------------------------------------
+
+using ScanHint = std::shared_ptr<const std::vector<std::string>>;
+
+// Hint for a mapper that only reacts to triples matching one of
+// `patterns`: the set of property constants when EVERY pattern is
+// property-bound, null (scan everything) when any pattern's property is a
+// variable. Sound because each mapper below ignores — no emissions, no
+// counter changes — any well-formed record whose property matches no
+// pattern, so a mapped scan may skip those records without changing
+// answers or deterministic metrics.
+ScanHint HintForPatterns(const std::vector<TriplePattern>& patterns) {
+  std::vector<std::string> properties;
+  for (const TriplePattern& tp : patterns) {
+    if (!tp.property_bound) return nullptr;
+    properties.push_back(tp.property);
+  }
+  return std::make_shared<const std::vector<std::string>>(
+      std::move(properties));
+}
+
+// Hint selecting nothing: for pure rescan-accounting inputs whose mapper
+// never emits regardless of the record.
+ScanHint EmptyHint() {
+  return std::make_shared<const std::vector<std::string>>();
+}
 
 // ---- Map-side helpers -------------------------------------------------------
 
@@ -242,12 +270,14 @@ Result<CompiledPlan> CompileStarPerCycle(QueryPtr query,
       // One scan per join operand (VP relation).
       for (size_t i = 0; i < star.patterns.size(); ++i) {
         job.inputs.push_back(
-            MapInput{scan_path, MakeSinglePatternMapper(query, s, i)});
+            MapInput{scan_path, MakeSinglePatternMapper(query, s, i),
+                     HintForPatterns({star.patterns[i]})});
       }
       job.full_scans_of_base =
           scanning_base ? static_cast<uint32_t>(star.patterns.size()) : 0;
     } else {
-      job.inputs.push_back(MapInput{scan_path, MakeStarMapper(query, s)});
+      job.inputs.push_back(MapInput{scan_path, MakeStarMapper(query, s),
+                                    HintForPatterns(star.patterns)});
       job.full_scans_of_base = scanning_base ? 1 : 0;
     }
     job.reduce = MakeStarReducer(query, s);
@@ -279,8 +309,10 @@ Result<CompiledPlan> CompileStarPerCycle(QueryPtr query,
     auto add_side = [&](const RelationState& rel, const char* tag) {
       if (rel.inline_single_pattern) {
         job.inputs.push_back(MapInput{
-            rel.path, MakeInlineSingleTpJoinMapper(query, rel.star_index,
-                                                   join.variable, tag)});
+            rel.path,
+            MakeInlineSingleTpJoinMapper(query, rel.star_index,
+                                         join.variable, tag),
+            HintForPatterns({query->stars()[rel.star_index].patterns[0]})});
         if (scanning_base) job.full_scans_of_base += 1;
       } else {
         job.inputs.push_back(MapInput{
@@ -347,7 +379,9 @@ Result<CompiledPlan> CompileSelSJFirst(QueryPtr query,
     // Cycle 1: compute `first`.
     JobSpec job1;
     job1.name = StringFormat("selsj-star-%zu", first);
-    job1.inputs.push_back(MapInput{base_path, MakeStarMapper(query, first)});
+    job1.inputs.push_back(
+        MapInput{base_path, MakeStarMapper(query, first),
+                 HintForPatterns(query->stars()[first].patterns)});
     job1.full_scans_of_base = 1;
     job1.reduce = MakeStarReducer(query, first);
     job1.output_path = tmp_prefix + "/selsj-first";
@@ -365,8 +399,9 @@ Result<CompiledPlan> CompileSelSJFirst(QueryPtr query,
         MapInput{tmp_prefix + "/selsj-first",
                  MakeJoinMapper(first_schema, join.variable, "L")});
     job2.inputs.push_back(MapInput{
-        base_path, [query, folded](const std::string& record,
-                                   const MapEmit& emit, Counters* counters) {
+        base_path,
+        [query, folded](const std::string& record, const MapEmit& emit,
+                        Counters* counters) {
           Result<Triple> t = Triple::Deserialize(record);
           if (!t.ok()) {
             (*counters)["bad_records"] += 1;
@@ -378,7 +413,8 @@ Result<CompiledPlan> CompileSelSJFirst(QueryPtr query,
               break;  // routing only; the reducer re-derives matches
             }
           }
-        }});
+        },
+        HintForPatterns(query->stars()[folded].patterns)});
     job2.full_scans_of_base = 1;
     job2.reduce = [query, folded, first_schema, folded_schema](
                       const std::string& /*key*/,
@@ -455,7 +491,8 @@ Result<CompiledPlan> CompileSelSJFirst(QueryPtr query,
     JobSpec& join_job = plan3.workflow.jobs.back();
     join_job.inputs.push_back(MapInput{
         base_path,
-        [](const std::string&, const MapEmit&, Counters*) { /* rescan */ }});
+        [](const std::string&, const MapEmit&, Counters*) { /* rescan */ },
+        EmptyHint()});
     join_job.full_scans_of_base += 1;
   }
   return plan3;

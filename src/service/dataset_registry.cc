@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "storage/mapped_dataset.h"
+
 namespace rdfmr {
 namespace service {
 
@@ -13,6 +15,24 @@ Status DatasetHandle::EnsureLoaded() const {
   attempted_ = true;
   TripleLoader loader = std::move(loader_);
   loader_ = nullptr;
+  if (mapped_ != nullptr && !materialize_) {
+    // Zero-materialization path: mount the mapping as the base relation.
+    // Nothing is decoded now — scans pull individual records out of the
+    // mapped postings/dictionary on demand.
+    auto dfs = std::make_unique<SimDfs>(cluster_);
+    Status st = dfs->MountMapped(
+        kBasePath, std::make_shared<const storage::MappedDataset>(mapped_));
+    if (!st.ok()) {
+      load_status_ = st;
+      return load_status_;
+    }
+    num_triples_ = mapped_->triple_count();
+    auto size = dfs->FileSize(kBasePath);
+    base_bytes_ = size.ok() ? *size : 0;
+    dfs_ = std::move(dfs);
+    load_status_ = Status::OK();
+    return load_status_;
+  }
   if (!loader) {
     load_status_ = Status::Unknown("dataset has no loader: " + name_);
     return load_status_;
@@ -52,6 +72,7 @@ DatasetInfo DatasetHandle::Info() const {
   if (mapped_ != nullptr) {
     info.mapped = true;
     info.mapped_bytes = mapped_->file_bytes();
+    info.mapped_scans = !materialize_;
     // The mapping knows the relation size before materialization.
     if (!info.loaded) info.num_triples = mapped_->triple_count();
   }
@@ -60,11 +81,11 @@ DatasetInfo DatasetHandle::Info() const {
 
 std::shared_ptr<DatasetHandle> DatasetRegistry::Replace(
     const std::string& name, TripleLoader loader,
-    std::shared_ptr<const storage::RdxReader> mapped) {
+    std::shared_ptr<const storage::RdxReader> mapped, bool materialize) {
   std::lock_guard<std::mutex> lock(mu_);
   auto handle = std::shared_ptr<DatasetHandle>(
       new DatasetHandle(name, next_epoch_++, cluster_, std::move(loader),
-                        std::move(mapped)));
+                        std::move(mapped), materialize));
   datasets_[name] = handle;
   return handle;
 }
@@ -94,7 +115,8 @@ Result<DatasetInfo> DatasetRegistry::Load(const std::string& name,
 }
 
 Result<DatasetInfo> DatasetRegistry::RegisterMapped(const std::string& name,
-                                                    const std::string& path) {
+                                                    const std::string& path,
+                                                    bool materialize) {
   if (name.empty()) {
     return Status::InvalidArgument("dataset name must be non-empty");
   }
@@ -103,7 +125,7 @@ Result<DatasetInfo> DatasetRegistry::RegisterMapped(const std::string& name,
   auto handle = Replace(
       name,
       [reader]() -> Result<std::vector<Triple>> { return reader->Triples(); },
-      reader);
+      reader, materialize);
   return handle->Info();
 }
 

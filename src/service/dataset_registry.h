@@ -39,6 +39,9 @@ struct DatasetInfo {
   uint64_t base_bytes = 0;   ///< logical bytes of the base relation
   bool mapped = false;       ///< backed by a memory-mapped rdx file?
   uint64_t mapped_bytes = 0; ///< on-disk bytes of the mapping, if mapped
+  /// Mapped dataset serving zero-materialization scans (base mounted as a
+  /// LineSource over the mapping instead of decoded into line vectors).
+  bool mapped_scans = false;
 };
 
 /// \brief Deferred triple source (file read, generator, in-memory copy).
@@ -72,15 +75,22 @@ class DatasetHandle {
     return mapped_;
   }
 
+  /// \brief True when queries run zero-materialization scans over the
+  /// mapping (mapped dataset registered without the materialize escape
+  /// hatch).
+  bool mapped_scans() const { return mapped_ != nullptr && !materialize_; }
+
  private:
   friend class DatasetRegistry;
   DatasetHandle(std::string name, uint64_t epoch, ClusterConfig cluster,
                 TripleLoader loader,
-                std::shared_ptr<const storage::RdxReader> mapped)
+                std::shared_ptr<const storage::RdxReader> mapped,
+                bool materialize)
       : name_(std::move(name)),
         epoch_(epoch),
         cluster_(cluster),
         mapped_(std::move(mapped)),
+        materialize_(materialize),
         loader_(std::move(loader)) {}
 
   const std::string name_;
@@ -89,6 +99,9 @@ class DatasetHandle {
   /// Validated mapping kept alive for the handle's lifetime (null unless
   /// registered via RegisterMapped). Immutable after construction.
   const std::shared_ptr<const storage::RdxReader> mapped_;
+  /// Mapped datasets only: decode into a materialized base on first query
+  /// instead of mounting the mapping for zero-materialization scans.
+  const bool materialize_ = false;
 
   /// Guards the one-time load and the fields below.
   mutable std::mutex mu_;
@@ -116,11 +129,14 @@ class DatasetRegistry {
 
   /// \brief Registers `name` backed by the memory-mapped rdx file at
   /// `path`. The file is mapped and fully validated now — milliseconds,
-  /// independent of triple count, so corruption surfaces at registration
-  /// — but the SimDfs base is only materialized from the mapping on the
-  /// first query (same lazy path as Register).
+  /// independent of triple count, so corruption surfaces at registration.
+  /// By default the first query MOUNTS the mapping into the dataset's
+  /// SimDfs (zero-materialization: scans decode records lazily straight
+  /// from the mapped postings); `materialize` is the escape hatch that
+  /// restores the old decode-into-a-triple-vector-on-first-query path.
   Result<DatasetInfo> RegisterMapped(const std::string& name,
-                                     const std::string& path);
+                                     const std::string& path,
+                                     bool materialize = false);
 
   /// \brief Removes `name`; NotFound if absent. In-flight queries keep
   /// their handles.
@@ -143,7 +159,8 @@ class DatasetRegistry {
  private:
   std::shared_ptr<DatasetHandle> Replace(
       const std::string& name, TripleLoader loader,
-      std::shared_ptr<const storage::RdxReader> mapped = nullptr);
+      std::shared_ptr<const storage::RdxReader> mapped = nullptr,
+      bool materialize = false);
 
   const ClusterConfig cluster_;
   mutable std::mutex mu_;

@@ -39,7 +39,10 @@ JsonValue DatasetInfoJson(const DatasetInfo& info) {
   o.Set("triples", static_cast<uint64_t>(info.num_triples));
   o.Set("bytes", info.base_bytes);
   o.Set("mapped", info.mapped);
-  if (info.mapped) o.Set("mapped_bytes", info.mapped_bytes);
+  if (info.mapped) {
+    o.Set("mapped_bytes", info.mapped_bytes);
+    o.Set("mapped_scans", info.mapped_scans);
+  }
   return o;
 }
 
@@ -245,9 +248,12 @@ JsonValue HandleLoad(QueryService* query_service, const JsonValue& request) {
     if (has_path) {
       const std::string path = request.GetString("path");
       if (storage::IsRdxPath(path) && !request.GetBool("eager")) {
-        // rdx files map zero-copy: validated now, materialized on first
-        // query. "eager" still forces an immediate decode below.
-        info = query_service->RegisterMappedDataset(dataset, path);
+        // rdx files map zero-copy: validated now, served by mapped scans
+        // from the first query on. "materialize" keeps the mapping but
+        // decodes into a triple vector on first query; "eager" still
+        // forces an immediate parse-and-decode below.
+        info = query_service->RegisterMappedDataset(
+            dataset, path, request.GetBool("materialize"));
         if (!info.ok()) return ErrorResponse(info.status());
         JsonValue mapped_ok = OkResponse();
         mapped_ok.Set("dataset", DatasetInfoJson(*info));

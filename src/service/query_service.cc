@@ -324,9 +324,9 @@ Result<DatasetInfo> QueryService::RegisterDataset(const std::string& name,
 }
 
 Result<DatasetInfo> QueryService::RegisterMappedDataset(
-    const std::string& name, const std::string& path) {
+    const std::string& name, const std::string& path, bool materialize) {
   RDFMR_ASSIGN_OR_RETURN(DatasetInfo info,
-                         registry_.RegisterMapped(name, path));
+                         registry_.RegisterMapped(name, path, materialize));
   const std::string prefix = name + '\x1f';
   plan_cache_.EraseByPrefix(prefix);
   result_cache_.EraseByPrefix(prefix);

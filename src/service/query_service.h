@@ -213,9 +213,12 @@ class QueryService {
   Result<DatasetInfo> RegisterDataset(const std::string& name,
                                       TripleLoader loader);
   /// \brief Registers `name` backed by a memory-mapped rdx file: the file
-  /// is validated now (milliseconds), triples materialize on first query.
+  /// is validated now (milliseconds); by default the first query mounts
+  /// the mapping for zero-materialization scans, while `materialize`
+  /// forces the old decode-into-triples-on-first-query path.
   Result<DatasetInfo> RegisterMappedDataset(const std::string& name,
-                                            const std::string& path);
+                                            const std::string& path,
+                                            bool materialize = false);
   Status DropDataset(const std::string& name);
   std::vector<DatasetInfo> ListDatasets() const;
 

@@ -1,0 +1,72 @@
+#include "storage/mapped_dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rdfmr {
+namespace storage {
+
+namespace {
+
+uint32_t EscapedLen(std::string_view term) {
+  uint32_t len = static_cast<uint32_t>(term.size());
+  for (char c : term) {
+    if (c == '\\' || c == '\t' || c == '\n') ++len;
+  }
+  return len;
+}
+
+}  // namespace
+
+MappedDataset::MappedDataset(std::shared_ptr<const RdxReader> reader)
+    : reader_(std::move(reader)) {
+  RDFMR_CHECK(reader_ != nullptr) << "MappedDataset needs an open reader";
+  escaped_len_.reserve(reader_->term_count());
+  for (uint32_t id = 0; id < reader_->term_count(); ++id) {
+    escaped_len_.push_back(EscapedLen(reader_->term(id)));
+  }
+  for (uint64_t i = 0; i < reader_->triple_count(); ++i) {
+    total_bytes_ += LineBytes(i) + 1;  // +\n, matching SimDfs accounting
+  }
+}
+
+uint64_t MappedDataset::LineBytes(uint64_t index) const {
+  const RdxReader::EncodedTriple t = reader_->encoded(index);
+  // Two separating tabs; each field contributes its escaped length.
+  return static_cast<uint64_t>(escaped_len_[t.subject]) +
+         escaped_len_[t.property] + escaped_len_[t.object] + 2;
+}
+
+std::string MappedDataset::Line(uint64_t index) const {
+  const RdxReader::EncodedTriple t = reader_->encoded(index);
+  // Byte-identical to Triple::Serialize() on the decoded triple.
+  std::string out;
+  out.reserve(LineBytes(index));
+  out += EscapeField(reader_->term(t.subject), '\t');
+  out.push_back('\t');
+  out += EscapeField(reader_->term(t.property), '\t');
+  out.push_back('\t');
+  out += EscapeField(reader_->term(t.object), '\t');
+  return out;
+}
+
+std::vector<uint64_t> MappedDataset::MatchingLines(
+    const std::vector<std::string>& properties) const {
+  // Each property's postings are ascending triple indices (== line
+  // indices); collect the requested runs and merge them into one
+  // ascending list.
+  std::vector<uint64_t> out;
+  for (const std::string& property : properties) {
+    for (uint32_t posting : reader_->PropertyPostings(property)) {
+      out.push_back(posting);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace storage
+}  // namespace rdfmr

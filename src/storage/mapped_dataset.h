@@ -1,0 +1,55 @@
+// Zero-materialization scan access to a mapped .rdx dataset.
+//
+// MappedDataset adapts a validated RdxReader to the dfs LineSource
+// interface, so a mapped dataset can be mounted into SimDfs as the base
+// relation without decoding the triples into a std::vector<Triple> (and
+// without serializing them into a line vector). Line lengths come from a
+// per-term escaped-length table computed once at construction; lexical
+// forms are resolved through the mapped dictionary only when a scan
+// actually needs a line's bytes. Property-pruned scans translate the
+// on-disk per-property postings (ascending triple indices) directly into
+// matching line indices — the vertical-partition scan of the paper, run
+// straight over the mapping.
+
+#ifndef RDFMR_STORAGE_MAPPED_DATASET_H_
+#define RDFMR_STORAGE_MAPPED_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfs/line_source.h"
+#include "storage/rdx_reader.h"
+
+namespace rdfmr {
+namespace storage {
+
+class MappedDataset : public LineSource {
+ public:
+  /// \brief Wraps a validated reader. Precomputes the per-term escaped
+  /// lengths (O(dictionary bytes)) so LineBytes() never touches term
+  /// bytes again; everything else stays in the mapping.
+  explicit MappedDataset(std::shared_ptr<const RdxReader> reader);
+
+  uint64_t line_count() const override { return reader_->triple_count(); }
+  uint64_t total_bytes() const override { return total_bytes_; }
+  uint64_t LineBytes(uint64_t index) const override;
+  std::string Line(uint64_t index) const override;
+  std::vector<uint64_t> MatchingLines(
+      const std::vector<std::string>& properties) const override;
+
+  const std::shared_ptr<const RdxReader>& reader() const { return reader_; }
+
+ private:
+  std::shared_ptr<const RdxReader> reader_;
+  /// Serialized field length of each dictionary term: term bytes plus one
+  /// for every character EscapeField doubles ('\\', '\t', '\n').
+  std::vector<uint32_t> escaped_len_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace rdfmr
+
+#endif  // RDFMR_STORAGE_MAPPED_DATASET_H_

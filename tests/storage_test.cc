@@ -312,6 +312,108 @@ TEST(RdxDifferentialTest, MappedAndParsedLoadsAreByteIdenticalAcrossEngines) {
   }
 }
 
+// The zero-materialization scan path (the default for mapped datasets)
+// must be indistinguishable — answers and every deterministic stat — from
+// the `materialize` escape hatch that decodes the .rdx into a triple
+// vector up front, across every engine kind and thread count.
+TEST(RdxDifferentialTest, MappedScansMatchMaterializedEscapeHatch) {
+  const std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  const std::string rdx_path = TempPath("scan_diff.rdx");
+  ASSERT_TRUE(WriteRdxFile(rdx_path, triples).ok());
+
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+
+  service::ServiceConfig config;
+  config.cluster = testing_util::RoomyCluster();
+  service::QueryService scan_service(config);
+  service::QueryService materialized_service(config);
+  auto scan_info = scan_service.RegisterMappedDataset("d", rdx_path);
+  auto mat_info = materialized_service.RegisterMappedDataset(
+      "d", rdx_path, /*materialize=*/true);
+  ASSERT_TRUE(scan_info.ok()) << scan_info.status().ToString();
+  ASSERT_TRUE(mat_info.ok()) << mat_info.status().ToString();
+  EXPECT_TRUE(scan_info->mapped_scans);
+  EXPECT_FALSE(mat_info->mapped_scans);
+  EXPECT_TRUE(mat_info->mapped);  // still a mapped dataset, just decoded
+
+  for (EngineKind kind : AllEngineKinds()) {
+    SCOPED_TRACE(EngineKindToString(kind));
+    for (uint32_t threads : {1u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      service::ServiceRequest request;
+      request.dataset = "d";
+      request.query = *query;
+      request.options.kind = kind;
+      request.options.num_threads = threads;
+      request.use_result_cache = false;
+
+      service::ServiceResponse from_scan = scan_service.Query(request);
+      service::ServiceResponse from_mat = materialized_service.Query(request);
+      ASSERT_TRUE(from_scan.ok()) << from_scan.status.ToString();
+      ASSERT_TRUE(from_mat.ok()) << from_mat.status.ToString();
+      EXPECT_EQ(from_scan.answer_set(), from_mat.answer_set());
+      const std::vector<std::string> diff = fuzz::CompareStatsIgnoringWallTimes(
+          from_scan.stats, from_mat.stats);
+      EXPECT_TRUE(diff.empty()) << diff.front();
+    }
+  }
+  // Both handles report the same logical base relation size: mounting the
+  // mapping meters exactly the bytes the decoded write would have.
+  for (const service::DatasetInfo& info : scan_service.ListDatasets()) {
+    for (const service::DatasetInfo& other :
+         materialized_service.ListDatasets()) {
+      EXPECT_EQ(info.base_bytes, other.base_bytes);
+      EXPECT_EQ(info.num_triples, other.num_triples);
+    }
+  }
+}
+
+// Satellite regression: `rdfmr index` on a ZERO-triple input must produce
+// a valid .rdx that opens, mounts, scans, and serves empty answers end to
+// end — exercising the empty-section edge in writer, reader, registry,
+// and the zero-materialization scan path.
+TEST(RdxDifferentialTest, ZeroTripleIndexServesEmptyAnswersEndToEnd) {
+  const std::string nt_path = TempPath("zero.nt");
+  const std::string rdx_path = TempPath("zero.rdx");
+  // The CLI `index` pipeline: read the dataset file, write the .rdx,
+  // reopen through the validating reader.
+  ASSERT_TRUE(service::WriteDatasetFile(nt_path, {}).ok());
+  auto parsed = service::ReadDatasetFile(nt_path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->empty());
+  ASSERT_TRUE(WriteRdxFile(rdx_path, *parsed).ok());
+  auto reader = RdxReader::Open(rdx_path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->triple_count(), 0u);
+
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+
+  for (bool materialize : {false, true}) {
+    SCOPED_TRACE(materialize ? "materialized" : "mapped scans");
+    service::ServiceConfig config;
+    config.cluster = testing_util::RoomyCluster();
+    service::QueryService service(config);
+    auto info = service.RegisterMappedDataset("zero", rdx_path, materialize);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info->num_triples, 0u);
+
+    for (EngineKind kind : AllEngineKinds()) {
+      SCOPED_TRACE(EngineKindToString(kind));
+      service::ServiceRequest request;
+      request.dataset = "zero";
+      request.query = *query;
+      request.options.kind = kind;
+      request.use_result_cache = false;
+      service::ServiceResponse response = service.Query(request);
+      ASSERT_TRUE(response.ok()) << response.status.ToString();
+      ASSERT_TRUE(response.stats.ok()) << response.stats.status.ToString();
+      EXPECT_TRUE(response.answer_set().empty());
+    }
+  }
+}
+
 TEST(RdxDifferentialTest, ReadDatasetFileDetectsRdxTransparently) {
   const std::vector<Triple> triples = TinyTriples();
   const std::string path = TempPath("detect.rdx");
@@ -440,6 +542,33 @@ TEST(RdxCorruptionTest, MappedRegistrationSurfacesCorruptionNotCrash) {
   ASSERT_FALSE(info.ok());
   EXPECT_EQ(info.status().code(), StatusCode::kDataLoss);
   EXPECT_NE(info.status().message().find(path), std::string::npos);
+  EXPECT_TRUE(service.ListDatasets().empty());
+}
+
+// The zero-materialization scan path trusts the property-index postings to
+// enumerate matching rows, so a corrupted posting must be caught when the
+// mapping is registered for scanning (RdxReader::Open checksums every
+// section) — never surface as a wrong or crashing answer mid-query.
+TEST(RdxCorruptionTest, CorruptPostingSectionFailsAtScanRegistration) {
+  auto image = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(image.ok());
+  // The golden layout pins the last 12 bytes of the file as the postings
+  // array of the property index; flip a row id inside it.
+  (*image)[image->size() - 2] ^= 0xFF;
+  const std::string path = TempPath("bad_posting.rdx");
+  WriteBytes(path, *image);
+
+  service::ServiceConfig config;
+  config.cluster = testing_util::RoomyCluster();
+  service::QueryService service(config);
+  auto info = service.RegisterMappedDataset("bad", path);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(info.status().message().find("property index"),
+            std::string::npos)
+      << info.status().ToString();
+  // Registration rejected the dataset outright: no handle exists for a
+  // query to reach, so the failure can never move mid-scan.
   EXPECT_TRUE(service.ListDatasets().empty());
 }
 

@@ -2,14 +2,17 @@
 # Builds the repo with a sanitizer and runs the full test suite under it,
 # including the differential fuzz smoke (ctest label fuzz_smoke).
 #
-#   tools/check.sh [thread|address|both] [--quick]
+#   tools/check.sh [thread|address|undefined|both|all] [--quick]
 #
 # ThreadSanitizer is the gate for the multi-threaded MR runtime: the
 # determinism tests exercise every engine at 1/2/8 threads, so a clean
 # `tools/check.sh thread` means the parallel map/sort/reduce phases are
-# data-race free. `both` runs thread then address. Build trees live in
-# build-<san>-san/ next to build/; each is configured from scratch
-# idempotently (a stale or half-configured tree is wiped and redone).
+# data-race free. UndefinedBehaviorSanitizer guards the storage layer's
+# pointer/offset arithmetic (mmap readers, mapped scans) and is built with
+# -fno-sanitize-recover so any finding is fatal. `both` runs thread then
+# address; `all` adds undefined. Build trees live in build-<san>-san/
+# next to build/; each is configured from scratch idempotently (a stale
+# or half-configured tree is wiped and redone).
 #
 # --quick skips the explicit fuzz_smoke/service label re-runs (the full
 # ctest pass still covers their registered tests once) — the CI sanitizer
@@ -24,18 +27,29 @@ mode="thread"
 quick=0
 for arg in "$@"; do
   case "$arg" in
-    thread|address|both) mode="$arg" ;;
+    thread|address|undefined|both|all) mode="$arg" ;;
     --quick) quick=1 ;;
-    *) echo "usage: $0 [thread|address|both] [--quick]" >&2; exit 2 ;;
+    *)
+      echo "usage: $0 [thread|address|undefined|both|all] [--quick]" >&2
+      exit 2
+      ;;
   esac
 done
 case "$mode" in
   both) sans=(thread address) ;;
+  all) sans=(thread address undefined) ;;
   *) sans=("$mode") ;;
 esac
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cxx="${CXX:-c++}"
+
+# Sanitized builds recompile everything; reuse ccache when the host has it
+# (the CI sanitizer jobs restore a cache keyed like the build matrix).
+launcher_args=()
+if command -v ccache > /dev/null 2>&1; then
+  launcher_args=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
 # Fail fast, readably, when the compiler cannot produce sanitized
 # binaries (e.g. a toolchain without the TSan runtime) instead of dying
@@ -68,11 +82,12 @@ run_one() {
   # Configure from scratch idempotently: if an earlier configure was
   # interrupted or cached a different setting, retry once on a clean tree
   # rather than leaving the user to rm -rf by hand.
-  if ! cmake -B "$build_dir" -S "$repo_root" -DRDFMR_SANITIZE="$san"; then
+  if ! cmake -B "$build_dir" -S "$repo_root" -DRDFMR_SANITIZE="$san" \
+       "${launcher_args[@]}"; then
     echo "configure failed; retrying on a clean ${build_dir}" >&2
     rm -rf "$build_dir"
     cmake -B "$build_dir" -S "$repo_root" -DRDFMR_SANITIZE="$san" \
-      || return $?
+      "${launcher_args[@]}" || return $?
   fi
 
   cmake --build "$build_dir" -j "$(nproc)" || return $?
@@ -114,8 +129,12 @@ run_one() {
 first_rc=0
 for san in "${sans[@]}"; do
   echo "== sanitizer: ${san} =="
-  if ! run_one "$san"; then
-    rc=$?
+  # Capture the exit code directly: `if ! run_one` would clobber $? with
+  # the negation's status (0), reporting every failure as "exit 0" and —
+  # worse — letting a broken sanitizer run exit green.
+  rc=0
+  run_one "$san" || rc=$?
+  if [[ "$rc" != 0 ]]; then
     echo "== sanitizer ${san} FAILED (exit ${rc}) ==" >&2
     if [[ "$first_rc" == 0 ]]; then first_rc=$rc; fi
   fi

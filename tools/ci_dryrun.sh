@@ -6,7 +6,7 @@
 #
 #   tools/ci_dryrun.sh [job ...]
 #
-# Jobs: build-debug build-release asan tsan fuzz format bench
+# Jobs: build-debug build-release asan tsan ubsan fuzz format bench
 # (default: all of them). Tools CI installs but this host may lack are
 # degraded gracefully: no ccache => plain compile, no clang-format =>
 # the format job is SKIPped (CI itself still enforces it).
@@ -17,7 +17,7 @@ cd "$repo_root"
 
 jobs=("$@")
 if [[ ${#jobs[@]} -eq 0 ]]; then
-  jobs=(build-debug build-release asan tsan fuzz format bench)
+  jobs=(build-debug build-release asan tsan ubsan fuzz format bench)
 fi
 
 launcher_args=()
@@ -97,13 +97,21 @@ run_bench() {
     --baseline bench/baselines/BENCH_fig12.json \
     --current BENCH_fig12.json \
     --field modeled_seconds --direction lower --tolerance 0.20 || return $?
-  # The storage bench's gateable number is the parse-open/mmap-open ratio
-  # (same host, same process => machine speed cancels out).
+  # The storage bench's gateable numbers are ratios (parse-open/mmap-open
+  # and the decoded/mapped scan speedups): same host, same process =>
+  # machine speed cancels out.
   python3 tools/bench_compare.py \
     --baseline bench/baselines/BENCH_index.json \
     --current BENCH_index.json \
     --cells-key gates \
     --field speedup --direction higher --tolerance 0.50 || return $?
+  # Warm mapped-scan throughput: loose absolute gate catching collapses
+  # the ratio rows would cancel out.
+  python3 tools/bench_compare.py \
+    --baseline bench/baselines/BENCH_index.json \
+    --current BENCH_index.json \
+    --cells-key scan \
+    --field qps --direction higher --tolerance 0.60 || return $?
   # Transport cells are scheduler-sensitive (client threads and the event
   # loop share cores), so the absolute qps gate is loose; the pipelining
   # amortization ratios divide out machine speed and get the tight gate.
@@ -124,6 +132,7 @@ run_job() {
     build-release) build_and_test Release ;;
     asan) tools/check.sh address --quick ;;
     tsan) tools/check.sh thread --quick ;;
+    ubsan) tools/check.sh undefined --quick ;;
     fuzz) run_fuzz ;;
     format) run_format ;;
     bench) run_bench ;;

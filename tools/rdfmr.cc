@@ -39,12 +39,15 @@
 //               [--max-concurrent C] [--queue-bound Q]
 //               [--result-cache-mb M] [--plan-cache-entries P]
 //               [--deadline-ms D] [--dataset NAME --data FILE]
+//               [--materialize]
 //       Run the long-lived query service, speaking newline-delimited
 //       JSON with request pipelining (see src/service/protocol.h and
 //       docs/PROTOCOL.md). --listen repeats to serve AF_UNIX and TCP
 //       endpoints simultaneously; tcp:HOST:0 binds an ephemeral port,
 //       printed at startup. --socket PATH is shorthand for
-//       --listen unix:PATH. --dataset/--data preloads one dataset.
+//       --listen unix:PATH. --dataset/--data preloads one dataset;
+//       an .rdx --data serves zero-materialization mapped scans unless
+//       --materialize asks for the decode-on-first-query path.
 //   rdfmr client --connect unix:PATH|tcp:HOST:PORT [--socket PATH]
 //               [--connect-retries N] [--pipeline] [--request JSON]
 //       Send one JSON request (or each line of stdin) to a running
@@ -601,8 +604,10 @@ int CmdServe(const Flags& flags) {
     Result<service::DatasetInfo> info = Status::Unknown("unreachable");
     if (storage::IsRdxPath(path)) {
       // Mapped mode: the file is validated now (milliseconds regardless
-      // of size); triples materialize from the mapping on first query.
-      info = query_service.RegisterMappedDataset(name, path);
+      // of size) and the first query scans straight over the mapping;
+      // --materialize restores the decode-on-first-query escape hatch.
+      info = query_service.RegisterMappedDataset(name, path,
+                                                 flags.Has("materialize"));
     } else {
       info = query_service.RegisterDataset(
           name, [path] { return service::ReadDatasetFile(path); });
@@ -731,7 +736,7 @@ const std::map<std::string, std::vector<const char*>>& SubcommandFlags() {
            {"socket", "listen", "max-connections", "idle-timeout-ms",
             "nodes", "disk-mb", "repl", "threads", "max-concurrent",
             "queue-bound", "result-cache-mb", "plan-cache-entries",
-            "deadline-ms", "dataset", "data"}},
+            "deadline-ms", "dataset", "data", "materialize"}},
           {"client",
            {"socket", "connect", "connect-retries", "pipeline", "request"}},
       };

@@ -36,7 +36,14 @@
 //                       and required to reproduce the exact input relation
 //                       (vector equality), a correct per-property index, a
 //                       deterministic image, and oracle-identical answers
-//                       evaluated over the decoded triples.
+//                       evaluated over the decoded triples. Every case then
+//                       runs one engine kind (rotating through all six)
+//                       twice — once over a DFS holding the decoded triple
+//                       vector, once over a DFS with the .rdx mapping
+//                       MOUNTED (the zero-materialization scan path) — and
+//                       requires byte-identical answers against the oracle
+//                       and byte-identical deterministic ExecStats between
+//                       the two paths.
 //     --trace-dir DIR   write one Chrome trace-event JSON file per
 //                       fault-free engine x thread run into DIR
 //                       (<case>-<engine>-t<threads>.json); DIR must exist.
@@ -48,20 +55,24 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/strings.h"
+#include "engine/engine.h"
 #include "ntga/operators.h"
 #include "query/matcher.h"
 #include "service/client.h"
 #include "service/protocol.h"
 #include "service/query_service.h"
 #include "service/server.h"
+#include "storage/mapped_dataset.h"
 #include "storage/rdx_reader.h"
 #include "storage/rdx_writer.h"
 #include "testing/differential.h"
+#include "testing/invariants.h"
 
 namespace rdfmr {
 namespace {
@@ -279,12 +290,21 @@ int RunFormatMode(const fuzz::FuzzOptions& options, std::ostream* log) {
     }
   };
 
+  // One engine kind per case, rotating so a full default run (100 cases)
+  // covers every kind many times over on both scan paths.
+  const std::vector<EngineKind> engine_ring = {
+      EngineKind::kPig,          EngineKind::kHive,
+      EngineKind::kNtgaEager,    EngineKind::kNtgaLazyFull,
+      EngineKind::kNtgaLazyPartial, EngineKind::kNtgaLazy};
+
   uint64_t index = 0;
   for (; index < options.cases; ++index) {
     fuzz::FuzzCase fuzz_case = fuzz::MakeCase(options, index);
-    auto query =
+    auto built =
         GraphPatternQuery::Create(fuzz_case.name, fuzz_case.patterns);
-    if (!query.ok()) continue;  // generator produced a degenerate case
+    if (!built.ok()) continue;  // generator produced a degenerate case
+    auto query =
+        std::make_shared<const GraphPatternQuery>(std::move(*built));
 
     auto image = storage::BuildRdxImage(fuzz_case.triples);
     if (!image.ok()) {
@@ -352,6 +372,67 @@ int RunFormatMode(const fuzz::FuzzOptions& options, std::ostream* log) {
             : EvaluateQueryInMemory(*query, decoded);
     if (AnswerLines(mapped) != AnswerLines(oracle)) {
       fail(index, "answers over the mapped relation diverge from oracle");
+      break;
+    }
+
+    // Zero-materialization scan differential: the same engine must produce
+    // byte-identical answers (vs the oracle) and byte-identical
+    // deterministic ExecStats whether the base relation is a decoded
+    // triple vector written into the DFS or the .rdx mapping mounted
+    // directly (records decoded lazily out of the mapped postings).
+    const EngineKind kind = engine_ring[index % engine_ring.size()];
+    const std::string tag =
+        std::string(EngineKindToString(kind)) + ": ";
+    EngineOptions engine_options;
+    engine_options.kind = kind;
+    engine_options.phi_partitions = options.diff.phi_partitions;
+    engine_options.num_threads = 1;
+
+    SimDfs decoded_dfs(options.diff.cluster);
+    Status wrote = decoded_dfs.WriteFile("base", SerializeTriples(decoded));
+    SimDfs mapped_dfs(options.diff.cluster);
+    Status mounted = mapped_dfs.MountMapped(
+        "base", std::make_shared<const storage::MappedDataset>(*reader));
+    if (!wrote.ok() || !mounted.ok()) {
+      fail(index, tag + "loading base relations: " +
+                      (wrote.ok() ? mounted : wrote).ToString());
+      break;
+    }
+    auto run = [&](SimDfs* dfs) {
+      return fuzz_case.aggregate.has_value()
+                 ? RunAggregateQuery(dfs, "base", query,
+                                     *fuzz_case.aggregate, engine_options)
+                 : RunQuery(dfs, "base", query, engine_options);
+    };
+    Result<Execution> decoded_exec = run(&decoded_dfs);
+    Result<Execution> mapped_exec = run(&mapped_dfs);
+    if (!decoded_exec.ok() || !decoded_exec->stats.ok()) {
+      fail(index, tag + "decoded-path run failed: " +
+                      (decoded_exec.ok()
+                           ? decoded_exec->stats.status.ToString()
+                           : decoded_exec.status().ToString()));
+      break;
+    }
+    if (!mapped_exec.ok() || !mapped_exec->stats.ok()) {
+      fail(index, tag + "mapped-scan run failed: " +
+                      (mapped_exec.ok()
+                           ? mapped_exec->stats.status.ToString()
+                           : mapped_exec.status().ToString()));
+      break;
+    }
+    if (AnswerLines(decoded_exec->answers) != AnswerLines(oracle)) {
+      fail(index, tag + "decoded-path answers diverge from oracle");
+      break;
+    }
+    if (AnswerLines(mapped_exec->answers) != AnswerLines(oracle)) {
+      fail(index, tag + "mapped-scan answers diverge from oracle");
+      break;
+    }
+    std::vector<std::string> stat_diffs = fuzz::CompareStatsIgnoringWallTimes(
+        decoded_exec->stats, mapped_exec->stats);
+    if (!stat_diffs.empty()) {
+      fail(index, tag + "mapped-scan stats diverge from decoded path: " +
+                      Join(stat_diffs, ';'));
       break;
     }
 
