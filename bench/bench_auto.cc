@@ -1,0 +1,177 @@
+// Plan-chooser quality gate: engine=auto vs every fixed engine on the
+// paper's testbed queries, one family at a time. For each query the six
+// fixed engines run once and auto runs once; auto's modeled cost must be
+// within kMaxAutoOverhead of the best fixed engine's on EVERY query (the
+// chooser may tie, it may not pick a loser), and it must never select a
+// candidate it marked non-fitting while a fitting one existed. Emits
+// BENCH_auto.json: per-(query, engine) modeled_seconds plus wall qps
+// cells, and a per-query "ratios" array (auto / best fixed) that
+// bench_compare gates tightly — modeled costs are deterministic, so the
+// ratio is bit-stable across hosts.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+
+namespace rdfmr {
+namespace bench {
+namespace {
+
+// The chooser may not cost the selected plan more than 5% above the best
+// fixed engine (ties and near-ties are fine; picking a loser is not).
+constexpr double kMaxAutoOverhead = 1.05;
+
+const std::vector<EngineKind>& FixedEngines() {
+  static const std::vector<EngineKind> kinds = {
+      EngineKind::kPig,          EngineKind::kHive,
+      EngineKind::kNtgaEager,    EngineKind::kNtgaLazy,
+      EngineKind::kNtgaLazyFull, EngineKind::kNtgaLazyPartial,
+  };
+  return kinds;
+}
+
+EngineOptions BenchOptions(EngineKind kind) {
+  EngineOptions options;
+  options.kind = kind;
+  options.phi_partitions = 1024;
+  options.decode_answers = false;
+  options.cost = BenchCostModel();
+  return options;
+}
+
+struct FamilySweep {
+  DatasetFamily family;
+  const char* label;
+  std::vector<std::string> queries;
+};
+
+int Main() {
+  const std::vector<FamilySweep> sweeps = {
+      {DatasetFamily::kBsbm, "BSBM", {"B0", "B1", "B3", "B4", "Q1a"}},
+      {DatasetFamily::kBio2Rdf, "Bio2RDF", {"A1", "A2", "A3"}},
+      {DatasetFamily::kDbpedia, "DBpedia", {"C1", "C2", "C3", "C4"}},
+  };
+
+  // Roomy cluster: every candidate fits, so the sweep exercises the cost
+  // ranking (the footprint filter has its own fuzz and unit coverage).
+  ClusterConfig cluster;
+  cluster.num_nodes = 12;
+  cluster.replication = 1;
+  cluster.disk_per_node = 8ULL << 30;
+  cluster.block_size = 1ULL << 20;
+  cluster.num_reducers = 8;
+
+  ShapeChecks checks;
+  JsonValue cells = JsonValue::MakeArray();
+  JsonValue ratios = JsonValue::MakeArray();
+  std::vector<Row> rows;
+  bool fitting_violated = false;
+
+  for (const FamilySweep& sweep : sweeps) {
+    std::vector<Triple> triples = BenchDataset(sweep.family);
+    auto dfs = MakeDfs(triples, cluster);
+    std::printf("%s: %zu triples, %s\n", sweep.label, triples.size(),
+                HumanBytes(DatasetBytes(triples)).c_str());
+
+    for (const std::string& q : sweep.queries) {
+      double best_fixed = 0.0;
+      bool have_fixed = false;
+      for (EngineKind kind : FixedEngines()) {
+        const auto start = std::chrono::steady_clock::now();
+        ExecStats stats = RunOne(dfs.get(), q, BenchOptions(kind));
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        rows.push_back(Row{q, EngineKindToString(kind), stats});
+        if (!stats.ok()) continue;
+        if (!have_fixed || stats.modeled_seconds < best_fixed) {
+          best_fixed = stats.modeled_seconds;
+          have_fixed = true;
+        }
+        JsonValue cell = JsonValue::MakeObject();
+        cell.Set("query", q);
+        cell.Set("engine", EngineKindToString(kind));
+        cell.Set("modeled_seconds", stats.modeled_seconds);
+        cell.Set("qps", wall > 0.0 ? 1.0 / wall : 0.0);
+        cells.Append(std::move(cell));
+      }
+
+      const auto start = std::chrono::steady_clock::now();
+      ExecStats auto_stats =
+          RunOne(dfs.get(), q, BenchOptions(EngineKind::kAuto));
+      const double auto_wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      rows.push_back(Row{q, "auto(" + auto_stats.chosen_engine + ")",
+                         auto_stats});
+      if (!auto_stats.ok() || !have_fixed) {
+        checks.Check(q + ": auto run completed", false);
+        continue;
+      }
+
+      // Auto must never pick a plan it marked non-fitting while a fitting
+      // candidate existed.
+      bool any_fits = false;
+      bool chosen_fits = false;
+      for (const PlanCandidate& candidate : auto_stats.plan_candidates) {
+        if (candidate.feasible && candidate.fits) any_fits = true;
+        if (candidate.chosen) chosen_fits = candidate.fits;
+      }
+      if (any_fits && !chosen_fits) fitting_violated = true;
+
+      JsonValue cell = JsonValue::MakeObject();
+      cell.Set("query", q);
+      cell.Set("engine", "auto");
+      cell.Set("modeled_seconds", auto_stats.modeled_seconds);
+      cell.Set("qps", auto_wall > 0.0 ? 1.0 / auto_wall : 0.0);
+      cells.Append(std::move(cell));
+
+      const double ratio =
+          best_fixed > 0.0 ? auto_stats.modeled_seconds / best_fixed : 0.0;
+      JsonValue ratio_cell = JsonValue::MakeObject();
+      ratio_cell.Set("query", q);
+      ratio_cell.Set("ratio", ratio);
+      ratios.Append(std::move(ratio_cell));
+      checks.Check(
+          StringFormat("%s: auto (%s, %.1fs) within %.0f%% of best fixed "
+                       "engine (%.1fs, ratio %.3f)",
+                       q.c_str(), auto_stats.chosen_engine.c_str(),
+                       auto_stats.modeled_seconds,
+                       (kMaxAutoOverhead - 1.0) * 100.0, best_fixed, ratio),
+          ratio <= kMaxAutoOverhead);
+    }
+  }
+
+  PrintTable("engine=auto vs fixed engines (testbed queries)", rows);
+  checks.Check("auto never chose a non-fitting plan while a fitting "
+               "candidate existed",
+               !fitting_violated);
+
+  JsonValue report = JsonValue::MakeObject();
+  report.Set("bench", "auto_chooser");
+  report.Set("cells", std::move(cells));
+  report.Set("ratios", std::move(ratios));
+  std::ofstream out("BENCH_auto.json");
+  out << report.Dump() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "failed to write BENCH_auto.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_auto.json\n");
+
+  return checks.Summarize();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rdfmr
+
+int main() { return rdfmr::bench::Main(); }

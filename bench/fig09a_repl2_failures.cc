@@ -121,7 +121,7 @@ int Main() {
       options.kind = EngineKind::kNtgaLazy;
       options.decode_answers = false;
       options.cost = BenchCostModel();
-      options.max_attempts = 6;
+      options.runtime.max_attempts = 6;
       ExecStats faulty = RunOne(dfs.get(), q, options);
       // The engine resets DFS metrics per run; the injected-failure count
       // survives in the retry accounting (attempts beyond one per op).

@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "engine/advisor.h"
+#include "engine/plan_chooser.h"
 #include "ntga/ntga_compiler.h"
 #include "rdf/graph_stats.h"
 #include "rdf/triple.h"
@@ -26,6 +27,8 @@ const char* EngineKindToString(EngineKind kind) {
       return "LazyUnnest-partial";
     case EngineKind::kNtgaLazy:
       return "LazyUnnest";
+    case EngineKind::kAuto:
+      return "Auto";
   }
   return "?";
 }
@@ -37,15 +40,21 @@ Result<EngineKind> EngineKindFromString(const std::string& name) {
   if (name == "lazyfull") return EngineKind::kNtgaLazyFull;
   if (name == "lazypartial") return EngineKind::kNtgaLazyPartial;
   if (name == "lazy") return EngineKind::kNtgaLazy;
+  if (name == "auto") return EngineKind::kAuto;
   return Status::InvalidArgument(
       "unknown engine: " + name +
-      " (want pig|hive|eager|lazyfull|lazypartial|lazy)");
+      " (want pig|hive|eager|lazyfull|lazypartial|lazy|auto)");
 }
 
 RuntimeOptions EffectiveRuntime(const EngineOptions& options) {
   RuntimeOptions runtime = options.runtime;
+  // The single place that still reads the deprecated aliases: folding
+  // them into the RuntimeOptions fields for pre-RuntimeOptions callers.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   if (runtime.num_threads == 0) runtime.num_threads = options.num_threads;
   if (runtime.max_attempts == 0) runtime.max_attempts = options.max_attempts;
+#pragma GCC diagnostic pop
   return runtime;
 }
 
@@ -85,6 +94,10 @@ Result<CompiledPlan> Compile(std::shared_ptr<const GraphPatternQuery> query,
       }
       return CompileNtgaPlan(query, base_path, tmp_prefix, ntga);
     }
+    case EngineKind::kAuto:
+      return Status::InvalidArgument(
+          "engine auto must be resolved by the plan chooser before "
+          "compilation");
   }
   return Status::InvalidArgument("unknown engine kind");
 }
@@ -105,8 +118,9 @@ void AppendAggregationCycle(CompiledPlan* plan, const AggregateSpec& spec,
   RecordDecoder decode = plan->record_decoder;
   JobSpec job;
   job.name = "aggregate-count";
-  job.inputs.push_back(MapInput{
-      plan->workflow.final_output_path,
+  MapInput aggregate_input;
+  aggregate_input.path = plan->workflow.final_output_path;
+  aggregate_input.map =
       [decode, spec](const std::string& record, const MapEmit& emit,
                      Counters* counters) {
         Result<std::vector<Solution>> solutions = decode(record);
@@ -133,7 +147,8 @@ void AppendAggregationCycle(CompiledPlan* plan, const AggregateSpec& spec,
           emit(key.Serialize(),
                spec.distinct ? *counted : sol.Serialize());
         }
-      }});
+      };
+  job.inputs.push_back(std::move(aggregate_input));
   job.reduce = [spec](const std::string& key,
                       const std::vector<std::string>& values,
                       const RecordEmit& emit, Counters* counters) {
@@ -384,19 +399,15 @@ struct PreflightOutcome {
   Status refusal;             ///< non-OK => fail fast without running
 };
 
-// Projects the query's intermediate footprint from graph statistics and
-// decides: proceed, degrade Eager→Lazy, or refuse with ResourceExhausted.
-// Runs with faults suspended — planning reads must not consume the fault
-// plan's deterministic op sequence.
-Result<PreflightOutcome> DiskPressurePreflight(
-    SimDfs* dfs, const std::string& base_path,
-    const GraphPatternQuery& query, const EngineOptions& options) {
-  PreflightOutcome out;
-  out.options = options;
+// Computes the base relation's statistics by scanning it, with faults
+// suspended — planning reads must not consume the fault plan's
+// deterministic op sequence. The scan goes through the same handle the
+// map phase uses: on a mounted (.rdx-mapped) base this decodes one record
+// at a time into a scratch buffer instead of materializing the whole line
+// vector.
+Result<GraphStats> ComputeBaseStats(SimDfs* dfs,
+                                    const std::string& base_path) {
   SimDfs::ScopedFaultSuspension suspend_faults(dfs);
-  // Scan the base through the same handle the map phase uses: on a
-  // mounted (.rdx-mapped) base this decodes one record at a time into a
-  // scratch buffer instead of materializing the whole line vector.
   RDFMR_ASSIGN_OR_RETURN(SimDfs::ScanHandle scan, dfs->OpenScan(base_path));
   std::vector<Triple> triples;
   triples.reserve(scan.line_count());
@@ -406,7 +417,19 @@ Result<PreflightOutcome> DiskPressurePreflight(
                            Triple::Deserialize(scan.LineRef(i, &scratch)));
     triples.push_back(std::move(triple));
   }
-  const GraphStats graph_stats = GraphStats::Compute(triples);
+  return GraphStats::Compute(triples);
+}
+
+// Projects the query's intermediate footprint from graph statistics and
+// decides: proceed, degrade Eager→Lazy, or refuse with ResourceExhausted.
+Result<PreflightOutcome> DiskPressurePreflight(
+    SimDfs* dfs, const std::string& base_path,
+    const GraphPatternQuery& query, const EngineOptions& options) {
+  PreflightOutcome out;
+  out.options = options;
+  RDFMR_ASSIGN_OR_RETURN(const GraphStats graph_stats,
+                         ComputeBaseStats(dfs, base_path));
+  SimDfs::ScopedFaultSuspension suspend_faults(dfs);
   const StrategyAdvice advice =
       AdviseStrategy(query, graph_stats, dfs->config());
   const uint64_t used = dfs->UsedBytes();
@@ -537,39 +560,6 @@ Result<Execution> RunCompiledQuery(SimDfs* dfs, const CompiledPlan& plan,
                      query_name, options, ctx);
 }
 
-Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
-                           std::shared_ptr<const GraphPatternQuery> query,
-                           const EngineOptions& options, RunContext ctx) {
-  if (dfs == nullptr || query == nullptr) {
-    return Status::InvalidArgument("RunQuery needs a dfs and a query");
-  }
-  if (!dfs->Exists(base_path)) {
-    return Status::NotFound("base triple relation missing: " + base_path);
-  }
-  EngineOptions effective = options;
-  PreflightOutcome preflight;
-  if (options.disk_pressure != DiskPressurePolicy::kNone) {
-    RDFMR_ASSIGN_OR_RETURN(
-        preflight, DiskPressurePreflight(dfs, base_path, *query, options));
-    effective = preflight.options;
-  }
-  RDFMR_ASSIGN_OR_RETURN(
-      CompiledPlan plan,
-      CompileQueryPlanTemplate(query, base_path, std::nullopt, effective));
-  if (!preflight.refusal.ok()) {
-    Execution exec;
-    exec.stats = RefusedStats(preflight, options, query->name(),
-                              plan.workflow.jobs.size());
-    return exec;
-  }
-  RDFMR_ASSIGN_OR_RETURN(
-      Execution exec,
-      RunCompiledQuery(dfs, plan, query->name(), effective, ctx));
-  exec.stats.degraded_from = preflight.degraded_from;
-  exec.stats.preflight = preflight.note;
-  return exec;
-}
-
 Result<NtgaBatchPlan> CompileBatchPlanTemplate(
     const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
     const std::string& base_path, const EngineOptions& options) {
@@ -687,35 +677,155 @@ Result<BatchExecution> RunCompiledBatch(SimDfs* dfs,
   return exec;
 }
 
-Result<BatchExecution> RunQueryBatch(
-    SimDfs* dfs, const std::string& base_path,
-    const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
-    const EngineOptions& options, RunContext ctx) {
-  if (dfs == nullptr) {
-    return Status::InvalidArgument("RunQueryBatch needs a dfs");
+namespace {
+
+// The single-query flow shared by the kSingle payload and the RunQuery /
+// RunAggregateQuery wrappers: preflight, compile, execute.
+Result<Execution> RunSingle(SimDfs* dfs, const std::string& base_path,
+                            std::shared_ptr<const GraphPatternQuery> query,
+                            const std::optional<AggregateSpec>& aggregate,
+                            const EngineOptions& options, RunContext ctx) {
+  const std::string query_name =
+      aggregate.has_value() ? query->name() + "+count" : query->name();
+  EngineOptions effective = options;
+  PreflightOutcome preflight;
+  if (options.disk_pressure != DiskPressurePolicy::kNone) {
+    RDFMR_ASSIGN_OR_RETURN(
+        preflight, DiskPressurePreflight(dfs, base_path, *query, options));
+    effective = preflight.options;
   }
+  RDFMR_ASSIGN_OR_RETURN(
+      CompiledPlan plan,
+      CompileQueryPlanTemplate(query, base_path, aggregate, effective));
+  if (!preflight.refusal.ok()) {
+    Execution exec;
+    exec.stats = RefusedStats(preflight, options, query_name,
+                              plan.workflow.jobs.size());
+    return exec;
+  }
+  RDFMR_ASSIGN_OR_RETURN(
+      Execution exec,
+      RunCompiledQuery(dfs, plan, query_name, effective, ctx));
+  exec.stats.degraded_from = preflight.degraded_from;
+  exec.stats.preflight = preflight.note;
+  return exec;
+}
+
+Status CheckExecRequest(const ExecRequest& request) {
+  if (request.payload == ExecPayload::kSingle) {
+    if (request.query == nullptr) {
+      return Status::InvalidArgument(
+          "Exec needs a query for the single payload");
+    }
+    return Status::OK();
+  }
+  if (request.aggregate.has_value()) {
+    return Status::InvalidArgument(
+        "Exec: aggregate applies to the single payload only");
+  }
+  if (request.queries.empty()) {
+    return Status::InvalidArgument(
+        "Exec needs at least one query for a batch/union payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExecResult> Exec(SimDfs* dfs, const std::string& base_path,
+                        const ExecRequest& request,
+                        const EngineOptions& options, RunContext ctx) {
+  if (dfs == nullptr) {
+    return Status::InvalidArgument("Exec needs a dfs");
+  }
+  RDFMR_RETURN_NOT_OK(CheckExecRequest(request));
   if (!dfs->Exists(base_path)) {
     return Status::NotFound("base triple relation missing: " + base_path);
   }
-  RDFMR_ASSIGN_OR_RETURN(
-      NtgaBatchPlan plan,
-      CompileBatchPlanTemplate(queries, base_path, options));
-  return RunCompiledBatch(dfs, plan, options, ctx);
+
+  // kAuto: resolve to a concrete engine before compilation. Everything
+  // downstream (including ExecStats.engine) sees the chosen kind, so an
+  // auto run is byte-identical to running the chosen engine explicitly.
+  EngineOptions effective = options;
+  PlanChoice choice;
+  bool chose = false;
+  if (options.kind == EngineKind::kAuto) {
+    std::shared_ptr<const GraphStats> stats = request.stats;
+    if (stats == nullptr) {
+      RDFMR_ASSIGN_OR_RETURN(GraphStats computed,
+                             ComputeBaseStats(dfs, base_path));
+      stats = std::make_shared<const GraphStats>(std::move(computed));
+    }
+    // Sizing reads are planning, not engine work — keep them off the
+    // fault plan's deterministic op sequence.
+    SimDfs::ScopedFaultSuspension suspend_faults(dfs);
+    Result<uint64_t> base_size = dfs->FileSize(base_path);
+    RDFMR_ASSIGN_OR_RETURN(
+        choice, ChoosePlan(request, *stats, base_size.ok() ? *base_size : 0,
+                           dfs->UsedBytes(), dfs->config(), options));
+    effective.kind = choice.kind;
+    chose = true;
+  }
+
+  ExecResult result;
+  switch (request.payload) {
+    case ExecPayload::kSingle: {
+      RDFMR_ASSIGN_OR_RETURN(
+          Execution exec, RunSingle(dfs, base_path, request.query,
+                                    request.aggregate, effective, ctx));
+      result.stats = std::move(exec.stats);
+      result.answers = std::move(exec.answers);
+      break;
+    }
+    case ExecPayload::kBatch: {
+      RDFMR_ASSIGN_OR_RETURN(
+          NtgaBatchPlan plan,
+          CompileBatchPlanTemplate(request.queries, base_path, effective));
+      RDFMR_ASSIGN_OR_RETURN(BatchExecution batch,
+                             RunCompiledBatch(dfs, plan, effective, ctx));
+      result.stats = std::move(batch.stats);
+      result.per_query = std::move(batch.answers);
+      break;
+    }
+    case ExecPayload::kUnion: {
+      RDFMR_ASSIGN_OR_RETURN(
+          NtgaBatchPlan plan,
+          CompileBatchPlanTemplate(request.queries, base_path, effective));
+      RDFMR_ASSIGN_OR_RETURN(BatchExecution batch,
+                             RunCompiledBatch(dfs, plan, effective, ctx));
+      result.stats = std::move(batch.stats);
+      result.stats.query =
+          StringFormat("union-of-%zu", request.queries.size());
+      for (SolutionSet& answers : batch.answers) {
+        result.answers.insert(answers.begin(), answers.end());
+      }
+      break;
+    }
+  }
+  if (chose) {
+    result.stats.chosen_engine = EngineKindToString(choice.kind);
+    result.stats.plan_candidates = std::move(choice.candidates);
+    result.stats.plan_rationale = std::move(choice.rationale);
+  }
+  return result;
 }
 
-Result<Execution> RunUnionQuery(
-    SimDfs* dfs, const std::string& base_path,
-    const std::vector<std::shared_ptr<const GraphPatternQuery>>& branches,
-    const EngineOptions& options, RunContext ctx) {
-  RDFMR_ASSIGN_OR_RETURN(
-      BatchExecution batch,
-      RunQueryBatch(dfs, base_path, branches, options, ctx));
-  Execution exec;
-  exec.stats = std::move(batch.stats);
-  exec.stats.query = StringFormat("union-of-%zu", branches.size());
-  for (SolutionSet& answers : batch.answers) {
-    exec.answers.insert(answers.begin(), answers.end());
+// ---- legacy entry points (thin wrappers over Exec) ------------------------
+
+Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
+                           std::shared_ptr<const GraphPatternQuery> query,
+                           const EngineOptions& options, RunContext ctx) {
+  if (dfs == nullptr || query == nullptr) {
+    return Status::InvalidArgument("RunQuery needs a dfs and a query");
   }
+  ExecRequest request;
+  request.payload = ExecPayload::kSingle;
+  request.query = std::move(query);
+  RDFMR_ASSIGN_OR_RETURN(ExecResult result,
+                         Exec(dfs, base_path, request, options, ctx));
+  Execution exec;
+  exec.stats = std::move(result.stats);
+  exec.answers = std::move(result.answers);
   return exec;
 }
 
@@ -728,31 +838,51 @@ Result<Execution> RunAggregateQuery(
     return Status::InvalidArgument(
         "RunAggregateQuery needs a dfs and a query");
   }
-  if (!dfs->Exists(base_path)) {
-    return Status::NotFound("base triple relation missing: " + base_path);
+  ExecRequest request;
+  request.payload = ExecPayload::kSingle;
+  request.query = std::move(query);
+  request.aggregate = spec;
+  RDFMR_ASSIGN_OR_RETURN(ExecResult result,
+                         Exec(dfs, base_path, request, options, ctx));
+  Execution exec;
+  exec.stats = std::move(result.stats);
+  exec.answers = std::move(result.answers);
+  return exec;
+}
+
+Result<BatchExecution> RunQueryBatch(
+    SimDfs* dfs, const std::string& base_path,
+    const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
+    const EngineOptions& options, RunContext ctx) {
+  if (dfs == nullptr) {
+    return Status::InvalidArgument("RunQueryBatch needs a dfs");
   }
-  EngineOptions effective = options;
-  PreflightOutcome preflight;
-  if (options.disk_pressure != DiskPressurePolicy::kNone) {
-    RDFMR_ASSIGN_OR_RETURN(
-        preflight, DiskPressurePreflight(dfs, base_path, *query, options));
-    effective = preflight.options;
+  ExecRequest request;
+  request.payload = ExecPayload::kBatch;
+  request.queries = queries;
+  RDFMR_ASSIGN_OR_RETURN(ExecResult result,
+                         Exec(dfs, base_path, request, options, ctx));
+  BatchExecution exec;
+  exec.stats = std::move(result.stats);
+  exec.answers = std::move(result.per_query);
+  return exec;
+}
+
+Result<Execution> RunUnionQuery(
+    SimDfs* dfs, const std::string& base_path,
+    const std::vector<std::shared_ptr<const GraphPatternQuery>>& branches,
+    const EngineOptions& options, RunContext ctx) {
+  if (dfs == nullptr) {
+    return Status::InvalidArgument("RunUnionQuery needs a dfs");
   }
-  RDFMR_ASSIGN_OR_RETURN(
-      CompiledPlan plan,
-      CompileQueryPlanTemplate(query, base_path, spec, effective));
-  if (!preflight.refusal.ok()) {
-    Execution exec;
-    exec.stats = RefusedStats(preflight, options, query->name() + "+count",
-                              plan.workflow.jobs.size());
-    return exec;
-  }
-  RDFMR_ASSIGN_OR_RETURN(
-      Execution exec,
-      RunCompiledQuery(dfs, plan, query->name() + "+count", effective,
-                       ctx));
-  exec.stats.degraded_from = preflight.degraded_from;
-  exec.stats.preflight = preflight.note;
+  ExecRequest request;
+  request.payload = ExecPayload::kUnion;
+  request.queries = branches;
+  RDFMR_ASSIGN_OR_RETURN(ExecResult result,
+                         Exec(dfs, base_path, request, options, ctx));
+  Execution exec;
+  exec.stats = std::move(result.stats);
+  exec.answers = std::move(result.answers);
   return exec;
 }
 

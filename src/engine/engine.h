@@ -20,11 +20,13 @@
 #include "query/aggregate.h"
 #include "query/pattern.h"
 #include "query/solution.h"
+#include "rdf/graph_stats.h"
 #include "relational/rel_compiler.h"
 
 namespace rdfmr {
 
-/// \brief The systems compared in the paper's evaluation.
+/// \brief The systems compared in the paper's evaluation, plus kAuto:
+/// cost-based selection among them by the plan chooser.
 enum class EngineKind {
   kPig,              ///< relational, per-operand scans, flat n-tuples
   kHive,             ///< relational, shared scan per cycle, flat n-tuples
@@ -32,12 +34,13 @@ enum class EngineKind {
   kNtgaLazyFull,     ///< NTGA, full β-unnest at the join's map phase
   kNtgaLazyPartial,  ///< NTGA, partial β-unnest (φ_m) at the join's map phase
   kNtgaLazy,         ///< NTGA, the paper's LazyUnnest policy (auto choice)
+  kAuto,             ///< pick the modeled-cheapest of the above per query
 };
 
 const char* EngineKindToString(EngineKind kind);
 
 /// \brief Parses the CLI / wire-protocol engine names
-/// (pig|hive|eager|lazyfull|lazypartial|lazy).
+/// (pig|hive|eager|lazyfull|lazypartial|lazy|auto).
 Result<EngineKind> EngineKindFromString(const std::string& name);
 
 /// \brief What the engine does when the advisor projects that a query's
@@ -55,6 +58,19 @@ enum class DiskPressurePolicy {
 };
 
 struct EngineOptions {
+  // The deprecated alias members below would otherwise make every
+  // synthesized special member warn at each construction/copy site; the
+  // aliases should only warn where they are *named*.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EngineOptions() = default;
+  EngineOptions(const EngineOptions&) = default;
+  EngineOptions(EngineOptions&&) = default;
+  EngineOptions& operator=(const EngineOptions&) = default;
+  EngineOptions& operator=(EngineOptions&&) = default;
+  ~EngineOptions() = default;
+#pragma GCC diagnostic pop
+
   EngineKind kind = EngineKind::kNtgaLazy;
   /// φ_m partition count for TG_OptUnbJoin.
   uint32_t phi_partitions = 1024;
@@ -77,9 +93,11 @@ struct EngineOptions {
   RuntimeOptions runtime;
   /// Deprecated alias for runtime.num_threads (used only when the
   /// runtime field is unset); kept so pre-RuntimeOptions callers compile.
+  [[deprecated("set options.runtime.num_threads instead")]]
   uint32_t num_threads = 0;
   /// Deprecated alias for runtime.max_attempts (used only when the
   /// runtime field is unset).
+  [[deprecated("set options.runtime.max_attempts instead")]]
   uint32_t max_attempts = 0;
   /// Disk-pressure preflight policy (see DiskPressurePolicy). Applies to
   /// RunQuery/RunAggregateQuery, where the advisor's projection is
@@ -94,6 +112,23 @@ struct EngineOptions {
 /// corresponding unset RuntimeOptions field. Shared by the engine, the
 /// service's cache fingerprinting, and the CLI.
 RuntimeOptions EffectiveRuntime(const EngineOptions& options);
+
+/// \brief One scored row of the kAuto plan chooser's candidate table.
+struct PlanCandidate {
+  EngineKind kind = EngineKind::kNtgaLazy;
+  /// Projected execution time under the calibrated cost model, summed
+  /// over the candidate's planned MR cycles.
+  double modeled_seconds = 0.0;
+  size_t planned_cycles = 0;
+  /// Advisor prediction of the candidate's star-join phase output.
+  uint64_t star_bytes = 0;
+  /// Projected physical peak DFS footprint (incl. existing usage).
+  uint64_t peak_bytes = 0;
+  bool fits = true;      ///< peak within cluster capacity
+  bool feasible = true;  ///< the engine can run this payload at all
+  bool chosen = false;
+  std::string note;  ///< infeasibility / rejection reason, if any
+};
 
 /// \brief Everything the paper's figures report about one execution.
 struct ExecStats {
@@ -145,6 +180,16 @@ struct ExecStats {
   /// Human-readable outcome of the disk-pressure preflight; empty when
   /// the policy is kNone.
   std::string preflight;
+  /// Engine the plan chooser selected when the request asked for
+  /// EngineKind::kAuto (same value as `engine`); empty on explicit-engine
+  /// runs. Like degraded_from/preflight, the chooser fields are outside
+  /// the byte-identical-stats contract: an auto run matches its concrete
+  /// engine everywhere else.
+  std::string chosen_engine;
+  /// The chooser's full scored candidate table (kAuto runs only).
+  std::vector<PlanCandidate> plan_candidates;
+  /// One-line decision rationale (kAuto runs only).
+  std::string plan_rationale;
   Counters counters;
   std::vector<JobMetrics> jobs;
 
@@ -157,8 +202,54 @@ struct Execution {
   SolutionSet answers;
 };
 
-/// \brief Compiles and runs `query` against the triple relation at
-/// `base_path` on `dfs` using the engine selected in `options`.
+// ---- Unified execution entry point ----------------------------------------
+//
+// One request struct covers everything the four historical entry points
+// (RunQuery / RunAggregateQuery / RunQueryBatch / RunUnionQuery) did; they
+// remain as thin wrappers over Exec below, so the unified and the legacy
+// paths are byte-identical by construction.
+
+/// \brief Payload shape of an ExecRequest.
+enum class ExecPayload {
+  kSingle,  ///< one query (optionally with an aggregation cycle)
+  kBatch,   ///< several queries sharing one NTGA grouping cycle
+  kUnion,   ///< a batch whose per-query answers are unioned
+};
+
+/// \brief A complete execution request: what to run, in which shape.
+struct ExecRequest {
+  ExecPayload payload = ExecPayload::kSingle;
+  /// The query (kSingle). Ignored for batch/union payloads.
+  std::shared_ptr<const GraphPatternQuery> query;
+  /// Optional COUNT/GROUP BY/HAVING cycle (kSingle only).
+  std::optional<AggregateSpec> aggregate;
+  /// The member queries (kBatch / kUnion). Ignored for kSingle.
+  std::vector<std::shared_ptr<const GraphPatternQuery>> queries;
+  /// Optional precomputed statistics catalog for the base relation. Used
+  /// only by EngineKind::kAuto: when set, the plan chooser scores
+  /// candidates against it without touching the DFS; when null, Exec
+  /// computes statistics by scanning the base (with faults suspended,
+  /// like the disk-pressure preflight).
+  std::shared_ptr<const GraphStats> stats;
+};
+
+/// \brief Exec's result: one set of workflow stats, the merged answers,
+/// and (for batch payloads) the per-query answer sets.
+struct ExecResult {
+  ExecStats stats;
+  /// kSingle: the query's answers. kUnion: the union over branches.
+  /// kBatch: empty (use per_query).
+  SolutionSet answers;
+  /// kBatch: aligned with request.queries. Empty otherwise.
+  std::vector<SolutionSet> per_query;
+};
+
+/// \brief Runs `request` against the triple relation at `base_path` on
+/// `dfs` using the engine selected in `options` — or, with
+/// EngineKind::kAuto, the modeled-cheapest candidate the plan chooser
+/// picks; the decision is recorded in stats.chosen_engine /
+/// plan_candidates / plan_rationale, and every other stat is
+/// byte-identical to running the chosen engine explicitly.
 ///
 /// All temporary DFS state is removed before returning (also on failure),
 /// so one SimDfs instance can host an engine-comparison sweep. A run that
@@ -166,6 +257,12 @@ struct Execution {
 /// this function, with the failure recorded in ExecStats — callers
 /// distinguish infrastructure errors (non-OK Result) from the measured
 /// engine failures the paper plots.
+Result<ExecResult> Exec(SimDfs* dfs, const std::string& base_path,
+                        const ExecRequest& request,
+                        const EngineOptions& options,
+                        RunContext ctx = RunContext());
+
+/// \brief Thin wrapper over Exec with a kSingle payload.
 Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
                            std::shared_ptr<const GraphPatternQuery> query,
                            const EngineOptions& options,
@@ -181,6 +278,8 @@ Result<Execution> RunQuery(SimDfs* dfs, const std::string& base_path,
 /// flight and ships only (group key, counted value) pairs — while the
 /// relational engines read their flat n-tuples. Answers are canonical
 /// solutions binding the group variables plus the count.
+///
+/// Thin wrapper over Exec (kSingle payload + aggregate).
 Result<Execution> RunAggregateQuery(
     SimDfs* dfs, const std::string& base_path,
     std::shared_ptr<const GraphPatternQuery> query,
@@ -199,6 +298,8 @@ struct BatchExecution {
 /// TripleGroup model gets structurally: γ_S(T) is query-independent).
 /// Requires an NTGA engine kind; relational engines have no shared
 /// grouping to exploit — run them per query and sum.
+///
+/// Thin wrapper over Exec (kBatch payload).
 Result<BatchExecution> RunQueryBatch(
     SimDfs* dfs, const std::string& base_path,
     const std::vector<std::shared_ptr<const GraphPatternQuery>>& queries,
@@ -208,6 +309,8 @@ Result<BatchExecution> RunQueryBatch(
 /// rewriting ontological queries (Section 1: such rewritings are a major
 /// source of unbound-property subqueries) — as one shared-scan batch whose
 /// per-query answers are unioned.
+///
+/// Thin wrapper over Exec (kUnion payload).
 Result<Execution> RunUnionQuery(
     SimDfs* dfs, const std::string& base_path,
     const std::vector<std::shared_ptr<const GraphPatternQuery>>& branches,

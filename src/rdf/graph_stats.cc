@@ -38,6 +38,23 @@ GraphStats GraphStats::Compute(const std::vector<Triple>& triples) {
   return stats;
 }
 
+GraphStats GraphStats::FromParts(
+    uint64_t triple_count, uint64_t distinct_subjects,
+    std::map<std::string, PropertyStats> properties) {
+  GraphStats stats;
+  stats.triple_count_ = triple_count;
+  stats.distinct_subjects_ = distinct_subjects;
+  stats.properties_ = std::move(properties);
+  for (auto& [_, ps] : stats.properties_) {
+    ps.avg_multiplicity =
+        ps.subject_count == 0
+            ? 0.0
+            : static_cast<double>(ps.triple_count) /
+                  static_cast<double>(ps.subject_count);
+  }
+  return stats;
+}
+
 PropertyStats GraphStats::ForProperty(const std::string& property) const {
   auto it = properties_.find(property);
   if (it == properties_.end()) return PropertyStats{};

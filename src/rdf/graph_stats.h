@@ -33,6 +33,13 @@ class GraphStats {
   /// \brief Computes statistics over a triple set in one pass.
   static GraphStats Compute(const std::vector<Triple>& triples);
 
+  /// \brief Reassembles a catalog from already-aggregated parts (the rdx
+  /// stats-section decode path). `avg_multiplicity` is recomputed from
+  /// each entry's counts, so callers only supply the persisted integers.
+  static GraphStats FromParts(uint64_t triple_count,
+                              uint64_t distinct_subjects,
+                              std::map<std::string, PropertyStats> properties);
+
   uint64_t triple_count() const { return triple_count_; }
   uint64_t distinct_subjects() const { return distinct_subjects_; }
   uint64_t distinct_properties() const {

@@ -30,6 +30,8 @@ Status DatasetHandle::EnsureLoaded() const {
     auto size = dfs->FileSize(kBasePath);
     base_bytes_ = size.ok() ? *size : 0;
     dfs_ = std::move(dfs);
+    // v2 files carry the catalog as a section — zero triples decoded.
+    stats_ = std::make_shared<const GraphStats>(mapped_->DecodeGraphStats());
     load_status_ = Status::OK();
     return load_status_;
   }
@@ -52,6 +54,9 @@ Status DatasetHandle::EnsureLoaded() const {
   auto size = dfs->FileSize(kBasePath);
   base_bytes_ = size.ok() ? *size : 0;
   dfs_ = std::move(dfs);
+  stats_ = std::make_shared<const GraphStats>(
+      mapped_ != nullptr ? mapped_->DecodeGraphStats()
+                         : GraphStats::Compute(*triples));
   load_status_ = Status::OK();
   return load_status_;
 }
@@ -59,6 +64,11 @@ Status DatasetHandle::EnsureLoaded() const {
 SimDfs* DatasetHandle::dfs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dfs_.get();
+}
+
+std::shared_ptr<const GraphStats> DatasetHandle::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 DatasetInfo DatasetHandle::Info() const {

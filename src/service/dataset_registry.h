@@ -24,6 +24,7 @@
 
 #include "common/result.h"
 #include "dfs/sim_dfs.h"
+#include "rdf/graph_stats.h"
 #include "rdf/triple.h"
 #include "storage/rdx_reader.h"
 
@@ -67,6 +68,11 @@ class DatasetHandle {
   /// \brief The dataset's DFS; non-null iff EnsureLoaded returned OK.
   SimDfs* dfs() const;
 
+  /// \brief The planner catalog, built once at load: decoded from the
+  /// rdx v2 stats section for mapped datasets (no triple decode), computed
+  /// in one pass over the triples otherwise. Non-null iff loaded.
+  std::shared_ptr<const GraphStats> stats() const;
+
   DatasetInfo Info() const;
 
   /// \brief The rdx mapping backing this dataset, or null when the
@@ -109,6 +115,7 @@ class DatasetHandle {
   mutable bool attempted_ = false;
   mutable Status load_status_;
   mutable std::unique_ptr<SimDfs> dfs_;
+  mutable std::shared_ptr<const GraphStats> stats_;
   mutable size_t num_triples_ = 0;
   mutable uint64_t base_bytes_ = 0;
 };

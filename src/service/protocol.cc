@@ -31,6 +31,20 @@ JsonValue OkResponse() {
   return o;
 }
 
+JsonValue PlanCandidateJson(const PlanCandidate& candidate) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("engine", EngineKindToString(candidate.kind));
+  o.Set("modeled_seconds", candidate.modeled_seconds);
+  o.Set("cycles", static_cast<uint64_t>(candidate.planned_cycles));
+  o.Set("star_bytes", candidate.star_bytes);
+  o.Set("peak_bytes", candidate.peak_bytes);
+  o.Set("fits", candidate.fits);
+  o.Set("feasible", candidate.feasible);
+  o.Set("chosen", candidate.chosen);
+  if (!candidate.note.empty()) o.Set("note", candidate.note);
+  return o;
+}
+
 JsonValue DatasetInfoJson(const DatasetInfo& info) {
   JsonValue o = JsonValue::MakeObject();
   o.Set("name", info.name);
@@ -361,6 +375,30 @@ JsonValue HandleBatch(QueryService* query_service, const JsonValue& request) {
   return RunServiceRequest(query_service, *std::move(built), request);
 }
 
+/// The `explain` verb: scores every candidate engine for the request's
+/// query (or batch) against the dataset's statistics catalog and returns
+/// the table WITHOUT executing anything. Accepts the same body as the
+/// query verb (single spec) or the batch verb ("query_ids"/"queries").
+JsonValue HandleExplain(QueryService* query_service,
+                        const JsonValue& request) {
+  const bool batch_shape =
+      request.Has("query_ids") || request.Has("queries");
+  Result<ServiceRequest> built = batch_shape ? BuildBatchRequest(request)
+                                             : BuildQueryRequest(request);
+  if (!built.ok()) return ErrorResponse(built.status());
+  Result<PlanChoice> choice = query_service->Explain(*built);
+  if (!choice.ok()) return ErrorResponse(choice.status());
+  JsonValue o = OkResponse();
+  o.Set("chosen", EngineKindToString(choice->kind));
+  o.Set("rationale", choice->rationale);
+  JsonValue candidates = JsonValue::MakeArray();
+  for (const PlanCandidate& candidate : choice->candidates) {
+    candidates.Append(PlanCandidateJson(candidate));
+  }
+  o.Set("candidates", std::move(candidates));
+  return o;
+}
+
 JsonValue HandleStats(QueryService* query_service, const JsonValue& request) {
   const std::string format = request.GetString("format", "json");
   ServiceStatsSnapshot snapshot = query_service->Stats();
@@ -501,6 +539,17 @@ JsonValue ExecStatsToJson(const ExecStats& stats) {
   o.Set("map_seconds", stats.map_seconds);
   o.Set("shuffle_sort_seconds", stats.shuffle_sort_seconds);
   o.Set("reduce_seconds", stats.reduce_seconds);
+  // engine=auto runs carry the chooser's decision alongside the stats of
+  // the concrete engine it resolved to.
+  if (!stats.chosen_engine.empty()) {
+    o.Set("chosen_engine", stats.chosen_engine);
+    o.Set("plan_rationale", stats.plan_rationale);
+    JsonValue candidates = JsonValue::MakeArray();
+    for (const PlanCandidate& candidate : stats.plan_candidates) {
+      candidates.Append(PlanCandidateJson(candidate));
+    }
+    o.Set("plan_candidates", std::move(candidates));
+  }
   return o;
 }
 
@@ -556,6 +605,8 @@ HandleResult HandleRequest(QueryService* query_service,
     result.response = HandleQuery(query_service, request);
   } else if (verb == "batch") {
     result.response = HandleBatch(query_service, request);
+  } else if (verb == "explain") {
+    result.response = HandleExplain(query_service, request);
   } else if (verb == "stats") {
     result.response = HandleStats(query_service, request);
   } else if (verb == "metrics") {
@@ -566,7 +617,7 @@ HandleResult HandleRequest(QueryService* query_service,
   } else {
     result.response = ErrorResponse(Status::InvalidArgument(
         "unknown verb: \"" + verb +
-        "\" (want ping|load|drop|list|query|batch|stats|metrics|"
+        "\" (want ping|load|drop|list|explain|query|batch|stats|metrics|"
         "shutdown)"));
   }
   StampEnvelope(request, &result.response);

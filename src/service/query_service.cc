@@ -59,6 +59,22 @@ uint64_t EstimateSetCharge(const SolutionSet& set) {
   return bytes;
 }
 
+/// The ExecRequest equivalent of a ServiceRequest (for the plan chooser).
+ExecRequest ToExecRequest(const ServiceRequest& request) {
+  ExecRequest exec;
+  if (request.query != nullptr) {
+    exec.payload = ExecPayload::kSingle;
+    exec.query = request.query;
+    exec.aggregate = request.aggregate;
+  } else {
+    exec.payload = request.batch_mode == BatchMode::kUnion
+                       ? ExecPayload::kUnion
+                       : ExecPayload::kBatch;
+    exec.queries = request.batch;
+  }
+  return exec;
+}
+
 Status CheckRequestShape(const ServiceRequest& request) {
   const bool single = request.query != nullptr;
   const bool batch = !request.batch.empty();
@@ -475,11 +491,52 @@ ServiceResponse QueryService::Execute(const ServiceRequest& request) {
   return ExecuteOnDataset(request, **handle);
 }
 
+Result<PlanChoice> QueryService::ChooseForDataset(
+    const ServiceRequest& request, const DatasetHandle& dataset) const {
+  std::shared_ptr<const GraphStats> stats = dataset.stats();
+  SimDfs* dfs = dataset.dfs();
+  if (stats == nullptr || dfs == nullptr) {
+    return Status::Unknown("dataset not loaded: " + dataset.name());
+  }
+  auto base_size = dfs->FileSize(DatasetHandle::kBasePath);
+  return ChoosePlan(ToExecRequest(request), *stats,
+                    base_size.ok() ? *base_size : 0, dfs->UsedBytes(),
+                    dfs->config(), request.options);
+}
+
+Result<PlanChoice> QueryService::Explain(const ServiceRequest& request) {
+  RDFMR_RETURN_NOT_OK(CheckRequestShape(request));
+  RDFMR_ASSIGN_OR_RETURN(std::shared_ptr<const DatasetHandle> handle,
+                         registry_.Acquire(request.dataset));
+  return ChooseForDataset(request, *handle);
+}
+
 ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
                                                const DatasetHandle& dataset) {
   ServiceResponse response;
   response.epoch = dataset.epoch();
-  const std::string key = RequestCacheKey(request, dataset.epoch());
+
+  // engine=auto: resolve to a concrete engine BEFORE the cache key is
+  // computed, so an auto request and an explicit request for the chosen
+  // engine share plan and result cache entries. The chooser's decision is
+  // stamped onto the response stats afterwards (never cached — a later
+  // explicit hit replays the run without another request's rationale).
+  ServiceRequest resolved_storage;
+  const ServiceRequest* effective = &request;
+  std::optional<PlanChoice> choice;
+  if (request.options.kind == EngineKind::kAuto) {
+    auto chosen = ChooseForDataset(request, dataset);
+    if (!chosen.ok()) {
+      response.status = chosen.status();
+      return response;
+    }
+    choice = std::move(*chosen);
+    resolved_storage = request;
+    resolved_storage.options.kind = choice->kind;
+    effective = &resolved_storage;
+  }
+
+  const std::string key = RequestCacheKey(*effective, dataset.epoch());
 
   // Shapes the final response from a pre-shaped answer snapshot (fresh
   // or cached). No deep copy anywhere: the response aliases the
@@ -500,6 +557,14 @@ ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
     response.status = Status::OK();
   };
 
+  // Annotates the shaped stats with the chooser's decision (auto only).
+  auto stamp_choice = [&response, &choice]() {
+    if (!choice.has_value()) return;
+    response.stats.chosen_engine = EngineKindToString(choice->kind);
+    response.stats.plan_candidates = choice->candidates;
+    response.stats.plan_rationale = choice->rationale;
+  };
+
   if (request.use_result_cache) {
     // The warm hot path: one shard mutex inside Get, one relaxed
     // fetch_add — no service-wide lock.
@@ -508,12 +573,13 @@ ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
       stats_.result_cache_hits.fetch_add(1, std::memory_order_relaxed);
       response.result_cache_hit = true;
       shape(*cached);
+      stamp_choice();
       return response;
     }
     stats_.result_cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
 
-  auto plan = GetOrCompilePlan(request, key, &response.plan_cache_hit);
+  auto plan = GetOrCompilePlan(*effective, key, &response.plan_cache_hit);
   if (!plan.ok()) {
     response.status = plan.status();
     return response;
@@ -523,7 +589,8 @@ ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
   std::vector<SolutionSet> answers;
   if (request.query != nullptr) {
     auto exec = RunCompiledQuery(dataset.dfs(), *plan->single,
-                                 SingleQueryName(request), request.options);
+                                 SingleQueryName(request),
+                                 effective->options);
     if (!exec.ok()) {
       response.status = exec.status();
       return response;
@@ -532,7 +599,7 @@ ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
     answers.push_back(std::move(exec->answers));
   } else {
     auto exec =
-        RunCompiledBatch(dataset.dfs(), *plan->batch, request.options);
+        RunCompiledBatch(dataset.dfs(), *plan->batch, effective->options);
     if (!exec.ok()) {
       response.status = exec.status();
       return response;
@@ -573,6 +640,7 @@ ServiceResponse QueryService::ExecuteOnDataset(const ServiceRequest& request,
     result_cache_.Put(key, value, value->charge);
   }
   shape(*value);
+  stamp_choice();
   return response;
 }
 

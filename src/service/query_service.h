@@ -62,6 +62,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
+#include "engine/plan_chooser.h"
 #include "query/aggregate.h"
 #include "query/pattern.h"
 #include "service/dataset_registry.h"
@@ -234,6 +235,12 @@ class QueryService {
   /// \brief Synchronous Submit: blocks until the response is ready.
   ServiceResponse Query(ServiceRequest request);
 
+  /// \brief Scores every candidate engine for `request` against the
+  /// dataset's stats catalog WITHOUT executing anything — the `explain`
+  /// verb. Works for any request shape; the request's `options.kind` is
+  /// ignored (the chooser always prices the full candidate table).
+  Result<PlanChoice> Explain(const ServiceRequest& request);
+
   /// \brief Cancels a still-queued request; returns false when it already
   /// started (or finished). A cancelled request responds kCancelled.
   bool Cancel(uint64_t ticket);
@@ -291,6 +298,9 @@ class QueryService {
   ServiceResponse Execute(const ServiceRequest& request);
   ServiceResponse ExecuteOnDataset(const ServiceRequest& request,
                                    const DatasetHandle& dataset);
+  /// Runs the plan chooser for `request` against `dataset`'s catalog.
+  Result<PlanChoice> ChooseForDataset(const ServiceRequest& request,
+                                      const DatasetHandle& dataset) const;
   Result<CachedPlan> GetOrCompilePlan(const ServiceRequest& request,
                                       const std::string& key,
                                       bool* plan_cache_hit);

@@ -1,10 +1,12 @@
-// On-disk layout constants of the rdx persistent dataset format (v1).
+// On-disk layout constants of the rdx persistent dataset format.
 //
 // An .rdx file is a write-once, memory-mapped snapshot of one triple
-// relation: a fixed little-endian header, a section table, and three
+// relation: a fixed little-endian header, a section table, and the
 // sections — a dictionary of distinct terms, dictionary-encoded triple
-// records in file order, and a per-property postings index for vertical-
-// partition scans. Every section (and the header + table themselves) is
+// records in file order, a per-property postings index for vertical-
+// partition scans, and (since v2) a graph-statistics catalog so the plan
+// chooser prices queries against a mapped dataset without decoding a
+// single triple. Every section (and the header + table themselves) is
 // covered by an FNV-1a 64 checksum, so any single flipped byte anywhere
 // in the file is detected at open. The full wire layout is documented in
 // docs/FORMAT.md; this header is the single source of truth for the
@@ -24,17 +26,30 @@ namespace storage {
 inline constexpr unsigned char kRdxMagic[8] = {'R', 'D', 'F', 'M',
                                                'R', 'D', 'X', '\n'};
 
-/// \brief Current (and only) format version.
-inline constexpr uint32_t kRdxVersion = 1;
+/// \brief Current format version (written by `rdfmr index`). v1 files
+/// (no graph-stats section) remain readable.
+inline constexpr uint32_t kRdxVersion = 2;
 
-/// \brief v1 has exactly these sections, in this order.
+/// \brief Oldest version this build still reads.
+inline constexpr uint32_t kRdxMinVersion = 1;
+
+/// \brief Sections in file order; v1 ends at the property index, v2
+/// appends the graph-stats catalog.
 enum class SectionId : uint32_t {
   kDictionary = 1,    ///< term offsets + concatenated term bytes
   kTriples = 2,       ///< triple_count x 3 u32 term ids, file order
-  kPropertyIndex = 3  ///< per-property sorted triple-index postings
+  kPropertyIndex = 3, ///< per-property sorted triple-index postings
+  kGraphStats = 4     ///< per-property planner statistics (v2+)
 };
 
-inline constexpr uint32_t kRdxSectionCount = 3;
+/// \brief Sections in a file of the given version (3 for v1, 4 for v2).
+inline constexpr uint32_t RdxSectionCountForVersion(uint32_t version) {
+  return version >= 2 ? 4 : 3;
+}
+
+/// \brief Sections in a file this build writes.
+inline constexpr uint32_t kRdxSectionCount =
+    RdxSectionCountForVersion(kRdxVersion);
 
 /// \brief Fixed header size in bytes (magic .. header_checksum).
 inline constexpr size_t kRdxHeaderBytes = 48;
@@ -45,9 +60,16 @@ inline constexpr size_t kRdxSectionEntryBytes = 32;
 /// \brief Byte offset of the section table (immediately after the header).
 inline constexpr size_t kRdxTableOffset = kRdxHeaderBytes;
 
-/// \brief Byte offset of the first section in a v1 file.
+/// \brief Byte offset of the first section for the given version (144 in
+/// v1, 176 in v2 — the table grows by one entry).
+inline constexpr size_t RdxFirstSectionOffsetForVersion(uint32_t version) {
+  return kRdxHeaderBytes +
+         RdxSectionCountForVersion(version) * kRdxSectionEntryBytes;
+}
+
+/// \brief Byte offset of the first section in a file this build writes.
 inline constexpr size_t kRdxFirstSectionOffset =
-    kRdxHeaderBytes + kRdxSectionCount * kRdxSectionEntryBytes;
+    RdxFirstSectionOffsetForVersion(kRdxVersion);
 
 // Field offsets within the header (see docs/FORMAT.md for the diagram).
 inline constexpr size_t kRdxOffMagic = 0;
@@ -64,6 +86,14 @@ inline constexpr size_t kRdxTripleRecordBytes = 12;
 /// \brief Bytes per property-index entry (property id, reserved,
 /// postings start, postings count).
 inline constexpr size_t kRdxPropertyEntryBytes = 24;
+
+/// \brief Graph-stats section header: triple count, distinct subjects,
+/// number of per-property records (3 x u64).
+inline constexpr size_t kRdxStatsHeaderBytes = 24;
+
+/// \brief One graph-stats record: property id, reserved, triple count,
+/// subject count, max multiplicity — ascending property id.
+inline constexpr size_t kRdxStatsRecordBytes = 32;
 
 /// \brief Canonical file extension.
 inline constexpr const char kRdxExtension[] = ".rdx";

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <limits>
+#include <map>
 #include <utility>
 
 #include "common/hash.h"
@@ -20,6 +21,8 @@ const char* SectionName(uint32_t id) {
       return "triples";
     case SectionId::kPropertyIndex:
       return "property index";
+    case SectionId::kGraphStats:
+      return "graph stats";
   }
   return "unknown";
 }
@@ -56,24 +59,29 @@ Status RdxReader::Validate() {
         path + ": bad magic at byte offset 0 — not an rdx dataset file");
   }
   const uint32_t version = LoadU32(data + kRdxOffVersion);
-  if (version != kRdxVersion) {
+  if (version < kRdxMinVersion || version > kRdxVersion) {
     return Status::InvalidArgument(
         path + ": unsupported format version " + std::to_string(version) +
         " at byte offset " + std::to_string(kRdxOffVersion) +
-        " (this build reads v" + std::to_string(kRdxVersion) + ")");
+        " (this build reads v" + std::to_string(kRdxMinVersion) + "..v" +
+        std::to_string(kRdxVersion) + ")");
   }
+  const uint32_t want_sections = RdxSectionCountForVersion(version);
+  const size_t first_section_offset =
+      RdxFirstSectionOffsetForVersion(version);
   const uint32_t section_count = LoadU32(data + kRdxOffSectionCount);
-  if (section_count != kRdxSectionCount) {
+  if (section_count != want_sections) {
     return Status::InvalidArgument(
-        path + ": v1 files have " + std::to_string(kRdxSectionCount) +
-        " sections, header says " + std::to_string(section_count) +
-        " at byte offset " + std::to_string(kRdxOffSectionCount));
+        path + ": v" + std::to_string(version) + " files have " +
+        std::to_string(want_sections) + " sections, header says " +
+        std::to_string(section_count) + " at byte offset " +
+        std::to_string(kRdxOffSectionCount));
   }
-  if (file_size < kRdxFirstSectionOffset) {
+  if (file_size < first_section_offset) {
     return Status::DataLoss(
         path + ": truncated inside the section table: " +
         std::to_string(file_size) + " byte(s), table ends at " +
-        std::to_string(kRdxFirstSectionOffset));
+        std::to_string(first_section_offset));
   }
   const uint64_t stated_size = LoadU64(data + kRdxOffFileSize);
   if (stated_size != file_size) {
@@ -86,7 +94,7 @@ Status RdxReader::Validate() {
   const uint64_t header_hash = HashCombine(
       Fnv1a64(ViewOf(data, kRdxOffHeaderChecksum)),
       Fnv1a64(ViewOf(data + kRdxTableOffset,
-                     kRdxSectionCount * kRdxSectionEntryBytes)));
+                     want_sections * kRdxSectionEntryBytes)));
   if (header_hash != LoadU64(data + kRdxOffHeaderChecksum)) {
     return Status::DataLoss(
         path + ": header/section-table checksum mismatch at byte offset " +
@@ -104,10 +112,10 @@ Status RdxReader::Validate() {
 
   // Section table: ids in order, reserved zero, contiguous in-bounds
   // byte ranges, and a matching checksum per section.
-  uint64_t expected_offset = kRdxFirstSectionOffset;
-  uint64_t offsets[kRdxSectionCount];
-  uint64_t sizes[kRdxSectionCount];
-  for (uint32_t i = 0; i < kRdxSectionCount; ++i) {
+  uint64_t expected_offset = first_section_offset;
+  uint64_t offsets[kRdxSectionCount] = {0};
+  uint64_t sizes[kRdxSectionCount] = {0};
+  for (uint32_t i = 0; i < want_sections; ++i) {
     const uint8_t* entry =
         data + kRdxTableOffset + i * kRdxSectionEntryBytes;
     const size_t entry_at = kRdxTableOffset + i * kRdxSectionEntryBytes;
@@ -137,7 +145,7 @@ Status RdxReader::Validate() {
       return Status::InvalidArgument(
           path + ": section '" + SectionName(id) + "' at byte offset " +
           std::to_string(offset) + ", expected " +
-          std::to_string(expected_offset) + " (v1 sections are contiguous)");
+          std::to_string(expected_offset) + " (rdx sections are contiguous)");
     }
     const uint64_t hash = Fnv1a64(ViewOf(data + offset, size));
     if (hash != LoadU64(entry + 24)) {
@@ -311,9 +319,112 @@ Status RdxReader::Validate() {
     index_postings_ = postings;
   }
 
+  // Graph stats (v2+): one record per indexed property, in the index's
+  // ascending-id order, each cross-checked against the postings it
+  // summarizes — a corrupt catalog can never mislead the plan chooser.
+  if (version >= 2) {
+    const uint8_t* section = data + offsets[3];
+    const uint64_t size = sizes[3];
+    const uint64_t expected_size =
+        kRdxStatsHeaderBytes + property_count_ * kRdxStatsRecordBytes;
+    if (size != expected_size) {
+      return Status::InvalidArgument(
+          path + ": graph stats section is " + std::to_string(size) +
+          " byte(s), expected " + std::to_string(expected_size) + " for " +
+          std::to_string(property_count_) + " propert(ies)");
+    }
+    if (LoadU64(section) != triple_count) {
+      return Status::InvalidArgument(
+          path + ": graph stats triple count " +
+          std::to_string(LoadU64(section)) + " disagrees with the header (" +
+          std::to_string(triple_count) + ")");
+    }
+    const uint64_t distinct_subjects = LoadU64(section + 8);
+    if (distinct_subjects > triple_count ||
+        (triple_count > 0 && distinct_subjects == 0)) {
+      return Status::InvalidArgument(
+          path + ": graph stats claim " + std::to_string(distinct_subjects) +
+          " distinct subject(s) over " + std::to_string(triple_count) +
+          " triple(s)");
+    }
+    if (LoadU64(section + 16) != property_count_) {
+      return Status::InvalidArgument(
+          path + ": graph stats record count " +
+          std::to_string(LoadU64(section + 16)) +
+          " disagrees with the property index (" +
+          std::to_string(property_count_) + ")");
+    }
+    const uint8_t* records = section + kRdxStatsHeaderBytes;
+    for (uint64_t e = 0; e < property_count_; ++e) {
+      const uint8_t* record = records + e * kRdxStatsRecordBytes;
+      const uint8_t* index_entry =
+          index_entries_ + e * kRdxPropertyEntryBytes;
+      const uint32_t property = LoadU32(record);
+      const uint64_t prop_triples = LoadU64(record + 8);
+      const uint64_t prop_subjects = LoadU64(record + 16);
+      const uint64_t max_multiplicity = LoadU64(record + 24);
+      if (LoadU32(record + 4) != 0) {
+        return Status::InvalidArgument(
+            path + ": graph stats record " + std::to_string(e) +
+            ": reserved field must be zero");
+      }
+      if (property != LoadU32(index_entry)) {
+        return Status::InvalidArgument(
+            path + ": graph stats record " + std::to_string(e) +
+            ": property id " + std::to_string(property) +
+            " does not match index entry id " +
+            std::to_string(LoadU32(index_entry)));
+      }
+      if (prop_triples != LoadU64(index_entry + 16)) {
+        return Status::InvalidArgument(
+            path + ": graph stats record " + std::to_string(e) +
+            ": triple count " + std::to_string(prop_triples) +
+            " disagrees with the property index (" +
+            std::to_string(LoadU64(index_entry + 16)) + ")");
+      }
+      if (prop_subjects == 0 || prop_subjects > prop_triples ||
+          prop_subjects > distinct_subjects) {
+        return Status::InvalidArgument(
+            path + ": graph stats record " + std::to_string(e) +
+            ": subject count " + std::to_string(prop_subjects) +
+            " out of range for " + std::to_string(prop_triples) +
+            " triple(s)");
+      }
+      if (max_multiplicity == 0 || max_multiplicity > prop_triples ||
+          max_multiplicity * prop_subjects < prop_triples) {
+        return Status::InvalidArgument(
+            path + ": graph stats record " + std::to_string(e) +
+            ": max multiplicity " + std::to_string(max_multiplicity) +
+            " inconsistent with " + std::to_string(prop_triples) +
+            " triple(s) over " + std::to_string(prop_subjects) +
+            " subject(s)");
+      }
+    }
+    stats_section_ = section;
+  }
+
   triple_count_ = triple_count;
   term_count_ = term_count;
   return Status::OK();
+}
+
+bool RdxReader::has_graph_stats() const { return stats_section_ != nullptr; }
+
+GraphStats RdxReader::DecodeGraphStats() const {
+  if (stats_section_ == nullptr) return GraphStats::Compute(Triples());
+  std::map<std::string, PropertyStats> properties;
+  const uint8_t* records = stats_section_ + kRdxStatsHeaderBytes;
+  for (uint64_t e = 0; e < property_count_; ++e) {
+    const uint8_t* record = records + e * kRdxStatsRecordBytes;
+    PropertyStats ps;
+    ps.triple_count = LoadU64(record + 8);
+    ps.subject_count = LoadU64(record + 16);
+    ps.max_multiplicity = LoadU64(record + 24);
+    properties.emplace(std::string(term(LoadU32(record))), ps);
+  }
+  return GraphStats::FromParts(LoadU64(stats_section_),
+                               LoadU64(stats_section_ + 8),
+                               std::move(properties));
 }
 
 std::string_view RdxReader::term(uint32_t id) const {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "rdf/graph_stats.h"
 #include "rdf/triple.h"
 #include "storage/memmap.h"
 
@@ -80,6 +81,14 @@ class RdxReader {
   /// (the vertical-partition scan); empty when the property is absent.
   std::vector<uint32_t> PropertyPostings(std::string_view property) const;
 
+  /// \brief True iff the file carries a graph-stats section (v2+).
+  bool has_graph_stats() const;
+
+  /// \brief The planner catalog. Decoded straight from the v2 stats
+  /// section (no triple materialization); for a v1 file, recomputed from
+  /// the decoded triples as a fallback.
+  GraphStats DecodeGraphStats() const;
+
  private:
   explicit RdxReader(MemMap map) : map_(std::move(map)) {}
 
@@ -96,6 +105,7 @@ class RdxReader {
   const uint8_t* triples_ = nullptr;        // triple_count_ x 12 bytes
   const uint8_t* index_entries_ = nullptr;  // property_count_ x 24 bytes
   const uint8_t* index_postings_ = nullptr;  // triple_count_ x u32
+  const uint8_t* stats_section_ = nullptr;  // v2+ graph-stats catalog
 };
 
 }  // namespace storage

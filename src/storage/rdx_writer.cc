@@ -1,5 +1,6 @@
 #include "storage/rdx_writer.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <limits>
@@ -104,6 +105,35 @@ Result<std::string> BuildRdxImage(const std::vector<Triple>& triples) {
     for (uint32_t row : entry.second) AppendU32(&index, row);
   }
 
+  // Graph-stats catalog (v2): the same aggregates GraphStats::Compute
+  // derives from the decoded triples, computed here over the encoded ids
+  // so a mapped dataset serves planner statistics without any decode.
+  std::string stats;
+  {
+    std::unordered_map<uint32_t, uint64_t> subject_seen;
+    for (size_t i = 0; i < encoded.size(); i += 3) subject_seen[encoded[i]];
+    AppendU64(&stats, triples.size());
+    AppendU64(&stats, subject_seen.size());
+    AppendU64(&stats, postings.size());
+    for (const auto& [property, rows] : postings) {
+      // Per-subject triple counts under this property; max is the
+      // property's multiplicity.
+      std::unordered_map<uint32_t, uint64_t> per_subject;
+      for (uint32_t row : rows) {
+        per_subject[encoded[static_cast<size_t>(row) * 3]]++;
+      }
+      uint64_t max_multiplicity = 0;
+      for (const auto& [_, count] : per_subject) {
+        max_multiplicity = std::max(max_multiplicity, count);
+      }
+      AppendU32(&stats, property);
+      AppendU32(&stats, 0);  // reserved
+      AppendU64(&stats, rows.size());
+      AppendU64(&stats, per_subject.size());
+      AppendU64(&stats, max_multiplicity);
+    }
+  }
+
   // Header + section table, checksums patched in after layout.
   std::string image;
   image.append(reinterpret_cast<const char*>(kRdxMagic), sizeof(kRdxMagic));
@@ -117,7 +147,8 @@ Result<std::string> BuildRdxImage(const std::vector<Triple>& triples) {
   AppendU64(&image, 0);  // header_checksum, patched below
 
   const std::string* payloads[kRdxSectionCount] = {&dictionary,
-                                                   &triple_section, &index};
+                                                   &triple_section, &index,
+                                                   &stats};
   uint64_t offset = kRdxFirstSectionOffset;
   for (uint32_t i = 0; i < kRdxSectionCount; ++i) {
     AppendU32(&image, i + 1);  // SectionId values are 1-based in order

@@ -39,6 +39,8 @@ const char* EngineKindCppName(EngineKind kind) {
       return "EngineKind::kNtgaLazyPartial";
     case EngineKind::kNtgaLazy:
       return "EngineKind::kNtgaLazy";
+    case EngineKind::kAuto:
+      return "EngineKind::kAuto";
   }
   return "EngineKind::kNtgaLazy";
 }
@@ -168,7 +170,7 @@ CaseOutcome RunCase(const FuzzCase& fuzz_case,
       EngineOptions options;
       options.kind = kind;
       options.phi_partitions = config.phi_partitions;
-      options.num_threads = threads;
+      options.runtime.num_threads = threads;
       Trace trace;
       RunContext run_ctx;
       if (!config.trace_dir.empty()) run_ctx = RunContext::ForTrace(&trace);
@@ -252,7 +254,7 @@ CaseOutcome RunCase(const FuzzCase& fuzz_case,
         continue;
       }
       EngineOptions faulty_options = options;
-      faulty_options.max_attempts = config.fault_max_attempts;
+      faulty_options.runtime.max_attempts = config.fault_max_attempts;
       Result<Execution> faulty =
           fuzz_case.aggregate.has_value()
               ? RunAggregateQuery(&faulty_dfs, "base", *query,

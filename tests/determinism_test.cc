@@ -78,7 +78,7 @@ Execution RunB1(const std::vector<Triple>& triples, EngineKind kind,
   EXPECT_TRUE(query.ok());
   EngineOptions options;
   options.kind = kind;
-  options.num_threads = option_threads;
+  options.runtime.num_threads = option_threads;
   auto exec = RunQuery(dfs.get(), "base", *query, options);
   EXPECT_TRUE(exec.ok()) << exec.status().ToString();
   return *exec;

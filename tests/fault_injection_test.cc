@@ -47,7 +47,7 @@ TEST(FaultInjectionTest, EngineFailsCleanlyAtEveryWritePosition) {
     options.kind = EngineKind::kNtgaLazy;
     // The legacy one-shot hook models an unrecoverable crash: pin retry
     // off to make explicit that no attempt may mask the failure.
-    options.max_attempts = 1;
+    options.runtime.max_attempts = 1;
     auto exec = RunQuery(dfs.get(), "base", *query, options);
     ASSERT_TRUE(exec.ok()) << "infrastructure must not error";
     EXPECT_FALSE(exec->stats.ok()) << "write " << failing_write;
@@ -73,7 +73,7 @@ TEST(FaultInjectionTest, RelationalEngineAlsoFailsCleanly) {
     dfs->InjectWriteFailureAfter(failing_write);
     EngineOptions options;
     options.kind = EngineKind::kHive;
-    options.max_attempts = 1;  // the legacy hook is unrecoverable
+    options.runtime.max_attempts = 1;  // the legacy hook is unrecoverable
     auto exec = RunQuery(dfs.get(), "base", *query, options);
     ASSERT_TRUE(exec.ok());
     EXPECT_FALSE(exec->stats.ok());
@@ -243,7 +243,7 @@ TEST(TaskRetryTest, ScheduledReadFailureIsRetriedAndAccounted) {
   FaultPlan plan;
   plan.fail_reads = {1};  // the workflow's very first input scan
   ASSERT_TRUE(dfs->SetFaultPlan(plan).ok());
-  options.max_attempts = 2;
+  options.runtime.max_attempts = 2;
   auto exec = RunQuery(dfs.get(), "base", *query, options);
   ASSERT_TRUE(exec.ok());
   ASSERT_TRUE(exec->stats.ok()) << exec->stats.status.ToString();
@@ -274,7 +274,7 @@ TEST(TaskRetryTest, RetryExhaustionSurfacesAsCleanEngineFailure) {
   ASSERT_TRUE(dfs->SetFaultPlan(plan).ok());
   EngineOptions options;
   options.kind = EngineKind::kNtgaLazy;
-  options.max_attempts = 2;
+  options.runtime.max_attempts = 2;
   auto exec = RunQuery(dfs.get(), "base", *query, options);
   ASSERT_TRUE(exec.ok()) << "exhaustion is a measured failure, not an "
                             "infrastructure error";
@@ -320,8 +320,8 @@ TEST(TaskRetryTest, RecoveredRunIsByteIdenticalAcrossThreadCounts) {
       plan.write_failure_prob = 0.05;
       ASSERT_TRUE(dfs->SetFaultPlan(plan).ok());
       EngineOptions faulty_options = options;
-      faulty_options.num_threads = threads;
-      faulty_options.max_attempts = 16;  // effectively never exhausts
+      faulty_options.runtime.num_threads = threads;
+      faulty_options.runtime.max_attempts = 16;  // effectively never exhausts
       auto exec = RunQuery(dfs.get(), "base", *query, faulty_options);
       ASSERT_TRUE(exec.ok());
       ASSERT_TRUE(exec->stats.ok())

@@ -447,6 +447,11 @@ TEST(RuntimeOptionsTest, EnvParsingIgnoresGarbage) {
   EXPECT_EQ(EnvRuntimeValue("RDFMR_THREADS"), 12u);
 }
 
+// Deliberately exercises the [[deprecated]] alias fields — this test IS the
+// coverage for the legacy fold, so the deprecation warnings are suppressed
+// here and nowhere else.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(RuntimeOptionsTest, EffectiveRuntimeFoldsDeprecatedAliases) {
   // Legacy aliases fill unset RuntimeOptions fields...
   EngineOptions legacy;
@@ -462,6 +467,7 @@ TEST(RuntimeOptionsTest, EffectiveRuntimeFoldsDeprecatedAliases) {
   both.runtime.num_threads = 8;
   EXPECT_EQ(EffectiveRuntime(both).num_threads, 8u);
 }
+#pragma GCC diagnostic pop
 
 // ---- Versioned NDJSON protocol ---------------------------------------------
 

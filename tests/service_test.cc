@@ -406,7 +406,7 @@ TEST(CacheKeyTest, ThreadsExcludedOptionsAndEpochIncluded) {
 
   EngineOptions a = request.options;
   EngineOptions b = request.options;
-  b.num_threads = 4;
+  b.runtime.num_threads = 4;
   EXPECT_EQ(EngineOptionsFingerprint(a), EngineOptionsFingerprint(b));
   b.phi_partitions = a.phi_partitions + 1;
   EXPECT_NE(EngineOptionsFingerprint(a), EngineOptionsFingerprint(b));
@@ -487,7 +487,7 @@ TEST(ServiceEquivalenceTest, SingleQueryMatchesDirectRun) {
       request.dataset = "bsbm";
       request.query = *query;
       request.options.kind = kind;
-      request.options.num_threads = threads;
+      request.options.runtime.num_threads = threads;
       ServiceResponse response = service->Query(request);
       ASSERT_TRUE(response.ok()) << response.status.ToString();
       ASSERT_TRUE(response.stats.ok()) << response.stats.status.ToString();
@@ -554,7 +554,7 @@ TEST(ServiceEquivalenceTest, BatchAndUnionMatchDirectRuns) {
     request.dataset = "bsbm";
     request.batch = queries;
     request.options.kind = EngineKind::kNtgaLazy;
-    request.options.num_threads = threads;
+    request.options.runtime.num_threads = threads;
     ServiceResponse batched = service->Query(request);
     ASSERT_TRUE(batched.ok()) << batched.status.ToString();
     ASSERT_TRUE(batched.stats.ok());
@@ -666,6 +666,96 @@ TEST(ServiceCacheTest, ReloadBumpsEpochAndInvalidates) {
   ASSERT_TRUE(service->DropDataset("d").ok());
   ServiceResponse gone = service->Query(request);
   EXPECT_EQ(gone.status.code(), StatusCode::kNotFound);
+}
+
+// ---- engine=auto and explain -----------------------------------------------
+
+TEST(ServiceAutoTest, AutoAndExplicitShareCacheEntries) {
+  std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  auto service = MakeService();
+  ASSERT_TRUE(service->LoadDataset("bsbm", triples).ok());
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+
+  ServiceRequest request;
+  request.dataset = "bsbm";
+  request.query = *query;
+  request.options.kind = EngineKind::kAuto;
+  ServiceResponse cold = service->Query(request);
+  ASSERT_TRUE(cold.ok()) << cold.status.ToString();
+  ASSERT_TRUE(cold.stats.ok());
+  EXPECT_FALSE(cold.result_cache_hit);
+  ASSERT_FALSE(cold.stats.chosen_engine.empty());
+  EXPECT_EQ(cold.stats.chosen_engine, cold.stats.engine);
+  EXPECT_EQ(cold.stats.plan_candidates.size(), 6u);
+
+  // The same query with the chosen engine requested EXPLICITLY must hit
+  // the result cache: auto resolves before the key is computed, so auto
+  // and explicit runs share one entry.
+  EngineKind chosen = EngineKind::kAuto;
+  for (const PlanCandidate& candidate : cold.stats.plan_candidates) {
+    if (candidate.chosen) chosen = candidate.kind;
+  }
+  ASSERT_NE(chosen, EngineKind::kAuto);
+  ServiceRequest explicit_request = request;
+  explicit_request.options.kind = chosen;
+  ServiceResponse warm = service->Query(explicit_request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.result_cache_hit);
+  EXPECT_EQ(warm.answer_set(), cold.answer_set());
+  // The explicit request gets the cached answers WITHOUT chooser
+  // annotations — the decision belongs to the auto request only.
+  EXPECT_TRUE(warm.stats.chosen_engine.empty());
+
+  // And an auto replay hits the same entry, re-stamped with its own
+  // (deterministic, identical) decision.
+  ServiceResponse replay = service->Query(request);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.result_cache_hit);
+  EXPECT_EQ(replay.stats.chosen_engine, cold.stats.chosen_engine);
+  EXPECT_EQ(replay.stats.plan_rationale, cold.stats.plan_rationale);
+  EXPECT_EQ(replay.answer_set(), cold.answer_set());
+}
+
+TEST(ServiceAutoTest, ExplainScoresWithoutExecuting) {
+  std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  auto service = MakeService();
+  ASSERT_TRUE(service->LoadDataset("bsbm", triples).ok());
+  auto query = GetTestbedQuery("B1");
+  ASSERT_TRUE(query.ok());
+
+  ServiceRequest request;
+  request.dataset = "bsbm";
+  request.query = *query;
+  request.options.kind = EngineKind::kAuto;
+  auto choice = service->Explain(request);
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  EXPECT_EQ(choice->candidates.size(), 6u);
+  EXPECT_FALSE(choice->rationale.empty());
+  EXPECT_NE(choice->kind, EngineKind::kAuto);
+
+  // Explain must not have executed or cached anything: the first real
+  // query is still a cold run.
+  ServiceStatsSnapshot stats = service->Stats();
+  EXPECT_EQ(stats.served, 0u);
+  ServiceResponse cold = service->Query(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.result_cache_hit);
+  EXPECT_EQ(cold.stats.chosen_engine,
+            std::string(EngineKindToString(choice->kind)));
+
+  // Explain ignores options.kind: a concrete engine gets the same table.
+  ServiceRequest explicit_request = request;
+  explicit_request.options.kind = EngineKind::kPig;
+  auto same = service->Explain(explicit_request);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->kind, choice->kind);
+  EXPECT_EQ(same->rationale, choice->rationale);
+
+  auto missing = request;
+  missing.dataset = "nope";
+  EXPECT_EQ(service->Explain(missing).status().code(),
+            StatusCode::kNotFound);
 }
 
 // ---- Admission control -----------------------------------------------------
@@ -879,6 +969,51 @@ TEST(ProtocolTest, MalformedLinesYieldErrorResponses) {
       HandleRequestLine(service.get(), R"({"verb":"shutdown"})");
   EXPECT_TRUE(shutdown.response.GetBool("ok"));
   EXPECT_TRUE(shutdown.shutdown);
+}
+
+TEST(ProtocolTest, ExplainVerbReturnsScoredCandidates) {
+  auto service = MakeService();
+  ASSERT_TRUE(
+      service->LoadDataset("bsbm", SmallDataset(DatasetFamily::kBsbm))
+          .ok());
+
+  HandleResult explain = HandleRequestLine(
+      service.get(),
+      R"({"verb":"explain","dataset":"bsbm","query_id":"B1"})");
+  ASSERT_TRUE(explain.response.GetBool("ok"))
+      << explain.response.Dump();
+  EXPECT_FALSE(explain.response.GetString("chosen").empty());
+  EXPECT_FALSE(explain.response.GetString("rationale").empty());
+  const JsonValue& candidates = explain.response.Get("candidates");
+  ASSERT_TRUE(candidates.is_array());
+  EXPECT_EQ(candidates.AsArray().size(), 6u);
+  size_t chosen = 0;
+  for (const JsonValue& candidate : candidates.AsArray()) {
+    EXPECT_FALSE(candidate.GetString("engine").empty());
+    EXPECT_TRUE(candidate.GetBool("feasible"));
+    if (candidate.GetBool("chosen")) ++chosen;
+  }
+  EXPECT_EQ(chosen, 1u);
+
+  // engine=auto on the query verb: the response carries the decision and
+  // the stats name the concrete engine that actually ran.
+  HandleResult run = HandleRequestLine(
+      service.get(),
+      R"({"verb":"query","dataset":"bsbm","query_id":"B1",)"
+      R"("engine":"auto"})");
+  ASSERT_TRUE(run.response.GetBool("ok")) << run.response.Dump();
+  const JsonValue& stats = run.response.Get("stats");
+  EXPECT_EQ(stats.GetString("chosen_engine"),
+            explain.response.GetString("chosen"));
+  EXPECT_EQ(stats.GetString("engine"), stats.GetString("chosen_engine"));
+  ASSERT_TRUE(stats.Get("plan_candidates").is_array());
+  EXPECT_EQ(stats.Get("plan_candidates").AsArray().size(), 6u);
+
+  HandleResult missing = HandleRequestLine(
+      service.get(),
+      R"({"verb":"explain","dataset":"nope","query_id":"B1"})");
+  EXPECT_FALSE(missing.response.GetBool("ok"));
+  EXPECT_EQ(missing.response.GetString("code"), "NotFound");
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
-// Storage-layer battery for the rdx v1 dataset format.
+// Storage-layer battery for the rdx dataset format (v2, with v1 compat).
 //
 //   * Round-trip: index -> mmap-load reproduces the exact input relation
-//     (order and bytes), deterministically.
-//   * Golden file: the v1 header + section-table layout is pinned byte
+//     (order and bytes), deterministically — and the v2 graph-stats
+//     section decodes to the same catalog GraphStats::Compute derives.
+//   * Golden file: the v2 header + section-table layout is pinned byte
 //     for byte — any accidental format change fails here first.
 //   * Differential: every engine kind at 1 and 4 threads produces
 //     byte-identical answers and deterministic stats whether the dataset
@@ -157,6 +158,99 @@ TEST(RdxRoundTripTest, DictionaryAndIndexAccessorsAgreeWithTheRelation) {
   EXPECT_TRUE(reader.PropertyPostings("absent-property").empty());
 }
 
+TEST(RdxRoundTripTest, GraphStatsSectionMatchesComputedCatalog) {
+  for (DatasetFamily family :
+       {DatasetFamily::kBsbm, DatasetFamily::kBio2Rdf, DatasetFamily::kDbpedia,
+        DatasetFamily::kBtc}) {
+    const std::vector<Triple> triples = SmallDataset(family);
+    const std::string path =
+        TempPath("stats_" + std::to_string(static_cast<int>(family)) +
+                 ".rdx");
+    ASSERT_TRUE(WriteRdxFile(path, triples).ok());
+    auto opened = RdxReader::Open(path);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    ASSERT_TRUE((*opened)->has_graph_stats());
+
+    // The persisted catalog must agree field for field with the one
+    // computed from the decoded triples — the chooser sees the same
+    // statistics whether the dataset was mapped or loaded.
+    const GraphStats decoded = (*opened)->DecodeGraphStats();
+    const GraphStats computed = GraphStats::Compute(triples);
+    EXPECT_EQ(decoded.triple_count(), computed.triple_count());
+    EXPECT_EQ(decoded.distinct_subjects(), computed.distinct_subjects());
+    ASSERT_EQ(decoded.properties().size(), computed.properties().size());
+    for (const auto& [property, expected] : computed.properties()) {
+      const PropertyStats got = decoded.ForProperty(property);
+      EXPECT_EQ(got.triple_count, expected.triple_count) << property;
+      EXPECT_EQ(got.subject_count, expected.subject_count) << property;
+      EXPECT_EQ(got.max_multiplicity, expected.max_multiplicity) << property;
+      EXPECT_DOUBLE_EQ(got.avg_multiplicity, expected.avg_multiplicity)
+          << property;
+    }
+  }
+}
+
+// Strips the graph-stats section from a v2 image, producing the exact v1
+// layout (3-section table at offset 144) — real v1 files must stay
+// readable, with the catalog recomputed from the decoded triples.
+std::string DowngradeToV1(const std::string& v2) {
+  const size_t v1_table_bytes = 3 * storage::kRdxSectionEntryBytes;
+  const size_t stats_entry =
+      storage::kRdxTableOffset + 3 * storage::kRdxSectionEntryBytes;
+  const uint64_t stats_size = ReadU64(v2, stats_entry + 16);
+
+  std::string v1 = v2.substr(0, stats_entry);       // header + 3 entries
+  v1 += v2.substr(storage::kRdxFirstSectionOffset,  // payloads minus stats
+                  v2.size() - storage::kRdxFirstSectionOffset - stats_size);
+  v1[storage::kRdxOffVersion] = 1;
+  v1[storage::kRdxOffSectionCount] = 3;
+  PutU64(&v1, storage::kRdxOffFileSize, v1.size());
+  for (uint32_t i = 0; i < 3; ++i) {
+    const size_t entry =
+        storage::kRdxTableOffset + i * storage::kRdxSectionEntryBytes;
+    PutU64(&v1, entry + 8,
+           ReadU64(v1, entry + 8) - storage::kRdxSectionEntryBytes);
+  }
+  const uint64_t hash = HashCombine(
+      Fnv1a64(std::string_view(v1.data(), storage::kRdxOffHeaderChecksum)),
+      Fnv1a64(std::string_view(v1.data() + storage::kRdxTableOffset,
+                               v1_table_bytes)));
+  PutU64(&v1, storage::kRdxOffHeaderChecksum, hash);
+  return v1;
+}
+
+TEST(RdxRoundTripTest, V1FilesWithoutStatsSectionStayReadable) {
+  const std::vector<Triple> triples = SmallDataset(DatasetFamily::kBsbm);
+  auto v2 = BuildRdxImage(triples);
+  ASSERT_TRUE(v2.ok());
+  auto reader = OpenImage("v1_compat.rdx", DowngradeToV1(*v2));
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_FALSE((*reader)->has_graph_stats());
+  EXPECT_EQ((*reader)->Triples(), triples);
+
+  // No stats section: the accessor falls back to computing the catalog.
+  const GraphStats decoded = (*reader)->DecodeGraphStats();
+  const GraphStats computed = GraphStats::Compute(triples);
+  EXPECT_EQ(decoded.triple_count(), computed.triple_count());
+  EXPECT_EQ(decoded.distinct_subjects(), computed.distinct_subjects());
+  EXPECT_EQ(decoded.properties().size(), computed.properties().size());
+}
+
+// A v1 file whose every byte is flipped must also always be rejected —
+// the dual-version reader keeps full corruption coverage for old files.
+TEST(RdxCorruptionTest, EveryByteFlipOfAV1FileIsDetected) {
+  auto v2 = BuildRdxImage(TinyTriples());
+  ASSERT_TRUE(v2.ok());
+  const std::string good = DowngradeToV1(*v2);
+  ASSERT_TRUE(OpenImage("v1_sweep.rdx", good).ok());
+  for (size_t at = 0; at < good.size(); ++at) {
+    std::string bad = good;
+    bad[at] = static_cast<char>(bad[at] ^ 0xFF);
+    auto reader = OpenImage("v1_sweep.rdx", bad);
+    EXPECT_FALSE(reader.ok()) << "flip at byte " << at << " was accepted";
+  }
+}
+
 TEST(RdxRoundTripTest, ImageIsDeterministic) {
   const std::vector<Triple> triples = SmallDataset(DatasetFamily::kDbpedia);
   auto a = BuildRdxImage(triples);
@@ -177,12 +271,12 @@ TEST(RdxRoundTripTest, EmptyRelationRoundTrips) {
   EXPECT_TRUE((*reader)->Triples().empty());
 }
 
-// ---- golden v1 layout -------------------------------------------------------
+// ---- golden v2 layout -------------------------------------------------------
 
-// Pins the v1 wire layout of the fixed TinyTriples() relation. If any of
+// Pins the v2 wire layout of the fixed TinyTriples() relation. If any of
 // these assertions move, the change is a FORMAT change: bump kRdxVersion
 // and update docs/FORMAT.md instead of editing the expectations.
-TEST(RdxGoldenTest, V1HeaderAndTableLayoutIsPinned) {
+TEST(RdxGoldenTest, V2HeaderAndTableLayoutIsPinned) {
   auto image_or = BuildRdxImage(TinyTriples());
   ASSERT_TRUE(image_or.ok());
   const std::string& image = *image_or;
@@ -190,25 +284,26 @@ TEST(RdxGoldenTest, V1HeaderAndTableLayoutIsPinned) {
   // Fixed geometry.
   EXPECT_EQ(storage::kRdxHeaderBytes, 48u);
   EXPECT_EQ(storage::kRdxSectionEntryBytes, 32u);
-  EXPECT_EQ(storage::kRdxFirstSectionOffset, 144u);
+  EXPECT_EQ(storage::kRdxFirstSectionOffset, 176u);
+  EXPECT_EQ(storage::RdxFirstSectionOffsetForVersion(1), 144u);
 
   // Header fields.
   ASSERT_GE(image.size(), storage::kRdxFirstSectionOffset);
   EXPECT_EQ(image.substr(0, 8), std::string("RDFMRDX\n"));
-  EXPECT_EQ(ReadU32(image, storage::kRdxOffVersion), 1u);
-  EXPECT_EQ(ReadU32(image, storage::kRdxOffSectionCount), 3u);
+  EXPECT_EQ(ReadU32(image, storage::kRdxOffVersion), 2u);
+  EXPECT_EQ(ReadU32(image, storage::kRdxOffSectionCount), 4u);
   EXPECT_EQ(ReadU64(image, storage::kRdxOffTripleCount), 3u);
   // 7 distinct terms in first-occurrence order:
   // s1 p1 o1 s2 p2 "label one" — s1 reused; terms: s1,p1,o1,s2,p2,label.
   EXPECT_EQ(ReadU64(image, storage::kRdxOffTermCount), 6u);
   EXPECT_EQ(ReadU64(image, storage::kRdxOffFileSize), image.size());
 
-  // Section table: ids 1..3, reserved zero, contiguous from offset 144.
+  // Section table: ids 1..4, reserved zero, contiguous from offset 176.
   // dictionary = 7 u64 offsets + 19 blob bytes = 75; triples = 3 * 12;
-  // index = 8 + 2 * 24 + 3 * 4 = 68.
-  const uint64_t expected_sizes[3] = {75, 36, 68};
+  // index = 8 + 2 * 24 + 3 * 4 = 68; stats = 24 + 2 * 32 = 88.
+  const uint64_t expected_sizes[4] = {75, 36, 68, 88};
   uint64_t offset = storage::kRdxFirstSectionOffset;
-  for (uint32_t i = 0; i < 3; ++i) {
+  for (uint32_t i = 0; i < 4; ++i) {
     const size_t entry = storage::kRdxTableOffset +
                          i * storage::kRdxSectionEntryBytes;
     EXPECT_EQ(ReadU32(image, entry), i + 1) << "section id " << i;
@@ -254,6 +349,21 @@ TEST(RdxGoldenTest, V1HeaderAndTableLayoutIsPinned) {
   EXPECT_EQ(ReadU32(image, index_at + 56), 0u);       // p1 row 0
   EXPECT_EQ(ReadU32(image, index_at + 60), 1u);       // p1 row 1
   EXPECT_EQ(ReadU32(image, index_at + 64), 2u);       // p2 row 2
+
+  // Graph stats: 3 triples over 2 subjects (s1, s2); p1 covers both
+  // subjects with one object each, p2 covers s1 only.
+  const size_t stats_at = index_at + 68;
+  EXPECT_EQ(ReadU64(image, stats_at), 3u);       // triple count
+  EXPECT_EQ(ReadU64(image, stats_at + 8), 2u);   // distinct subjects
+  EXPECT_EQ(ReadU64(image, stats_at + 16), 2u);  // records
+  EXPECT_EQ(ReadU32(image, stats_at + 24), 1u);  // p1
+  EXPECT_EQ(ReadU64(image, stats_at + 32), 2u);  // p1 triples
+  EXPECT_EQ(ReadU64(image, stats_at + 40), 2u);  // p1 subjects
+  EXPECT_EQ(ReadU64(image, stats_at + 48), 1u);  // p1 max multiplicity
+  EXPECT_EQ(ReadU32(image, stats_at + 56), 4u);  // p2
+  EXPECT_EQ(ReadU64(image, stats_at + 64), 1u);  // p2 triples
+  EXPECT_EQ(ReadU64(image, stats_at + 72), 1u);  // p2 subjects
+  EXPECT_EQ(ReadU64(image, stats_at + 80), 1u);  // p2 max multiplicity
 }
 
 // ---- differential: parsed vs mapped -----------------------------------------
@@ -297,7 +407,7 @@ TEST(RdxDifferentialTest, MappedAndParsedLoadsAreByteIdenticalAcrossEngines) {
       request.dataset = "d";
       request.query = *query;
       request.options.kind = kind;
-      request.options.num_threads = threads;
+      request.options.runtime.num_threads = threads;
       request.use_result_cache = false;
 
       service::ServiceResponse from_parsed = parsed_service.Query(request);
@@ -345,7 +455,7 @@ TEST(RdxDifferentialTest, MappedScansMatchMaterializedEscapeHatch) {
       request.dataset = "d";
       request.query = *query;
       request.options.kind = kind;
-      request.options.num_threads = threads;
+      request.options.runtime.num_threads = threads;
       request.use_result_cache = false;
 
       service::ServiceResponse from_scan = scan_service.Query(request);
@@ -552,9 +662,13 @@ TEST(RdxCorruptionTest, MappedRegistrationSurfacesCorruptionNotCrash) {
 TEST(RdxCorruptionTest, CorruptPostingSectionFailsAtScanRegistration) {
   auto image = BuildRdxImage(TinyTriples());
   ASSERT_TRUE(image.ok());
-  // The golden layout pins the last 12 bytes of the file as the postings
-  // array of the property index; flip a row id inside it.
-  (*image)[image->size() - 2] ^= 0xFF;
+  // Locate the property-index section through the table and flip a row id
+  // inside its trailing postings array.
+  const size_t index_entry =
+      storage::kRdxTableOffset + 2 * storage::kRdxSectionEntryBytes;
+  const uint64_t index_offset = ReadU64(*image, index_entry + 8);
+  const uint64_t index_size = ReadU64(*image, index_entry + 16);
+  (*image)[index_offset + index_size - 2] ^= 0xFF;
   const std::string path = TempPath("bad_posting.rdx");
   WriteBytes(path, *image);
 

@@ -44,6 +44,10 @@ run_fuzz() {
     || return $?
   "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 50 --inject-bug --quiet \
     || return $?
+  # engine=auto sweep: the chooser's pick must match a byte-identical
+  # explicit run, and the sweep must exercise >= 2 distinct engines.
+  "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 200 --auto --quiet \
+    || return $?
   cmake --build "$build_dir" -j "$(nproc)" --target rdfmr || return $?
   mkdir -p traces
   "./$build_dir/tools/rdfmr_fuzz" --seed 1 --cases 5 --quiet \
@@ -71,7 +75,7 @@ run_bench() {
   cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
     "${launcher_args[@]}" || return $?
   cmake --build "$build_dir" -j "$(nproc)" --target bench_service \
-    fig12_bsbm1m bench_index bench_net || return $?
+    fig12_bsbm1m bench_index bench_net bench_auto || return $?
   # The benches write BENCH_*.json into the working directory, exactly as
   # the CI job does before uploading them as artifacts.
   "./$build_dir/bench/bench_service" || return $?
@@ -82,6 +86,9 @@ run_bench() {
   # bench_net hard-fails on its own when pipelining loses to serial
   # request/response on either transport.
   "./$build_dir/bench/bench_net" || return $?
+  # bench_auto hard-fails on its own when engine=auto's modeled cost lands
+  # more than 5% above the best fixed engine on any testbed query.
+  "./$build_dir/bench/bench_auto" || return $?
   python3 tools/bench_compare.py \
     --baseline bench/baselines/BENCH_service.json \
     --current BENCH_service.json \
@@ -123,7 +130,18 @@ run_bench() {
     --baseline bench/baselines/BENCH_net.json \
     --current BENCH_net.json \
     --cells-key ratios \
-    --field ratio --direction higher --tolerance 0.25
+    --field ratio --direction higher --tolerance 0.25 || return $?
+  python3 tools/bench_compare.py \
+    --baseline bench/baselines/BENCH_auto.json \
+    --current BENCH_auto.json \
+    --field modeled_seconds --direction lower --tolerance 0.20 || return $?
+  # Chooser-quality ratios (auto modeled / best fixed modeled) are
+  # deterministic — modeled costs carry no wall time — so the gate is tight.
+  python3 tools/bench_compare.py \
+    --baseline bench/baselines/BENCH_auto.json \
+    --current BENCH_auto.json \
+    --cells-key ratios \
+    --field ratio --direction lower --tolerance 0.05
 }
 
 run_job() {

@@ -21,11 +21,16 @@
 //   rdfmr batch --queries ID,ID,... --data FILE [--engine ...]
 //       Run several testbed queries as ONE shared-scan NTGA workflow.
 //   rdfmr run (--query ID | --sparql FILE) --data FILE
-//              [--engine pig|hive|eager|lazyfull|lazypartial|lazy]
+//              [--engine pig|hive|eager|lazyfull|lazypartial|lazy|auto]
 //              [--nodes N] [--disk-mb M] [--repl R] [--phi M]
 //              [--threads T] [--show-answers K] [--max-attempts A]
 //              [--fault-plan SPEC] [--disk-check none|degrade|fail-fast]
+//              [--explain]
 //       Execute the query on the simulated cluster and print metrics.
+//       --engine auto lets the cost-based plan chooser pick the
+//       modeled-cheapest engine from the dataset's statistics catalog;
+//       --explain prints the scored candidate table and exits without
+//       running anything.
 //       --threads runs the simulator's map/reduce phases on T host
 //       threads (byte-identical results, faster wall clock).
 //       --fault-plan injects seeded DFS faults, e.g.
@@ -73,6 +78,7 @@
 #include "dfs/fault_plan.h"
 #include "engine/advisor.h"
 #include "engine/engine.h"
+#include "engine/plan_chooser.h"
 #include "mapreduce/workflow.h"
 #include "net/address.h"
 #include "ntga/logical_plan.h"
@@ -365,6 +371,26 @@ int CmdRun(const Flags& flags) {
                  disk_check.c_str());
     return 2;
   }
+  ExecRequest request;
+  request.payload = ExecPayload::kSingle;
+  request.query = query->query;
+  request.aggregate = query->aggregate;
+
+  if (flags.Has("explain")) {
+    // Score the candidate table against the dataset's statistics catalog
+    // and exit without running anything.
+    GraphStats stats = GraphStats::Compute(*triples);
+    auto base_size = dfs.FileSize("base");
+    auto choice = ChoosePlan(request, stats, base_size.ok() ? *base_size : 0,
+                             dfs.UsedBytes(), cluster, options);
+    if (!choice.ok()) {
+      std::fprintf(stderr, "%s\n", choice.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", RenderPlanChoice(*choice).c_str());
+    return 0;
+  }
+
   Trace trace;
   const bool tracing = flags.Has("trace");
   RunContext ctx;
@@ -372,10 +398,7 @@ int CmdRun(const Flags& flags) {
     ctx = RunContext::ForTrace(&trace);
     EnableOperatorMetrics(true);
   }
-  auto exec = query->aggregate.has_value()
-                  ? RunAggregateQuery(&dfs, "base", query->query,
-                                      *query->aggregate, options, ctx)
-                  : RunQuery(&dfs, "base", query->query, options, ctx);
+  auto exec = Exec(&dfs, "base", request, options, ctx);
   if (tracing) {
     const std::string path = flags.Get("trace");
     std::ofstream out(path);
@@ -405,6 +428,9 @@ int CmdRun(const Flags& flags) {
     return 1;
   }
   std::printf("engine            : %s\n", s.engine.c_str());
+  if (!s.chosen_engine.empty()) {
+    std::printf("plan chooser      : %s\n", s.plan_rationale.c_str());
+  }
   std::printf("MR cycles         : %zu\n", s.mr_cycles);
   std::printf("full scans of base: %u\n", s.full_scans);
   std::printf("HDFS read         : %s\n",
@@ -501,7 +527,10 @@ int CmdBatch(const Flags& flags) {
   }
   EngineOptions options;
   options.kind = *kind;
-  auto batch = RunQueryBatch(&dfs, "base", queries, options);
+  ExecRequest request;
+  request.payload = ExecPayload::kBatch;
+  request.queries = queries;
+  auto batch = Exec(&dfs, "base", request, options);
   if (!batch.ok()) {
     std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
     return 1;
@@ -519,7 +548,7 @@ int CmdBatch(const Flags& flags) {
               HumanBytes(batch->stats.hdfs_write_bytes).c_str());
   for (size_t q = 0; q < queries.size(); ++q) {
     std::printf("  %-9s %zu answers\n", queries[q]->name().c_str(),
-                batch->answers[q].size());
+                batch->per_query[q].size());
   }
   return 0;
 }
@@ -728,7 +757,7 @@ const std::map<std::string, std::vector<const char*>>& SubcommandFlags() {
           {"run",
            {"query", "sparql", "data", "engine", "nodes", "disk-mb", "repl",
             "phi", "threads", "show-answers", "max-attempts", "fault-plan",
-            "disk-check", "trace"}},
+            "disk-check", "trace", "explain"}},
           {"batch",
            {"queries", "data", "engine", "nodes", "disk-mb", "repl",
             "threads"}},

@@ -44,6 +44,15 @@
 //                       requires byte-identical answers against the oracle
 //                       and byte-identical deterministic ExecStats between
 //                       the two paths.
+//     --auto            plan-chooser differential: every case runs once
+//                       with engine=auto and once with the engine the
+//                       chooser reports having picked, on separate fresh
+//                       DFS instances. Both runs must match the in-memory
+//                       oracle, and the auto run's deterministic stats
+//                       must be byte-identical to the explicit run's.
+//                       Vacuity gate: a sweep that never picks at least
+//                       two distinct engine kinds fails loudly (the
+//                       chooser would be a constant, not a cost model).
 //     --trace-dir DIR   write one Chrome trace-event JSON file per
 //                       fault-free engine x thread run into DIR
 //                       (<case>-<engine>-t<threads>.json); DIR must exist.
@@ -56,6 +65,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -386,7 +396,7 @@ int RunFormatMode(const fuzz::FuzzOptions& options, std::ostream* log) {
     EngineOptions engine_options;
     engine_options.kind = kind;
     engine_options.phi_partitions = options.diff.phi_partitions;
-    engine_options.num_threads = 1;
+    engine_options.runtime.num_threads = 1;
 
     SimDfs decoded_dfs(options.diff.cluster);
     Status wrote = decoded_dfs.WriteFile("base", SerializeTriples(decoded));
@@ -449,6 +459,172 @@ int RunFormatMode(const fuzz::FuzzOptions& options, std::ostream* log) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Maps an ExecStats engine display name ("EagerUnnest", ...) back to its
+/// EngineKind, for re-running the chooser's pick explicitly.
+Result<EngineKind> KindFromDisplayName(const std::string& name) {
+  for (EngineKind kind :
+       {EngineKind::kPig, EngineKind::kHive, EngineKind::kNtgaEager,
+        EngineKind::kNtgaLazyFull, EngineKind::kNtgaLazyPartial,
+        EngineKind::kNtgaLazy}) {
+    if (EngineKindToString(kind) == name) return kind;
+  }
+  return Status::InvalidArgument("not a concrete engine name: " + name);
+}
+
+/// Plan-chooser differential: engine=auto must produce the oracle's
+/// answers AND byte-identical deterministic stats to explicitly running
+/// the engine it reports having chosen.
+int RunAutoMode(const fuzz::FuzzOptions& options, std::ostream* log) {
+  uint64_t failures = 0;
+  auto fail = [&failures, log](uint64_t index, const std::string& what) {
+    ++failures;
+    if (log != nullptr) {
+      *log << "case " << index << " FAILED: " << what << "\n";
+    } else {
+      std::fprintf(stderr, "case %llu FAILED: %s\n",
+                   (unsigned long long)index, what.c_str());
+    }
+  };
+
+  std::set<std::string> chosen_kinds;
+  uint64_t auto_runs = 0;
+  uint64_t index = 0;
+  for (; index < options.cases; ++index) {
+    fuzz::FuzzCase fuzz_case = fuzz::MakeCase(options, index);
+    auto built =
+        GraphPatternQuery::Create(fuzz_case.name, fuzz_case.patterns);
+    if (!built.ok()) continue;  // generator produced a degenerate case
+    auto query =
+        std::make_shared<const GraphPatternQuery>(std::move(*built));
+    SolutionSet oracle =
+        fuzz_case.aggregate.has_value()
+            ? EvaluateAggregateInMemory(*query, *fuzz_case.aggregate,
+                                        fuzz_case.triples)
+            : EvaluateQueryInMemory(*query, fuzz_case.triples);
+
+    ExecRequest request;
+    request.payload = ExecPayload::kSingle;
+    request.query = query;
+    request.aggregate = fuzz_case.aggregate;
+
+    EngineOptions auto_options;
+    auto_options.kind = EngineKind::kAuto;
+    auto_options.phi_partitions = options.diff.phi_partitions;
+    auto_options.runtime.num_threads = 1;
+
+    SimDfs auto_dfs(options.diff.cluster);
+    Status wrote =
+        auto_dfs.WriteFile("base", SerializeTriples(fuzz_case.triples));
+    if (!wrote.ok()) {
+      fail(index, "loading base relation: " + wrote.ToString());
+      break;
+    }
+    Result<ExecResult> auto_exec =
+        Exec(&auto_dfs, "base", request, auto_options);
+    if (!auto_exec.ok() || !auto_exec->stats.ok()) {
+      fail(index, "auto run failed: " +
+                      (auto_exec.ok() ? auto_exec->stats.status.ToString()
+                                      : auto_exec.status().ToString()));
+      break;
+    }
+    ++auto_runs;
+    const ExecStats& auto_stats = auto_exec->stats;
+    if (auto_stats.chosen_engine.empty() ||
+        auto_stats.plan_candidates.empty()) {
+      fail(index, "auto run did not record a plan choice");
+      break;
+    }
+    if (auto_stats.chosen_engine != auto_stats.engine) {
+      fail(index, "auto ran '" + auto_stats.engine +
+                      "' but recorded choosing '" +
+                      auto_stats.chosen_engine + "'");
+      break;
+    }
+    Result<EngineKind> chosen =
+        KindFromDisplayName(auto_stats.chosen_engine);
+    if (!chosen.ok()) {
+      fail(index, chosen.status().ToString());
+      break;
+    }
+    chosen_kinds.insert(auto_stats.chosen_engine);
+    const std::string tag = auto_stats.chosen_engine + ": ";
+    if (AnswerLines(auto_exec->answers) != AnswerLines(oracle)) {
+      fail(index, tag + "auto answers diverge from oracle");
+      break;
+    }
+
+    // The chooser must never pick a candidate it marked non-fitting
+    // while a fitting one exists.
+    bool any_fits = false;
+    bool chosen_fits = false;
+    for (const PlanCandidate& candidate : auto_stats.plan_candidates) {
+      if (candidate.feasible && candidate.fits) any_fits = true;
+      if (candidate.chosen) chosen_fits = candidate.fits;
+    }
+    if (any_fits && !chosen_fits) {
+      fail(index,
+           tag + "chose a non-fitting plan over a fitting candidate");
+      break;
+    }
+
+    // Explicit re-run of the chosen engine on a fresh DFS: answers and
+    // deterministic stats must be byte-identical.
+    EngineOptions explicit_options = auto_options;
+    explicit_options.kind = *chosen;
+    SimDfs explicit_dfs(options.diff.cluster);
+    wrote = explicit_dfs.WriteFile("base",
+                                   SerializeTriples(fuzz_case.triples));
+    if (!wrote.ok()) {
+      fail(index, "loading base relation: " + wrote.ToString());
+      break;
+    }
+    Result<ExecResult> explicit_exec =
+        Exec(&explicit_dfs, "base", request, explicit_options);
+    if (!explicit_exec.ok() || !explicit_exec->stats.ok()) {
+      fail(index, tag + "explicit run failed: " +
+                      (explicit_exec.ok()
+                           ? explicit_exec->stats.status.ToString()
+                           : explicit_exec.status().ToString()));
+      break;
+    }
+    if (AnswerLines(explicit_exec->answers) != AnswerLines(oracle)) {
+      fail(index, tag + "explicit answers diverge from oracle");
+      break;
+    }
+    std::vector<std::string> stat_diffs =
+        fuzz::CompareStatsIgnoringWallTimes(auto_exec->stats,
+                                            explicit_exec->stats);
+    if (!stat_diffs.empty()) {
+      fail(index, tag + "auto stats diverge from the explicit run: " +
+                      Join(stat_diffs, ';'));
+      break;
+    }
+
+    if (options.max_failures > 0 && failures >= options.max_failures) break;
+    if (log != nullptr && (index + 1) % 10 == 0) {
+      *log << "auto: " << (index + 1) << "/" << options.cases
+           << " cases clean (" << chosen_kinds.size()
+           << " distinct engine(s) chosen)\n";
+    }
+  }
+
+  std::printf("auto mode: %llu case(s), %llu failure(s), %zu distinct "
+              "engine(s) chosen\n",
+              (unsigned long long)std::min(index + 1, options.cases),
+              (unsigned long long)failures, chosen_kinds.size());
+  // Vacuity gate: a healthy sweep exercises the cost model enough that at
+  // least two different engines win somewhere; a constant chooser means
+  // the scoring is degenerate (or the plumbing ignores it).
+  if (failures == 0 && auto_runs >= 10 && chosen_kinds.size() < 2) {
+    std::fprintf(stderr,
+                 "FAIL: --auto chose the same engine in all %llu run(s) — "
+                 "the cost model looks degenerate\n",
+                 (unsigned long long)auto_runs);
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int FuzzMain(int argc, char** argv) {
   Flags flags(argc, argv);
   if (!flags.ok()) return 2;
@@ -473,21 +649,20 @@ int FuzzMain(int argc, char** argv) {
   const bool inject_bug = flags.Has("inject-bug");
   std::ostream* log = flags.Has("quiet") ? nullptr : &std::cout;
 
-  if (flags.Has("service")) {
-    if (inject_bug) {
-      std::fprintf(stderr, "--service and --inject-bug are exclusive\n");
-      return 2;
-    }
-    return RunServiceMode(options, log);
+  int modes = 0;
+  for (const char* mode : {"service", "format", "auto"}) {
+    if (flags.Has(mode)) ++modes;
+  }
+  if (modes > 1 || (modes == 1 && inject_bug)) {
+    std::fprintf(stderr,
+                 "--service, --format, --auto, and --inject-bug are "
+                 "mutually exclusive\n");
+    return 2;
   }
 
-  if (flags.Has("format")) {
-    if (inject_bug) {
-      std::fprintf(stderr, "--format and --inject-bug are exclusive\n");
-      return 2;
-    }
-    return RunFormatMode(options, log);
-  }
+  if (flags.Has("service")) return RunServiceMode(options, log);
+  if (flags.Has("format")) return RunFormatMode(options, log);
+  if (flags.Has("auto")) return RunAutoMode(options, log);
 
   if (inject_bug) {
     // Every case must route through the β group-filter's unbound branch
